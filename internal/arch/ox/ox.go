@@ -1,0 +1,48 @@
+// Package ox implements the order-execute architecture (§2.3.3): after
+// consensus fixes the block order, every node executes the block's
+// transactions strictly sequentially in that order. This is the
+// Tendermint / Quorum / Corda / Multichain model — simple and always
+// serializable, but unable to use more than one core per block, which is
+// the "low performance due to sequential execution" the tutorial's
+// Discussion attributes to OX.
+package ox
+
+import (
+	"permchain/internal/arch"
+	"permchain/internal/statedb"
+	"permchain/internal/types"
+)
+
+// Engine executes ordered blocks sequentially.
+type Engine struct {
+	store *statedb.Store
+	// workFactor models per-operation smart-contract cost (SHA-256
+	// compressions per op).
+	workFactor int
+}
+
+// New creates an OX engine over the given state.
+func New(store *statedb.Store, workFactor int) *Engine {
+	return &Engine{store: store, workFactor: workFactor}
+}
+
+// Store returns the engine's world state.
+func (e *Engine) Store() *statedb.Store { return e.store }
+
+// ExecuteBlock runs every transaction in order. Transactions never abort
+// for concurrency reasons in OX — only payload failures count.
+func (e *Engine) ExecuteBlock(b *types.Block) arch.Stats {
+	var st arch.Stats
+	for i, tx := range b.Txs {
+		for range tx.Ops {
+			arch.SimulateWork(e.workFactor)
+		}
+		res := e.store.Execute(types.Version{Block: b.Header.Height, Tx: i}, tx.Ops)
+		if res.Err != nil {
+			st.Failed++
+			continue
+		}
+		st.Committed++
+	}
+	return st
+}

@@ -1,0 +1,79 @@
+package ox
+
+import (
+	"fmt"
+	"testing"
+
+	"permchain/internal/statedb"
+	"permchain/internal/types"
+)
+
+func TestSequentialExecution(t *testing.T) {
+	store := statedb.New()
+	e := New(store, 0)
+	var txs []*types.Transaction
+	for i := 0; i < 10; i++ {
+		txs = append(txs, &types.Transaction{
+			ID:  fmt.Sprintf("t%d", i),
+			Ops: []types.Op{{Code: types.OpAdd, Key: "ctr", Delta: 1}},
+		})
+	}
+	st := e.ExecuteBlock(types.NewBlock(1, types.ZeroHash, 0, txs))
+	if st.Committed != 10 || st.Aborted != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// OX never loses an update: all 10 increments land.
+	if store.GetInt("ctr") != 10 {
+		t.Fatalf("ctr = %d", store.GetInt("ctr"))
+	}
+}
+
+func TestPayloadFailureCounted(t *testing.T) {
+	store := statedb.New()
+	e := New(store, 0)
+	txs := []*types.Transaction{
+		{ID: "bad", Ops: []types.Op{{Code: types.OpTransfer, Key: "a", Key2: "b", Delta: 5}}},
+		{ID: "ok", Ops: []types.Op{{Code: types.OpPut, Key: "k", Value: []byte("v")}}},
+	}
+	st := e.ExecuteBlock(types.NewBlock(1, types.ZeroHash, 0, txs))
+	if st.Failed != 1 || st.Committed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDeterministicAcrossReplicas(t *testing.T) {
+	mk := func() *statedb.Store {
+		store := statedb.New()
+		e := New(store, 0)
+		var txs []*types.Transaction
+		for i := 0; i < 20; i++ {
+			txs = append(txs, &types.Transaction{
+				ID: fmt.Sprintf("t%d", i),
+				Ops: []types.Op{
+					{Code: types.OpAdd, Key: fmt.Sprintf("k%d", i%3), Delta: int64(i)},
+				},
+			})
+		}
+		e.ExecuteBlock(types.NewBlock(1, types.ZeroHash, 0, txs))
+		return store
+	}
+	if mk().StateHash() != mk().StateHash() {
+		t.Fatal("OX execution is not deterministic")
+	}
+}
+
+func TestExecutionDoesNotMutateTx(t *testing.T) {
+	// Order-execute replicas share transaction values across nodes, so the
+	// executor must not write back into them (that is XOV endorsement's
+	// job, which happens before ordering on a single writer).
+	store := statedb.New()
+	e := New(store, 0)
+	tx := &types.Transaction{ID: "t", Ops: []types.Op{{Code: types.OpAdd, Key: "x", Delta: 1}}}
+	e.ExecuteBlock(types.NewBlock(1, types.ZeroHash, 0, []*types.Transaction{tx}))
+	if tx.Reads != nil || tx.Writes != nil {
+		t.Fatal("executor mutated the shared transaction")
+	}
+	if e.Store() != store {
+		t.Fatal("Store accessor wrong")
+	}
+}

@@ -1,0 +1,115 @@
+// Package oxii implements ParBlockchain's order-parallel-execute
+// architecture (§2.3.3): orderers attach a dependency graph to each block
+// — a partial order derived from the transactions' declared read/write
+// sets — and executors run non-conflicting transactions in parallel while
+// conflicting pairs respect the agreed order.
+//
+// Unlike XOV, conflicts are detected during ordering, so no transaction
+// aborts for concurrency reasons: contended workloads lose parallelism,
+// not work, which is the trade-off the tutorial's Discussion highlights.
+package oxii
+
+import (
+	"runtime"
+	"sync"
+
+	"permchain/internal/arch"
+	"permchain/internal/statedb"
+	"permchain/internal/types"
+)
+
+// Engine executes ordered blocks along their dependency graphs.
+type Engine struct {
+	store      *statedb.Store
+	workFactor int
+	workers    int
+}
+
+// New creates an OXII engine. workers <= 0 selects GOMAXPROCS.
+func New(store *statedb.Store, workFactor, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{store: store, workFactor: workFactor, workers: workers}
+}
+
+// Store returns the engine's world state.
+func (e *Engine) Store() *statedb.Store { return e.store }
+
+// ExecuteBlock builds the dependency graph (the orderer's job in
+// ParBlockchain) and executes the block with maximal parallelism.
+func (e *Engine) ExecuteBlock(b *types.Block) arch.Stats {
+	g := arch.BuildDependencyGraph(b.Txs)
+	return e.ExecuteWithGraph(b, g)
+}
+
+// ExecuteWithGraph executes a block whose dependency graph was already
+// computed (e.g. shipped with the block by the orderers).
+func (e *Engine) ExecuteWithGraph(b *types.Block, g *arch.DependencyGraph) arch.Stats {
+	n := len(b.Txs)
+	if n == 0 {
+		return arch.Stats{}
+	}
+
+	indeg := make([]int, n)
+	copy(indeg, g.InDeg)
+
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		st        arch.Stats
+		completed int
+		wg        sync.WaitGroup
+	)
+	done := make(chan struct{})
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case i := <-ready:
+					tx := b.Txs[i]
+					for range tx.Ops {
+						arch.SimulateWork(e.workFactor)
+					}
+					res := e.store.Execute(types.Version{Block: b.Header.Height, Tx: i}, tx.Ops)
+
+					mu.Lock()
+					if res.Err != nil {
+						st.Failed++
+					} else {
+						st.Committed++
+					}
+					completed++
+					fin := completed == n
+					for _, j := range g.Succ[i] {
+						indeg[j]--
+						if indeg[j] == 0 {
+							ready <- j
+						}
+					}
+					mu.Unlock()
+					if fin {
+						close(done)
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return st
+}

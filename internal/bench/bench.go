@@ -1,0 +1,100 @@
+// Package bench is the experiment harness: it regenerates, as printed
+// tables, every comparative claim of the paper's evaluation content —
+// Figure 1 plus the four Discussion sections of §2.3 (see DESIGN.md's
+// experiment index, E1–E8). cmd/permbench prints the tables;
+// bench_test.go wraps each experiment as a testing.B benchmark.
+//
+// Each experiment has a Quick variant used by tests (seconds) and a full
+// variant used for the recorded results in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result, formatted like the paper would
+// report it.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's qualitative claim this table checks
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case time.Duration:
+			row[i] = v.Round(10 * time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "paper claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// tps computes transactions per second.
+func tps(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// pct renders a ratio as a percentage string.
+func pct(part, total int) string {
+	if total == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}

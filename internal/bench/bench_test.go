@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID: "EX", Title: "demo", Claim: "things hold",
+		Columns: []string{"a", "longer-column"},
+	}
+	tbl.AddRow("x", 3.14159)
+	tbl.AddRow(42, time.Millisecond)
+	tbl.Notes = append(tbl.Notes, "a note")
+	out := tbl.String()
+	for _, want := range []string{"EX — demo", "paper claim: things hold", "longer-column", "3.1", "1ms", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE1Quick(t *testing.T) {
+	tbl, err := E1Figure1(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "true" || row[4] != "true" {
+			t.Fatalf("replication violated: %v", row)
+		}
+	}
+	if !strings.Contains(strings.Join(tbl.Notes, " "), "holds") {
+		t.Fatalf("notes: %v", tbl.Notes)
+	}
+}
+
+func TestE2Quick(t *testing.T) {
+	tbl, err := E2Architectures(400, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 skews × 3 archs.
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Shape check: at the highest skew, XOV aborts while OXII does not.
+	var oxiiAborts, xovAborts string
+	for _, row := range tbl.Rows {
+		if row[0] == "1.5" && row[2] == "OXII" {
+			oxiiAborts = row[6]
+		}
+		if row[0] == "1.5" && row[2] == "XOV" {
+			xovAborts = row[6]
+		}
+	}
+	if oxiiAborts != "0" {
+		t.Fatalf("OXII aborted %s txs", oxiiAborts)
+	}
+	if xovAborts == "0" {
+		t.Fatal("XOV aborted nothing under heavy contention")
+	}
+	t.Log("\n" + tbl.String())
+}
+
+func TestE3Quick(t *testing.T) {
+	tbl, err := E3FabricFamily(400, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = row
+	}
+	atoiF := func(s string) int {
+		n := 0
+		for _, c := range s {
+			if c < '0' || c > '9' {
+				break
+			}
+			n = n*10 + int(c-'0')
+		}
+		return n
+	}
+	// Reordering reduces aborts; Sharp never aborts more than Fabric++.
+	if atoiF(byName["Fabric++"][3]) > atoiF(byName["XOV"][3]) {
+		t.Fatalf("Fabric++ aborted more than vanilla: %v vs %v", byName["Fabric++"][3], byName["XOV"][3])
+	}
+	if atoiF(byName["FabricSharp"][3]) > atoiF(byName["Fabric++"][3]) {
+		t.Fatal("FabricSharp aborted more than Fabric++")
+	}
+	// XOX ends with zero net aborts (all re-executed or failed).
+	if byName["XOX"][3] != "0" {
+		t.Fatalf("XOX left aborts: %v", byName["XOX"][3])
+	}
+	t.Log("\n" + tbl.String())
+}
+
+func TestE4Quick(t *testing.T) {
+	tbl, err := E4Confidentiality(30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Caper leaks zero of e2's internal txs into e1.
+	if tbl.Rows[0][1] != "0 txs" {
+		t.Fatalf("caper leaked: %v", tbl.Rows[0])
+	}
+	t.Log("\n" + tbl.String())
+}
+
+func TestE5Quick(t *testing.T) {
+	tbl, err := E5Verifiability(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	t.Log("\n" + tbl.String())
+}
+
+func TestE6Quick(t *testing.T) {
+	tbl, err := E6ShardingScaling(30, []int{2}, []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 ResilientDB row + 2 sharded rows per (shardCount, crossFrac).
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	t.Log("\n" + tbl.String())
+}
+
+func TestE7Quick(t *testing.T) {
+	tbl, err := E7CrossShardLatency(2, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	t.Log("\n" + tbl.String())
+}
+
+func TestE8Quick(t *testing.T) {
+	tbl, err := E8ConsensusProtocols(30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "0.0" {
+			t.Fatalf("protocol %s decided nothing", row[0])
+		}
+	}
+	t.Log("\n" + tbl.String())
+}
+
+func TestE9Quick(t *testing.T) {
+	tbl, err := E9Ablations(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 batching + 2 signature + 2 committee rows.
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	t.Log("\n" + tbl.String())
+}

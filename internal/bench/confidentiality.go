@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"permchain/internal/confidential/caper"
+	"permchain/internal/confidential/channels"
+	"permchain/internal/confidential/pdc"
+	"permchain/internal/types"
+	"permchain/internal/verify/confidentialtx"
+	"permchain/internal/verify/separ"
+)
+
+// E4Confidentiality reproduces the §2.3.1 Discussion comparison: what
+// each confidentiality technique costs in storage on irrelevant parties
+// and in transaction latency.
+//
+// Three enterprises each run `internalPerEnt` internal transactions plus
+// `cross` cross-enterprise transactions system-wide, under (a) Caper
+// views, (b) multi-channel Fabric (one channel per enterprise plus a
+// shared channel), and (c) a single channel with a private data
+// collection per enterprise.
+func E4Confidentiality(internalPerEnt, cross int) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "confidentiality techniques: storage on irrelevant parties & latency",
+		Claim:   "view-based (Caper, channels) stores nothing irrelevant but pays consensus across views for public txs; cryptographic (PDC) leaks only hashes but replicates evidence everywhere",
+		Columns: []string{"technique", "e1 stores of e2's internal data", "e1 total bytes", "internal tx latency", "cross/public tx latency"},
+	}
+
+	// ---- Caper ----------------------------------------------------------
+	cnet, err := caper.NewNetwork(caper.Config{Enterprises: 3, Mode: caper.OrderingService})
+	if err != nil {
+		return nil, err
+	}
+	defer cnet.Close()
+	start := time.Now()
+	for e := 1; e <= 3; e++ {
+		for i := 0; i < internalPerEnt; i++ {
+			tx := &types.Transaction{
+				ID: fmt.Sprintf("int-e%d-%d", e, i), Kind: types.TxInternal,
+				Ops: []types.Op{{Code: types.OpAdd, Key: fmt.Sprintf("e%d/k%d", e, i%32), Delta: 1}},
+			}
+			if err := cnet.SubmitInternal(types.EnterpriseID(e), tx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	internalLat := time.Since(start) / time.Duration(3*internalPerEnt)
+	start = time.Now()
+	for i := 0; i < cross; i++ {
+		tx := &types.Transaction{
+			ID: fmt.Sprintf("cross-%d", i), Kind: types.TxCross,
+			Ops: []types.Op{{Code: types.OpAdd, Key: fmt.Sprintf("shared/k%d", i%32), Delta: 1}},
+		}
+		if err := cnet.SubmitCross(tx); err != nil {
+			return nil, err
+		}
+	}
+	if !cnet.AwaitCrossCount(cross, 60*time.Second) {
+		return nil, fmt.Errorf("E4: caper cross txs stalled")
+	}
+	crossLat := time.Since(start) / time.Duration(cross)
+	// e1's view contains none of e2's internal transactions by
+	// construction; measure to prove it.
+	leaked := 0
+	for _, v := range cnet.Enterprise(1).View().Topo() {
+		if v.Tx.Kind == types.TxInternal && v.Tx.Enterprise == 2 {
+			leaked++
+		}
+	}
+	t.AddRow("Caper views", fmt.Sprintf("%d txs", leaked),
+		fmt.Sprintf("%d B", cnet.ViewSize(1)), internalLat, crossLat)
+
+	// ---- Multi-channel Fabric -------------------------------------------
+	svc := channels.NewService(channels.Config{})
+	defer svc.Close()
+	for e := 1; e <= 3; e++ {
+		if _, err := svc.CreateChannel(types.ChannelID(fmt.Sprintf("ent%d", e)), []types.EnterpriseID{types.EnterpriseID(e)}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := svc.CreateChannel("shared", []types.EnterpriseID{1, 2, 3}); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for e := 1; e <= 3; e++ {
+		ch := types.ChannelID(fmt.Sprintf("ent%d", e))
+		for i := 0; i < internalPerEnt; i++ {
+			tx := &types.Transaction{
+				ID:  fmt.Sprintf("chint-e%d-%d", e, i),
+				Ops: []types.Op{{Code: types.OpAdd, Key: fmt.Sprintf("k%d", i), Delta: 1}},
+			}
+			if err := svc.Submit(ch, types.EnterpriseID(e), tx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for e := 1; e <= 3; e++ {
+		if !svc.AwaitApplied(types.ChannelID(fmt.Sprintf("ent%d", e)), internalPerEnt, 60*time.Second) {
+			return nil, fmt.Errorf("E4: channel ent%d stalled", e)
+		}
+	}
+	chInternalLat := time.Since(start) / time.Duration(3*internalPerEnt)
+	start = time.Now()
+	for i := 0; i < cross; i++ {
+		tx := &types.Transaction{
+			ID:  fmt.Sprintf("chcross-%d", i),
+			Ops: []types.Op{{Code: types.OpAdd, Key: fmt.Sprintf("s%d", i), Delta: 1}},
+		}
+		if err := svc.Submit("shared", types.EnterpriseID(1+i%3), tx); err != nil {
+			return nil, err
+		}
+	}
+	if !svc.AwaitApplied("shared", cross, 60*time.Second) {
+		return nil, fmt.Errorf("E4: shared channel stalled")
+	}
+	chCrossLat := time.Since(start) / time.Duration(cross)
+	// e1 never joins ent2's channel, so it stores none of its ledger.
+	t.AddRow("Fabric channels", "no membership",
+		fmt.Sprintf("%d B", svc.StorageFootprint(1)), chInternalLat, chCrossLat)
+
+	// ---- Private data collections ---------------------------------------
+	pch := pdc.NewChannel([]types.EnterpriseID{1, 2, 3})
+	for e := 1; e <= 3; e++ {
+		if _, err := pch.DefineCollection(fmt.Sprintf("col%d", e), []types.EnterpriseID{types.EnterpriseID(e)}); err != nil {
+			return nil, err
+		}
+	}
+	start = time.Now()
+	for e := 1; e <= 3; e++ {
+		for i := 0; i < internalPerEnt; i++ {
+			tx := &types.Transaction{
+				ID:  fmt.Sprintf("pdc-e%d-%d", e, i),
+				Ops: []types.Op{{Code: types.OpPut, Key: fmt.Sprintf("k%d", i), Value: []byte("secret")}},
+			}
+			if err := pch.SubmitPrivate(fmt.Sprintf("col%d", e), types.EnterpriseID(e), tx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	pdcInternalLat := time.Since(start) / time.Duration(3*internalPerEnt)
+	start = time.Now()
+	for i := 0; i < cross; i++ {
+		tx := &types.Transaction{
+			ID:  fmt.Sprintf("pdcpub-%d", i),
+			Ops: []types.Op{{Code: types.OpAdd, Key: fmt.Sprintf("p%d", i), Delta: 1}},
+		}
+		if err := pch.SubmitPublic(tx); err != nil {
+			return nil, err
+		}
+	}
+	pdcCrossLat := time.Since(start) / time.Duration(cross)
+	// Every member's ledger carries every private tx's hash: e1 stores
+	// evidence for all of e2's and e3's private transactions.
+	t.AddRow("PDC (hash on ledger)", fmt.Sprintf("%d hash txs", 2*internalPerEnt),
+		fmt.Sprintf("%d B", pch.Chain().Size()), pdcInternalLat, pdcCrossLat)
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("3 enterprises, %d internal txs each, %d cross/public txs", internalPerEnt, cross),
+		"Caper/channel cross latency includes the global consensus round; PDC private txs commit locally but replicate a hash to every member")
+	return t, nil
+}
+
+// E5Verifiability reproduces the §2.3.2 Discussion comparison: ZKP-based
+// verifiability (decentralized, expensive) vs token-based (needs a
+// trusted authority, cheap).
+func E5Verifiability(transfers, tokens int) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "verifiability: zero-knowledge proofs vs anonymous tokens",
+		Claim:   "ZKPs need no trusted entity but have considerable overhead; tokens verify cheaply but require a trusted authority",
+		Columns: []string{"technique", "trusted party", "prove/issue per tx", "verify per tx", "verified tx/s"},
+	}
+
+	// ---- Confidential transfers (ZKP) ------------------------------------
+	ledger := confidentialtx.NewLedger()
+	seed := sha256.Sum256([]byte("e5-owner"))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	pub := priv.Public().(ed25519.PublicKey)
+
+	notes := make([]*confidentialtx.Note, transfers)
+	for i := range notes {
+		n, err := ledger.Mint(pub, priv, 100)
+		if err != nil {
+			return nil, err
+		}
+		notes[i] = n
+	}
+	start := time.Now()
+	txs := make([]*confidentialtx.Transfer, transfers)
+	for i, n := range notes {
+		tr, _, err := ledger.NewTransfer([]*confidentialtx.Note{n},
+			[]confidentialtx.OutputSpec{{Owner: pub, Amount: 30}, {Owner: pub, Amount: 70}})
+		if err != nil {
+			return nil, err
+		}
+		txs[i] = tr
+	}
+	provePer := time.Since(start) / time.Duration(transfers)
+	start = time.Now()
+	for _, tr := range txs {
+		if err := ledger.Verify(tr); err != nil {
+			return nil, err
+		}
+	}
+	verifyDur := time.Since(start)
+	verifyPer := verifyDur / time.Duration(transfers)
+	t.AddRow("ZKP confidential transfer", "none", provePer, verifyPer, tps(transfers, verifyDur))
+
+	// ---- Separ tokens -----------------------------------------------------
+	authority, err := separ.NewAuthority(tokens)
+	if err != nil {
+		return nil, err
+	}
+	worker := separ.NewWorker("w")
+	start = time.Now()
+	if err := worker.RequestTokens(authority, "wk", tokens); err != nil {
+		return nil, err
+	}
+	issuePer := time.Since(start) / time.Duration(tokens)
+	spentLedger := separ.NewLedger()
+	platform := separ.NewPlatform("p", spentLedger, authority.PublicKey())
+	toks := make([]*separ.Token, tokens)
+	for i := range toks {
+		tok, err := worker.Take()
+		if err != nil {
+			return nil, err
+		}
+		toks[i] = tok
+	}
+	start = time.Now()
+	for _, tok := range toks {
+		if err := platform.AcceptWork(tok); err != nil {
+			return nil, err
+		}
+	}
+	spendDur := time.Since(start)
+	t.AddRow("Separ anonymous tokens", "token authority", issuePer, spendDur/time.Duration(tokens), tps(tokens, spendDur))
+
+	t.Notes = append(t.Notes,
+		"ZKP transfer = 2 × 32-bit range proof + conservation proof + ownership sig",
+		"token verify = 1 RSA signature check + double-spend lookup")
+	return t, nil
+}

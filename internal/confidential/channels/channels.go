@@ -1,0 +1,332 @@
+// Package channels implements multi-channel Hyperledger Fabric (§2.3.1):
+// each channel is an isolated ledger + world state replicated on every
+// member enterprise, while a single ordering service (a Raft cluster, as
+// in production Fabric) orders the transactions of all channels. Members
+// of one channel see everything on it; non-members see nothing — the
+// channel is both the confidentiality boundary and, read through the
+// §2.3.4 lens, a shard.
+//
+// Cross-channel transactions are processed in the centralized fashion the
+// tutorial describes: a trusted coordinator (the service) runs a
+// two-phase protocol across the involved channels.
+package channels
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"permchain/internal/arch/xov"
+	"permchain/internal/consensus"
+	"permchain/internal/consensus/raft"
+	"permchain/internal/crypto"
+	"permchain/internal/ledger"
+	"permchain/internal/network"
+	"permchain/internal/statedb"
+	"permchain/internal/types"
+)
+
+// memberReplica is one enterprise's copy of a channel: its own chain,
+// state, and validation engine.
+type memberReplica struct {
+	chain  *ledger.Chain
+	engine *xov.Engine
+}
+
+// Channel is one Fabric channel.
+type Channel struct {
+	ID      types.ChannelID
+	members map[types.EnterpriseID]*memberReplica
+	height  uint64
+	applied int
+}
+
+// Members lists the channel's member enterprises.
+func (c *Channel) Members() []types.EnterpriseID {
+	out := make([]types.EnterpriseID, 0, len(c.members))
+	for id := range c.members {
+		out = append(out, id)
+	}
+	return out
+}
+
+// envelope is what the ordering service orders: a transaction tagged with
+// its channel.
+type envelope struct {
+	Channel types.ChannelID
+	Tx      *types.Transaction
+}
+
+// Service is the deployment: the shared ordering service plus the channel
+// registry.
+type Service struct {
+	mu       sync.Mutex
+	channels map[types.ChannelID]*Channel
+	net      *network.Network
+	orderers []*raft.Replica
+	applied  int
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// Config shapes a multi-channel deployment.
+type Config struct {
+	// Orderers is the shared ordering cluster size (default 3).
+	Orderers int
+	// Timeout is the orderers' election timeout.
+	Timeout time.Duration
+	// Net optionally supplies the transport.
+	Net *network.Network
+}
+
+// NewService starts the ordering service with no channels.
+func NewService(cfg Config) *Service {
+	if cfg.Orderers <= 0 {
+		cfg.Orderers = 3
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 300 * time.Millisecond
+	}
+	if cfg.Net == nil {
+		cfg.Net = network.New()
+	}
+	s := &Service{
+		channels: map[types.ChannelID]*Channel{},
+		net:      cfg.Net,
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	keys := crypto.NewKeyring(cfg.Orderers)
+	nodes := make([]types.NodeID, cfg.Orderers)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	for i := range nodes {
+		r := raft.New(consensus.Config{
+			Self: nodes[i], Nodes: nodes, Net: cfg.Net, Keys: keys,
+			Timeout: cfg.Timeout,
+		})
+		r.Start()
+		s.orderers = append(s.orderers, r)
+	}
+	go s.drain()
+	return s
+}
+
+// Close stops the ordering service. Idempotent.
+func (s *Service) Close() {
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		for _, r := range s.orderers {
+			r.Stop()
+		}
+	})
+	<-s.done
+}
+
+// Service errors.
+var (
+	ErrNoChannel   = errors.New("channels: unknown channel")
+	ErrDupChannel  = errors.New("channels: channel already exists")
+	ErrNotMember   = errors.New("channels: enterprise is not a channel member")
+	ErrCrossFailed = errors.New("channels: cross-channel prepare failed")
+)
+
+// CreateChannel configures a new channel with the given members.
+func (s *Service) CreateChannel(id types.ChannelID, members []types.EnterpriseID) (*Channel, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.channels[id]; ok {
+		return nil, ErrDupChannel
+	}
+	ch := &Channel{ID: id, members: map[types.EnterpriseID]*memberReplica{}}
+	for _, m := range members {
+		ch.members[m] = &memberReplica{
+			chain:  ledger.NewChain(),
+			engine: xov.New(statedb.New(), xov.Options{}, 0, 0),
+		}
+	}
+	s.channels[id] = ch
+	return ch, nil
+}
+
+// Channel returns a channel by id.
+func (s *Service) Channel(id types.ChannelID) (*Channel, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.channels[id]
+	if !ok {
+		return nil, ErrNoChannel
+	}
+	return ch, nil
+}
+
+// Submit endorses tx as the given member and hands it to the ordering
+// service. Asynchronous: use AwaitApplied.
+func (s *Service) Submit(chID types.ChannelID, member types.EnterpriseID, tx *types.Transaction) error {
+	s.mu.Lock()
+	ch, ok := s.channels[chID]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNoChannel
+	}
+	rep, ok := ch.members[member]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNotMember
+	}
+	// Endorsement runs on the member's endorser peers: the enterprise's
+	// chaincode logic stays private to it (§2.3.1).
+	err := rep.engine.Endorse(tx)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	env := envelope{Channel: chID, Tx: tx}
+	s.orderers[0].Submit(env, tx.Hash())
+	return nil
+}
+
+// drain applies ordered envelopes to their channels.
+func (s *Service) drain() {
+	defer close(s.done)
+	decs := s.orderers[0].Decisions()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case d := <-decs:
+			env, ok := d.Value.(envelope)
+			if !ok {
+				continue
+			}
+			s.apply(env)
+		}
+	}
+}
+
+func (s *Service) apply(env envelope) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.channels[env.Channel]
+	if !ok {
+		return
+	}
+	ch.height++
+	// Every member validates and commits independently; since states are
+	// identical, so are the outcomes.
+	for _, rep := range ch.members {
+		blk := types.NewBlock(ch.height, rep.chain.Head().Hash(), 0, []*types.Transaction{env.Tx})
+		rep.engine.CommitBlock(blk)
+		if err := rep.chain.Append(blk); err != nil {
+			// A divergent replica is a bug, not a runtime condition.
+			panic(fmt.Sprintf("channels: member append failed: %v", err))
+		}
+	}
+	ch.applied++
+	s.applied++
+}
+
+// AwaitApplied blocks until the channel has applied k transactions.
+func (s *Service) AwaitApplied(chID types.ChannelID, k int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		ch := s.channels[chID]
+		n := 0
+		if ch != nil {
+			n = ch.applied
+		}
+		s.mu.Unlock()
+		if n >= k {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// MemberState returns a member's world state on a channel.
+func (s *Service) MemberState(chID types.ChannelID, member types.EnterpriseID) (*statedb.Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.channels[chID]
+	if !ok {
+		return nil, ErrNoChannel
+	}
+	rep, ok := ch.members[member]
+	if !ok {
+		return nil, ErrNotMember
+	}
+	return rep.engine.Store(), nil
+}
+
+// MemberChain returns a member's copy of a channel's ledger.
+func (s *Service) MemberChain(chID types.ChannelID, member types.EnterpriseID) (*ledger.Chain, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.channels[chID]
+	if !ok {
+		return nil, ErrNoChannel
+	}
+	rep, ok := ch.members[member]
+	if !ok {
+		return nil, ErrNotMember
+	}
+	return rep.chain, nil
+}
+
+// StorageFootprint returns the total ledger bytes enterprise id stores
+// across all channels it belongs to — the E4 confidentiality metric.
+func (s *Service) StorageFootprint(id types.EnterpriseID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, ch := range s.channels {
+		if rep, ok := ch.members[id]; ok {
+			total += rep.chain.Size()
+		}
+	}
+	return total
+}
+
+// SubmitCrossChannel atomically executes txA on channel a and txB on
+// channel b, coordinated centrally (the "trusted channel / atomic commit
+// protocol" of §2.3.4): phase 1 endorses both against current state and
+// fails if either cannot execute; phase 2 orders and applies both. The
+// service lock serializes cross-channel transactions, standing in for the
+// coordinator's locks.
+func (s *Service) SubmitCrossChannel(a types.ChannelID, memberA types.EnterpriseID, txA *types.Transaction,
+	b types.ChannelID, memberB types.EnterpriseID, txB *types.Transaction) error {
+	s.mu.Lock()
+	chA, okA := s.channels[a]
+	chB, okB := s.channels[b]
+	if !okA || !okB {
+		s.mu.Unlock()
+		return ErrNoChannel
+	}
+	repA, okA := chA.members[memberA]
+	repB, okB := chB.members[memberB]
+	if !okA || !okB {
+		s.mu.Unlock()
+		return ErrNotMember
+	}
+	// Phase 1: prepare (endorse both; any failure aborts the pair).
+	if err := repA.engine.Endorse(txA); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrCrossFailed, err)
+	}
+	if err := repB.engine.Endorse(txB); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrCrossFailed, err)
+	}
+	s.mu.Unlock()
+	// Phase 2: commit — order both halves.
+	s.orderers[0].Submit(envelope{Channel: a, Tx: txA}, txA.Hash())
+	s.orderers[0].Submit(envelope{Channel: b, Tx: txB}, txB.Hash())
+	return nil
+}

@@ -1,0 +1,244 @@
+package channels
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"permchain/internal/types"
+)
+
+func newService(t *testing.T) *Service {
+	t.Helper()
+	s := NewService(Config{Timeout: 150 * time.Millisecond})
+	t.Cleanup(s.Close)
+	return s
+}
+
+func putTx(id, key string, val string) *types.Transaction {
+	return &types.Transaction{ID: id, Ops: []types.Op{{Code: types.OpPut, Key: key, Value: []byte(val)}}}
+}
+
+func addTx(id, key string, d int64) *types.Transaction {
+	return &types.Transaction{ID: id, Ops: []types.Op{{Code: types.OpAdd, Key: key, Delta: d}}}
+}
+
+func TestChannelIsolation(t *testing.T) {
+	s := newService(t)
+	if _, err := s.CreateChannel("supply", []types.EnterpriseID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateChannel("finance", []types.EnterpriseID{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit("supply", 1, putTx("t1", "order", "100 widgets")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AwaitApplied("supply", 1, 10*time.Second) {
+		t.Fatal("tx never applied")
+	}
+	// Members of "supply" see the data.
+	for _, m := range []types.EnterpriseID{1, 2} {
+		st, err := s.MemberState("supply", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _, ok := st.Get("order"); !ok || string(v) != "100 widgets" {
+			t.Fatalf("member %v missing channel data", m)
+		}
+	}
+	// Enterprise 3 is not on "supply": no state, no ledger.
+	if _, err := s.MemberState("supply", 3); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("err = %v", err)
+	}
+	// And the finance channel never saw the tx.
+	st, _ := s.MemberState("finance", 3)
+	if _, _, ok := st.Get("order"); ok {
+		t.Fatal("data leaked across channels")
+	}
+	fc, _ := s.MemberChain("finance", 3)
+	if fc.TxCount() != 0 {
+		t.Fatal("ledger entries leaked across channels")
+	}
+}
+
+func TestMembersShareIdenticalLedger(t *testing.T) {
+	s := newService(t)
+	if _, err := s.CreateChannel("ch", []types.EnterpriseID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct keys: transactions endorsed against the same snapshot
+	// conflict on a shared key and would (correctly) MVCC-abort.
+	const k = 10
+	for i := 0; i < k; i++ {
+		if err := s.Submit("ch", types.EnterpriseID(1+i%3), addTx(fmt.Sprintf("t%d", i), fmt.Sprintf("ctr%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.AwaitApplied("ch", k, 10*time.Second) {
+		t.Fatal("transactions never applied")
+	}
+	c1, _ := s.MemberChain("ch", 1)
+	c2, _ := s.MemberChain("ch", 2)
+	c3, _ := s.MemberChain("ch", 3)
+	if !c1.EqualTo(c2) || !c2.EqualTo(c3) {
+		t.Fatal("member ledgers diverged")
+	}
+	if err := c1.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := s.MemberState("ch", 1)
+	st2, _ := s.MemberState("ch", 2)
+	if st1.StateHash() != st2.StateHash() {
+		t.Fatal("member states diverged")
+	}
+	total := int64(0)
+	for i := 0; i < k; i++ {
+		total += st1.GetInt(fmt.Sprintf("ctr%d", i))
+	}
+	if total != k {
+		t.Fatalf("sum = %d, want %d", total, k)
+	}
+}
+
+func TestSharedOrderingAcrossChannels(t *testing.T) {
+	// Different channels share the orderers but stay isolated.
+	s := newService(t)
+	if _, err := s.CreateChannel("a", []types.EnterpriseID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateChannel("b", []types.EnterpriseID{2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Submit("a", 1, addTx(fmt.Sprintf("a%d", i), fmt.Sprintf("x%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit("b", 2, addTx(fmt.Sprintf("b%d", i), fmt.Sprintf("x%d", i), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.AwaitApplied("a", 5, 10*time.Second) || !s.AwaitApplied("b", 5, 10*time.Second) {
+		t.Fatal("not all applied")
+	}
+	sa, _ := s.MemberState("a", 1)
+	sb, _ := s.MemberState("b", 2)
+	var sumA, sumB int64
+	for i := 0; i < 5; i++ {
+		sumA += sa.GetInt(fmt.Sprintf("x%d", i))
+		sumB += sb.GetInt(fmt.Sprintf("x%d", i))
+	}
+	if sumA != 5 || sumB != 10 {
+		t.Fatalf("a sum=%d b sum=%d", sumA, sumB)
+	}
+}
+
+func TestCrossChannelAtomicPair(t *testing.T) {
+	s := newService(t)
+	if _, err := s.CreateChannel("a", []types.EnterpriseID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateChannel("b", []types.EnterpriseID{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Seed channel a with funds.
+	if err := s.Submit("a", 1, addTx("fund", "escrow", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AwaitApplied("a", 1, 10*time.Second) {
+		t.Fatal("seed not applied")
+	}
+	// Move 40 out of a's escrow and into b's received.
+	txA := &types.Transaction{ID: "xa", Ops: []types.Op{
+		{Code: types.OpAssertGE, Key: "escrow", Delta: 40},
+		{Code: types.OpAdd, Key: "escrow", Delta: -40},
+	}}
+	txB := addTx("xb", "received", 40)
+	if err := s.SubmitCrossChannel("a", 1, txA, "b", 2, txB); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AwaitApplied("a", 2, 10*time.Second) || !s.AwaitApplied("b", 1, 10*time.Second) {
+		t.Fatal("cross-channel txs not applied")
+	}
+	sa, _ := s.MemberState("a", 1)
+	sb, _ := s.MemberState("b", 3)
+	if sa.GetInt("escrow") != 60 || sb.GetInt("received") != 40 {
+		t.Fatalf("escrow=%d received=%d", sa.GetInt("escrow"), sb.GetInt("received"))
+	}
+}
+
+func TestCrossChannelPrepareFailureAbortsBoth(t *testing.T) {
+	s := newService(t)
+	if _, err := s.CreateChannel("a", []types.EnterpriseID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateChannel("b", []types.EnterpriseID{2}); err != nil {
+		t.Fatal(err)
+	}
+	// txA asserts funds that do not exist → prepare must fail and B must
+	// see nothing.
+	txA := &types.Transaction{ID: "xa", Ops: []types.Op{{Code: types.OpAssertGE, Key: "escrow", Delta: 40}}}
+	txB := addTx("xb", "received", 40)
+	err := s.SubmitCrossChannel("a", 1, txA, "b", 2, txB)
+	if !errors.Is(err, ErrCrossFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	sb, _ := s.MemberState("b", 2)
+	if sb.GetInt("received") != 0 {
+		t.Fatal("aborted cross-channel tx leaked into channel b")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := newService(t)
+	if _, err := s.CreateChannel("a", []types.EnterpriseID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateChannel("a", nil); !errors.Is(err, ErrDupChannel) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Submit("ghost", 1, addTx("t", "k", 1)); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Submit("a", 9, addTx("t", "k", 1)); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Channel("ghost"); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("err = %v", err)
+	}
+	ch, err := s.Channel("a")
+	if err != nil || len(ch.Members()) != 1 {
+		t.Fatalf("Channel: %v %v", ch, err)
+	}
+	if _, err := s.MemberChain("ghost", 1); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStorageFootprintPerMembership(t *testing.T) {
+	s := newService(t)
+	if _, err := s.CreateChannel("busy", []types.EnterpriseID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateChannel("quiet", []types.EnterpriseID{3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Submit("busy", 1, addTx(fmt.Sprintf("t%d", i), fmt.Sprintf("k%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.AwaitApplied("busy", 10, 10*time.Second) {
+		t.Fatal("not applied")
+	}
+	// Members of the busy channel pay its storage; enterprise 3 does not.
+	if s.StorageFootprint(1) <= s.StorageFootprint(3) {
+		t.Fatalf("footprints: member %d vs outsider %d", s.StorageFootprint(1), s.StorageFootprint(3))
+	}
+	// Both members pay the same.
+	if s.StorageFootprint(1) != s.StorageFootprint(2) {
+		t.Fatal("members of the same channel store different amounts")
+	}
+}

@@ -1,0 +1,146 @@
+package consensus
+
+import (
+	"testing"
+	"time"
+
+	"permchain/internal/crypto"
+	"permchain/internal/types"
+)
+
+func TestQuorumMath(t *testing.T) {
+	cases := []struct {
+		n, f, byzQ, maj int
+	}{
+		{4, 1, 3, 3},
+		{7, 2, 5, 4},
+		{10, 3, 7, 6},
+		{3, 0, 1, 2},
+		{1, 0, 1, 1},
+	}
+	for _, c := range cases {
+		cfg := Config{Nodes: make([]types.NodeID, c.n)}
+		if cfg.N() != c.n {
+			t.Errorf("n=%d: N=%d", c.n, cfg.N())
+		}
+		if got := cfg.MaxByzFaults(); got != c.f {
+			t.Errorf("n=%d: f=%d, want %d", c.n, got, c.f)
+		}
+		if got := cfg.ByzQuorum(); got != c.byzQ {
+			t.Errorf("n=%d: byzQ=%d, want %d", c.n, got, c.byzQ)
+		}
+		if got := cfg.Majority(); got != c.maj {
+			t.Errorf("n=%d: maj=%d, want %d", c.n, got, c.maj)
+		}
+	}
+}
+
+func TestDefaulted(t *testing.T) {
+	cfg := Config{}.Defaulted()
+	if cfg.Timeout == 0 {
+		t.Fatal("timeout not defaulted")
+	}
+	cfg2 := Config{Timeout: time.Second}.Defaulted()
+	if cfg2.Timeout != time.Second {
+		t.Fatal("explicit timeout overridden")
+	}
+}
+
+func TestSignVerifyPart(t *testing.T) {
+	keys := crypto.NewKeyring(2)
+	cfg := Config{Self: 0, Nodes: []types.NodeID{0, 1}, Keys: keys}
+	sig := cfg.SignPart([]byte("msg"), U64(7))
+	if !cfg.VerifyPart(0, sig, []byte("msg"), U64(7)) {
+		t.Fatal("valid signature rejected")
+	}
+	if cfg.VerifyPart(1, sig, []byte("msg"), U64(7)) {
+		t.Fatal("wrong signer accepted")
+	}
+	if cfg.VerifyPart(0, sig, []byte("msg"), U64(8)) {
+		t.Fatal("wrong content accepted")
+	}
+	// Disabled signatures: nil sig, always verifies.
+	off := Config{Self: 0, Nodes: cfg.Nodes, Keys: keys, DisableSig: true}
+	if off.SignPart([]byte("x")) != nil {
+		t.Fatal("DisableSig still signed")
+	}
+	if !off.VerifyPart(1, nil, []byte("anything")) {
+		t.Fatal("DisableSig verify failed")
+	}
+}
+
+func TestU64(t *testing.T) {
+	a := U64(1)
+	b := U64(256)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatal("wrong length")
+	}
+	if string(a) == string(b) {
+		t.Fatal("distinct values encode equal")
+	}
+}
+
+func TestQuorumTracker(t *testing.T) {
+	q := NewQuorumTracker()
+	if q.Add("k", 1) != 1 {
+		t.Fatal("first vote != 1")
+	}
+	if q.Add("k", 1) != 1 {
+		t.Fatal("duplicate voter counted twice")
+	}
+	if q.Add("k", 2) != 2 {
+		t.Fatal("second voter != 2")
+	}
+	if q.Count("k") != 2 || q.Count("other") != 0 {
+		t.Fatal("Count wrong")
+	}
+	q.Forget("k")
+	if q.Count("k") != 0 {
+		t.Fatal("Forget did not clear")
+	}
+}
+
+func TestLoopTimer(t *testing.T) {
+	lt := NewLoopTimer()
+	lt.Reset(20 * time.Millisecond)
+	select {
+	case <-lt.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	// Stop prevents firing.
+	lt.Reset(30 * time.Millisecond)
+	lt.Stop()
+	select {
+	case <-lt.C():
+		t.Fatal("stopped timer fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Reset supersedes an earlier arm.
+	lt.Reset(5 * time.Millisecond)
+	lt.Reset(80 * time.Millisecond)
+	start := time.Now()
+	select {
+	case <-lt.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-armed timer never fired")
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("superseded arm fired early")
+	}
+}
+
+func TestWaitDecisions(t *testing.T) {
+	ch := make(chan Decision, 4)
+	ch <- Decision{Seq: 1}
+	ch <- Decision{Seq: 2}
+	got := WaitDecisions(ch, 2, time.Second)
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+	// Timeout path returns partial results.
+	got = WaitDecisions(ch, 3, 50*time.Millisecond)
+	if len(got) != 0 {
+		t.Fatalf("partial = %d", len(got))
+	}
+}

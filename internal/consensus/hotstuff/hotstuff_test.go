@@ -1,0 +1,199 @@
+package hotstuff
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"permchain/internal/consensus"
+	"permchain/internal/crypto"
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+func cluster(t *testing.T, n int, opts ...network.Option) (*network.Network, []*Replica) {
+	t.Helper()
+	net := network.New(opts...)
+	keys := crypto.NewKeyring(n)
+	nodes := make([]types.NodeID, n)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout: 150 * time.Millisecond,
+		})
+	}
+	for _, r := range reps {
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	return net, reps
+}
+
+func val(i int) (string, types.Hash) {
+	v := fmt.Sprintf("hs-%d", i)
+	return v, types.HashBytes([]byte(v))
+}
+
+func TestCommitsThreeChain(t *testing.T) {
+	_, reps := cluster(t, 4)
+	const k = 10
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%4].Submit(v, d)
+	}
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 10*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d committed %d/%d", i, len(ds), k)
+		}
+	}
+}
+
+func TestAgreementOnOrder(t *testing.T) {
+	_, reps := cluster(t, 4)
+	const k = 12
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[0].Submit(v, d)
+	}
+	var ref []consensus.Decision
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 10*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d committed %d/%d", i, len(ds), k)
+		}
+		if ref == nil {
+			ref = ds
+			continue
+		}
+		for j := range ds {
+			if ds[j].Digest != ref[j].Digest {
+				t.Fatalf("replica %d position %d digest mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestLinearMessageComplexity(t *testing.T) {
+	// HotStuff's defining property: votes go only to the next leader, so
+	// per-view traffic is O(n), not O(n²) like PBFT. With n=7, committing
+	// a value must not generate n² vote messages per view.
+	net, reps := cluster(t, 7)
+	v, d := val(0)
+	net.ResetStats()
+	reps[0].Submit(v, d)
+	if len(consensus.WaitDecisions(reps[1].Decisions(), 1, 10*time.Second)) != 1 {
+		t.Fatal("no commit")
+	}
+	st := net.StatsSnapshot()
+	votes := st.ByType[msgVote]
+	proposals := st.ByType[msgProposal]
+	if proposals == 0 {
+		t.Fatal("no proposals counted")
+	}
+	viewsUsed := proposals/6 + 1 // each proposal broadcast = n-1 messages
+	// Votes per view ≤ n (one per replica, to one leader).
+	if votes > viewsUsed*7 {
+		t.Fatalf("votes = %d for ~%d views of 7 nodes; vote traffic is not linear", votes, viewsUsed)
+	}
+}
+
+func TestSilentLeaderNewView(t *testing.T) {
+	// Liveness with a permanently silent replica needs a window of four
+	// consecutive correct leader slots (proposer plus three QC
+	// collectors), which round-robin rotation only provides for n >= 5:
+	// with n=4 a permanently silent node occupies every fourth slot and a
+	// consecutive three-chain can never form. Real deployments sidestep
+	// this with leader reputation; here we use n=5.
+	net, reps := cluster(t, 5)
+	net.SetFilter(1, func(network.Message) []network.Message { return nil })
+	const k = 5
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[0].Submit(v, d)
+	}
+	for _, idx := range []int{0, 2, 3, 4} {
+		ds := consensus.WaitDecisions(reps[idx].Decisions(), k, 20*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d committed %d/%d with silent peer", idx, len(ds), k)
+		}
+	}
+}
+
+func TestNoDuplicateCommits(t *testing.T) {
+	_, reps := cluster(t, 4)
+	v, d := val(0)
+	for i := 0; i < 3; i++ {
+		reps[i].Submit(v, d)
+	}
+	ds := consensus.WaitDecisions(reps[3].Decisions(), 1, 5*time.Second)
+	if len(ds) != 1 {
+		t.Fatalf("committed %d", len(ds))
+	}
+	extra := consensus.WaitDecisions(reps[3].Decisions(), 1, 500*time.Millisecond)
+	if len(extra) != 0 {
+		t.Fatalf("duplicate commit: %v", extra)
+	}
+}
+
+func TestQCVerification(t *testing.T) {
+	net := network.New()
+	keys := crypto.NewKeyring(4)
+	nodes := []types.NodeID{0, 1, 2, 3}
+	r := New(consensus.Config{Self: 0, Nodes: nodes, Net: net, Keys: keys})
+	defer close(r.done)
+
+	bh := types.HashBytes([]byte("block"))
+	mkSig := func(id types.NodeID, view uint64, h types.Hash) []byte {
+		hh := types.HashConcat([]byte(msgVote), consensus.U64(view), h[:])
+		return keys.Sign(id, hh[:])
+	}
+	good := qc{View: 3, Block: bh}
+	for _, id := range nodes[:3] {
+		good.Signers = append(good.Signers, id)
+		good.Sigs = append(good.Sigs, mkSig(id, 3, bh))
+	}
+	if !r.verifyQC(good) {
+		t.Fatal("valid QC rejected")
+	}
+	// Too few signers.
+	small := qc{View: 3, Block: bh, Signers: good.Signers[:2], Sigs: good.Sigs[:2]}
+	if r.verifyQC(small) {
+		t.Fatal("sub-quorum QC accepted")
+	}
+	// Duplicate signer.
+	dup := qc{View: 3, Block: bh,
+		Signers: []types.NodeID{0, 0, 1},
+		Sigs:    [][]byte{mkSig(0, 3, bh), mkSig(0, 3, bh), mkSig(1, 3, bh)}}
+	if r.verifyQC(dup) {
+		t.Fatal("duplicate-signer QC accepted")
+	}
+	// Forged signature.
+	forged := good
+	forged.Sigs = append([][]byte{}, good.Sigs...)
+	forged.Sigs[0] = []byte("garbage")
+	if r.verifyQC(forged) {
+		t.Fatal("forged QC accepted")
+	}
+	// Wrong view binding.
+	wrongView := good
+	wrongView.View = 4
+	if r.verifyQC(wrongView) {
+		t.Fatal("view-transplanted QC accepted")
+	}
+	// Genesis QC axiomatic.
+	if !r.verifyQC(qc{View: 0, Block: r.genesis}) {
+		t.Fatal("genesis QC rejected")
+	}
+	if r.verifyQC(qc{View: 0, Block: bh}) {
+		t.Fatal("fake genesis QC accepted")
+	}
+}

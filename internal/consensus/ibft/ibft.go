@@ -1,0 +1,452 @@
+// Package ibft implements Istanbul BFT, the PBFT-family protocol Quorum
+// offers for Byzantine settings (§2.3.2 of the tutorial, EIP-650). It
+// differs from classic PBFT in being height-oriented: each block height
+// runs pre-prepare → prepare → commit with the proposer rotating
+// round-robin every height and every round change, instead of a stable
+// primary replaced only by a global view change.
+package ibft
+
+import (
+	"sync"
+
+	"permchain/internal/consensus"
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+const (
+	msgPrePrepare  = "ibft/preprepare"
+	msgPrepare     = "ibft/prepare"
+	msgCommit      = "ibft/commit"
+	msgRoundChange = "ibft/roundchange"
+	msgRequest     = "ibft/request"
+)
+
+type request struct {
+	Digest types.Hash
+	Value  any
+}
+
+type prePrepare struct {
+	Height uint64
+	Round  uint64
+	Digest types.Hash
+	Value  any
+	Sig    []byte
+}
+
+type vote struct {
+	Height uint64
+	Round  uint64
+	Digest types.Hash
+	Sig    []byte
+}
+
+type roundChange struct {
+	Height uint64
+	Round  uint64
+	// PreparedDigest/Value carry the sender's prepared certificate, if
+	// any; PreparedRound is -1 when the sender prepared nothing.
+	PreparedRound  int64
+	PreparedDigest types.Hash
+	PreparedValue  any
+	Sig            []byte
+}
+
+type roundState struct {
+	proposal   *prePrepare
+	prepares   map[types.NodeID]types.Hash
+	commits    map[types.NodeID]types.Hash
+	sentPrep   bool
+	sentCommit bool
+}
+
+func newRoundState() *roundState {
+	return &roundState{
+		prepares: map[types.NodeID]types.Hash{},
+		commits:  map[types.NodeID]types.Hash{},
+	}
+}
+
+// Replica is one IBFT validator.
+type Replica struct {
+	cfg consensus.Config
+	ep  *network.Endpoint
+
+	decCh    chan consensus.Decision
+	submitCh chan request
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	// Event-loop state.
+	height     uint64
+	round      uint64
+	active     bool
+	rounds     map[uint64]*roundState
+	rcVotes    map[uint64]map[types.NodeID]*roundChange
+	prepRound  int64 // highest round this replica prepared in (-1 none)
+	prepDigest types.Hash
+	prepValue  any
+	values     map[types.Hash]any
+	pending    []types.Hash
+	pendingSet map[types.Hash]bool
+	decided    map[types.Hash]bool
+	future     []network.Message
+	timer      *consensus.LoopTimer
+}
+
+// New creates an IBFT validator. Call Start to launch it.
+func New(cfg consensus.Config) *Replica {
+	cfg = cfg.Defaulted()
+	return &Replica{
+		cfg:        cfg,
+		ep:         cfg.Net.Join(cfg.Self),
+		decCh:      make(chan consensus.Decision, 65536),
+		submitCh:   make(chan request, 65536),
+		stopCh:     make(chan struct{}),
+		done:       make(chan struct{}),
+		height:     1,
+		rounds:     map[uint64]*roundState{},
+		rcVotes:    map[uint64]map[types.NodeID]*roundChange{},
+		prepRound:  -1,
+		values:     map[types.Hash]any{},
+		pendingSet: map[types.Hash]bool{},
+		decided:    map[types.Hash]bool{},
+		timer:      consensus.NewLoopTimer(),
+	}
+}
+
+// ID implements consensus.Replica.
+func (r *Replica) ID() types.NodeID { return r.cfg.Self }
+
+// Decisions implements consensus.Replica.
+func (r *Replica) Decisions() <-chan consensus.Decision { return r.decCh }
+
+// Start implements consensus.Replica.
+func (r *Replica) Start() { go r.loop() }
+
+// Stop implements consensus.Replica.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	<-r.done
+}
+
+// Submit implements consensus.Replica.
+func (r *Replica) Submit(value any, digest types.Hash) {
+	select {
+	case r.submitCh <- request{Digest: digest, Value: value}:
+	case <-r.stopCh:
+	}
+}
+
+// proposer rotates every height and every round (IBFT's distinguishing
+// feature vs PBFT's stable primary).
+func (r *Replica) proposer(height, round uint64) types.NodeID {
+	return r.cfg.Nodes[int((height+round)%uint64(len(r.cfg.Nodes)))]
+}
+
+func (r *Replica) loop() {
+	defer close(r.done)
+	defer r.timer.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case req := <-r.submitCh:
+			r.ep.Multicast(r.cfg.Nodes, msgRequest, req)
+			r.onRequest(req)
+		case m := <-r.ep.Inbox():
+			r.onMessage(m)
+		case <-r.timer.C():
+			r.onTimeout()
+		}
+	}
+}
+
+func (r *Replica) onRequest(req request) {
+	if r.decided[req.Digest] || r.pendingSet[req.Digest] {
+		return
+	}
+	r.values[req.Digest] = req.Value
+	r.pendingSet[req.Digest] = true
+	r.pending = append(r.pending, req.Digest)
+	r.ensureActive()
+}
+
+func (r *Replica) ensureActive() {
+	if r.active || len(r.pending) == 0 {
+		return
+	}
+	r.active = true
+	r.startRound(r.round)
+}
+
+func (r *Replica) roundState(round uint64) *roundState {
+	rs, ok := r.rounds[round]
+	if !ok {
+		rs = newRoundState()
+		r.rounds[round] = rs
+	}
+	return rs
+}
+
+func (r *Replica) startRound(round uint64) {
+	r.round = round
+	r.timer.Reset(r.cfg.Timeout)
+	if r.proposer(r.height, round) != r.cfg.Self {
+		return
+	}
+	// Prepared value wins; otherwise propose the oldest pending request.
+	dig, val := r.prepDigest, r.prepValue
+	if r.prepRound < 0 {
+		for len(r.pending) > 0 && r.decided[r.pending[0]] {
+			r.dropPendingHead()
+		}
+		if len(r.pending) == 0 {
+			return
+		}
+		dig = r.pending[0]
+		val = r.values[dig]
+	}
+	pp := prePrepare{
+		Height: r.height, Round: round, Digest: dig, Value: val,
+		Sig: r.cfg.SignPart([]byte(msgPrePrepare), consensus.U64(r.height), consensus.U64(round), dig[:]),
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgPrePrepare, pp)
+	r.onPrePrepare(r.cfg.Self, pp)
+}
+
+func (r *Replica) dropPendingHead() {
+	delete(r.pendingSet, r.pending[0])
+	r.pending = r.pending[1:]
+}
+
+func (r *Replica) onMessage(m network.Message) {
+	if !r.cfg.IsMember(m.From) {
+		return // not part of this replica group
+	}
+	switch m.Type {
+	case msgRequest:
+		req, ok := m.Payload.(request)
+		if !ok {
+			return
+		}
+		r.onRequest(req)
+		return
+	case msgPrePrepare:
+		pp, ok := m.Payload.(prePrepare)
+		if !ok {
+			return
+		}
+		if pp.Height > r.height {
+			r.buffer(m)
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, pp.Sig, []byte(msgPrePrepare), consensus.U64(pp.Height), consensus.U64(pp.Round), pp.Digest[:]) {
+			return
+		}
+		r.onPrePrepare(m.From, pp)
+	case msgPrepare, msgCommit:
+		v, ok := m.Payload.(vote)
+		if !ok {
+			return
+		}
+		if v.Height > r.height {
+			r.buffer(m)
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, v.Sig, []byte(m.Type), consensus.U64(v.Height), consensus.U64(v.Round), v.Digest[:]) {
+			return
+		}
+		if m.Type == msgPrepare {
+			r.onPrepare(m.From, v)
+		} else {
+			r.onCommit(m.From, v)
+		}
+	case msgRoundChange:
+		rc, ok := m.Payload.(roundChange)
+		if !ok {
+			return
+		}
+		if rc.Height > r.height {
+			r.buffer(m)
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, rc.Sig, []byte(msgRoundChange), consensus.U64(rc.Height), consensus.U64(rc.Round)) {
+			return
+		}
+		r.onRoundChange(m.From, &rc)
+	}
+}
+
+func (r *Replica) buffer(m network.Message) {
+	const maxFuture = 100000
+	if len(r.future) < maxFuture {
+		r.future = append(r.future, m)
+	}
+}
+
+func (r *Replica) replayFuture() {
+	msgs := r.future
+	r.future = nil
+	for _, m := range msgs {
+		r.onMessage(m)
+	}
+}
+
+func (r *Replica) onPrePrepare(from types.NodeID, pp prePrepare) {
+	if pp.Height != r.height || from != r.proposer(pp.Height, pp.Round) {
+		return
+	}
+	r.active = true
+	rs := r.roundState(pp.Round)
+	if rs.proposal != nil {
+		return // first proposal per round wins
+	}
+	rs.proposal = &pp
+	r.values[pp.Digest] = pp.Value
+	if pp.Round != r.round || rs.sentPrep {
+		return
+	}
+	// A replica prepared in an earlier round only endorses that value.
+	if r.prepRound >= 0 && r.prepDigest != pp.Digest {
+		return
+	}
+	rs.sentPrep = true
+	v := vote{
+		Height: r.height, Round: pp.Round, Digest: pp.Digest,
+		Sig: r.cfg.SignPart([]byte(msgPrepare), consensus.U64(r.height), consensus.U64(pp.Round), pp.Digest[:]),
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgPrepare, v)
+	r.onPrepare(r.cfg.Self, v)
+}
+
+func (r *Replica) onPrepare(from types.NodeID, v vote) {
+	if v.Height != r.height {
+		return
+	}
+	rs := r.roundState(v.Round)
+	if _, dup := rs.prepares[from]; dup {
+		return
+	}
+	rs.prepares[from] = v.Digest
+	if rs.sentCommit || rs.proposal == nil || rs.proposal.Digest != v.Digest {
+		return
+	}
+	count := 0
+	for _, d := range rs.prepares {
+		if d == v.Digest {
+			count++
+		}
+	}
+	if count < r.cfg.ByzQuorum() {
+		return
+	}
+	// Prepared: record the certificate and commit.
+	if int64(v.Round) >= r.prepRound {
+		r.prepRound = int64(v.Round)
+		r.prepDigest = v.Digest
+		r.prepValue = r.values[v.Digest]
+	}
+	rs.sentCommit = true
+	c := vote{
+		Height: r.height, Round: v.Round, Digest: v.Digest,
+		Sig: r.cfg.SignPart([]byte(msgCommit), consensus.U64(r.height), consensus.U64(v.Round), v.Digest[:]),
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgCommit, c)
+	r.onCommit(r.cfg.Self, c)
+}
+
+func (r *Replica) onCommit(from types.NodeID, v vote) {
+	if v.Height != r.height {
+		return
+	}
+	rs := r.roundState(v.Round)
+	if _, dup := rs.commits[from]; dup {
+		return
+	}
+	rs.commits[from] = v.Digest
+	count := 0
+	for _, d := range rs.commits {
+		if d == v.Digest {
+			count++
+		}
+	}
+	if count >= r.cfg.ByzQuorum() && !v.Digest.IsZero() {
+		r.decide(v.Digest)
+	}
+}
+
+func (r *Replica) decide(dig types.Hash) {
+	val := r.values[dig]
+	r.decided[dig] = true
+	r.decCh <- consensus.Decision{Seq: r.height, Digest: dig, Value: val, Node: r.cfg.Self}
+
+	r.height++
+	r.round = 0
+	r.rounds = map[uint64]*roundState{}
+	r.rcVotes = map[uint64]map[types.NodeID]*roundChange{}
+	r.prepRound = -1
+	r.prepDigest = types.ZeroHash
+	r.prepValue = nil
+	for len(r.pending) > 0 && r.decided[r.pending[0]] {
+		r.dropPendingHead()
+	}
+	r.active = false
+	r.timer.Stop()
+	r.replayFuture()
+	r.ensureActive()
+}
+
+func (r *Replica) onTimeout() {
+	if !r.active {
+		return
+	}
+	r.sendRoundChange(r.round + 1)
+}
+
+func (r *Replica) sendRoundChange(round uint64) {
+	rc := roundChange{
+		Height: r.height, Round: round,
+		PreparedRound: r.prepRound, PreparedDigest: r.prepDigest, PreparedValue: r.prepValue,
+		Sig: r.cfg.SignPart([]byte(msgRoundChange), consensus.U64(r.height), consensus.U64(round)),
+	}
+	r.timer.Reset(r.cfg.Timeout * 2)
+	r.ep.Multicast(r.cfg.Nodes, msgRoundChange, rc)
+	r.onRoundChange(r.cfg.Self, &rc)
+}
+
+func (r *Replica) onRoundChange(from types.NodeID, rc *roundChange) {
+	if rc.Height != r.height || rc.Round <= r.round {
+		return
+	}
+	m, ok := r.rcVotes[rc.Round]
+	if !ok {
+		m = map[types.NodeID]*roundChange{}
+		r.rcVotes[rc.Round] = m
+	}
+	m[from] = rc
+
+	// Join a round change that f+1 peers already started.
+	if len(m) >= r.cfg.MaxByzFaults()+1 {
+		if _, voted := m[r.cfg.Self]; !voted {
+			r.sendRoundChange(rc.Round)
+			return
+		}
+	}
+	if len(m) < r.cfg.ByzQuorum() {
+		return
+	}
+	// Quorum: enter the round. Adopt the highest prepared certificate
+	// among the round-change messages so a possibly-decided value
+	// survives.
+	for _, v := range m {
+		if v.PreparedRound >= 0 && v.PreparedRound > r.prepRound {
+			r.prepRound = v.PreparedRound
+			r.prepDigest = v.PreparedDigest
+			r.prepValue = v.PreparedValue
+		}
+	}
+	r.startRound(rc.Round)
+}

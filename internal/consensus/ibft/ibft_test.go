@@ -1,0 +1,137 @@
+package ibft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"permchain/internal/consensus"
+	"permchain/internal/crypto"
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+func cluster(t *testing.T, n int, opts ...network.Option) (*network.Network, []*Replica) {
+	t.Helper()
+	net := network.New(opts...)
+	keys := crypto.NewKeyring(n)
+	nodes := make([]types.NodeID, n)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout: 150 * time.Millisecond,
+		})
+	}
+	for _, r := range reps {
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	return net, reps
+}
+
+func val(i int) (string, types.Hash) {
+	v := fmt.Sprintf("ib-%d", i)
+	return v, types.HashBytes([]byte(v))
+}
+
+func TestDecidesAndAgrees(t *testing.T) {
+	_, reps := cluster(t, 4)
+	const k = 10
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%4].Submit(v, d)
+	}
+	var ref []consensus.Decision
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 10*time.Second)
+		if len(ds) != k {
+			t.Fatalf("validator %d decided %d/%d", i, len(ds), k)
+		}
+		if ref == nil {
+			ref = ds
+			continue
+		}
+		for j := range ds {
+			if ds[j].Digest != ref[j].Digest {
+				t.Fatalf("validator %d height %d digest mismatch", i, j+1)
+			}
+		}
+	}
+}
+
+func TestProposerRotatesPerHeight(t *testing.T) {
+	r := New(consensus.Config{
+		Self: 0, Nodes: []types.NodeID{0, 1, 2, 3},
+		Net: network.New(), Keys: crypto.NewKeyring(4),
+	})
+	defer close(r.done)
+	if r.proposer(1, 0) == r.proposer(2, 0) {
+		t.Fatal("proposer did not rotate across heights")
+	}
+	if r.proposer(1, 0) == r.proposer(1, 1) {
+		t.Fatal("proposer did not rotate across rounds")
+	}
+}
+
+func TestSilentProposerRoundChange(t *testing.T) {
+	net, reps := cluster(t, 4)
+	net.SetFilter(2, func(network.Message) []network.Message { return nil })
+	const k = 6
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[0].Submit(v, d)
+	}
+	for _, idx := range []int{0, 1, 3} {
+		ds := consensus.WaitDecisions(reps[idx].Decisions(), k, 20*time.Second)
+		if len(ds) != k {
+			t.Fatalf("validator %d decided %d/%d with silent proposer", idx, len(ds), k)
+		}
+	}
+}
+
+func TestCrashFaultMidStream(t *testing.T) {
+	_, reps := cluster(t, 4)
+	v0, d0 := val(0)
+	reps[0].Submit(v0, d0)
+	for i := range reps {
+		if len(consensus.WaitDecisions(reps[i].Decisions(), 1, 5*time.Second)) != 1 {
+			t.Fatalf("validator %d missed initial decision", i)
+		}
+	}
+	reps[3].Stop()
+	const k = 4
+	for i := 1; i <= k; i++ {
+		v, d := val(i)
+		reps[0].Submit(v, d)
+	}
+	for _, idx := range []int{0, 1, 2} {
+		ds := consensus.WaitDecisions(reps[idx].Decisions(), k, 20*time.Second)
+		if len(ds) != k {
+			t.Fatalf("validator %d decided %d/%d after crash", idx, len(ds), k)
+		}
+	}
+}
+
+func TestNoDuplicates(t *testing.T) {
+	_, reps := cluster(t, 4)
+	v, d := val(0)
+	for i := 0; i < 4; i++ {
+		reps[i].Submit(v, d)
+	}
+	ds := consensus.WaitDecisions(reps[0].Decisions(), 1, 5*time.Second)
+	if len(ds) != 1 {
+		t.Fatalf("decided %d", len(ds))
+	}
+	extra := consensus.WaitDecisions(reps[0].Decisions(), 1, 500*time.Millisecond)
+	if len(extra) != 0 {
+		t.Fatalf("duplicate decision: %v", extra)
+	}
+}

@@ -1,0 +1,147 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"permchain/internal/consensus"
+	"permchain/internal/crypto"
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+func cluster(t *testing.T, n int, opts ...network.Option) (*network.Network, []*Replica) {
+	t.Helper()
+	net := network.New(opts...)
+	keys := crypto.NewKeyring(n)
+	nodes := make([]types.NodeID, n)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout: 100 * time.Millisecond,
+		})
+	}
+	for _, r := range reps {
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	return net, reps
+}
+
+func val(i int) (string, types.Hash) {
+	v := fmt.Sprintf("px-%d", i)
+	return v, types.HashBytes([]byte(v))
+}
+
+func TestBasicCommit(t *testing.T) {
+	_, reps := cluster(t, 3)
+	const k = 10
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%3].Submit(v, d)
+	}
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 5*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d learned %d/%d", i, len(ds), k)
+		}
+	}
+}
+
+func TestAgreementAcrossReplicas(t *testing.T) {
+	_, reps := cluster(t, 5)
+	const k = 25
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%5].Submit(v, d)
+	}
+	var ref []consensus.Decision
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 10*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d learned %d/%d", i, len(ds), k)
+		}
+		if ref == nil {
+			ref = ds
+			continue
+		}
+		for j := range ds {
+			if ds[j].Digest != ref[j].Digest {
+				t.Fatalf("replica %d seq %d order mismatch", i, j+1)
+			}
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	_, reps := cluster(t, 5)
+	v0, d0 := val(0)
+	reps[1].Submit(v0, d0)
+	for i, r := range reps {
+		if len(consensus.WaitDecisions(r.Decisions(), 1, 5*time.Second)) != 1 {
+			t.Fatalf("replica %d missed initial decision", i)
+		}
+	}
+	// Node 0 campaigns first, so it is the initial leader. Kill it.
+	reps[0].Stop()
+	const k = 5
+	for i := 1; i <= k; i++ {
+		v, d := val(i)
+		reps[1+i%4].Submit(v, d)
+	}
+	for i := 1; i < 5; i++ {
+		ds := consensus.WaitDecisions(reps[i].Decisions(), k, 10*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d learned %d/%d after failover", i, len(ds), k)
+		}
+	}
+}
+
+func TestDuplicateSubmitOnce(t *testing.T) {
+	_, reps := cluster(t, 3)
+	v, d := val(0)
+	for i := 0; i < 3; i++ {
+		reps[0].Submit(v, d)
+		reps[2].Submit(v, d)
+	}
+	ds := consensus.WaitDecisions(reps[1].Decisions(), 1, 5*time.Second)
+	if len(ds) != 1 {
+		t.Fatalf("learned %d", len(ds))
+	}
+	extra := consensus.WaitDecisions(reps[1].Decisions(), 1, 400*time.Millisecond)
+	if len(extra) != 0 {
+		t.Fatalf("duplicate chosen: %v", extra)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	_, reps := cluster(t, 1)
+	v, d := val(0)
+	reps[0].Submit(v, d)
+	ds := consensus.WaitDecisions(reps[0].Decisions(), 1, 3*time.Second)
+	if len(ds) != 1 || ds[0].Digest != d {
+		t.Fatalf("single-node: %v", ds)
+	}
+}
+
+func TestBallotEncoding(t *testing.T) {
+	b := makeBallot(7, types.NodeID(3))
+	if ballotNode(b) != 3 {
+		t.Fatalf("node = %v", ballotNode(b))
+	}
+	if makeBallot(8, 0) <= makeBallot(7, 65535) {
+		t.Fatal("higher counter does not dominate")
+	}
+	if makeBallot(7, 2) <= makeBallot(7, 1) {
+		t.Fatal("node id does not break ties")
+	}
+}

@@ -1,0 +1,849 @@
+// Package pbft implements Practical Byzantine Fault Tolerance (Castro &
+// Liskov, OSDI'99), the canonical ordering protocol of permissioned
+// blockchains (§2.2, §2.3.3). n = 3f+1 replicas run the three normal-case
+// phases — pre-prepare, prepare, commit, each quorum 2f+1 — and a view
+// change that replaces a faulty primary while preserving every decision
+// that may have committed anywhere.
+//
+// Each replica is a single event-loop goroutine; all protocol state is
+// confined to that goroutine, so there are no locks in the hot path.
+package pbft
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"permchain/internal/consensus"
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+// Message type tags on the wire.
+const (
+	msgRequest    = "pbft/request"
+	msgPrePrepare = "pbft/preprepare"
+	msgPrepare    = "pbft/prepare"
+	msgCommit     = "pbft/commit"
+	msgViewChange = "pbft/viewchange"
+	msgNewView    = "pbft/newview"
+	msgFetch      = "pbft/fetch"
+	msgFetchReply = "pbft/fetchreply"
+	msgCheckpoint = "pbft/checkpoint"
+	msgStatus     = "pbft/status"
+)
+
+// checkpointEvery is how many executed slots between checkpoints; a
+// quorum of matching checkpoints makes a sequence number stable and lets
+// replicas garbage-collect everything at or below it.
+const checkpointEvery = 128
+
+type request struct {
+	Digest types.Hash
+	Value  any
+}
+
+type prePrepare struct {
+	View   uint64
+	Seq    uint64
+	Digest types.Hash
+	Value  any
+	Sig    []byte
+}
+
+type vote struct { // prepare or commit
+	View   uint64
+	Seq    uint64
+	Digest types.Hash
+	Sig    []byte
+}
+
+// preparedCert certifies that a (seq, digest, value) gathered a prepare
+// quorum in some view and must survive into the next one.
+type preparedCert struct {
+	Seq    uint64
+	Digest types.Hash
+	Value  any
+}
+
+type viewChange struct {
+	NewView  uint64
+	Prepared []preparedCert
+	Sig      []byte
+}
+
+type newView struct {
+	NewView uint64
+	Certs   []preparedCert
+	MaxSeq  uint64
+	Sig     []byte
+}
+
+// fetch asks peers for the value of a slot the requester learned is
+// committed (via a commit quorum) but whose pre-prepare it missed.
+type fetch struct {
+	Seq uint64
+}
+
+type fetchReply struct {
+	Seq    uint64
+	Digest types.Hash
+	Value  any
+}
+
+// status is low-rate gossip of execution progress: a replica that was
+// partitioned away (and so missed both requests and commits) learns it is
+// behind and starts fetching. Without it, a fully-isolated replica would
+// sleep forever after the partition heals.
+type status struct {
+	LastExec uint64
+	Sig      []byte
+}
+
+// checkpoint announces that the sender executed through Seq with the
+// given cumulative history digest; 2f+1 matching checkpoints prove the
+// prefix is globally decided and reclaimable.
+type checkpoint struct {
+	Seq  uint64
+	Hist types.Hash
+	Sig  []byte
+}
+
+// slot is the per-sequence-number state.
+type slot struct {
+	digest     types.Hash
+	value      any
+	hasPP      bool
+	ppView     uint64
+	prepares   map[string]map[types.NodeID]bool // key view:digest
+	commits    map[string]map[types.NodeID]bool
+	sentCommit bool
+	committed  bool
+	executed   bool
+}
+
+func newSlot() *slot {
+	return &slot{
+		prepares: map[string]map[types.NodeID]bool{},
+		commits:  map[string]map[types.NodeID]bool{},
+	}
+}
+
+func voteKey(view uint64, d types.Hash) string {
+	return fmt.Sprintf("%d:%s", view, d.Hex())
+}
+
+func addVote(m map[string]map[types.NodeID]bool, key string, from types.NodeID) int {
+	s, ok := m[key]
+	if !ok {
+		s = map[types.NodeID]bool{}
+		m[key] = s
+	}
+	s[from] = true
+	return len(s)
+}
+
+// Replica is one PBFT node.
+type Replica struct {
+	cfg consensus.Config
+	ep  *network.Endpoint
+
+	decCh    chan consensus.Decision
+	submitCh chan request
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	// Everything below is owned by the event loop.
+	view         uint64
+	inViewChange bool
+	nextSeq      uint64 // primary only: next sequence to assign
+	lastExec     uint64
+	slots        map[uint64]*slot
+	proposed     map[types.Hash]bool // primary: digests already assigned a seq
+	pending      map[types.Hash]any  // known outstanding requests, not yet executed
+	vcVotes      map[uint64]map[types.NodeID]*viewChange
+	lastVC       *viewChange                            // our current view-change vote, for retransmission
+	vcResent     bool                                   // whether lastVC was already retransmitted this view
+	executedDig  map[types.Hash]uint64                  // digest → slot it executed at
+	fetchVotes   map[uint64]map[types.NodeID]fetchReply // gap-recovery replies
+	fetchTried   bool                                   // alternate gap-fetch with view change
+	histDigest   types.Hash                             // cumulative digest of executed history
+	ckptVotes    map[uint64]map[types.NodeID]types.Hash // checkpoint votes
+	stableSeq    uint64                                 // highest quorum-stable checkpoint
+	lastNV       uint64                                 // view of the last accepted NewView
+	storedNV     *newView                               // for retransmission to stragglers
+	timer        *consensus.LoopTimer
+}
+
+// New creates a PBFT replica. Call Start to launch it.
+func New(cfg consensus.Config) *Replica {
+	cfg = cfg.Defaulted()
+	r := &Replica{
+		cfg:         cfg,
+		ep:          cfg.Net.Join(cfg.Self),
+		decCh:       make(chan consensus.Decision, 65536),
+		submitCh:    make(chan request, 65536),
+		stopCh:      make(chan struct{}),
+		done:        make(chan struct{}),
+		nextSeq:     1,
+		slots:       map[uint64]*slot{},
+		proposed:    map[types.Hash]bool{},
+		pending:     map[types.Hash]any{},
+		vcVotes:     map[uint64]map[types.NodeID]*viewChange{},
+		executedDig: map[types.Hash]uint64{},
+		fetchVotes:  map[uint64]map[types.NodeID]fetchReply{},
+		ckptVotes:   map[uint64]map[types.NodeID]types.Hash{},
+		timer:       consensus.NewLoopTimer(),
+	}
+	return r
+}
+
+// ID implements consensus.Replica.
+func (r *Replica) ID() types.NodeID { return r.cfg.Self }
+
+// Decisions implements consensus.Replica.
+func (r *Replica) Decisions() <-chan consensus.Decision { return r.decCh }
+
+// Start implements consensus.Replica.
+func (r *Replica) Start() { go r.loop() }
+
+// Stop implements consensus.Replica.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	<-r.done
+}
+
+// Submit implements consensus.Replica.
+func (r *Replica) Submit(value any, digest types.Hash) {
+	select {
+	case r.submitCh <- request{Digest: digest, Value: value}:
+	case <-r.stopCh:
+	}
+}
+
+func (r *Replica) primary(view uint64) types.NodeID {
+	return r.cfg.Nodes[int(view%uint64(len(r.cfg.Nodes)))]
+}
+
+func (r *Replica) isPrimary() bool { return r.primary(r.view) == r.cfg.Self }
+
+func (r *Replica) loop() {
+	defer close(r.done)
+	defer r.timer.Stop()
+	gossip := time.NewTicker(r.cfg.Timeout * 4)
+	defer gossip.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case req := <-r.submitCh:
+			r.onSubmit(req)
+		case m := <-r.ep.Inbox():
+			r.onMessage(m)
+		case <-r.timer.C():
+			r.onTimeout()
+		case <-gossip.C:
+			if r.lastExec > 0 {
+				st := status{
+					LastExec: r.lastExec,
+					Sig:      r.cfg.SignPart([]byte(msgStatus), consensus.U64(r.lastExec)),
+				}
+				r.ep.Multicast(r.cfg.Nodes, msgStatus, st)
+			}
+		}
+	}
+}
+
+func (r *Replica) onSubmit(req request) {
+	// Requests are broadcast so every correct replica learns of the
+	// outstanding work and arms its failure-detection timer — otherwise a
+	// dead primary would only ever be suspected by the submitting
+	// replica, and a view-change quorum could never form.
+	r.ep.Multicast(r.cfg.Nodes, msgRequest, req)
+	r.onRequest(req)
+}
+
+// onRequest registers an outstanding request and, on the primary,
+// proposes it.
+func (r *Replica) onRequest(req request) {
+	if r.isExecuted(req.Digest) {
+		return
+	}
+	r.pending[req.Digest] = req.Value
+	r.armTimer()
+	if r.isPrimary() && !r.inViewChange {
+		r.propose(req.Digest, req.Value)
+	}
+}
+
+// isExecuted reports whether a request digest already executed, bounding
+// re-broadcast loops after view changes.
+func (r *Replica) isExecuted(d types.Hash) bool {
+	_, ok := r.executedDig[d]
+	return ok
+}
+
+// onCheckpoint collects checkpoint votes; a 2f+1 matching quorum at or
+// below our own execution point makes that prefix stable and
+// garbage-collectable. Slots within one checkpoint window above the
+// stable point are retained so laggards can still fetch them.
+func (r *Replica) onCheckpoint(from types.NodeID, ck checkpoint) {
+	m, ok := r.ckptVotes[ck.Seq]
+	if !ok {
+		m = map[types.NodeID]types.Hash{}
+		r.ckptVotes[ck.Seq] = m
+	}
+	m[from] = ck.Hist
+	count := 0
+	for _, h := range m {
+		if h == ck.Hist {
+			count++
+		}
+	}
+	if count < r.cfg.ByzQuorum() || ck.Seq <= r.stableSeq || ck.Seq > r.lastExec {
+		return
+	}
+	r.stableSeq = ck.Seq
+	// Reclaim everything more than one window below the stable point;
+	// the retained window keeps gap-fetch working for modest laggards.
+	// (Textbook PBFT transfers full state snapshots instead; see
+	// DESIGN.md, Documented simplifications.)
+	low := int64(r.stableSeq) - checkpointEvery
+	for seq := range r.slots {
+		if int64(seq) <= low {
+			delete(r.slots, seq)
+		}
+	}
+	for seq := range r.ckptVotes {
+		if int64(seq) <= low {
+			delete(r.ckptVotes, seq)
+		}
+	}
+	for seq := range r.fetchVotes {
+		if int64(seq) <= low {
+			delete(r.fetchVotes, seq)
+		}
+	}
+	for v := range r.vcVotes {
+		if v+1 < r.view { // stale view-change bookkeeping
+			delete(r.vcVotes, v)
+		}
+	}
+}
+
+// SlotCount reports retained protocol slots — a memory metric for tests
+// and monitoring. Safe only when the replica is stopped or quiescent.
+func (r *Replica) SlotCount() int { return len(r.slots) }
+
+// gapFetch asks peers for the decision of the first unexecuted slot when
+// higher slots are already committed locally — proof the gap slot was
+// decided globally. Returns whether a fetch was sent.
+func (r *Replica) gapFetch() bool {
+	gap := r.lastExec + 1
+	if s, ok := r.slots[gap]; ok && s.committed {
+		return false // value fetch already in flight via onCommit
+	}
+	// Strong evidence: a higher slot committed locally, so the gap is
+	// decided somewhere. But even without it, asking costs n messages
+	// and recovers a replica whose commit traffic was entirely lost —
+	// peers only answer for slots they actually executed, and adoption
+	// needs f+1 matching answers, so a speculative ask is safe.
+	if !r.hasWorkAbove(gap) && len(r.pending) == 0 {
+		return false
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgFetch, fetch{Seq: gap})
+	return true
+}
+
+// hasWorkAbove reports whether any slot above gap is committed/executed.
+func (r *Replica) hasWorkAbove(gap uint64) bool {
+	for seq, s := range r.slots {
+		if seq > gap && (s.committed || s.executed) {
+			return true
+		}
+	}
+	return false
+}
+
+// onFetchReply fills in a slot we missed. Two cases: the slot is
+// commit-quorum-backed locally and only the value is missing (reply
+// digest must match the quorum digest); or we are gap-recovering and
+// accept a digest confirmed by f+1 distinct peers (at most f lie).
+func (r *Replica) onFetchReply(from types.NodeID, fr fetchReply) {
+	s := r.slot(fr.Seq)
+	if s.executed {
+		return
+	}
+	if s.committed {
+		if s.hasPP || s.digest != fr.Digest {
+			return
+		}
+		s.hasPP = true
+		s.value = fr.Value
+		r.executeReady()
+		return
+	}
+	// Gap recovery: require f+1 matching digests.
+	m, ok := r.fetchVotes[fr.Seq]
+	if !ok {
+		m = map[types.NodeID]fetchReply{}
+		r.fetchVotes[fr.Seq] = m
+	}
+	m[from] = fr
+	count := 0
+	for _, v := range m {
+		if v.Digest == fr.Digest {
+			count++
+		}
+	}
+	if count < r.cfg.MaxByzFaults()+1 {
+		return
+	}
+	s.digest = fr.Digest
+	s.value = fr.Value
+	s.hasPP = true
+	s.committed = true
+	delete(r.fetchVotes, fr.Seq)
+	before := r.lastExec
+	r.executeReady()
+	// Catching up: chain straight to the next gap rather than waiting a
+	// full timeout per slot.
+	if r.lastExec > before {
+		r.gapFetch()
+	}
+}
+
+// propose assigns the next sequence number and broadcasts a pre-prepare.
+func (r *Replica) propose(digest types.Hash, value any) {
+	if r.proposed[digest] {
+		return
+	}
+	r.proposed[digest] = true
+	seq := r.nextSeq
+	r.nextSeq++
+	pp := prePrepare{
+		View: r.view, Seq: seq, Digest: digest, Value: value,
+		Sig: r.cfg.SignPart([]byte(msgPrePrepare), consensus.U64(r.view), consensus.U64(seq), digest[:]),
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgPrePrepare, pp)
+	r.acceptPrePrepare(r.cfg.Self, pp)
+}
+
+func (r *Replica) onMessage(m network.Message) {
+	if !r.cfg.IsMember(m.From) {
+		return // not part of this replica group
+	}
+	switch m.Type {
+	case msgRequest:
+		req, ok := m.Payload.(request)
+		if !ok {
+			return
+		}
+		r.onRequest(req)
+	case msgPrePrepare:
+		pp, ok := m.Payload.(prePrepare)
+		if !ok {
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, pp.Sig, []byte(msgPrePrepare), consensus.U64(pp.View), consensus.U64(pp.Seq), pp.Digest[:]) {
+			return
+		}
+		r.acceptPrePrepare(m.From, pp)
+	case msgPrepare:
+		v, ok := m.Payload.(vote)
+		if !ok {
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, v.Sig, []byte(msgPrepare), consensus.U64(v.View), consensus.U64(v.Seq), v.Digest[:]) {
+			return
+		}
+		r.onPrepare(m.From, v)
+	case msgCommit:
+		v, ok := m.Payload.(vote)
+		if !ok {
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, v.Sig, []byte(msgCommit), consensus.U64(v.View), consensus.U64(v.Seq), v.Digest[:]) {
+			return
+		}
+		r.onCommit(m.From, v)
+	case msgViewChange:
+		vc, ok := m.Payload.(viewChange)
+		if !ok {
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, vc.Sig, []byte(msgViewChange), consensus.U64(vc.NewView)) {
+			return
+		}
+		r.onViewChange(m.From, &vc)
+	case msgNewView:
+		nv, ok := m.Payload.(newView)
+		if !ok {
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, nv.Sig, []byte(msgNewView), consensus.U64(nv.NewView)) {
+			return
+		}
+		r.onNewView(m.From, nv)
+	case msgFetch:
+		f, ok := m.Payload.(fetch)
+		if !ok {
+			return
+		}
+		if s, ok := r.slots[f.Seq]; ok && s.hasPP && s.committed {
+			// Null-filled slots are legitimate answers too: the requester
+			// needs to know the slot decided "nothing".
+			r.ep.Send(m.From, msgFetchReply, fetchReply{Seq: f.Seq, Digest: s.digest, Value: s.value})
+		}
+	case msgFetchReply:
+		fr, ok := m.Payload.(fetchReply)
+		if !ok {
+			return
+		}
+		r.onFetchReply(m.From, fr)
+	case msgCheckpoint:
+		ck, ok := m.Payload.(checkpoint)
+		if !ok {
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, ck.Sig, []byte(msgCheckpoint), consensus.U64(ck.Seq), ck.Hist[:]) {
+			return
+		}
+		r.onCheckpoint(m.From, ck)
+	case msgStatus:
+		st, ok := m.Payload.(status)
+		if !ok {
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, st.Sig, []byte(msgStatus), consensus.U64(st.LastExec)) {
+			return
+		}
+		// A peer is ahead: fetch the first slot we are missing. Adoption
+		// still requires f+1 agreeing replies, so a single lying peer
+		// costs only a wasted fetch.
+		if st.LastExec > r.lastExec {
+			r.ep.Multicast(r.cfg.Nodes, msgFetch, fetch{Seq: r.lastExec + 1})
+		}
+	}
+}
+
+func (r *Replica) slot(seq uint64) *slot {
+	s, ok := r.slots[seq]
+	if !ok {
+		s = newSlot()
+		r.slots[seq] = s
+	}
+	return s
+}
+
+func (r *Replica) acceptPrePrepare(from types.NodeID, pp prePrepare) {
+	if r.inViewChange || pp.View != r.view || from != r.primary(pp.View) {
+		return
+	}
+	s := r.slot(pp.Seq)
+	if s.hasPP && s.ppView == pp.View && s.digest != pp.Digest {
+		return // equivocation: first pre-prepare wins for this view
+	}
+	if s.executed {
+		return
+	}
+	s.hasPP = true
+	s.ppView = pp.View
+	s.digest = pp.Digest
+	s.value = pp.Value
+	r.armTimer()
+
+	p := vote{
+		View: pp.View, Seq: pp.Seq, Digest: pp.Digest,
+		Sig: r.cfg.SignPart([]byte(msgPrepare), consensus.U64(pp.View), consensus.U64(pp.Seq), pp.Digest[:]),
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgPrepare, p)
+	r.onPrepare(r.cfg.Self, p)
+}
+
+func (r *Replica) onPrepare(from types.NodeID, v vote) {
+	if v.View != r.view || r.inViewChange {
+		return
+	}
+	s := r.slot(v.Seq)
+	n := addVote(s.prepares, voteKey(v.View, v.Digest), from)
+	if !s.hasPP || s.ppView != v.View || s.digest != v.Digest {
+		return
+	}
+	if n >= r.cfg.ByzQuorum() && !s.sentCommit {
+		s.sentCommit = true
+		c := vote{
+			View: v.View, Seq: v.Seq, Digest: v.Digest,
+			Sig: r.cfg.SignPart([]byte(msgCommit), consensus.U64(v.View), consensus.U64(v.Seq), v.Digest[:]),
+		}
+		r.ep.Multicast(r.cfg.Nodes, msgCommit, c)
+		r.onCommit(r.cfg.Self, c)
+	}
+}
+
+func (r *Replica) onCommit(from types.NodeID, v vote) {
+	// Commit votes are counted regardless of the local view: 2f+1
+	// matching commits for (view, seq, digest) prove the slot is decided
+	// globally, so a replica that drifted into a different view can still
+	// finalize — the laggard-recovery path.
+	s := r.slot(v.Seq)
+	if s.executed || s.committed {
+		return
+	}
+	n := addVote(s.commits, voteKey(v.View, v.Digest), from)
+	if n < r.cfg.ByzQuorum() {
+		return
+	}
+	s.committed = true
+	if !s.hasPP || s.digest != v.Digest {
+		// Quorum proves the digest, but we missed the pre-prepare and
+		// have no value: adopt the digest and fetch the value.
+		s.digest = v.Digest
+		s.hasPP = false
+		s.value = nil
+		r.ep.Multicast(r.cfg.Nodes, msgFetch, fetch{Seq: v.Seq})
+		return
+	}
+	r.executeReady()
+}
+
+// executeReady delivers committed slots in sequence order.
+func (r *Replica) executeReady() {
+	for {
+		s, ok := r.slots[r.lastExec+1]
+		if !ok || !s.committed || s.executed {
+			break
+		}
+		if !s.hasPP && !s.digest.IsZero() {
+			break // committed by quorum but value still in flight (fetch)
+		}
+		s.executed = true
+		r.lastExec++
+		delete(r.pending, s.digest)
+		delete(r.fetchVotes, r.lastExec)
+		r.histDigest = types.HashConcat(r.histDigest[:], s.digest[:])
+		if r.lastExec%checkpointEvery == 0 {
+			ck := checkpoint{
+				Seq: r.lastExec, Hist: r.histDigest,
+				Sig: r.cfg.SignPart([]byte(msgCheckpoint), consensus.U64(r.lastExec), r.histDigest[:]),
+			}
+			r.ep.Multicast(r.cfg.Nodes, msgCheckpoint, ck)
+			r.onCheckpoint(r.cfg.Self, ck)
+		}
+		if !s.digest.IsZero() { // null slots fill view-change gaps silently
+			// A view change can re-propose a request that already executed
+			// at an earlier slot on some replicas; every replica executes
+			// each digest exactly once, at its first slot.
+			if _, dup := r.executedDig[s.digest]; !dup {
+				r.executedDig[s.digest] = r.lastExec
+				r.decCh <- consensus.Decision{Seq: r.lastExec, Digest: s.digest, Value: s.value, Node: r.cfg.Self}
+			}
+		}
+	}
+	r.armTimer()
+}
+
+// armTimer starts the failure-detection timer when there is outstanding
+// work and stops it when fully caught up.
+func (r *Replica) armTimer() {
+	outstanding := len(r.pending) > 0
+	for seq, s := range r.slots {
+		if seq > r.lastExec && s.hasPP && !s.executed {
+			outstanding = true
+			break
+		}
+	}
+	if outstanding {
+		r.timer.Reset(r.cfg.Timeout)
+	} else {
+		r.timer.Stop()
+	}
+}
+
+func (r *Replica) onTimeout() {
+	// State transfer beats view change when the system has visibly moved
+	// on without us: if a slot above our execution gap is already
+	// committed, the gap was decided somewhere — fetch it instead of
+	// dragging everyone through another view.
+	if !r.fetchTried && r.gapFetch() {
+		r.fetchTried = true
+		r.timer.Reset(r.cfg.Timeout)
+		return
+	}
+	r.fetchTried = false
+	// Links are lossy in general: before escalating to yet another view,
+	// retransmit the current view-change vote once — it is the protocol's
+	// only retransmission mechanism, and without it view-change quorums
+	// may never assemble under loss.
+	if r.inViewChange && r.lastVC != nil && !r.vcResent {
+		r.vcResent = true
+		r.ep.Multicast(r.cfg.Nodes, msgViewChange, *r.lastVC)
+		r.timer.Reset(r.cfg.Timeout * 2)
+		return
+	}
+	r.startViewChange(r.view + 1)
+}
+
+// startViewChange abandons the current view and broadcasts the prepared
+// certificates the next primary must preserve.
+func (r *Replica) startViewChange(newV uint64) {
+	if newV <= r.view && r.inViewChange {
+		return
+	}
+	r.view = newV
+	r.inViewChange = true
+	var certs []preparedCert
+	for seq, s := range r.slots {
+		if seq <= r.lastExec {
+			continue
+		}
+		if s.hasPP && len(s.prepares[voteKey(s.ppView, s.digest)]) >= r.cfg.ByzQuorum() {
+			certs = append(certs, preparedCert{Seq: seq, Digest: s.digest, Value: s.value})
+		}
+	}
+	// Executed-but-above-lastExec cannot happen (execution is in order),
+	// but committed slots above lastExec must survive too: they are
+	// prepared by definition, so the loop above already includes them.
+	vc := viewChange{
+		NewView: newV, Prepared: certs,
+		Sig: r.cfg.SignPart([]byte(msgViewChange), consensus.U64(newV)),
+	}
+	r.lastVC = &vc
+	r.vcResent = false
+	r.ep.Multicast(r.cfg.Nodes, msgViewChange, vc)
+	r.onViewChange(r.cfg.Self, &vc)
+	// If the next primary is also faulty, time out again into view+1.
+	r.timer.Reset(r.cfg.Timeout * 2)
+}
+
+func (r *Replica) onViewChange(from types.NodeID, vc *viewChange) {
+	if vc.NewView <= r.view && !(vc.NewView == r.view && r.inViewChange) {
+		return
+	}
+	m, ok := r.vcVotes[vc.NewView]
+	if !ok {
+		m = map[types.NodeID]*viewChange{}
+		r.vcVotes[vc.NewView] = m
+	}
+	m[from] = vc
+
+	// Straggler resynchronization: if this replica is stable in a view
+	// established by a NewView, re-offer that NewView to the sender so a
+	// lone replica that timed itself into a dead-end view can rejoin.
+	if !r.inViewChange && r.storedNV != nil && from != r.cfg.Self {
+		r.ep.Send(from, msgNewView, *r.storedNV)
+	}
+	// View synchronization under loss: a peer still voting for an older
+	// view missed our (higher) view-change vote — resend it directly.
+	if r.inViewChange && r.lastVC != nil && from != r.cfg.Self && vc.NewView < r.lastVC.NewView {
+		r.ep.Send(from, msgViewChange, *r.lastVC)
+	}
+
+	// Joining a view change f+1 other replicas already started prevents a
+	// slow replica from being left behind.
+	if len(m) >= r.cfg.MaxByzFaults()+1 && vc.NewView > r.view {
+		r.startViewChange(vc.NewView)
+	}
+	if len(m) >= r.cfg.ByzQuorum() && r.primary(vc.NewView) == r.cfg.Self {
+		r.sendNewView(vc.NewView, m)
+	}
+}
+
+func (r *Replica) sendNewView(newV uint64, vcs map[types.NodeID]*viewChange) {
+	// Merge prepared certificates; for duplicate seqs any correct cert
+	// carries the same digest (quorum intersection), so the first wins.
+	merged := map[uint64]preparedCert{}
+	var maxSeq uint64
+	for _, vc := range vcs {
+		for _, c := range vc.Prepared {
+			if _, ok := merged[c.Seq]; !ok {
+				merged[c.Seq] = c
+			}
+			if c.Seq > maxSeq {
+				maxSeq = c.Seq
+			}
+		}
+	}
+	certs := make([]preparedCert, 0, len(merged))
+	for _, c := range merged {
+		certs = append(certs, c)
+	}
+	nv := newView{
+		NewView: newV, Certs: certs, MaxSeq: maxSeq,
+		Sig: r.cfg.SignPart([]byte(msgNewView), consensus.U64(newV)),
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgNewView, nv)
+	r.onNewView(r.cfg.Self, nv)
+}
+
+func (r *Replica) onNewView(from types.NodeID, nv newView) {
+	// Accept any NewView newer than the last accepted one, even when the
+	// local raw view counter has drifted above it: a replica that timed
+	// out into views nobody else joined must be able to rejoin the view
+	// the quorum actually established.
+	if nv.NewView <= r.lastNV || from != r.primary(nv.NewView) {
+		return
+	}
+	r.lastNV = nv.NewView
+	r.storedNV = &nv
+	r.view = nv.NewView
+	r.inViewChange = false
+	r.proposed = map[types.Hash]bool{}
+
+	covered := map[uint64]bool{}
+	for _, c := range nv.Certs {
+		covered[c.Seq] = true
+	}
+	// Re-issue pre-prepares for surviving certificates and null-fill the
+	// gaps so execution order has no holes.
+	reissue := func(pp prePrepare) {
+		if r.cfg.Self == r.primary(nv.NewView) {
+			pp.Sig = r.cfg.SignPart([]byte(msgPrePrepare), consensus.U64(pp.View), consensus.U64(pp.Seq), pp.Digest[:])
+			r.ep.Multicast(r.cfg.Nodes, msgPrePrepare, pp)
+			r.acceptPrePrepare(r.cfg.Self, pp)
+		}
+	}
+	for _, c := range nv.Certs {
+		if s, ok := r.slots[c.Seq]; ok && s.executed {
+			continue
+		}
+		// Reset per-view slot vote state lazily: acceptPrePrepare keys
+		// votes by view, so stale votes cannot satisfy new-view quorums.
+		if s, ok := r.slots[c.Seq]; ok {
+			s.hasPP = false
+			s.sentCommit = false
+		}
+		reissue(prePrepare{View: nv.NewView, Seq: c.Seq, Digest: c.Digest, Value: c.Value})
+		r.proposed[c.Digest] = true
+	}
+	for seq := r.lastExec + 1; seq <= nv.MaxSeq; seq++ {
+		if covered[seq] {
+			continue
+		}
+		if s, ok := r.slots[seq]; ok {
+			if s.executed {
+				continue
+			}
+			s.hasPP = false
+			s.sentCommit = false
+		}
+		reissue(prePrepare{View: nv.NewView, Seq: seq, Digest: types.ZeroHash, Value: nil})
+	}
+	if r.cfg.Self == r.primary(nv.NewView) && nv.MaxSeq >= r.nextSeq {
+		r.nextSeq = nv.MaxSeq + 1
+	}
+	if r.cfg.Self == r.primary(nv.NewView) && r.nextSeq <= r.lastExec {
+		r.nextSeq = r.lastExec + 1
+	}
+
+	// Re-forward outstanding requests to the new primary.
+	for d, v := range r.pending {
+		if r.isPrimary() {
+			r.propose(d, v)
+		} else {
+			r.ep.Send(r.primary(r.view), msgRequest, request{Digest: d, Value: v})
+		}
+	}
+	r.armTimer()
+}

@@ -1,0 +1,313 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"permchain/internal/consensus"
+	"permchain/internal/crypto"
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+func cluster(t *testing.T, n int, opts ...network.Option) (*network.Network, []*Replica) {
+	t.Helper()
+	net := network.New(opts...)
+	keys := crypto.NewKeyring(n)
+	nodes := make([]types.NodeID, n)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout: 150 * time.Millisecond,
+		})
+	}
+	for _, r := range reps {
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	return net, reps
+}
+
+func val(i int) (string, types.Hash) {
+	v := fmt.Sprintf("req-%d", i)
+	return v, types.HashBytes([]byte(v))
+}
+
+// checkAgreement asserts all replicas decided the same digest per seq.
+func checkAgreement(t *testing.T, all [][]consensus.Decision) {
+	t.Helper()
+	bySeq := map[uint64]types.Hash{}
+	for ri, ds := range all {
+		for _, d := range ds {
+			if prev, ok := bySeq[d.Seq]; ok {
+				if prev != d.Digest {
+					t.Fatalf("replica %d decided seq %d = %v, another decided %v", ri, d.Seq, d.Digest, prev)
+				}
+			} else {
+				bySeq[d.Seq] = d.Digest
+			}
+		}
+	}
+}
+
+func TestNormalOperation(t *testing.T) {
+	_, reps := cluster(t, 4)
+	const k = 20
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%4].Submit(v, d) // submit via every replica, not just the leader
+	}
+	all := make([][]consensus.Decision, 4)
+	for i, r := range reps {
+		all[i] = consensus.WaitDecisions(r.Decisions(), k, 5*time.Second)
+		if len(all[i]) != k {
+			t.Fatalf("replica %d decided %d/%d", i, len(all[i]), k)
+		}
+		// In-order delivery.
+		for j, d := range all[i] {
+			if d.Seq != uint64(j+1) {
+				t.Fatalf("replica %d decision %d has seq %d", i, j, d.Seq)
+			}
+		}
+	}
+	checkAgreement(t, all)
+	// All k distinct requests decided exactly once.
+	seen := map[types.Hash]bool{}
+	for _, d := range all[0] {
+		if seen[d.Digest] {
+			t.Fatalf("digest %v decided twice", d.Digest)
+		}
+		seen[d.Digest] = true
+	}
+	if len(seen) != k {
+		t.Fatalf("decided %d distinct requests, want %d", len(seen), k)
+	}
+}
+
+func TestSubmitViaFollowerForwards(t *testing.T) {
+	_, reps := cluster(t, 4)
+	v, d := val(1)
+	reps[2].Submit(v, d)
+	got := consensus.WaitDecisions(reps[3].Decisions(), 1, 3*time.Second)
+	if len(got) != 1 || got[0].Digest != d {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].Value.(string) != v {
+		t.Fatalf("value = %v", got[0].Value)
+	}
+}
+
+func TestCrashedLeaderViewChange(t *testing.T) {
+	_, reps := cluster(t, 4)
+	reps[0].Stop() // primary of view 0 dies before any request
+
+	for i := 0; i < 5; i++ {
+		v, d := val(i)
+		reps[1].Submit(v, d)
+	}
+	all := make([][]consensus.Decision, 0, 3)
+	for _, r := range reps[1:] {
+		ds := consensus.WaitDecisions(r.Decisions(), 5, 10*time.Second)
+		if len(ds) != 5 {
+			t.Fatalf("replica %v decided %d/5 after leader crash", r.ID(), len(ds))
+		}
+		all = append(all, ds)
+	}
+	checkAgreement(t, all)
+}
+
+func TestBackToBackLeaderFailures(t *testing.T) {
+	// Views 0 and 1 both have dead primaries; the protocol must reach
+	// view 2 via repeated timeouts.
+	_, reps := cluster(t, 7) // f=2
+	reps[0].Stop()
+	reps[1].Stop()
+	v, d := val(0)
+	reps[2].Submit(v, d)
+	ds := consensus.WaitDecisions(reps[3].Decisions(), 1, 15*time.Second)
+	if len(ds) != 1 || ds[0].Digest != d {
+		t.Fatalf("no decision after two leader failures: %v", ds)
+	}
+}
+
+func TestEquivocatingLeaderSafety(t *testing.T) {
+	net, reps := cluster(t, 4)
+	// Leader (node 0) equivocates on pre-prepares: different digests to
+	// different replicas. Safety: no two replicas may decide different
+	// digests for the same sequence number.
+	net.SetFilter(0, func(m network.Message) []network.Message {
+		pp, ok := m.Payload.(prePrepare)
+		if !ok {
+			return []network.Message{m}
+		}
+		forged := pp
+		v := fmt.Sprintf("forged-%d", pp.Seq)
+		forged.Digest = types.HashBytes([]byte(v))
+		forged.Value = v
+		// forged.Sig stays stale, but the test runs with signatures on,
+		// so forge a fresh signature is impossible for the filter; the
+		// receivers will drop it. Send the real one to half the nodes to
+		// at least split the prepares.
+		if m.To == 1 {
+			return []network.Message{m}
+		}
+		return []network.Message{{From: 0, To: m.To, Type: m.Type, Payload: forged}}
+	})
+
+	for i := 0; i < 3; i++ {
+		v, d := val(i)
+		reps[1].Submit(v, d)
+	}
+	// Give the protocol time to either commit (after view change) or stall.
+	time.Sleep(2 * time.Second)
+	net.SetFilter(0, nil)
+
+	all := make([][]consensus.Decision, 4)
+	for i, r := range reps {
+		all[i] = consensus.WaitDecisions(r.Decisions(), 3, 8*time.Second)
+	}
+	checkAgreement(t, all)
+	// Liveness: the correct replicas eventually decided all 3 requests.
+	for i := 1; i < 4; i++ {
+		if len(all[i]) < 3 {
+			t.Fatalf("replica %d decided only %d/3 after equivocation", i, len(all[i]))
+		}
+	}
+}
+
+func TestTamperedSignatureRejected(t *testing.T) {
+	net, reps := cluster(t, 4)
+	// Node 3 corrupts its prepare/commit signatures; with f=1 tolerance
+	// the cluster must still decide, and node 3's votes must not count.
+	net.SetFilter(3, func(m network.Message) []network.Message {
+		if v, ok := m.Payload.(vote); ok {
+			v.Sig = []byte("garbage")
+			return []network.Message{{From: 3, To: m.To, Type: m.Type, Payload: v}}
+		}
+		return []network.Message{m}
+	})
+	v, d := val(0)
+	reps[0].Submit(v, d)
+	ds := consensus.WaitDecisions(reps[1].Decisions(), 1, 5*time.Second)
+	if len(ds) != 1 || ds[0].Digest != d {
+		t.Fatalf("decision with tampered sigs: %v", ds)
+	}
+}
+
+func TestDuplicateSubmitDecidedOnce(t *testing.T) {
+	_, reps := cluster(t, 4)
+	v, d := val(0)
+	for i := 0; i < 5; i++ {
+		reps[0].Submit(v, d)
+	}
+	v2, d2 := val(1)
+	reps[0].Submit(v2, d2)
+	ds := consensus.WaitDecisions(reps[2].Decisions(), 2, 3*time.Second)
+	if len(ds) != 2 {
+		t.Fatalf("decided %d", len(ds))
+	}
+	// No third decision should arrive: the duplicate was deduped.
+	extra := consensus.WaitDecisions(reps[2].Decisions(), 1, 300*time.Millisecond)
+	if len(extra) != 0 {
+		t.Fatalf("duplicate request decided again: %v", extra)
+	}
+}
+
+func TestLossyNetworkStillDecides(t *testing.T) {
+	// 10% loss: retransmission-free PBFT can stall on specific drops, but
+	// view changes re-propose prepared requests, so the request should
+	// still eventually commit.
+	_, reps := cluster(t, 4, network.WithDropRate(0.10), network.WithSeed(42))
+	const k = 5
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[0].Submit(v, d)
+	}
+	ds := consensus.WaitDecisions(reps[1].Decisions(), k, 20*time.Second)
+	if len(ds) < k {
+		t.Fatalf("decided %d/%d under loss", len(ds), k)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	_, reps := cluster(t, 4)
+	reps[0].Stop()
+	reps[0].Stop()
+}
+
+func BenchmarkPBFTThroughput4(b *testing.B) {
+	benchN(b, 4)
+}
+
+func BenchmarkPBFTThroughput7(b *testing.B) {
+	benchN(b, 7)
+}
+
+func benchN(b *testing.B, n int) {
+	net := network.New()
+	keys := crypto.NewKeyring(n)
+	nodes := make([]types.NodeID, n)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout: 5 * time.Second, DisableSig: true,
+		})
+		reps[i].Start()
+	}
+	defer func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	}()
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		consensus.WaitDecisions(reps[0].Decisions(), b.N, time.Minute)
+	}()
+	for i := 0; i < b.N; i++ {
+		v, d := val(i)
+		reps[0].Submit(v, d)
+	}
+	<-done
+}
+
+func TestCheckpointGarbageCollection(t *testing.T) {
+	_, reps := cluster(t, 4)
+	// Push several checkpoint windows of decisions through.
+	const k = 3*checkpointEvery + 10
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[0].Submit(v, d)
+	}
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 60*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d decided %d/%d", i, len(ds), k)
+		}
+	}
+	for _, r := range reps {
+		r.Stop()
+	}
+	// Slots at or below stable-window must be reclaimed: far fewer than k
+	// retained (exactly: everything ≤ 2*checkpointEvery reclaimed once
+	// the 3rd checkpoint stabilized).
+	for i, r := range reps {
+		if got := r.SlotCount(); got > 2*checkpointEvery+16 {
+			t.Fatalf("replica %d retains %d slots after GC (k=%d)", i, got, k)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"permchain/internal/consensus"
+	"permchain/internal/crypto"
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+func cluster(t *testing.T, n int, opts ...network.Option) (*network.Network, []*Replica) {
+	t.Helper()
+	net := network.New(opts...)
+	keys := crypto.NewKeyring(n)
+	nodes := make([]types.NodeID, n)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout: 100 * time.Millisecond,
+		})
+	}
+	for _, r := range reps {
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	return net, reps
+}
+
+func val(i int) (string, types.Hash) {
+	v := fmt.Sprintf("cmd-%d", i)
+	return v, types.HashBytes([]byte(v))
+}
+
+func TestElectsLeaderAndCommits(t *testing.T) {
+	_, reps := cluster(t, 3)
+	const k = 10
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%3].Submit(v, d)
+	}
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 5*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d applied %d/%d", i, len(ds), k)
+		}
+		for j, d := range ds {
+			if d.Seq != uint64(j+1) {
+				t.Fatalf("replica %d decision %d seq %d", i, j, d.Seq)
+			}
+		}
+	}
+}
+
+func TestAllReplicasAgreeOnOrder(t *testing.T) {
+	_, reps := cluster(t, 5)
+	const k = 30
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%5].Submit(v, d)
+	}
+	var ref []consensus.Decision
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 10*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d applied %d/%d", i, len(ds), k)
+		}
+		if ref == nil {
+			ref = ds
+			continue
+		}
+		for j := range ds {
+			if ds[j].Digest != ref[j].Digest {
+				t.Fatalf("replica %d seq %d digest mismatch", i, j+1)
+			}
+		}
+	}
+}
+
+func TestLeaderCrashFailover(t *testing.T) {
+	_, reps := cluster(t, 5)
+	// Commit one entry to discover the leader.
+	v0, d0 := val(0)
+	reps[0].Submit(v0, d0)
+	ds := consensus.WaitDecisions(reps[1].Decisions(), 1, 5*time.Second)
+	if len(ds) != 1 {
+		t.Fatal("initial commit failed")
+	}
+	// Find and kill the leader.
+	var killed *Replica
+	for _, r := range reps {
+		if r.IsLeader() {
+			killed = r
+			break
+		}
+	}
+	if killed == nil {
+		t.Fatal("no leader found")
+	}
+	killed.Stop()
+
+	// Submit through a surviving node.
+	var survivor *Replica
+	for _, r := range reps {
+		if r != killed {
+			survivor = r
+			break
+		}
+	}
+	const k = 5
+	for i := 1; i <= k; i++ {
+		v, d := val(i)
+		survivor.Submit(v, d)
+	}
+	// Another survivor (whose decision stream we have not drained yet)
+	// must see the initial entry plus the k new ones.
+	var other *Replica
+	for _, r := range reps {
+		if r != killed && r != reps[1] {
+			other = r
+			break
+		}
+	}
+	total := consensus.WaitDecisions(other.Decisions(), k+1, 10*time.Second)
+	if len(total) < k+1 {
+		t.Fatalf("survivor applied %d/%d after failover", len(total), k+1)
+	}
+}
+
+func TestMinorityPartitionNoProgressThenRecovery(t *testing.T) {
+	net, reps := cluster(t, 5)
+	v0, d0 := val(0)
+	reps[0].Submit(v0, d0)
+	// Drain the initial decision from every replica so later reads see
+	// only post-partition decisions.
+	for i, r := range reps {
+		if len(consensus.WaitDecisions(r.Decisions(), 1, 5*time.Second)) != 1 {
+			t.Fatalf("replica %d missed initial commit", i)
+		}
+	}
+	// Partition nodes {0,1} away from {2,3,4}.
+	net.Partition([]types.NodeID{0, 1}, []types.NodeID{2, 3, 4})
+	v1, d1 := val(1)
+	reps[0].Submit(v1, d1) // lands in minority side
+	// Majority side can still commit.
+	v2, d2 := val(2)
+	reps[2].Submit(v2, d2)
+	ds := consensus.WaitDecisions(reps[3].Decisions(), 1, 5*time.Second)
+	if len(ds) != 1 || ds[0].Digest != d2 {
+		t.Fatalf("majority side failed to commit: %v", ds)
+	}
+	// Minority must NOT commit the stranded entry.
+	stale := consensus.WaitDecisions(reps[1].Decisions(), 1, 500*time.Millisecond)
+	if len(stale) != 0 {
+		t.Fatalf("minority committed during partition: %v", stale)
+	}
+	// Heal: the stranded entry eventually commits everywhere.
+	net.Heal()
+	got := consensus.WaitDecisions(reps[1].Decisions(), 2, 10*time.Second)
+	if len(got) != 2 {
+		t.Fatalf("minority applied %d/2 after heal", len(got))
+	}
+}
+
+func TestDuplicateSubmitAppliedOnce(t *testing.T) {
+	_, reps := cluster(t, 3)
+	v, d := val(0)
+	for i := 0; i < 4; i++ {
+		reps[0].Submit(v, d)
+		reps[1].Submit(v, d)
+	}
+	ds := consensus.WaitDecisions(reps[2].Decisions(), 1, 5*time.Second)
+	if len(ds) != 1 {
+		t.Fatalf("applied %d", len(ds))
+	}
+	extra := consensus.WaitDecisions(reps[2].Decisions(), 1, 400*time.Millisecond)
+	if len(extra) != 0 {
+		t.Fatalf("duplicate applied: %v", extra)
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	_, reps := cluster(t, 1)
+	v, d := val(0)
+	reps[0].Submit(v, d)
+	ds := consensus.WaitDecisions(reps[0].Decisions(), 1, 3*time.Second)
+	if len(ds) != 1 || ds[0].Digest != d {
+		t.Fatalf("single-node commit failed: %v", ds)
+	}
+}

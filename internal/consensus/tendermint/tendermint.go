@@ -1,0 +1,493 @@
+// Package tendermint implements the Tendermint consensus protocol (Kwon,
+// 2014) as characterized in §2.3.3 of the tutorial: a PBFT-family
+// protocol that (1) restricts participation to validators, (2) rotates
+// the proposer every round in a round-robin manner, and (3) weighs votes
+// by stake — quorums are two-thirds of total voting power, not
+// two-thirds of the validator count.
+//
+// Heights are decided one at a time through propose → prevote →
+// precommit rounds with value locking: once a validator sees a polka
+// (two-thirds prevote power for a value) it locks that value and only
+// releases the lock for a newer polka, which is what makes two conflicting
+// decisions impossible across rounds.
+package tendermint
+
+import (
+	"sync"
+
+	"permchain/internal/consensus"
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+const (
+	msgProposal  = "tm/proposal"
+	msgPrevote   = "tm/prevote"
+	msgPrecommit = "tm/precommit"
+	msgRequest   = "tm/request"
+)
+
+// Config adds the validator stake table to the shared consensus config.
+type Config struct {
+	consensus.Config
+	// Stakes aligns with Nodes; nil means every validator has stake 1.
+	// Voting power is proportional to stake (bonded coins).
+	Stakes []int64
+}
+
+type proposal struct {
+	Height uint64
+	Round  uint64
+	Digest types.Hash
+	Value  any
+	Sig    []byte
+}
+
+type voteMsg struct { // prevote or precommit; zero digest = nil vote
+	Height uint64
+	Round  uint64
+	Digest types.Hash
+	Sig    []byte
+}
+
+type request struct {
+	Digest types.Hash
+	Value  any
+}
+
+type step int
+
+const (
+	stepPropose step = iota
+	stepPrevote
+	stepPrecommit
+)
+
+// roundState accumulates votes for one (height, round).
+type roundState struct {
+	proposal      *proposal
+	prevotes      map[types.NodeID]types.Hash
+	precommits    map[types.NodeID]types.Hash
+	sentPrevote   bool
+	sentPrecommit bool
+}
+
+func newRoundState() *roundState {
+	return &roundState{
+		prevotes:   map[types.NodeID]types.Hash{},
+		precommits: map[types.NodeID]types.Hash{},
+	}
+}
+
+// Replica is one Tendermint validator.
+type Replica struct {
+	cfg    Config
+	ep     *network.Endpoint
+	stakes map[types.NodeID]int64
+	total  int64
+	order  []types.NodeID // proposer rotation, stake-proportional
+
+	decCh    chan consensus.Decision
+	submitCh chan request
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	// Event-loop state.
+	height      uint64
+	round       uint64
+	step        step
+	active      bool
+	rounds      map[uint64]*roundState // round → state, current height
+	lockedVal   any
+	lockedDig   types.Hash
+	lockedRound int64 // -1 = not locked
+	values      map[types.Hash]any
+	pending     []types.Hash
+	pendingSet  map[types.Hash]bool
+	decidedDig  map[types.Hash]bool
+	future      []network.Message // buffered messages for later heights
+	timer       *consensus.LoopTimer
+}
+
+// New creates a Tendermint validator. Call Start to launch it.
+func New(cfg Config) *Replica {
+	cfg.Config = cfg.Config.Defaulted()
+	r := &Replica{
+		cfg:         cfg,
+		ep:          cfg.Net.Join(cfg.Self),
+		stakes:      map[types.NodeID]int64{},
+		decCh:       make(chan consensus.Decision, 65536),
+		submitCh:    make(chan request, 65536),
+		stopCh:      make(chan struct{}),
+		done:        make(chan struct{}),
+		height:      1,
+		rounds:      map[uint64]*roundState{},
+		lockedRound: -1,
+		values:      map[types.Hash]any{},
+		pendingSet:  map[types.Hash]bool{},
+		decidedDig:  map[types.Hash]bool{},
+		timer:       consensus.NewLoopTimer(),
+	}
+	for i, id := range cfg.Nodes {
+		s := int64(1)
+		if cfg.Stakes != nil {
+			s = cfg.Stakes[i]
+		}
+		if s < 1 {
+			s = 1
+		}
+		r.stakes[id] = s
+		r.total += s
+		// The rotation schedule lists each validator once per unit of
+		// stake: a validator with twice the stake proposes twice as often.
+		for k := int64(0); k < s; k++ {
+			r.order = append(r.order, id)
+		}
+	}
+	return r
+}
+
+// ID implements consensus.Replica.
+func (r *Replica) ID() types.NodeID { return r.cfg.Self }
+
+// Decisions implements consensus.Replica.
+func (r *Replica) Decisions() <-chan consensus.Decision { return r.decCh }
+
+// Start implements consensus.Replica.
+func (r *Replica) Start() { go r.loop() }
+
+// Stop implements consensus.Replica.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	<-r.done
+}
+
+// Submit implements consensus.Replica.
+func (r *Replica) Submit(value any, digest types.Hash) {
+	select {
+	case r.submitCh <- request{Digest: digest, Value: value}:
+	case <-r.stopCh:
+	}
+}
+
+// proposer returns the rotation slot for (height, round).
+func (r *Replica) proposer(height, round uint64) types.NodeID {
+	return r.order[int((height+round)%uint64(len(r.order)))]
+}
+
+// powerFor sums the voting power behind digest d in the given vote map.
+func (r *Replica) powerFor(votes map[types.NodeID]types.Hash, d types.Hash) int64 {
+	var p int64
+	for id, v := range votes {
+		if v == d {
+			p += r.stakes[id]
+		}
+	}
+	return p
+}
+
+// quorum reports whether power exceeds two-thirds of total voting power.
+func (r *Replica) quorum(power int64) bool { return 3*power > 2*r.total }
+
+func (r *Replica) loop() {
+	defer close(r.done)
+	defer r.timer.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case req := <-r.submitCh:
+			r.onSubmit(req)
+		case m := <-r.ep.Inbox():
+			r.onMessage(m)
+		case <-r.timer.C():
+			r.onTimeout()
+		}
+	}
+}
+
+func (r *Replica) onSubmit(req request) {
+	// Spread the value to every validator: any of them may be the
+	// proposer who includes it.
+	r.ep.Multicast(r.cfg.Nodes, msgRequest, req)
+	r.onRequest(req)
+}
+
+func (r *Replica) onRequest(req request) {
+	if r.decidedDig[req.Digest] || r.pendingSet[req.Digest] {
+		return
+	}
+	r.values[req.Digest] = req.Value
+	r.pendingSet[req.Digest] = true
+	r.pending = append(r.pending, req.Digest)
+	r.ensureActive()
+}
+
+// ensureActive starts the consensus state machine when there is work.
+func (r *Replica) ensureActive() {
+	if r.active || len(r.pending) == 0 {
+		return
+	}
+	r.active = true
+	r.startRound(r.round)
+}
+
+func (r *Replica) roundState(round uint64) *roundState {
+	rs, ok := r.rounds[round]
+	if !ok {
+		rs = newRoundState()
+		r.rounds[round] = rs
+	}
+	return rs
+}
+
+func (r *Replica) startRound(round uint64) {
+	r.round = round
+	r.step = stepPropose
+	r.timer.Reset(r.cfg.Timeout)
+	if r.proposer(r.height, round) != r.cfg.Self {
+		return
+	}
+	// Proposer: re-propose the locked value, else the oldest pending one.
+	dig, val := r.lockedDig, r.lockedVal
+	if r.lockedRound < 0 {
+		for len(r.pending) > 0 && r.decidedDig[r.pending[0]] {
+			r.dropPendingHead()
+		}
+		if len(r.pending) == 0 {
+			return // nothing to propose; peers will time this round out
+		}
+		dig = r.pending[0]
+		val = r.values[dig]
+	}
+	p := proposal{
+		Height: r.height, Round: round, Digest: dig, Value: val,
+		Sig: r.cfg.SignPart([]byte(msgProposal), consensus.U64(r.height), consensus.U64(round), dig[:]),
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgProposal, p)
+	r.onProposal(r.cfg.Self, p)
+}
+
+func (r *Replica) dropPendingHead() {
+	delete(r.pendingSet, r.pending[0])
+	r.pending = r.pending[1:]
+}
+
+func (r *Replica) onMessage(m network.Message) {
+	if !r.cfg.IsMember(m.From) {
+		return // not part of this replica group
+	}
+	switch m.Type {
+	case msgRequest:
+		req, ok := m.Payload.(request)
+		if !ok {
+			return
+		}
+		r.onRequest(req)
+		return
+	case msgProposal:
+		p, ok := m.Payload.(proposal)
+		if !ok {
+			return
+		}
+		if p.Height > r.height {
+			r.buffer(m)
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, p.Sig, []byte(msgProposal), consensus.U64(p.Height), consensus.U64(p.Round), p.Digest[:]) {
+			return
+		}
+		r.onProposal(m.From, p)
+	case msgPrevote, msgPrecommit:
+		v, ok := m.Payload.(voteMsg)
+		if !ok {
+			return
+		}
+		if v.Height > r.height {
+			r.buffer(m)
+			return
+		}
+		if !r.cfg.VerifyPart(m.From, v.Sig, []byte(m.Type), consensus.U64(v.Height), consensus.U64(v.Round), v.Digest[:]) {
+			return
+		}
+		if m.Type == msgPrevote {
+			r.onPrevote(m.From, v)
+		} else {
+			r.onPrecommit(m.From, v)
+		}
+	}
+}
+
+// buffer holds a message for a future height, bounded to keep a Byzantine
+// flood from growing memory without limit.
+func (r *Replica) buffer(m network.Message) {
+	const maxFuture = 100000
+	if len(r.future) < maxFuture {
+		r.future = append(r.future, m)
+	}
+}
+
+func (r *Replica) replayFuture() {
+	msgs := r.future
+	r.future = nil
+	for _, m := range msgs {
+		r.onMessage(m)
+	}
+}
+
+func (r *Replica) onProposal(from types.NodeID, p proposal) {
+	if p.Height != r.height || from != r.proposer(p.Height, p.Round) {
+		return
+	}
+	r.active = true
+	rs := r.roundState(p.Round)
+	if rs.proposal != nil {
+		return // one proposal per round; equivocation ignored
+	}
+	rs.proposal = &p
+	r.values[p.Digest] = p.Value
+	if p.Round != r.round {
+		return
+	}
+	r.maybePrevote(p.Round)
+}
+
+// maybePrevote casts the prevote for the current round's proposal,
+// honoring the lock.
+func (r *Replica) maybePrevote(round uint64) {
+	rs := r.roundState(round)
+	if rs.sentPrevote || rs.proposal == nil || round != r.round {
+		return
+	}
+	dig := rs.proposal.Digest
+	if r.lockedRound >= 0 && r.lockedDig != dig {
+		dig = types.ZeroHash // locked elsewhere: prevote nil
+	}
+	rs.sentPrevote = true
+	r.step = stepPrevote
+	r.timer.Reset(r.cfg.Timeout)
+	v := voteMsg{
+		Height: r.height, Round: round, Digest: dig,
+		Sig: r.cfg.SignPart([]byte(msgPrevote), consensus.U64(r.height), consensus.U64(round), dig[:]),
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgPrevote, v)
+	r.onPrevote(r.cfg.Self, v)
+}
+
+func (r *Replica) onPrevote(from types.NodeID, v voteMsg) {
+	if v.Height != r.height {
+		return
+	}
+	r.active = true
+	rs := r.roundState(v.Round)
+	if _, dup := rs.prevotes[from]; dup {
+		return
+	}
+	rs.prevotes[from] = v.Digest
+
+	// A polka for a real value locks it and triggers the precommit.
+	if !v.Digest.IsZero() && r.quorum(r.powerFor(rs.prevotes, v.Digest)) {
+		if int64(v.Round) >= r.lockedRound {
+			r.lockedRound = int64(v.Round)
+			r.lockedDig = v.Digest
+			r.lockedVal = r.values[v.Digest]
+		}
+		r.sendPrecommit(v.Round, v.Digest)
+		return
+	}
+	// A nil polka in the current round means this round is dead.
+	if v.Digest.IsZero() && v.Round == r.round && r.quorum(r.powerFor(rs.prevotes, types.ZeroHash)) {
+		r.sendPrecommit(v.Round, types.ZeroHash)
+	}
+}
+
+func (r *Replica) sendPrecommit(round uint64, dig types.Hash) {
+	rs := r.roundState(round)
+	if rs.sentPrecommit {
+		return
+	}
+	rs.sentPrecommit = true
+	if round == r.round {
+		r.step = stepPrecommit
+		r.timer.Reset(r.cfg.Timeout)
+	}
+	v := voteMsg{
+		Height: r.height, Round: round, Digest: dig,
+		Sig: r.cfg.SignPart([]byte(msgPrecommit), consensus.U64(r.height), consensus.U64(round), dig[:]),
+	}
+	r.ep.Multicast(r.cfg.Nodes, msgPrecommit, v)
+	r.onPrecommit(r.cfg.Self, v)
+}
+
+func (r *Replica) onPrecommit(from types.NodeID, v voteMsg) {
+	if v.Height != r.height {
+		return
+	}
+	r.active = true
+	rs := r.roundState(v.Round)
+	if _, dup := rs.precommits[from]; dup {
+		return
+	}
+	rs.precommits[from] = v.Digest
+
+	// Two-thirds precommit power for a value decides the height, whatever
+	// round it happened in.
+	if !v.Digest.IsZero() && r.quorum(r.powerFor(rs.precommits, v.Digest)) {
+		r.decide(v.Digest)
+		return
+	}
+	// A nil precommit quorum for the current round advances the round.
+	if v.Digest.IsZero() && v.Round == r.round && r.quorum(r.powerFor(rs.precommits, types.ZeroHash)) {
+		r.startRound(r.round + 1)
+	}
+}
+
+func (r *Replica) decide(dig types.Hash) {
+	val := r.values[dig]
+	r.decidedDig[dig] = true
+	r.decCh <- consensus.Decision{Seq: r.height, Digest: dig, Value: val, Node: r.cfg.Self}
+
+	// Reset for the next height.
+	r.height++
+	r.round = 0
+	r.rounds = map[uint64]*roundState{}
+	r.lockedRound = -1
+	r.lockedDig = types.ZeroHash
+	r.lockedVal = nil
+	for len(r.pending) > 0 && r.decidedDig[r.pending[0]] {
+		r.dropPendingHead()
+	}
+	r.active = false
+	r.timer.Stop()
+	r.replayFuture()
+	r.ensureActive()
+}
+
+func (r *Replica) onTimeout() {
+	if !r.active {
+		return
+	}
+	switch r.step {
+	case stepPropose:
+		// No proposal: prevote nil.
+		rs := r.roundState(r.round)
+		if !rs.sentPrevote {
+			rs.sentPrevote = true
+			r.step = stepPrevote
+			r.timer.Reset(r.cfg.Timeout)
+			v := voteMsg{
+				Height: r.height, Round: r.round, Digest: types.ZeroHash,
+				Sig: r.cfg.SignPart([]byte(msgPrevote), consensus.U64(r.height), consensus.U64(r.round), types.ZeroHash[:]),
+			}
+			r.ep.Multicast(r.cfg.Nodes, msgPrevote, v)
+			r.onPrevote(r.cfg.Self, v)
+		}
+	case stepPrevote:
+		// No polka: precommit nil.
+		r.sendPrecommit(r.round, types.ZeroHash)
+	case stepPrecommit:
+		// No decision: next round.
+		r.startRound(r.round + 1)
+	}
+}

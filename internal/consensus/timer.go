@@ -1,0 +1,57 @@
+package consensus
+
+import "time"
+
+// LoopTimer is a resettable one-shot timer for single-goroutine event
+// loops. Unlike a bare time.Timer it is safe to reset or stop without the
+// drain dance, because the owner only observes C from the same goroutine
+// that resets it: a stale tick is filtered by generation count.
+type LoopTimer struct {
+	c   chan struct{}
+	gen int
+	t   *time.Timer
+}
+
+// NewLoopTimer returns a stopped timer.
+func NewLoopTimer() *LoopTimer {
+	return &LoopTimer{c: make(chan struct{}, 1)}
+}
+
+// C returns the tick channel. It fires at most once per Reset.
+func (lt *LoopTimer) C() <-chan struct{} { return lt.c }
+
+// Reset (re)arms the timer to fire after d, cancelling any earlier arm.
+func (lt *LoopTimer) Reset(d time.Duration) {
+	lt.gen++
+	gen := lt.gen
+	if lt.t != nil {
+		lt.t.Stop()
+	}
+	// Drain a stale tick so the next fire is the fresh one.
+	select {
+	case <-lt.c:
+	default:
+	}
+	lt.t = time.AfterFunc(d, func() {
+		// A tick from a superseded generation may still race in here;
+		// the buffered channel holds at most one tick and the loop treats
+		// any tick as "check timeouts now", so over-delivery is harmless.
+		_ = gen
+		select {
+		case lt.c <- struct{}{}:
+		default:
+		}
+	})
+}
+
+// Stop disarms the timer and discards any pending tick.
+func (lt *LoopTimer) Stop() {
+	lt.gen++
+	if lt.t != nil {
+		lt.t.Stop()
+	}
+	select {
+	case <-lt.c:
+	default:
+	}
+}

@@ -1,0 +1,488 @@
+// Package core assembles the pieces of permchain into a runnable
+// permissioned blockchain (Figure 1 of the tutorial): n identified nodes,
+// each holding its own copy of the hash-chained ledger and world state,
+// agree on the order of transaction batches through a pluggable consensus
+// protocol (§2.2) and process them through a pluggable transaction
+// architecture (§2.3.3).
+//
+// Consensus orders *batches*; every node then forms the block locally —
+// height, parent hash, Merkle root — so each node's ledger is built from
+// its own view and the Figure 1 property (all copies identical) is an
+// emergent, testable invariant rather than an assumption.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"permchain/internal/arch"
+	"permchain/internal/arch/ox"
+	"permchain/internal/arch/oxii"
+	"permchain/internal/arch/xov"
+	"permchain/internal/consensus"
+	"permchain/internal/consensus/hotstuff"
+	"permchain/internal/consensus/ibft"
+	"permchain/internal/consensus/paxos"
+	"permchain/internal/consensus/pbft"
+	"permchain/internal/consensus/raft"
+	"permchain/internal/consensus/tendermint"
+	"permchain/internal/crypto"
+	"permchain/internal/ledger"
+	"permchain/internal/network"
+	"permchain/internal/statedb"
+	"permchain/internal/types"
+)
+
+// Protocol selects the ordering protocol.
+type Protocol int
+
+// The supported ordering protocols.
+const (
+	PBFT Protocol = iota
+	Raft
+	Paxos
+	Tendermint
+	HotStuff
+	IBFT
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case PBFT:
+		return "pbft"
+	case Raft:
+		return "raft"
+	case Paxos:
+		return "paxos"
+	case Tendermint:
+		return "tendermint"
+	case HotStuff:
+		return "hotstuff"
+	case IBFT:
+		return "ibft"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Architecture selects the transaction-processing architecture (§2.3.3).
+type Architecture int
+
+// The supported architectures.
+const (
+	// OX is order-execute: sequential execution after consensus.
+	OX Architecture = iota
+	// OXII is order-parallel-execute: ParBlockchain dependency graphs.
+	OXII
+	// XOV is execute-order-validate: Fabric-style optimistic processing.
+	XOV
+)
+
+// String names the architecture.
+func (a Architecture) String() string {
+	switch a {
+	case OX:
+		return "OX"
+	case OXII:
+		return "OXII"
+	case XOV:
+		return "XOV"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// Config shapes a chain.
+type Config struct {
+	// Nodes is the replica count (default 4).
+	Nodes int
+	// Protocol is the ordering protocol (default PBFT).
+	Protocol Protocol
+	// Arch is the processing architecture (default OX).
+	Arch Architecture
+	// XOVOptions tunes the Fabric-family optimizations when Arch == XOV.
+	XOVOptions xov.Options
+	// BlockSize is the max transactions per block (default 64).
+	BlockSize int
+	// FlushEvery bounds how long a partial batch waits (default 20ms).
+	FlushEvery time.Duration
+	// Timeout is the consensus failure-detection timeout.
+	Timeout time.Duration
+	// WorkFactor models smart-contract execution cost per operation.
+	WorkFactor int
+	// Workers bounds parallel execution (OXII/XOV); 0 = GOMAXPROCS.
+	Workers int
+	// DisableSig turns off consensus message signatures.
+	DisableSig bool
+	// Net optionally supplies a transport (latency/loss injection).
+	Net *network.Network
+	// Stakes configures Tendermint voting power (optional).
+	Stakes []int64
+	// HistoryLimit retains up to this many historical versions per key on
+	// every node's state, enabling provenance queries (0 disables).
+	HistoryLimit int
+}
+
+// engine abstracts the per-node processing pipeline.
+type engine interface {
+	process(height uint64, txs []*types.Transaction) arch.Stats
+	store() *statedb.Store
+}
+
+type oxEngine struct{ e *ox.Engine }
+
+func (o oxEngine) process(h uint64, txs []*types.Transaction) arch.Stats {
+	return o.e.ExecuteBlock(types.NewBlock(h, types.ZeroHash, 0, txs))
+}
+func (o oxEngine) store() *statedb.Store { return o.e.Store() }
+
+type oxiiEngine struct{ e *oxii.Engine }
+
+func (o oxiiEngine) process(h uint64, txs []*types.Transaction) arch.Stats {
+	return o.e.ExecuteBlock(types.NewBlock(h, types.ZeroHash, 0, txs))
+}
+func (o oxiiEngine) store() *statedb.Store { return o.e.Store() }
+
+type xovEngine struct{ e *xov.Engine }
+
+func (o xovEngine) process(h uint64, txs []*types.Transaction) arch.Stats {
+	return o.e.CommitBlock(types.NewBlock(h, types.ZeroHash, 0, txs))
+}
+func (o xovEngine) store() *statedb.Store { return o.e.Store() }
+
+// Node is one replica's full state: its consensus replica, ledger copy,
+// world state, and processing engine.
+type Node struct {
+	ID      types.NodeID
+	replica consensus.Replica
+	chain   *ledger.Chain
+	eng     engine
+
+	mu    sync.Mutex
+	stats arch.Stats
+	txs   int
+}
+
+// Chain returns this node's copy of the ledger.
+func (n *Node) Chain() *ledger.Chain { return n.chain }
+
+// Store returns this node's world state.
+func (n *Node) Store() *statedb.Store { return n.eng.store() }
+
+// Stats returns this node's processing totals.
+func (n *Node) Stats() arch.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ProcessedTxs returns how many transactions this node has processed.
+func (n *Node) ProcessedTxs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.txs
+}
+
+// Chain is a running permissioned blockchain.
+type Chain struct {
+	cfg   Config
+	net   *network.Network
+	nodes []*Node
+
+	mu      sync.Mutex
+	batch   []*types.Transaction
+	started bool
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// batchMsg is what consensus orders.
+type batchMsg struct {
+	Txs []*types.Transaction
+}
+
+func batchDigest(txs []*types.Transaction) types.Hash {
+	parts := make([][]byte, 0, len(txs))
+	for _, tx := range txs {
+		h := tx.Hash()
+		parts = append(parts, h[:])
+	}
+	return types.HashConcat(parts...)
+}
+
+// New assembles a chain. Call Start before submitting.
+func New(cfg Config) (*Chain, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 64
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 20 * time.Millisecond
+	}
+	if cfg.Net == nil {
+		cfg.Net = network.New()
+	}
+	keys := crypto.NewKeyring(cfg.Nodes)
+	ids := make([]types.NodeID, cfg.Nodes)
+	for i := range ids {
+		ids[i] = types.NodeID(i)
+	}
+	c := &Chain{cfg: cfg, net: cfg.Net, stopCh: make(chan struct{})}
+	for i := range ids {
+		ccfg := consensus.Config{
+			Self: ids[i], Nodes: ids, Net: cfg.Net, Keys: keys,
+			Timeout: cfg.Timeout, DisableSig: cfg.DisableSig,
+		}
+		var rep consensus.Replica
+		switch cfg.Protocol {
+		case PBFT:
+			rep = pbft.New(ccfg)
+		case Raft:
+			rep = raft.New(ccfg)
+		case Paxos:
+			rep = paxos.New(ccfg)
+		case Tendermint:
+			rep = tendermint.New(tendermint.Config{Config: ccfg, Stakes: cfg.Stakes})
+		case HotStuff:
+			rep = hotstuff.New(ccfg)
+		case IBFT:
+			rep = ibft.New(ccfg)
+		default:
+			return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
+		}
+		var store *statedb.Store
+		if cfg.HistoryLimit > 0 {
+			store = statedb.New(statedb.WithHistory(cfg.HistoryLimit))
+		} else {
+			store = statedb.New()
+		}
+		var eng engine
+		switch cfg.Arch {
+		case OX:
+			eng = oxEngine{ox.New(store, cfg.WorkFactor)}
+		case OXII:
+			eng = oxiiEngine{oxii.New(store, cfg.WorkFactor, cfg.Workers)}
+		case XOV:
+			eng = xovEngine{xov.New(store, cfg.XOVOptions, cfg.WorkFactor, cfg.Workers)}
+		default:
+			return nil, fmt.Errorf("core: unknown architecture %v", cfg.Arch)
+		}
+		c.nodes = append(c.nodes, &Node{ID: ids[i], replica: rep, chain: ledger.NewChain(), eng: eng})
+	}
+	return c, nil
+}
+
+// Start launches the replicas and the batching loop.
+func (c *Chain) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	for _, n := range c.nodes {
+		n.replica.Start()
+	}
+	for _, n := range c.nodes {
+		c.wg.Add(1)
+		go c.drainNode(n)
+	}
+	c.wg.Add(1)
+	go c.flushLoop()
+}
+
+// Stop shuts the chain down. Idempotent.
+func (c *Chain) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.wg.Wait()
+	for _, n := range c.nodes {
+		n.replica.Stop()
+	}
+}
+
+// Nodes returns the chain's node handles.
+func (c *Chain) Nodes() []*Node { return c.nodes }
+
+// Node returns node i.
+func (c *Chain) Node(i int) *Node { return c.nodes[i] }
+
+// Network returns the chain's transport (for fault injection and stats).
+func (c *Chain) Network() *network.Network { return c.net }
+
+// ErrStopped is returned for submissions after Stop.
+var ErrStopped = errors.New("core: chain stopped")
+
+// Submit queues a transaction. Under XOV it is endorsed first (simulated
+// against current state to produce its read/write sets); endorsement
+// failures surface here, matching Fabric's client-visible behavior.
+func (c *Chain) Submit(tx *types.Transaction) error {
+	select {
+	case <-c.stopCh:
+		return ErrStopped
+	default:
+	}
+	if c.cfg.Arch == XOV {
+		if e, ok := c.nodes[0].eng.(xovEngine); ok {
+			if err := e.e.Endorse(tx); err != nil {
+				return err
+			}
+		}
+	}
+	c.mu.Lock()
+	c.batch = append(c.batch, tx)
+	full := len(c.batch) >= c.cfg.BlockSize
+	c.mu.Unlock()
+	if full {
+		c.Flush()
+	}
+	return nil
+}
+
+// Flush proposes any queued transactions immediately.
+func (c *Chain) Flush() {
+	c.mu.Lock()
+	if len(c.batch) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	txs := c.batch
+	c.batch = nil
+	c.mu.Unlock()
+	c.nodes[0].replica.Submit(batchMsg{Txs: txs}, batchDigest(txs))
+}
+
+func (c *Chain) flushLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.Flush()
+		}
+	}
+}
+
+// drainNode turns each consensus decision into a block on this node's
+// ledger and processes it through the node's engine.
+func (c *Chain) drainNode(n *Node) {
+	defer c.wg.Done()
+	decs := n.replica.Decisions()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case d := <-decs:
+			b, ok := d.Value.(batchMsg)
+			if !ok {
+				continue
+			}
+			head := n.chain.Head()
+			height := head.Header.Height + 1
+			st := n.eng.process(height, b.Txs)
+			// The proposer field must be identical on every node for the
+			// ledgers to match; derive it from the decided slot.
+			proposer := types.NodeID(int(d.Seq % uint64(len(c.nodes))))
+			blk := types.NewBlock(height, head.Hash(), proposer, b.Txs)
+			if err := n.chain.Append(blk); err != nil {
+				// A node that cannot extend its own chain is a bug.
+				panic(fmt.Sprintf("core: node %v append: %v", n.ID, err))
+			}
+			n.mu.Lock()
+			n.stats.Add(st)
+			n.txs += len(b.Txs)
+			n.mu.Unlock()
+		}
+	}
+}
+
+// AwaitTxs blocks until node 0 has processed n transactions.
+func (c *Chain) AwaitTxs(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.nodes[0].ProcessedTxs() >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// AwaitAllNodesTxs blocks until every node has processed n transactions.
+func (c *Chain) AwaitAllNodesTxs(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := true
+		for _, node := range c.nodes {
+			if node.ProcessedTxs() < n {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// AwaitAllNodesTxsSubset blocks until each of the listed nodes has
+// processed n transactions — for fault tests where some nodes are
+// partitioned away and only the survivors can make progress.
+func (c *Chain) AwaitAllNodesTxsSubset(nodes []int, n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := true
+		for _, i := range nodes {
+			if c.nodes[i].ProcessedTxs() < n {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// VerifyReplication checks the Figure 1 invariant: every node's ledger is
+// internally consistent and identical to every other node's, and all
+// world states agree.
+func (c *Chain) VerifyReplication() error {
+	ref := c.nodes[0]
+	if err := ref.chain.Verify(); err != nil {
+		return fmt.Errorf("node %v: %w", ref.ID, err)
+	}
+	refState := ref.Store().StateHash()
+	for _, n := range c.nodes[1:] {
+		if err := n.chain.Verify(); err != nil {
+			return fmt.Errorf("node %v: %w", n.ID, err)
+		}
+		if !ref.chain.EqualTo(n.chain) {
+			return fmt.Errorf("core: node %v ledger differs from node %v", n.ID, ref.ID)
+		}
+		if n.Store().StateHash() != refState {
+			return fmt.Errorf("core: node %v state differs from node %v", n.ID, ref.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package crypto
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"math/big"
+)
+
+// RSA blind signatures implement Separ's anonymous tokens (§2.3.2): the
+// trusted authority signs a blinded token so it cannot link the signature
+// it produced to the token a worker later spends, yet any platform can
+// verify the signature. Unlinkability + public verifiability is exactly
+// what the token-based verifiability technique needs.
+
+// BlindSigner is the authority side: an RSA key whose signatures certify
+// tokens.
+type BlindSigner struct {
+	key *rsa.PrivateKey
+}
+
+// NewBlindSigner generates a signer with an RSA key of the given bits
+// (>= 1024 for tests; deployments would use 2048+).
+func NewBlindSigner(bits int) (*BlindSigner, error) {
+	if bits < 1024 {
+		return nil, errors.New("crypto: blind signer key must be >= 1024 bits")
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &BlindSigner{key: key}, nil
+}
+
+// PublicKey returns the verification key.
+func (s *BlindSigner) PublicKey() *rsa.PublicKey { return &s.key.PublicKey }
+
+// SignBlinded signs a blinded message. The authority never sees the
+// underlying token.
+func (s *BlindSigner) SignBlinded(blinded *big.Int) (*big.Int, error) {
+	if blinded == nil || blinded.Sign() <= 0 || blinded.Cmp(s.key.N) >= 0 {
+		return nil, errors.New("crypto: blinded message out of range")
+	}
+	return new(big.Int).Exp(blinded, s.key.D, s.key.N), nil
+}
+
+// BlindedToken is the client-side state between Blind and Unblind.
+type BlindedToken struct {
+	Blinded *big.Int // what the client sends to the authority
+	rInv    *big.Int // unblinding factor
+	msgHash *big.Int // H(token) as an integer
+}
+
+// hashToInt maps a message into Z_N.
+func hashToInt(msg []byte, n *big.Int) *big.Int {
+	h := sha256.Sum256(msg)
+	return new(big.Int).Mod(new(big.Int).SetBytes(h[:]), n)
+}
+
+// Blind prepares token for blind signing under pub: it picks a random r
+// and computes H(token)·r^e mod N.
+func Blind(pub *rsa.PublicKey, token []byte) (*BlindedToken, error) {
+	m := hashToInt(token, pub.N)
+	for {
+		r, err := rand.Int(rand.Reader, pub.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		rInv := new(big.Int).ModInverse(r, pub.N)
+		if rInv == nil {
+			continue // r not coprime to N (astronomically unlikely)
+		}
+		re := new(big.Int).Exp(r, big.NewInt(int64(pub.E)), pub.N)
+		blinded := new(big.Int).Mod(new(big.Int).Mul(m, re), pub.N)
+		return &BlindedToken{Blinded: blinded, rInv: rInv, msgHash: m}, nil
+	}
+}
+
+// Unblind recovers the signature on the original token from the
+// authority's signature on the blinded message. It fails if the authority
+// returned garbage.
+func (b *BlindedToken) Unblind(pub *rsa.PublicKey, blindSig *big.Int) (*big.Int, error) {
+	if blindSig == nil {
+		return nil, errors.New("crypto: nil blind signature")
+	}
+	sig := new(big.Int).Mod(new(big.Int).Mul(blindSig, b.rInv), pub.N)
+	if !verifyHashSig(pub, b.msgHash, sig) {
+		return nil, errors.New("crypto: unblinded signature does not verify")
+	}
+	return sig, nil
+}
+
+// VerifyTokenSig checks sig^e == H(token) mod N.
+func VerifyTokenSig(pub *rsa.PublicKey, token []byte, sig *big.Int) bool {
+	return verifyHashSig(pub, hashToInt(token, pub.N), sig)
+}
+
+func verifyHashSig(pub *rsa.PublicKey, m, sig *big.Int) bool {
+	if sig == nil || sig.Sign() <= 0 || sig.Cmp(pub.N) >= 0 {
+		return false
+	}
+	got := new(big.Int).Exp(sig, big.NewInt(int64(pub.E)), pub.N)
+	return got.Cmp(m) == 0
+}

@@ -1,0 +1,133 @@
+// Package crypto provides the cryptographic substrate of permchain:
+// Merkle trees, Ed25519 signing, and the zero-knowledge-proof stack the
+// verifiability techniques of §2.3.2 are built on — Pedersen commitments,
+// Schnorr proofs, Chaum-Pedersen OR proofs, bit-decomposition range
+// proofs, and RSA blind signatures.
+//
+// The ZKP stack replaces the zk-SNARKs of Zcash/Quorum with classic sigma
+// protocols (see DESIGN.md, Substitutions): they are real zero-knowledge
+// proofs with the same cost asymmetry the tutorial's Discussion relies on.
+package crypto
+
+import (
+	"errors"
+
+	"permchain/internal/types"
+)
+
+// MerkleTree is a binary hash tree over a fixed list of leaves. Odd nodes
+// at each level are duplicated, matching types.TxMerkleRoot.
+type MerkleTree struct {
+	levels [][]types.Hash // levels[0] = leaf hashes, last level = root
+}
+
+// NewMerkleTree hashes each leaf and builds the tree. It returns an error
+// for an empty leaf list (an empty block's root is types.ZeroHash by
+// convention, with no proofs to produce).
+func NewMerkleTree(leaves [][]byte) (*MerkleTree, error) {
+	if len(leaves) == 0 {
+		return nil, errors.New("merkle: no leaves")
+	}
+	level := make([]types.Hash, len(leaves))
+	for i, l := range leaves {
+		level[i] = types.HashBytes(l)
+	}
+	t := &MerkleTree{levels: [][]types.Hash{level}}
+	for len(level) > 1 {
+		next := make([]types.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			j := i
+			if i+1 < len(level) {
+				j = i + 1
+			}
+			next = append(next, types.HashConcat(level[i][:], level[j][:]))
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// NewMerkleTreeFromHashes builds a tree whose leaves are already hashes
+// (e.g. transaction hashes), without re-hashing them — the construction
+// types.TxMerkleRoot uses, so roots are interchangeable with block
+// headers.
+func NewMerkleTreeFromHashes(hashes []types.Hash) (*MerkleTree, error) {
+	if len(hashes) == 0 {
+		return nil, errors.New("merkle: no leaves")
+	}
+	level := make([]types.Hash, len(hashes))
+	copy(level, hashes)
+	t := &MerkleTree{levels: [][]types.Hash{level}}
+	for len(level) > 1 {
+		next := make([]types.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			j := i
+			if i+1 < len(level) {
+				j = i + 1
+			}
+			next = append(next, types.HashConcat(level[i][:], level[j][:]))
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Root returns the tree's root hash.
+func (t *MerkleTree) Root() types.Hash {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Len returns the number of leaves.
+func (t *MerkleTree) Len() int { return len(t.levels[0]) }
+
+// ProofStep is one sibling on the path from a leaf to the root.
+type ProofStep struct {
+	Sibling types.Hash
+	// Left is true when the sibling is on the left of the running hash.
+	Left bool
+}
+
+// Proof returns the inclusion proof for leaf index i.
+func (t *MerkleTree) Proof(i int) ([]ProofStep, error) {
+	if i < 0 || i >= t.Len() {
+		return nil, errors.New("merkle: leaf index out of range")
+	}
+	var steps []ProofStep
+	for _, level := range t.levels[:len(t.levels)-1] {
+		var sib int
+		if i%2 == 0 {
+			sib = i + 1
+			if sib >= len(level) {
+				sib = i // odd node duplicated
+			}
+			steps = append(steps, ProofStep{Sibling: level[sib], Left: false})
+		} else {
+			sib = i - 1
+			steps = append(steps, ProofStep{Sibling: level[sib], Left: true})
+		}
+		i /= 2
+	}
+	return steps, nil
+}
+
+// VerifyMerkleProof checks that leaf is included under root via the proof.
+func VerifyMerkleProof(root types.Hash, leaf []byte, proof []ProofStep) bool {
+	return VerifyMerkleProofHash(root, types.HashBytes(leaf), proof)
+}
+
+// VerifyMerkleProofHash checks a proof whose leaf is already a hash
+// (trees built with NewMerkleTreeFromHashes).
+func VerifyMerkleProofHash(root, leaf types.Hash, proof []ProofStep) bool {
+	h := leaf
+	for _, s := range proof {
+		if s.Left {
+			h = types.HashConcat(s.Sibling[:], h[:])
+		} else {
+			h = types.HashConcat(h[:], s.Sibling[:])
+		}
+	}
+	return h == root
+}

@@ -1,0 +1,155 @@
+package crypto
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"permchain/internal/types"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestMerkleEmpty(t *testing.T) {
+	if _, err := NewMerkleTree(nil); err == nil {
+		t.Fatal("expected error for empty leaves")
+	}
+}
+
+func TestMerkleProofAllSizes(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		ls := leaves(n)
+		tree, err := NewMerkleTree(ls)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tree.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tree.Len())
+		}
+		for i := 0; i < n; i++ {
+			proof, err := tree.Proof(i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if !VerifyMerkleProof(tree.Root(), ls[i], proof) {
+				t.Fatalf("n=%d i=%d: valid proof rejected", n, i)
+			}
+			// Wrong leaf must fail.
+			if VerifyMerkleProof(tree.Root(), []byte("bogus"), proof) {
+				t.Fatalf("n=%d i=%d: bogus leaf accepted", n, i)
+			}
+		}
+	}
+}
+
+func TestMerkleProofWrongIndexRejected(t *testing.T) {
+	ls := leaves(8)
+	tree, _ := NewMerkleTree(ls)
+	proof, _ := tree.Proof(3)
+	// Proof for index 3 must not verify leaf 4.
+	if VerifyMerkleProof(tree.Root(), ls[4], proof) {
+		t.Fatal("proof transplant accepted")
+	}
+}
+
+func TestMerkleProofOutOfRange(t *testing.T) {
+	tree, _ := NewMerkleTree(leaves(4))
+	if _, err := tree.Proof(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := tree.Proof(4); err == nil {
+		t.Fatal("index past end accepted")
+	}
+}
+
+func TestMerkleTamperedProofRejected(t *testing.T) {
+	ls := leaves(8)
+	tree, _ := NewMerkleTree(ls)
+	proof, _ := tree.Proof(2)
+	proof[1].Sibling[0] ^= 0xff
+	if VerifyMerkleProof(tree.Root(), ls[2], proof) {
+		t.Fatal("tampered proof accepted")
+	}
+}
+
+func TestMerkleRootMatchesTypesForSingle(t *testing.T) {
+	// Single leaf: root is just the leaf hash.
+	tree, _ := NewMerkleTree([][]byte{[]byte("x")})
+	if tree.Root() != types.HashBytes([]byte("x")) {
+		t.Fatal("single-leaf root is not the leaf hash")
+	}
+}
+
+func TestMerkleProofProperty(t *testing.T) {
+	f := func(data [][]byte, pick uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		tree, err := NewMerkleTree(data)
+		if err != nil {
+			return false
+		}
+		i := int(pick) % len(data)
+		proof, err := tree.Proof(i)
+		if err != nil {
+			return false
+		}
+		return VerifyMerkleProof(tree.Root(), data[i], proof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyringSignVerify(t *testing.T) {
+	kr := NewKeyring(4)
+	msg := []byte("block payload")
+	sig := kr.Sign(1, msg)
+	if !kr.Verify(1, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if kr.Verify(2, msg, sig) {
+		t.Fatal("signature accepted under wrong identity")
+	}
+	if kr.Verify(1, []byte("other"), sig) {
+		t.Fatal("signature accepted for wrong message")
+	}
+	if kr.Verify(99, msg, sig) {
+		t.Fatal("unknown node verified")
+	}
+}
+
+func TestKeyringDeterministic(t *testing.T) {
+	a := NewKeyring(2)
+	b := NewKeyring(2)
+	if string(a.Public(0)) != string(b.Public(0)) {
+		t.Fatal("keyring not reproducible")
+	}
+	if string(a.Public(0)) == string(a.Public(1)) {
+		t.Fatal("distinct nodes share a key")
+	}
+}
+
+func TestKeyringAddIdempotent(t *testing.T) {
+	kr := NewKeyring(1)
+	p := kr.Public(0)
+	kr.Add(0)
+	if string(kr.Public(0)) != string(p) {
+		t.Fatal("Add replaced an existing key")
+	}
+}
+
+func TestKeyringSignUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKeyring(1).Sign(5, []byte("x"))
+}

@@ -1,0 +1,163 @@
+package crypto
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// BitProof is a Chaum-Pedersen OR proof that a commitment opens to 0 or 1,
+// without revealing which. The prover runs the real Schnorr branch for the
+// actual bit and simulates the other branch.
+type BitProof struct {
+	T0, T1 *big.Int
+	C0, C1 *big.Int
+	S0, S1 *big.Int
+}
+
+const bitDomain = "permchain bit-orproof"
+
+// ProveBit proves that c commits to bit (0 or 1) with the given blinding.
+func (g *Group) ProveBit(c Commitment, bit int, blinding *big.Int) (BitProof, error) {
+	if bit != 0 && bit != 1 {
+		return BitProof{}, fmt.Errorf("crypto: bit must be 0 or 1, got %d", bit)
+	}
+	// Branch statements: Y0 = C must be H^r if bit==0; Y1 = C/G must be
+	// H^r if bit==1.
+	y0 := c.C
+	y1 := g.Mul(c.C, g.Inv(g.G))
+
+	var pr BitProof
+	k := g.RandScalar()
+	if bit == 0 {
+		// Simulate branch 1.
+		pr.C1 = g.RandScalar()
+		pr.S1 = g.RandScalar()
+		// T1 = H^s1 · Y1^{-c1}
+		pr.T1 = g.Mul(g.Exp(g.H, pr.S1), g.Inv(g.Exp(y1, pr.C1)))
+		pr.T0 = g.Exp(g.H, k)
+		c := g.Challenge(bitDomain, y0, y1, pr.T0, pr.T1)
+		pr.C0 = new(big.Int).Sub(c, pr.C1)
+		pr.C0.Mod(pr.C0, g.Q)
+		pr.S0 = new(big.Int).Mul(pr.C0, blinding)
+		pr.S0.Add(pr.S0, k)
+		pr.S0.Mod(pr.S0, g.Q)
+	} else {
+		// Simulate branch 0.
+		pr.C0 = g.RandScalar()
+		pr.S0 = g.RandScalar()
+		pr.T0 = g.Mul(g.Exp(g.H, pr.S0), g.Inv(g.Exp(y0, pr.C0)))
+		pr.T1 = g.Exp(g.H, k)
+		c := g.Challenge(bitDomain, y0, y1, pr.T0, pr.T1)
+		pr.C1 = new(big.Int).Sub(c, pr.C0)
+		pr.C1.Mod(pr.C1, g.Q)
+		pr.S1 = new(big.Int).Mul(pr.C1, blinding)
+		pr.S1.Add(pr.S1, k)
+		pr.S1.Mod(pr.S1, g.Q)
+	}
+	return pr, nil
+}
+
+// VerifyBit checks a ProveBit proof against the commitment.
+func (g *Group) VerifyBit(c Commitment, pr BitProof) bool {
+	for _, x := range []*big.Int{pr.T0, pr.T1, pr.C0, pr.C1, pr.S0, pr.S1} {
+		if x == nil {
+			return false
+		}
+	}
+	if c.C == nil {
+		return false
+	}
+	y0 := c.C
+	y1 := g.Mul(c.C, g.Inv(g.G))
+	// Challenge split must be honest.
+	want := g.Challenge(bitDomain, y0, y1, pr.T0, pr.T1)
+	sum := new(big.Int).Add(pr.C0, pr.C1)
+	sum.Mod(sum, g.Q)
+	if sum.Cmp(want) != 0 {
+		return false
+	}
+	// H^s0 == T0 · Y0^c0 and H^s1 == T1 · Y1^c1.
+	if g.Exp(g.H, pr.S0).Cmp(g.Mul(pr.T0, g.Exp(y0, pr.C0))) != 0 {
+		return false
+	}
+	if g.Exp(g.H, pr.S1).Cmp(g.Mul(pr.T1, g.Exp(y1, pr.C1))) != 0 {
+		return false
+	}
+	return true
+}
+
+// RangeProof shows a committed value lies in [0, 2^Bits) by committing to
+// each bit, proving every bit commitment opens to 0 or 1, and letting the
+// verifier recombine the bit commitments homomorphically:
+// ∏ Ci^(2^i) must equal the value commitment.
+type RangeProof struct {
+	Bits      int
+	BitComms  []Commitment
+	BitProofs []BitProof
+}
+
+// ProveRange proves that the opening's value is in [0, 2^bits). It fails
+// if the value is actually out of range — a prover cannot make a valid
+// proof for such a value anyway.
+func (g *Group) ProveRange(o Opening, bits int) (RangeProof, error) {
+	if bits <= 0 || bits > 62 {
+		return RangeProof{}, fmt.Errorf("crypto: range bits must be in [1,62], got %d", bits)
+	}
+	if o.Value.Sign() < 0 || o.Value.BitLen() > bits {
+		return RangeProof{}, fmt.Errorf("%w: value %v not in [0,2^%d)", ErrOutOfRange, o.Value, bits)
+	}
+	pr := RangeProof{Bits: bits}
+	// Choose bit blindings r_i such that Σ 2^i·r_i = r (mod Q), so the
+	// recombined commitment equals the original exactly.
+	blinds := make([]*big.Int, bits)
+	acc := new(big.Int)
+	for i := 1; i < bits; i++ {
+		blinds[i] = g.RandScalar()
+		term := new(big.Int).Lsh(blinds[i], uint(i))
+		acc.Add(acc, term)
+	}
+	blinds[0] = new(big.Int).Sub(o.Blinding, acc)
+	blinds[0].Mod(blinds[0], g.Q)
+
+	for i := 0; i < bits; i++ {
+		bit := int(o.Value.Bit(i))
+		c, _ := g.CommitWith(big.NewInt(int64(bit)), blinds[i])
+		bp, err := g.ProveBit(c, bit, blinds[i])
+		if err != nil {
+			return RangeProof{}, err
+		}
+		pr.BitComms = append(pr.BitComms, c)
+		pr.BitProofs = append(pr.BitProofs, bp)
+	}
+	return pr, nil
+}
+
+// VerifyRange checks a range proof against the value commitment c.
+func (g *Group) VerifyRange(c Commitment, pr RangeProof) bool {
+	if c.C == nil || pr.Bits <= 0 ||
+		len(pr.BitComms) != pr.Bits || len(pr.BitProofs) != pr.Bits {
+		return false
+	}
+	// Recombine: ∏ Ci^(2^i) must equal C.
+	acc := big.NewInt(1)
+	for i, bc := range pr.BitComms {
+		if bc.C == nil {
+			return false
+		}
+		w := new(big.Int).Lsh(big.NewInt(1), uint(i))
+		acc = g.Mul(acc, g.Exp(bc.C, w))
+	}
+	if acc.Cmp(c.C) != 0 {
+		return false
+	}
+	for i := range pr.BitComms {
+		if !g.VerifyBit(pr.BitComms[i], pr.BitProofs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrOutOfRange reports a value that cannot satisfy a requested range.
+var ErrOutOfRange = errors.New("crypto: value out of range")

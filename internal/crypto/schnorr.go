@@ -1,0 +1,72 @@
+package crypto
+
+import "math/big"
+
+// SchnorrProof is a non-interactive (Fiat-Shamir) proof of knowledge of x
+// such that Y = base^x (mod P). It reveals nothing about x beyond its
+// existence — the primitive behind "prove you know a value without
+// conveying it" in §2.3.2.
+type SchnorrProof struct {
+	T *big.Int // commitment base^k
+	S *big.Int // response k + c·x mod Q
+}
+
+// ProveDLog proves knowledge of x with Y = base^x. The domain string
+// separates transcripts of different protocols.
+func (g *Group) ProveDLog(domain string, base, y, x *big.Int) SchnorrProof {
+	k := g.RandScalar()
+	t := g.Exp(base, k)
+	c := g.Challenge(domain, base, y, t)
+	s := new(big.Int).Mul(c, new(big.Int).Mod(x, g.Q))
+	s.Add(s, k)
+	s.Mod(s, g.Q)
+	return SchnorrProof{T: t, S: s}
+}
+
+// VerifyDLog checks a ProveDLog proof: base^s == T · Y^c.
+func (g *Group) VerifyDLog(domain string, base, y *big.Int, pr SchnorrProof) bool {
+	if pr.T == nil || pr.S == nil || y == nil {
+		return false
+	}
+	c := g.Challenge(domain, base, y, pr.T)
+	lhs := g.Exp(base, pr.S)
+	rhs := g.Mul(pr.T, g.Exp(y, c))
+	return lhs.Cmp(rhs) == 0
+}
+
+// ProveZero proves that commitment c opens to value 0, i.e. c.C = H^r,
+// by proving knowledge of the discrete log of c.C base H. Summed over a
+// transaction, this is the mass-conservation proof: inputs − outputs
+// commit to zero.
+func (g *Group) ProveZero(domain string, c Commitment, blinding *big.Int) SchnorrProof {
+	return g.ProveDLog(domain, g.H, c.C, blinding)
+}
+
+// VerifyZero checks a ProveZero proof.
+func (g *Group) VerifyZero(domain string, c Commitment, pr SchnorrProof) bool {
+	if c.C == nil {
+		return false
+	}
+	return g.VerifyDLog(domain, g.H, c.C, pr)
+}
+
+// ProveEqual proves two commitments open to the same value, by proving
+// their quotient commits to zero. blindA/blindB are the blinding factors.
+func (g *Group) ProveEqual(domain string, a, b Commitment, blindA, blindB *big.Int) (SchnorrProof, error) {
+	diff, err := g.SubCommitments(a, b)
+	if err != nil {
+		return SchnorrProof{}, err
+	}
+	r := new(big.Int).Sub(blindA, blindB)
+	r.Mod(r, g.Q)
+	return g.ProveZero(domain, diff, r), nil
+}
+
+// VerifyEqual checks a ProveEqual proof.
+func (g *Group) VerifyEqual(domain string, a, b Commitment, pr SchnorrProof) bool {
+	diff, err := g.SubCommitments(a, b)
+	if err != nil {
+		return false
+	}
+	return g.VerifyZero(domain, diff, pr)
+}

@@ -1,0 +1,78 @@
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"permchain/internal/types"
+)
+
+// Keyring maps node identities to Ed25519 key pairs. In a permissioned
+// network identities are known a priori (§2.2), so the keyring plays the
+// role of the membership service: every node can look up every other
+// node's public key.
+//
+// Key generation is deterministic from the node id so tests and
+// benchmarks are reproducible; a deployment would provision real keys.
+type Keyring struct {
+	mu   sync.RWMutex
+	priv map[types.NodeID]ed25519.PrivateKey
+	pub  map[types.NodeID]ed25519.PublicKey
+}
+
+// NewKeyring creates a keyring with keys for nodes 0..n-1.
+func NewKeyring(n int) *Keyring {
+	k := &Keyring{
+		priv: make(map[types.NodeID]ed25519.PrivateKey, n),
+		pub:  make(map[types.NodeID]ed25519.PublicKey, n),
+	}
+	for i := 0; i < n; i++ {
+		k.Add(types.NodeID(i))
+	}
+	return k
+}
+
+// Add provisions a key pair for id if absent.
+func (k *Keyring) Add(id types.NodeID) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.priv[id]; ok {
+		return
+	}
+	seed := sha256.Sum256([]byte(fmt.Sprintf("permchain-node-key-%d", id)))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	k.priv[id] = priv
+	k.pub[id] = priv.Public().(ed25519.PublicKey)
+}
+
+// Sign signs msg as node id. It panics if the node has no key, which is a
+// configuration bug.
+func (k *Keyring) Sign(id types.NodeID, msg []byte) []byte {
+	k.mu.RLock()
+	priv, ok := k.priv[id]
+	k.mu.RUnlock()
+	if !ok {
+		panic(fmt.Sprintf("crypto: no key for %v", id))
+	}
+	return ed25519.Sign(priv, msg)
+}
+
+// Verify checks sig over msg against node id's public key.
+func (k *Keyring) Verify(id types.NodeID, msg, sig []byte) bool {
+	k.mu.RLock()
+	pub, ok := k.pub[id]
+	k.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	return ed25519.Verify(pub, msg, sig)
+}
+
+// Public returns node id's public key, or nil if unknown.
+func (k *Keyring) Public(id types.NodeID) ed25519.PublicKey {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.pub[id]
+}

@@ -1,0 +1,398 @@
+package crypto
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupParameters(t *testing.T) {
+	g := DefaultGroup()
+	// G and H must be in the order-Q subgroup and distinct.
+	if !g.InSubgroup(g.G) {
+		t.Fatal("G not in subgroup")
+	}
+	if !g.InSubgroup(g.H) {
+		t.Fatal("H not in subgroup")
+	}
+	if g.G.Cmp(g.H) == 0 {
+		t.Fatal("G == H")
+	}
+	// P = 2·cofactor·Q + 1 sanity: Q divides P-1.
+	rem := new(big.Int).Mod(new(big.Int).Sub(g.P, big.NewInt(1)), g.Q)
+	if rem.Sign() != 0 {
+		t.Fatal("Q does not divide P-1")
+	}
+}
+
+func TestInSubgroupRejectsJunk(t *testing.T) {
+	g := DefaultGroup()
+	for _, bad := range []*big.Int{nil, big.NewInt(0), big.NewInt(-3), new(big.Int).Set(g.P)} {
+		if g.InSubgroup(bad) {
+			t.Fatalf("InSubgroup accepted %v", bad)
+		}
+	}
+}
+
+func TestCommitOpenRoundTrip(t *testing.T) {
+	g := DefaultGroup()
+	c, o := g.Commit(big.NewInt(42))
+	if !g.VerifyOpening(c, o) {
+		t.Fatal("honest opening rejected")
+	}
+	bad := Opening{Value: big.NewInt(43), Blinding: o.Blinding}
+	if g.VerifyOpening(c, bad) {
+		t.Fatal("wrong value accepted")
+	}
+	bad2 := Opening{Value: o.Value, Blinding: new(big.Int).Add(o.Blinding, big.NewInt(1))}
+	if g.VerifyOpening(c, bad2) {
+		t.Fatal("wrong blinding accepted")
+	}
+}
+
+func TestCommitmentHiding(t *testing.T) {
+	g := DefaultGroup()
+	a, _ := g.Commit(big.NewInt(7))
+	b, _ := g.Commit(big.NewInt(7))
+	if a.C.Cmp(b.C) == 0 {
+		t.Fatal("two commitments to the same value are identical; blinding broken")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	g := DefaultGroup()
+	c1, o1 := g.Commit(big.NewInt(30))
+	c2, o2 := g.Commit(big.NewInt(12))
+	sum, err := g.AddCommitments(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oSum := g.AddOpenings(o1, o2)
+	if oSum.Value.Int64() != 42 {
+		t.Fatalf("summed opening value = %v", oSum.Value)
+	}
+	if !g.VerifyOpening(sum, oSum) {
+		t.Fatal("homomorphic sum does not open to sum of values")
+	}
+}
+
+func TestHomomorphicSubAndScale(t *testing.T) {
+	g := DefaultGroup()
+	c1, o1 := g.Commit(big.NewInt(50))
+	c2, o2 := g.Commit(big.NewInt(8))
+	diff, err := g.SubCommitments(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oDiff := Opening{
+		Value:    new(big.Int).Sub(o1.Value, o2.Value),
+		Blinding: new(big.Int).Mod(new(big.Int).Sub(o1.Blinding, o2.Blinding), g.Q),
+	}
+	if !g.VerifyOpening(diff, oDiff) {
+		t.Fatal("difference does not open correctly")
+	}
+	tripled := g.ScaleCommitment(c1, big.NewInt(3))
+	oTripled := Opening{
+		Value:    big.NewInt(150),
+		Blinding: new(big.Int).Mod(new(big.Int).Mul(o1.Blinding, big.NewInt(3)), g.Q),
+	}
+	if !g.VerifyOpening(tripled, oTripled) {
+		t.Fatal("scaled commitment does not open correctly")
+	}
+}
+
+func TestHomomorphicProperty(t *testing.T) {
+	g := DefaultGroup()
+	f := func(a, b int32) bool {
+		ca, oa := g.Commit(big.NewInt(int64(a)))
+		cb, ob := g.Commit(big.NewInt(int64(b)))
+		sum, err := g.AddCommitments(ca, cb)
+		if err != nil {
+			return false
+		}
+		return g.VerifyOpening(sum, g.AddOpenings(oa, ob))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCommitmentsErrors(t *testing.T) {
+	g := DefaultGroup()
+	if _, err := g.AddCommitments(); err == nil {
+		t.Fatal("empty add accepted")
+	}
+	if _, err := g.AddCommitments(Commitment{}); err == nil {
+		t.Fatal("nil commitment accepted")
+	}
+	if _, err := g.SubCommitments(Commitment{}, Commitment{}); err == nil {
+		t.Fatal("nil sub accepted")
+	}
+}
+
+func TestSchnorrDLog(t *testing.T) {
+	g := DefaultGroup()
+	x := g.RandScalar()
+	y := g.Exp(g.G, x)
+	pr := g.ProveDLog("test", g.G, y, x)
+	if !g.VerifyDLog("test", g.G, y, pr) {
+		t.Fatal("honest proof rejected")
+	}
+	if g.VerifyDLog("other-domain", g.G, y, pr) {
+		t.Fatal("proof accepted under wrong domain")
+	}
+	y2 := g.Exp(g.G, g.RandScalar())
+	if g.VerifyDLog("test", g.G, y2, pr) {
+		t.Fatal("proof accepted for wrong statement")
+	}
+	pr.S = new(big.Int).Add(pr.S, big.NewInt(1))
+	if g.VerifyDLog("test", g.G, y, pr) {
+		t.Fatal("tampered proof accepted")
+	}
+	if g.VerifyDLog("test", g.G, nil, SchnorrProof{}) {
+		t.Fatal("nil proof accepted")
+	}
+}
+
+func TestZeroProof(t *testing.T) {
+	g := DefaultGroup()
+	c, o := g.Commit(big.NewInt(0))
+	pr := g.ProveZero("mass", c, o.Blinding)
+	if !g.VerifyZero("mass", c, pr) {
+		t.Fatal("zero proof rejected")
+	}
+	// A commitment to a nonzero value has no valid zero proof; an honest
+	// prover's proof for it must fail verification.
+	c2, o2 := g.Commit(big.NewInt(5))
+	pr2 := g.ProveZero("mass", c2, o2.Blinding)
+	if g.VerifyZero("mass", c2, pr2) {
+		t.Fatal("zero proof verified for nonzero commitment")
+	}
+	if g.VerifyZero("mass", Commitment{}, pr) {
+		t.Fatal("nil commitment accepted")
+	}
+}
+
+func TestEqualityProof(t *testing.T) {
+	g := DefaultGroup()
+	a, oa := g.Commit(big.NewInt(77))
+	b, ob := g.Commit(big.NewInt(77))
+	pr, err := g.ProveEqual("eq", a, b, oa.Blinding, ob.Blinding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.VerifyEqual("eq", a, b, pr) {
+		t.Fatal("equality proof rejected")
+	}
+	c, oc := g.Commit(big.NewInt(78))
+	pr2, _ := g.ProveEqual("eq", a, c, oa.Blinding, oc.Blinding)
+	if g.VerifyEqual("eq", a, c, pr2) {
+		t.Fatal("equality verified for unequal values")
+	}
+}
+
+func TestBitProof(t *testing.T) {
+	g := DefaultGroup()
+	for bit := 0; bit <= 1; bit++ {
+		c, o := g.Commit(big.NewInt(int64(bit)))
+		pr, err := g.ProveBit(c, bit, o.Blinding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.VerifyBit(c, pr) {
+			t.Fatalf("honest bit=%d proof rejected", bit)
+		}
+	}
+	// bit=2 is rejected at prove time.
+	c, o := g.Commit(big.NewInt(2))
+	if _, err := g.ProveBit(c, 2, o.Blinding); err == nil {
+		t.Fatal("bit=2 accepted by prover")
+	}
+	// Lying about the bit produces an invalid proof.
+	c2, o2 := g.Commit(big.NewInt(2))
+	pr, err := g.ProveBit(c2, 1, o2.Blinding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VerifyBit(c2, pr) {
+		t.Fatal("bit proof verified for commitment to 2")
+	}
+	if g.VerifyBit(c2, BitProof{}) {
+		t.Fatal("empty bit proof accepted")
+	}
+}
+
+func TestRangeProofHonest(t *testing.T) {
+	g := DefaultGroup()
+	for _, v := range []int64{0, 1, 17, 255, 256, 40, 1 << 20} {
+		c, o := g.Commit(big.NewInt(v))
+		pr, err := g.ProveRange(o, 24)
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if !g.VerifyRange(c, pr) {
+			t.Fatalf("v=%d: honest range proof rejected", v)
+		}
+	}
+}
+
+func TestRangeProofRejectsOutOfRange(t *testing.T) {
+	g := DefaultGroup()
+	_, o := g.Commit(big.NewInt(300))
+	if _, err := g.ProveRange(o, 8); err == nil {
+		t.Fatal("prover produced range proof for 300 in 8 bits")
+	}
+	_, oNeg := g.Commit(big.NewInt(-5))
+	if _, err := g.ProveRange(oNeg, 8); err == nil {
+		t.Fatal("prover produced range proof for negative value")
+	}
+	if _, err := g.ProveRange(o, 0); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+	if _, err := g.ProveRange(o, 63); err == nil {
+		t.Fatal("bits=63 accepted")
+	}
+}
+
+func TestRangeProofBindsToCommitment(t *testing.T) {
+	g := DefaultGroup()
+	c1, o1 := g.Commit(big.NewInt(10))
+	pr, err := g.ProveRange(o1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.VerifyRange(c1, pr) {
+		t.Fatal("honest proof rejected")
+	}
+	// The proof must not transplant onto another commitment.
+	c2, _ := g.Commit(big.NewInt(10))
+	if g.VerifyRange(c2, pr) {
+		t.Fatal("range proof transplanted to different commitment")
+	}
+	// Truncated proof rejected.
+	short := pr
+	short.BitComms = short.BitComms[:len(short.BitComms)-1]
+	if g.VerifyRange(c1, short) {
+		t.Fatal("truncated proof accepted")
+	}
+}
+
+func TestRangeProofTamperedBitRejected(t *testing.T) {
+	g := DefaultGroup()
+	c, o := g.Commit(big.NewInt(9))
+	pr, err := g.ProveRange(o, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.BitProofs[2].S0 = new(big.Int).Add(pr.BitProofs[2].S0, big.NewInt(1))
+	if g.VerifyRange(c, pr) {
+		t.Fatal("tampered bit proof accepted")
+	}
+}
+
+func TestBlindSignatureFlow(t *testing.T) {
+	signer, err := NewBlindSigner(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := signer.PublicKey()
+	token := []byte("worker-7 week-23 token-4")
+
+	bt, err := Blind(pub, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The authority sees only the blinded value, which must differ from
+	// the raw hash.
+	if bt.Blinded.Cmp(hashToInt(token, pub.N)) == 0 {
+		t.Fatal("blinding is identity")
+	}
+	bs, err := signer.SignBlinded(bt.Blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := bt.Unblind(pub, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyTokenSig(pub, token, sig) {
+		t.Fatal("unblinded signature rejected")
+	}
+	if VerifyTokenSig(pub, []byte("different token"), sig) {
+		t.Fatal("signature verified for wrong token")
+	}
+	if VerifyTokenSig(pub, token, new(big.Int).Add(sig, big.NewInt(1))) {
+		t.Fatal("tampered signature accepted")
+	}
+	if VerifyTokenSig(pub, token, nil) {
+		t.Fatal("nil signature accepted")
+	}
+}
+
+func TestBlindSignerRejectsBadInput(t *testing.T) {
+	signer, err := NewBlindSigner(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := signer.SignBlinded(nil); err == nil {
+		t.Fatal("nil blinded accepted")
+	}
+	if _, err := signer.SignBlinded(big.NewInt(0)); err == nil {
+		t.Fatal("zero blinded accepted")
+	}
+	if _, err := signer.SignBlinded(signer.PublicKey().N); err == nil {
+		t.Fatal("out-of-range blinded accepted")
+	}
+	if _, err := NewBlindSigner(512); err == nil {
+		t.Fatal("weak key size accepted")
+	}
+}
+
+func TestUnblindRejectsGarbage(t *testing.T) {
+	signer, _ := NewBlindSigner(1024)
+	pub := signer.PublicKey()
+	bt, _ := Blind(pub, []byte("tok"))
+	if _, err := bt.Unblind(pub, big.NewInt(12345)); err == nil {
+		t.Fatal("garbage authority response accepted")
+	}
+	if _, err := bt.Unblind(pub, nil); err == nil {
+		t.Fatal("nil authority response accepted")
+	}
+}
+
+func TestBlindUnlinkability(t *testing.T) {
+	// Two blindings of the same token must look different to the signer.
+	signer, _ := NewBlindSigner(1024)
+	pub := signer.PublicKey()
+	b1, _ := Blind(pub, []byte("tok"))
+	b2, _ := Blind(pub, []byte("tok"))
+	if b1.Blinded.Cmp(b2.Blinded) == 0 {
+		t.Fatal("two blindings identical")
+	}
+}
+
+func BenchmarkRangeProve32(b *testing.B) {
+	g := DefaultGroup()
+	_, o := g.Commit(big.NewInt(123456))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ProveRange(o, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeVerify32(b *testing.B) {
+	g := DefaultGroup()
+	c, o := g.Commit(big.NewInt(123456))
+	pr, err := g.ProveRange(o, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.VerifyRange(c, pr) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"permchain/internal/types"
+)
+
+// DAG is the Caper-style ledger (§2.3.1): an append-only directed acyclic
+// graph of transactions where a vertex may have several parents. No node
+// stores the full DAG; each enterprise keeps a DAG holding only its own
+// view — its internal transactions plus every cross-enterprise
+// transaction — so confidentiality holds by construction.
+type DAG struct {
+	mu       sync.RWMutex
+	vertices map[types.Hash]*Vertex
+	order    []types.Hash // append order, a valid topological order
+}
+
+// Vertex is one transaction in the DAG with edges to its parents.
+type Vertex struct {
+	Tx      *types.Transaction
+	Parents []types.Hash
+	id      types.Hash
+}
+
+// ID returns the vertex identity: the transaction hash combined with the
+// parent hashes, so the same transaction appended under different parents
+// is a different vertex.
+func (v *Vertex) ID() types.Hash { return v.id }
+
+func vertexID(tx *types.Transaction, parents []types.Hash) types.Hash {
+	th := tx.Hash()
+	parts := make([][]byte, 0, 1+len(parents))
+	parts = append(parts, th[:])
+	for _, p := range parents {
+		p := p
+		parts = append(parts, p[:])
+	}
+	return types.HashConcat(parts...)
+}
+
+// DAG errors.
+var (
+	ErrUnknownParent = errors.New("ledger: unknown parent vertex")
+	ErrDuplicate     = errors.New("ledger: duplicate vertex")
+)
+
+// NewDAG creates an empty DAG ledger.
+func NewDAG() *DAG {
+	return &DAG{vertices: map[types.Hash]*Vertex{}}
+}
+
+// Append adds tx with the given parents and returns the new vertex id.
+// Every parent must already be present, which keeps the graph acyclic.
+func (d *DAG) Append(tx *types.Transaction, parents ...types.Hash) (types.Hash, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := vertexID(tx, parents)
+	if _, ok := d.vertices[id]; ok {
+		return types.ZeroHash, fmt.Errorf("%w: %v", ErrDuplicate, id)
+	}
+	for _, p := range parents {
+		if _, ok := d.vertices[p]; !ok {
+			return types.ZeroHash, fmt.Errorf("%w: %v", ErrUnknownParent, p)
+		}
+	}
+	d.vertices[id] = &Vertex{Tx: tx, Parents: parents, id: id}
+	d.order = append(d.order, id)
+	return id, nil
+}
+
+// Get returns the vertex with the given id.
+func (d *DAG) Get(id types.Hash) (*Vertex, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.vertices[id]
+	return v, ok
+}
+
+// Len returns the number of vertices.
+func (d *DAG) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.vertices)
+}
+
+// Topo returns the vertices in a topological order (parents before
+// children) — the append order, which is valid because parents must exist
+// at append time.
+func (d *DAG) Topo() []*Vertex {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*Vertex, len(d.order))
+	for i, id := range d.order {
+		out[i] = d.vertices[id]
+	}
+	return out
+}
+
+// HasPath reports whether anc is reachable from desc by following parent
+// edges — i.e. anc happened-before desc in the partial order.
+func (d *DAG) HasPath(desc, anc types.Hash) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if desc == anc {
+		return true
+	}
+	seen := map[types.Hash]bool{}
+	stack := []types.Hash{desc}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		v, ok := d.vertices[cur]
+		if !ok {
+			continue
+		}
+		for _, p := range v.Parents {
+			if p == anc {
+				return true
+			}
+			stack = append(stack, p)
+		}
+	}
+	return false
+}
+
+// Filter returns the vertices whose transaction satisfies keep, in
+// topological order. Caper uses this to project the cross-enterprise
+// subsequence out of a view.
+func (d *DAG) Filter(keep func(*types.Transaction) bool) []*Vertex {
+	var out []*Vertex
+	for _, v := range d.Topo() {
+		if keep(v.Tx) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Verify checks structural integrity: every parent edge resolves and each
+// vertex id matches its content.
+func (d *DAG) Verify() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	seen := map[types.Hash]bool{}
+	for _, id := range d.order {
+		v, ok := d.vertices[id]
+		if !ok {
+			return fmt.Errorf("ledger: order references missing vertex %v", id)
+		}
+		if vertexID(v.Tx, v.Parents) != id {
+			return fmt.Errorf("ledger: vertex %v id mismatch", id)
+		}
+		for _, p := range v.Parents {
+			if !seen[p] {
+				return fmt.Errorf("ledger: vertex %v has forward or missing parent %v", id, p)
+			}
+		}
+		seen[id] = true
+	}
+	return nil
+}

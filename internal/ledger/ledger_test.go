@@ -1,0 +1,323 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"permchain/internal/types"
+)
+
+func mkTx(id string) *types.Transaction {
+	return &types.Transaction{ID: id, Ops: []types.Op{{Code: types.OpPut, Key: id, Value: []byte("v")}}}
+}
+
+func mkBlock(c *Chain, txs ...*types.Transaction) *types.Block {
+	head := c.Head()
+	return types.NewBlock(head.Header.Height+1, head.Hash(), 0, txs)
+}
+
+func TestChainGenesis(t *testing.T) {
+	c := NewChain()
+	if c.Len() != 1 || c.Height() != 0 {
+		t.Fatalf("len=%d height=%d", c.Len(), c.Height())
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TxCount() != 0 {
+		t.Fatal("genesis has txs")
+	}
+}
+
+func TestChainAppendAndVerify(t *testing.T) {
+	c := NewChain()
+	for i := 0; i < 10; i++ {
+		b := mkBlock(c, mkTx(fmt.Sprintf("t%d", i)))
+		if err := c.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Height() != 10 || c.TxCount() != 10 {
+		t.Fatalf("height=%d txs=%d", c.Height(), c.TxCount())
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	b5, err := c.Get(5)
+	if err != nil || b5.Header.Height != 5 {
+		t.Fatalf("Get(5): %v %v", b5, err)
+	}
+	if _, err := c.Get(99); err == nil {
+		t.Fatal("Get past head succeeded")
+	}
+	got, ok := c.GetByHash(b5.Hash())
+	if !ok || got != b5 {
+		t.Fatal("GetByHash failed")
+	}
+	if _, ok := c.GetByHash(types.HashBytes([]byte("x"))); ok {
+		t.Fatal("GetByHash found phantom")
+	}
+}
+
+func TestChainAppendRejectsBadBlocks(t *testing.T) {
+	c := NewChain()
+	good := mkBlock(c, mkTx("a"))
+	if err := c.Append(good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong height.
+	wrongH := types.NewBlock(5, c.Head().Hash(), 0, nil)
+	if err := c.Append(wrongH); !errors.Is(err, ErrBadHeight) {
+		t.Fatalf("err = %v, want ErrBadHeight", err)
+	}
+	// Wrong parent.
+	wrongP := types.NewBlock(2, types.HashBytes([]byte("bogus")), 0, nil)
+	if err := c.Append(wrongP); !errors.Is(err, ErrBadPrevHash) {
+		t.Fatalf("err = %v, want ErrBadPrevHash", err)
+	}
+	// Tampered body: build valid block then swap a transaction.
+	tampered := mkBlock(c, mkTx("x"))
+	tampered.Txs = []*types.Transaction{mkTx("y")}
+	if err := c.Append(tampered); !errors.Is(err, ErrBadTxRoot) {
+		t.Fatalf("err = %v, want ErrBadTxRoot", err)
+	}
+	// Chain unchanged by rejected appends.
+	if c.Height() != 1 {
+		t.Fatalf("height = %d after rejections", c.Height())
+	}
+}
+
+func TestChainEqualTo(t *testing.T) {
+	a, b := NewChain(), NewChain()
+	if !a.EqualTo(b) {
+		t.Fatal("fresh chains differ")
+	}
+	blk := mkBlock(a, mkTx("t"))
+	if err := a.Append(blk); err != nil {
+		t.Fatal(err)
+	}
+	if a.EqualTo(b) {
+		t.Fatal("different-length chains equal")
+	}
+	if err := b.Append(blk); err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualTo(b) {
+		t.Fatal("identical chains differ")
+	}
+}
+
+func TestChainSizeGrows(t *testing.T) {
+	c := NewChain()
+	s0 := c.Size()
+	if err := c.Append(mkBlock(c, mkTx("a"), mkTx("b"))); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() <= s0 {
+		t.Fatal("size did not grow")
+	}
+	if TxSize(mkTx("a")) <= 0 {
+		t.Fatal("TxSize nonpositive")
+	}
+}
+
+func TestChainConcurrent(t *testing.T) {
+	c := NewChain()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Head()
+				c.Len()
+				c.Verify()
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if err := c.Append(mkBlock(c, mkTx(fmt.Sprintf("t%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Height() != 50 {
+		t.Fatalf("height = %d", c.Height())
+	}
+}
+
+func TestDAGAppendAndTopo(t *testing.T) {
+	d := NewDAG()
+	a, err := d.Append(mkTx("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Append(mkTx("b"), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx := mkTx("c")
+	cx.Kind = types.TxCross
+	c, err := d.Append(cx, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	topo := d.Topo()
+	pos := map[types.Hash]int{}
+	for i, v := range topo {
+		pos[v.ID()] = i
+	}
+	if !(pos[a] < pos[b] && pos[b] < pos[c]) {
+		t.Fatal("topological order violated")
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDAGRejectsUnknownParentAndDup(t *testing.T) {
+	d := NewDAG()
+	if _, err := d.Append(mkTx("x"), types.HashBytes([]byte("ghost"))); !errors.Is(err, ErrUnknownParent) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Append(mkTx("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append(mkTx("a")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDAGSameTxDifferentParentsIsNewVertex(t *testing.T) {
+	d := NewDAG()
+	a, _ := d.Append(mkTx("a"))
+	tx := mkTx("t")
+	v1, err := d.Append(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := d.Append(tx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == v2 {
+		t.Fatal("vertex id ignores parents")
+	}
+}
+
+func TestDAGHasPath(t *testing.T) {
+	d := NewDAG()
+	a, _ := d.Append(mkTx("a"))
+	b, _ := d.Append(mkTx("b"), a)
+	c, _ := d.Append(mkTx("c"), b)
+	x, _ := d.Append(mkTx("x")) // disconnected
+	if !d.HasPath(c, a) {
+		t.Fatal("c should reach a")
+	}
+	if d.HasPath(a, c) {
+		t.Fatal("a should not reach c (wrong direction)")
+	}
+	if d.HasPath(x, a) {
+		t.Fatal("disconnected vertices connected")
+	}
+	if !d.HasPath(a, a) {
+		t.Fatal("self path false")
+	}
+}
+
+func TestDAGFilter(t *testing.T) {
+	d := NewDAG()
+	prev := types.ZeroHash
+	for i := 0; i < 6; i++ {
+		tx := mkTx(fmt.Sprintf("t%d", i))
+		if i%2 == 0 {
+			tx.Kind = types.TxCross
+		}
+		var err error
+		if prev.IsZero() {
+			prev, err = d.Append(tx)
+		} else {
+			prev, err = d.Append(tx, prev)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cross := d.Filter(func(tx *types.Transaction) bool { return tx.Kind == types.TxCross })
+	if len(cross) != 3 {
+		t.Fatalf("cross count = %d", len(cross))
+	}
+	for i, v := range cross {
+		if v.Tx.ID != fmt.Sprintf("t%d", i*2) {
+			t.Fatalf("filter order wrong: %v", v.Tx.ID)
+		}
+	}
+}
+
+func TestDAGGet(t *testing.T) {
+	d := NewDAG()
+	id, _ := d.Append(mkTx("a"))
+	v, ok := d.Get(id)
+	if !ok || v.Tx.ID != "a" {
+		t.Fatal("Get failed")
+	}
+	if _, ok := d.Get(types.HashBytes([]byte("nope"))); ok {
+		t.Fatal("Get found phantom")
+	}
+}
+
+func TestTxInclusionProof(t *testing.T) {
+	c := NewChain()
+	var txs []*types.Transaction
+	for i := 0; i < 7; i++ {
+		txs = append(txs, mkTx(fmt.Sprintf("t%d", i)))
+	}
+	if err := c.Append(mkBlock(c, txs...)); err != nil {
+		t.Fatal(err)
+	}
+	trusted := c.Head().Header
+	for i := range txs {
+		proof, err := c.TxProof(1, i)
+		if err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+		if !proof.Verify(trusted) {
+			t.Fatalf("tx %d: valid proof rejected", i)
+		}
+		// Wrong transaction hash must fail.
+		forged := *proof
+		forged.TxHash = types.HashBytes([]byte("bogus"))
+		if forged.Verify(trusted) {
+			t.Fatalf("tx %d: forged tx hash accepted", i)
+		}
+	}
+	// Proof against a different block's header must fail.
+	if err := c.Append(mkBlock(c, mkTx("other"))); err != nil {
+		t.Fatal(err)
+	}
+	proof, _ := c.TxProof(1, 0)
+	if proof.Verify(c.Head().Header) {
+		t.Fatal("proof verified against wrong header")
+	}
+	// Out-of-range requests.
+	if _, err := c.TxProof(1, 9); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := c.TxProof(99, 0); err == nil {
+		t.Fatal("out-of-range height accepted")
+	}
+	if _, err := c.TxProof(0, 0); err == nil {
+		t.Fatal("genesis (empty) proof accepted")
+	}
+}

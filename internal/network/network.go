@@ -1,0 +1,329 @@
+// Package network is the simulated message-passing substrate every
+// protocol in permchain runs on. It replaces the real LAN/WAN deployments
+// of the surveyed systems (see DESIGN.md, Substitutions) while preserving
+// what the tutorial's comparisons depend on: message counts, communication
+// phases, per-link latency, loss, partitions, and Byzantine senders.
+//
+// The transport is asynchronous: Send never blocks the sender, messages
+// may be arbitrarily delayed (per-link latency function), dropped (loss
+// rate or partitions), and Byzantine nodes may equivocate via outbound
+// filters. There is no global clock, matching the asynchronous system
+// model of §2.2.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"permchain/internal/types"
+)
+
+// Message is one network datagram. Payload is a protocol-defined value;
+// protocols within one network namespace their Type strings.
+type Message struct {
+	From    types.NodeID
+	To      types.NodeID
+	Type    string
+	Payload any
+}
+
+// Endpoint is a node's attachment to the network.
+type Endpoint struct {
+	id    types.NodeID
+	inbox chan Message
+	net   *Network
+}
+
+// ID returns the endpoint's node id.
+func (e *Endpoint) ID() types.NodeID { return e.id }
+
+// Inbox returns the channel messages are delivered on.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Send sends a message from this endpoint.
+func (e *Endpoint) Send(to types.NodeID, typ string, payload any) {
+	e.net.Send(Message{From: e.id, To: to, Type: typ, Payload: payload})
+}
+
+// Broadcast sends to every other endpoint on the network.
+func (e *Endpoint) Broadcast(typ string, payload any) {
+	e.net.broadcastFrom(e.id, typ, payload)
+}
+
+// Multicast sends to each listed node except the sender itself. Consensus
+// groups co-located on a shared network use it so traffic stays within
+// the group.
+func (e *Endpoint) Multicast(ids []types.NodeID, typ string, payload any) {
+	for _, id := range ids {
+		if id == e.id {
+			continue
+		}
+		e.net.Send(Message{From: e.id, To: id, Type: typ, Payload: payload})
+	}
+}
+
+// Filter rewrites a Byzantine node's outbound traffic: it receives each
+// message the node sends and returns the messages actually transmitted.
+// Returning nil silences the node; returning different payloads to
+// different receivers is equivocation.
+type Filter func(Message) []Message
+
+// Stats counts traffic. All counters are protected by the network lock.
+type Stats struct {
+	Sent      int64 // messages submitted
+	Delivered int64 // messages delivered to an inbox
+	Dropped   int64 // lost to drop rate, partitions, or overflow
+	ByType    map[string]int64
+}
+
+// Network is the shared medium. Safe for concurrent use.
+type Network struct {
+	mu        sync.RWMutex
+	endpoints map[types.NodeID]*Endpoint
+	latency   func(from, to types.NodeID) time.Duration
+	dropRate  float64
+	rng       *rand.Rand
+	filters   map[types.NodeID]Filter
+	attested  map[types.NodeID]bool
+	groups    map[types.NodeID]int // partition group; absent = group 0
+	stats     Stats
+	closed    bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the per-link one-way delay function.
+func WithLatency(f func(from, to types.NodeID) time.Duration) Option {
+	return func(n *Network) { n.latency = f }
+}
+
+// WithUniformLatency sets a constant one-way delay on every link.
+func WithUniformLatency(d time.Duration) Option {
+	return WithLatency(func(_, _ types.NodeID) time.Duration { return d })
+}
+
+// WithDropRate makes every message independently lost with probability p.
+func WithDropRate(p float64) Option {
+	return func(n *Network) { n.dropRate = p }
+}
+
+// WithSeed seeds the loss randomness for reproducibility.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// inboxDepth is sized so slow consumers in tests don't spuriously drop;
+// overflow still counts as network loss rather than blocking the sender.
+const inboxDepth = 65536
+
+// New creates a network with no endpoints.
+func New(opts ...Option) *Network {
+	n := &Network{
+		endpoints: map[types.NodeID]*Endpoint{},
+		filters:   map[types.NodeID]Filter{},
+		attested:  map[types.NodeID]bool{},
+		groups:    map[types.NodeID]int{},
+		rng:       rand.New(rand.NewSource(1)),
+	}
+	n.stats.ByType = map[string]int64{}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Join attaches a node and returns its endpoint. Joining twice returns
+// the existing endpoint.
+func (n *Network) Join(id types.NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.endpoints[id]; ok {
+		return e
+	}
+	e := &Endpoint{id: id, inbox: make(chan Message, inboxDepth), net: n}
+	n.endpoints[id] = e
+	return e
+}
+
+// Nodes returns the ids of all attached endpoints.
+func (n *Network) Nodes() []types.NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]types.NodeID, 0, len(n.endpoints))
+	for id := range n.endpoints {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SetFilter installs a Byzantine outbound filter for id. Attested nodes
+// (AHL's trusted hardware, §2.3.4) cannot equivocate: installing a filter
+// on one panics, catching misconfigured experiments early.
+func (n *Network) SetFilter(id types.NodeID, f Filter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.attested[id] {
+		panic(fmt.Sprintf("network: node %v is attested; cannot install Byzantine filter", id))
+	}
+	if f == nil {
+		delete(n.filters, id)
+		return
+	}
+	n.filters[id] = f
+}
+
+// Attest marks id as running trusted hardware: its messages cannot be
+// forged or equivocated, the property AHL uses to shrink committees from
+// 3f+1 to 2f+1.
+func (n *Network) Attest(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.filters[id]; ok {
+		panic(fmt.Sprintf("network: node %v already has a Byzantine filter; cannot attest", id))
+	}
+	n.attested[id] = true
+}
+
+// IsAttested reports whether id runs trusted hardware.
+func (n *Network) IsAttested(id types.NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.attested[id]
+}
+
+// SetLatency replaces the per-link delay function at runtime. Messages
+// already in flight keep their original delay.
+func (n *Network) SetLatency(f func(from, to types.NodeID) time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = f
+}
+
+// Partition splits the nodes into isolated groups; messages between
+// different groups are dropped. Nodes not listed stay in group 0.
+func (n *Network) Partition(groups ...[]types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = map[types.NodeID]int{}
+	for gi, g := range groups {
+		for _, id := range g {
+			n.groups[id] = gi + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = map[types.NodeID]int{}
+}
+
+// Close drops all future traffic.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+// StatsSnapshot returns a copy of the traffic counters.
+func (n *Network) StatsSnapshot() Stats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := n.stats
+	out.ByType = make(map[string]int64, len(n.stats.ByType))
+	for k, v := range n.stats.ByType {
+		out.ByType[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{ByType: map[string]int64{}}
+}
+
+// Send transmits m, applying the sender's Byzantine filter, partitions,
+// loss, and latency. It never blocks.
+func (n *Network) Send(m Message) {
+	n.mu.RLock()
+	f := n.filters[m.From]
+	n.mu.RUnlock()
+	if f != nil {
+		for _, rewritten := range f(m) {
+			rewritten.From = m.From // a filter cannot forge the sender
+			n.transmit(rewritten)
+		}
+		return
+	}
+	n.transmit(m)
+}
+
+func (n *Network) broadcastFrom(from types.NodeID, typ string, payload any) {
+	n.mu.RLock()
+	ids := make([]types.NodeID, 0, len(n.endpoints))
+	for id := range n.endpoints {
+		if id != from {
+			ids = append(ids, id)
+		}
+	}
+	n.mu.RUnlock()
+	for _, id := range ids {
+		n.Send(Message{From: from, To: id, Type: typ, Payload: payload})
+	}
+}
+
+func (n *Network) transmit(m Message) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Sent++
+	n.stats.ByType[m.Type]++
+	dst, ok := n.endpoints[m.To]
+	if !ok {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	if n.groups[m.From] != n.groups[m.To] {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	var delay time.Duration
+	if n.latency != nil {
+		delay = n.latency(m.From, m.To)
+	}
+	n.mu.Unlock()
+
+	if delay <= 0 {
+		n.deliver(dst, m)
+		return
+	}
+	time.AfterFunc(delay, func() { n.deliver(dst, m) })
+}
+
+func (n *Network) deliver(dst *Endpoint, m Message) {
+	select {
+	case dst.inbox <- m:
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+	default:
+		n.mu.Lock()
+		n.stats.Dropped++
+		n.mu.Unlock()
+	}
+}

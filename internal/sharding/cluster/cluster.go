@@ -1,0 +1,292 @@
+// Package cluster provides the fault-tolerant cluster abstraction every
+// scalability technique of §2.3.4 builds on (the "byzantizing" layer of
+// Blockplane): a PBFT replica group that behaves like one logical,
+// crash-proof node. Sharding protocols order values through a cluster —
+// synchronously via OrderSync — and keep per-shard state and a lock table
+// for two-phase-locking cross-shard commits.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"permchain/internal/consensus"
+	"permchain/internal/consensus/pbft"
+	"permchain/internal/crypto"
+	"permchain/internal/network"
+	"permchain/internal/statedb"
+	"permchain/internal/types"
+)
+
+// Cluster is one fault-tolerant replica group acting as a logical node.
+type Cluster struct {
+	ID    types.ShardID
+	Nodes []types.NodeID
+
+	replicas []*pbft.Replica
+	store    *statedb.Store
+
+	mu      sync.Mutex
+	waiters map[types.Hash][]chan consensus.Decision
+	ordered []consensus.Decision
+	locks   map[string]string // key → holding transaction id
+	subCh   chan consensus.Decision
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// Options configures a cluster.
+type Options struct {
+	// Size is the replica count (default 4 = 3f+1 with f=1).
+	Size int
+	// Attested runs the committee on trusted hardware: nodes are marked
+	// non-equivocating on the transport and the quorum drops to
+	// ⌈(Size+1)/2⌉ (f+1 of 2f+1), AHL's committee-size reduction.
+	Attested bool
+	// Timeout is the intra-cluster view-change timeout.
+	Timeout time.Duration
+	// DisableSig turns off message signatures (benchmarks).
+	DisableSig bool
+}
+
+// New creates and starts a cluster. Node ids are allocated from baseNode
+// upward on the shared network; the keyring must cover them.
+func New(id types.ShardID, baseNode types.NodeID, net *network.Network, keys *crypto.Keyring, opts Options) *Cluster {
+	if opts.Size <= 0 {
+		opts.Size = 4
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 500 * time.Millisecond
+	}
+	nodes := make([]types.NodeID, opts.Size)
+	for i := range nodes {
+		nodes[i] = baseNode + types.NodeID(i)
+		keys.Add(nodes[i])
+		if opts.Attested {
+			net.Join(nodes[i])
+			net.Attest(nodes[i])
+		}
+	}
+	c := &Cluster{
+		ID:      id,
+		Nodes:   nodes,
+		store:   statedb.New(),
+		waiters: map[types.Hash][]chan consensus.Decision{},
+		locks:   map[string]string{},
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	quorumOverride := 0
+	if opts.Attested {
+		quorumOverride = opts.Size/2 + 1
+	}
+	for i := range nodes {
+		r := pbft.New(consensus.Config{
+			Self: nodes[i], Nodes: nodes, Net: net, Keys: keys,
+			Timeout: opts.Timeout, DisableSig: opts.DisableSig,
+			ByzQuorumOverride: quorumOverride,
+		})
+		r.Start()
+		c.replicas = append(c.replicas, r)
+	}
+	go c.drain()
+	return c
+}
+
+// Stop shuts the cluster down. Idempotent.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.stopCh)
+		for _, r := range c.replicas {
+			r.Stop()
+		}
+	})
+	<-c.done
+}
+
+// Store returns the shard state this cluster maintains.
+func (c *Cluster) Store() *statedb.Store { return c.store }
+
+// Size returns the replica count.
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+func (c *Cluster) drain() {
+	defer close(c.done)
+	decs := c.replicas[0].Decisions()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case d := <-decs:
+			c.mu.Lock()
+			c.ordered = append(c.ordered, d)
+			ws := c.waiters[d.Digest]
+			delete(c.waiters, d.Digest)
+			sub := c.subCh
+			c.mu.Unlock()
+			for _, w := range ws {
+				w <- d
+			}
+			if sub != nil {
+				select {
+				case sub <- d:
+				case <-c.stopCh:
+					return
+				}
+			}
+		}
+	}
+}
+
+// SubmitAsync submits a value for ordering without waiting. Consumers
+// observe the decision via Subscribe or OrderedCount.
+func (c *Cluster) SubmitAsync(value any, digest types.Hash) {
+	c.replicas[0].Submit(value, digest)
+}
+
+// Subscribe returns the cluster's decision stream. Call it before traffic
+// starts and keep draining it: once subscribed, an undrained stream
+// backpressures the cluster.
+func (c *Cluster) Subscribe() <-chan consensus.Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.subCh == nil {
+		c.subCh = make(chan consensus.Decision, 65536)
+	}
+	return c.subCh
+}
+
+// ErrOrderTimeout reports that a value was not decided in time.
+var ErrOrderTimeout = errors.New("cluster: ordering timed out")
+
+// OrderSync submits a value to the cluster's consensus and blocks until
+// it is decided (or the timeout elapses). This is the building block the
+// cross-shard protocols use: each 2PC/flattened phase is one decided
+// value in each involved cluster.
+func (c *Cluster) OrderSync(value any, digest types.Hash, timeout time.Duration) (consensus.Decision, error) {
+	ch := make(chan consensus.Decision, 1)
+	c.mu.Lock()
+	c.waiters[digest] = append(c.waiters[digest], ch)
+	c.mu.Unlock()
+	c.replicas[0].Submit(value, digest)
+	select {
+	case d := <-ch:
+		return d, nil
+	case <-time.After(timeout):
+		return consensus.Decision{}, fmt.Errorf("%w: %v", ErrOrderTimeout, digest)
+	case <-c.stopCh:
+		return consensus.Decision{}, errors.New("cluster: stopped")
+	}
+}
+
+// OrderedCount returns how many values this cluster has decided.
+func (c *Cluster) OrderedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ordered)
+}
+
+// Ordered returns a copy of the decision log.
+func (c *Cluster) Ordered() []consensus.Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]consensus.Decision, len(c.ordered))
+	copy(out, c.ordered)
+	return out
+}
+
+// Lock errors.
+var ErrLocked = errors.New("cluster: key locked by another transaction")
+
+// TryLock acquires 2PL locks on every key for txID. All-or-nothing: on
+// conflict nothing is held. Re-acquiring own locks is a no-op.
+func (c *Cluster) TryLock(txID string, keys []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, k := range keys {
+		if holder, ok := c.locks[k]; ok && holder != txID {
+			return fmt.Errorf("%w: %s held by %s", ErrLocked, k, holder)
+		}
+	}
+	for _, k := range keys {
+		c.locks[k] = txID
+	}
+	return nil
+}
+
+// Unlock releases every lock txID holds.
+func (c *Cluster) Unlock(txID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, holder := range c.locks {
+		if holder == txID {
+			delete(c.locks, k)
+		}
+	}
+}
+
+// LockCount returns the number of held locks (tests/metrics).
+func (c *Cluster) LockCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.locks)
+}
+
+// Allocator hands out disjoint node-id ranges to clusters sharing one
+// network and keyring.
+type Allocator struct {
+	mu   sync.Mutex
+	next types.NodeID
+	net  *network.Network
+	keys *crypto.Keyring
+	// byNode maps node ids back to their cluster for latency functions.
+	byNode map[types.NodeID]types.ShardID
+}
+
+// NewAllocator creates an allocator over a shared network.
+func NewAllocator(net *network.Network) *Allocator {
+	return &Allocator{net: net, keys: crypto.NewKeyring(0), byNode: map[types.NodeID]types.ShardID{}}
+}
+
+// Network returns the shared transport.
+func (a *Allocator) Network() *network.Network { return a.net }
+
+// NewCluster allocates ids and creates a cluster.
+func (a *Allocator) NewCluster(id types.ShardID, opts Options) *Cluster {
+	if opts.Size <= 0 {
+		opts.Size = 4
+	}
+	a.mu.Lock()
+	base := a.next
+	a.next += types.NodeID(opts.Size)
+	for i := 0; i < opts.Size; i++ {
+		a.byNode[base+types.NodeID(i)] = id
+	}
+	a.mu.Unlock()
+	return New(id, base, a.net, a.keys, opts)
+}
+
+// ClusterOf maps a node id to its cluster.
+func (a *Allocator) ClusterOf(n types.NodeID) types.ShardID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.byNode[n]
+}
+
+// LatencyByCluster builds a per-link latency function from a cluster
+// distance function: intra-cluster links use intra, inter-cluster links
+// use d(cluster(from), cluster(to)). Install with network.WithLatency or
+// via reconfiguring the network before clusters start.
+func (a *Allocator) LatencyByCluster(intra time.Duration, d func(x, y types.ShardID) time.Duration) func(from, to types.NodeID) time.Duration {
+	return func(from, to types.NodeID) time.Duration {
+		cf, ct := a.ClusterOf(from), a.ClusterOf(to)
+		if cf == ct {
+			return intra
+		}
+		return d(cf, ct)
+	}
+}

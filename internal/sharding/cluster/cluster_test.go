@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+func TestOrderSyncDecides(t *testing.T) {
+	alloc := NewAllocator(network.New())
+	c := alloc.NewCluster(0, Options{Timeout: 300 * time.Millisecond})
+	defer c.Stop()
+	for i := 0; i < 5; i++ {
+		v := fmt.Sprintf("v%d", i)
+		d, err := c.OrderSync(v, types.HashBytes([]byte(v)), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Value.(string) != v {
+			t.Fatalf("decided %v", d.Value)
+		}
+	}
+	if c.OrderedCount() != 5 {
+		t.Fatalf("ordered %d", c.OrderedCount())
+	}
+	if len(c.Ordered()) != 5 {
+		t.Fatal("Ordered copy wrong")
+	}
+	if c.Size() != 4 {
+		t.Fatalf("size %d", c.Size())
+	}
+}
+
+func TestSubscribeStreamsDecisions(t *testing.T) {
+	alloc := NewAllocator(network.New())
+	c := alloc.NewCluster(0, Options{Timeout: 300 * time.Millisecond})
+	defer c.Stop()
+	sub := c.Subscribe()
+	c.SubmitAsync("a", types.HashBytes([]byte("a")))
+	select {
+	case d := <-sub:
+		if d.Value.(string) != "a" {
+			t.Fatalf("got %v", d.Value)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no decision streamed")
+	}
+}
+
+func TestMultipleClustersIndependent(t *testing.T) {
+	alloc := NewAllocator(network.New())
+	c0 := alloc.NewCluster(0, Options{Timeout: 300 * time.Millisecond})
+	c1 := alloc.NewCluster(1, Options{Timeout: 300 * time.Millisecond})
+	defer c0.Stop()
+	defer c1.Stop()
+	// Same value to both: each decides independently.
+	if _, err := c0.OrderSync("x", types.HashBytes([]byte("x")), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.OrderSync("x", types.HashBytes([]byte("x")), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c0.OrderedCount() != 1 || c1.OrderedCount() != 1 {
+		t.Fatalf("counts %d %d", c0.OrderedCount(), c1.OrderedCount())
+	}
+	// Node ids must not overlap.
+	seen := map[types.NodeID]bool{}
+	for _, n := range append(append([]types.NodeID{}, c0.Nodes...), c1.Nodes...) {
+		if seen[n] {
+			t.Fatalf("node id %v reused", n)
+		}
+		seen[n] = true
+	}
+	if alloc.ClusterOf(c1.Nodes[0]) != 1 {
+		t.Fatal("ClusterOf wrong")
+	}
+}
+
+func TestAttestedClusterSmallCommittee(t *testing.T) {
+	// 3 nodes (2f+1, f=1) with attestation: still decides, and the
+	// network refuses Byzantine filters on its nodes.
+	net := network.New()
+	alloc := NewAllocator(net)
+	c := alloc.NewCluster(0, Options{Size: 3, Attested: true, Timeout: 300 * time.Millisecond})
+	defer c.Stop()
+	if _, err := c.OrderSync("v", types.HashBytes([]byte("v")), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("filter on attested node did not panic")
+		}
+	}()
+	net.SetFilter(c.Nodes[0], func(m network.Message) []network.Message { return []network.Message{m} })
+}
+
+func TestAttestedToleratesOneCrash(t *testing.T) {
+	// 2f+1 = 3 nodes, f = 1: quorum f+1 = 2 must survive one crash.
+	alloc := NewAllocator(network.New())
+	c := alloc.NewCluster(0, Options{Size: 3, Attested: true, Timeout: 200 * time.Millisecond})
+	defer c.Stop()
+	// Crash one replica by partitioning it away.
+	alloc.Network().Partition([]types.NodeID{c.Nodes[2]})
+	if _, err := c.OrderSync("v", types.HashBytes([]byte("v")), 10*time.Second); err != nil {
+		t.Fatalf("attested cluster with one crash did not decide: %v", err)
+	}
+}
+
+func TestLocks(t *testing.T) {
+	alloc := NewAllocator(network.New())
+	c := alloc.NewCluster(0, Options{Timeout: 300 * time.Millisecond})
+	defer c.Stop()
+	if err := c.TryLock("t1", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-acquire own locks: fine.
+	if err := c.TryLock("t1", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Conflict: all-or-nothing.
+	if err := c.TryLock("t2", []string{"c", "a"}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.LockCount() != 2 {
+		t.Fatalf("locks = %d (t2 must hold nothing)", c.LockCount())
+	}
+	if err := c.TryLock("t2", []string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Unlock("t1")
+	if c.LockCount() != 1 {
+		t.Fatalf("locks = %d after unlock", c.LockCount())
+	}
+	if err := c.TryLock("t2", []string{"a"}); err != nil {
+		t.Fatal("released lock not acquirable")
+	}
+}
+
+func TestOrderSyncTimeout(t *testing.T) {
+	alloc := NewAllocator(network.New())
+	c := alloc.NewCluster(0, Options{Timeout: 10 * time.Second})
+	defer c.Stop()
+	// Partition the whole cluster into singletons: no quorum, no decision.
+	var groups [][]types.NodeID
+	for _, n := range c.Nodes {
+		groups = append(groups, []types.NodeID{n})
+	}
+	alloc.Network().Partition(groups...)
+	_, err := c.OrderSync("v", types.HashBytes([]byte("v")), 300*time.Millisecond)
+	if !errors.Is(err, ErrOrderTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLatencyByCluster(t *testing.T) {
+	alloc := NewAllocator(network.New())
+	c0 := alloc.NewCluster(0, Options{})
+	c1 := alloc.NewCluster(1, Options{})
+	defer c0.Stop()
+	defer c1.Stop()
+	f := alloc.LatencyByCluster(time.Millisecond, func(x, y types.ShardID) time.Duration {
+		return 10 * time.Millisecond
+	})
+	if f(c0.Nodes[0], c0.Nodes[1]) != time.Millisecond {
+		t.Fatal("intra latency wrong")
+	}
+	if f(c0.Nodes[0], c1.Nodes[0]) != 10*time.Millisecond {
+		t.Fatal("inter latency wrong")
+	}
+}

@@ -1,0 +1,319 @@
+// Package saguaro implements the hierarchical sharding of Saguaro (Amiri
+// et al., 2021) as presented in §2.3.4: clusters are organized along the
+// wide-area network hierarchy — edge clusters hold ledger shards, with
+// fog and cloud clusters above them — and each cross-shard transaction is
+// coordinated by the *lowest common ancestor* of the involved edge
+// clusters, the internal cluster with minimum total distance, instead of
+// a fixed root coordinator. Nearby shards therefore pay near-edge
+// latency; only transactions spanning distant subtrees climb toward the
+// root.
+package saguaro
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"permchain/internal/sharding/ahl"
+	"permchain/internal/sharding/cluster"
+	"permchain/internal/types"
+)
+
+// System is a Saguaro deployment over a complete tree of clusters.
+type System struct {
+	// leaves[i] is edge cluster i, holding shard i.
+	leaves []*cluster.Cluster
+	// internal clusters by tree node index (heap layout: node k's
+	// children are 2k+1, 2k+2; leaves occupy the last level).
+	all     []*cluster.Cluster
+	fanout  int
+	levels  int
+	timeout time.Duration
+
+	mu      sync.Mutex
+	heights map[types.ShardID]uint64
+	aborted int
+	delay   func(a, b int) time.Duration
+}
+
+// Options configures the deployment.
+type Options struct {
+	// Levels is the tree depth (2 = root + edges; 3 adds a fog layer).
+	Levels int
+	// Fanout is each internal cluster's child count (default 2).
+	Fanout int
+	// ClusterSize is each cluster's replica count (default 4).
+	ClusterSize int
+	Timeout     time.Duration
+	DisableSig  bool
+	// InterClusterDelay models WAN latency between tree nodes (heap
+	// indices). Cross-shard 2PC pays it on every LCA↔edge crossing; since
+	// the LCA is topologically close to the involved edges, nearby-shard
+	// transactions stay cheap (§2.3.4).
+	InterClusterDelay func(a, b int) time.Duration
+}
+
+// New builds the complete tree. Shard/cluster ids follow heap order, so
+// the root is cluster 0 and the edge clusters are the last level.
+func New(alloc *cluster.Allocator, opts Options) *System {
+	if opts.Levels < 2 {
+		opts.Levels = 2
+	}
+	if opts.Fanout < 2 {
+		opts.Fanout = 2
+	}
+	if opts.ClusterSize <= 0 {
+		opts.ClusterSize = 4
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	s := &System{fanout: opts.Fanout, levels: opts.Levels, timeout: opts.Timeout, heights: map[types.ShardID]uint64{}, delay: opts.InterClusterDelay}
+	total := 0
+	levelSize := 1
+	for l := 0; l < opts.Levels; l++ {
+		total += levelSize
+		levelSize *= opts.Fanout
+	}
+	for i := 0; i < total; i++ {
+		s.all = append(s.all, alloc.NewCluster(types.ShardID(i),
+			cluster.Options{Size: opts.ClusterSize, DisableSig: opts.DisableSig}))
+	}
+	// Leaf count is fanout^(levels-1); leaves are the last level.
+	nLeaves := levelSize / opts.Fanout
+	s.leaves = s.all[total-nLeaves:]
+	return s
+}
+
+// Stop shuts every cluster down.
+func (s *System) Stop() {
+	for _, c := range s.all {
+		c.Stop()
+	}
+}
+
+// Leaves returns the edge clusters (one per shard).
+func (s *System) Leaves() []*cluster.Cluster { return s.leaves }
+
+// NumShards returns the shard count.
+func (s *System) NumShards() int { return len(s.leaves) }
+
+// Aborted returns the number of lock-conflict aborts.
+func (s *System) Aborted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aborted
+}
+
+// treeIndex converts shard id (0..len(leaves)-1) to heap index.
+func (s *System) treeIndex(shard types.ShardID) int {
+	return len(s.all) - len(s.leaves) + int(shard)
+}
+
+func parent(i, fanout int) int { return (i - 1) / fanout }
+
+// depth returns a heap node's depth.
+func depth(i, fanout int) int {
+	d := 0
+	for i > 0 {
+		i = parent(i, fanout)
+		d++
+	}
+	return d
+}
+
+// LCA returns the heap index of the lowest common ancestor of the given
+// shards' edge clusters — Saguaro's coordinator choice.
+func (s *System) LCA(shards []types.ShardID) int {
+	if len(shards) == 0 {
+		return 0
+	}
+	cur := s.treeIndex(shards[0])
+	for _, sh := range shards[1:] {
+		other := s.treeIndex(sh)
+		a, b := cur, other
+		for depth(a, s.fanout) > depth(b, s.fanout) {
+			a = parent(a, s.fanout)
+		}
+		for depth(b, s.fanout) > depth(a, s.fanout) {
+			b = parent(b, s.fanout)
+		}
+		for a != b {
+			a = parent(a, s.fanout)
+			b = parent(b, s.fanout)
+		}
+		cur = a
+	}
+	return cur
+}
+
+// TreeDistance returns the hop count between two heap nodes — used for
+// latency modelling (each hop is one WAN link).
+func (s *System) TreeDistance(a, b int) int {
+	da, db := depth(a, s.fanout), depth(b, s.fanout)
+	dist := 0
+	for da > db {
+		a = parent(a, s.fanout)
+		da--
+		dist++
+	}
+	for db > da {
+		b = parent(b, s.fanout)
+		db--
+		dist++
+	}
+	for a != b {
+		a = parent(a, s.fanout)
+		b = parent(b, s.fanout)
+		dist += 2
+	}
+	return dist
+}
+
+// hop sleeps for one inter-cluster message crossing between tree nodes.
+func (s *System) hop(a, b int) {
+	if s.delay == nil || a == b {
+		return
+	}
+	if d := s.delay(a, b); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// System errors.
+var (
+	ErrAborted  = errors.New("saguaro: cross-shard transaction aborted (lock conflict)")
+	ErrBadShard = errors.New("saguaro: transaction names an unknown shard")
+)
+
+func (s *System) nextVersion(id types.ShardID) types.Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.heights[id]++
+	return types.Version{Block: s.heights[id]}
+}
+
+// SubmitIntra orders and executes on the home edge cluster.
+func (s *System) SubmitIntra(tx *types.Transaction) error {
+	if len(tx.Shards) != 1 {
+		return fmt.Errorf("saguaro: intra-shard transaction must name one shard, got %v", tx.Shards)
+	}
+	home := tx.Shards[0]
+	if int(home) >= len(s.leaves) {
+		return ErrBadShard
+	}
+	c := s.leaves[home]
+	if _, err := c.OrderSync(tx, tx.Hash(), s.timeout); err != nil {
+		return err
+	}
+	res := c.Store().Execute(s.nextVersion(home), tx.Ops)
+	return res.Err
+}
+
+type coordMsg struct {
+	TxID string
+	Kind string // "admit" | "decide"
+}
+
+type shardMsg struct {
+	TxID string
+	Kind string // "prepare" | "commit"
+}
+
+// SubmitCross coordinates a cross-shard transaction through the LCA
+// cluster: admit at LCA, prepare (+lock) at involved edges, decide at
+// LCA, commit at edges. Same phase structure as coordinator-based 2PC but
+// with a topologically close coordinator — the latency win of §2.3.4.
+func (s *System) SubmitCross(tx *types.Transaction) error {
+	for _, sh := range tx.Shards {
+		if int(sh) >= len(s.leaves) {
+			return ErrBadShard
+		}
+	}
+	coordIdx := s.LCA(tx.Shards)
+	coord := s.all[coordIdx]
+
+	if _, err := coord.OrderSync(coordMsg{TxID: tx.ID, Kind: "admit"},
+		types.HashConcat([]byte("sag/admit"), []byte(tx.ID)), s.timeout); err != nil {
+		return err
+	}
+
+	type voteRes struct {
+		ok  bool
+		err error
+	}
+	votes := make(chan voteRes, len(tx.Shards))
+	for _, sh := range tx.Shards {
+		go func(sh types.ShardID) {
+			s.hop(coordIdx, s.treeIndex(sh)) // LCA → edge: prepare
+			c := s.leaves[sh]
+			if _, err := c.OrderSync(shardMsg{TxID: tx.ID, Kind: "prepare"},
+				types.HashConcat([]byte("sag/prep/"+sh.String()), []byte(tx.ID)), s.timeout); err != nil {
+				votes <- voteRes{err: err}
+				return
+			}
+			err := c.TryLock(tx.ID, ahl.KeysForShard(tx, sh))
+			s.hop(s.treeIndex(sh), coordIdx) // edge → LCA: vote
+			votes <- voteRes{ok: err == nil}
+		}(sh)
+	}
+	commit := true
+	var firstErr error
+	for range tx.Shards {
+		v := <-votes
+		if v.err != nil && firstErr == nil {
+			firstErr = v.err
+		}
+		if !v.ok {
+			commit = false
+		}
+	}
+	release := func() {
+		for _, sh := range tx.Shards {
+			s.leaves[sh].Unlock(tx.ID)
+		}
+	}
+	if firstErr != nil {
+		release()
+		return firstErr
+	}
+
+	if _, err := coord.OrderSync(coordMsg{TxID: tx.ID, Kind: "decide"},
+		types.HashConcat([]byte("sag/decide"), []byte(tx.ID)), s.timeout); err != nil {
+		release()
+		return err
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(tx.Shards))
+	for i, sh := range tx.Shards {
+		wg.Add(1)
+		go func(i int, sh types.ShardID) {
+			defer wg.Done()
+			s.hop(coordIdx, s.treeIndex(sh)) // LCA → edge: commit/abort
+			c := s.leaves[sh]
+			_, err := c.OrderSync(shardMsg{TxID: tx.ID, Kind: "commit"},
+				types.HashConcat([]byte("sag/commit/"+sh.String()), []byte(tx.ID)), s.timeout)
+			if err == nil && commit {
+				res := c.Store().Execute(s.nextVersion(sh), ahl.OpsForShard(tx, sh))
+				err = res.Err
+			}
+			c.Unlock(tx.ID)
+			errs[i] = err
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if !commit {
+		s.mu.Lock()
+		s.aborted++
+		s.mu.Unlock()
+		return ErrAborted
+	}
+	return nil
+}

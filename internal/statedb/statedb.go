@@ -1,0 +1,308 @@
+// Package statedb implements the blockchain world state (§2.2): a
+// versioned key-value store with the multi-version concurrency checks the
+// execute-order-validate architecture depends on (§2.3.3), plus the
+// deterministic executor for transaction payloads that every architecture
+// shares.
+//
+// Versioning convention: the version of a key is the (block height,
+// transaction index) that last wrote it. Blocks carrying transactions
+// start at height 1; the zero Version means "never written", which is why
+// a key that has never existed reads as version 0.0.
+package statedb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"permchain/internal/types"
+)
+
+// Reader is a read view of committed state.
+type Reader interface {
+	// Get returns the value and version at key, and whether it exists.
+	Get(key string) ([]byte, types.Version, bool)
+}
+
+// HistEntry is one historical value of a key, for provenance queries.
+type HistEntry struct {
+	Version types.Version
+	Value   []byte
+}
+
+// Store is the in-memory world state. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string]entry
+	hist map[string][]HistEntry
+	// histLimit bounds per-key history (0 disables history).
+	histLimit int
+}
+
+type entry struct {
+	val []byte
+	ver types.Version
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithHistory keeps up to limit historical versions per key.
+func WithHistory(limit int) Option {
+	return func(s *Store) { s.histLimit = limit }
+}
+
+// New creates an empty store.
+func New(opts ...Option) *Store {
+	s := &Store{
+		data: make(map[string]entry),
+		hist: make(map[string][]HistEntry),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Get implements Reader.
+func (s *Store) Get(key string) ([]byte, types.Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.data[key]
+	if !ok {
+		return nil, types.Version{}, false
+	}
+	return e.val, e.ver, true
+}
+
+// GetInt reads key as an integer; a missing key reads as 0.
+func (s *Store) GetInt(key string) int64 {
+	v, _, ok := s.Get(key)
+	if !ok {
+		return 0
+	}
+	n, err := DecodeInt(v)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Apply commits a write set at the given version. Writes within one
+// transaction are atomic under the store lock.
+func (s *Store) Apply(ver types.Version, writes types.WriteSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range writes {
+		if s.histLimit > 0 {
+			h := append(s.hist[k], HistEntry{Version: ver, Value: v})
+			if len(h) > s.histLimit {
+				h = h[len(h)-s.histLimit:]
+			}
+			s.hist[k] = h
+		}
+		s.data[k] = entry{val: v, ver: ver}
+	}
+}
+
+// Validate performs the Fabric-style MVCC check: every key in the read
+// set must still be at the version the endorsement observed.
+func (s *Store) Validate(reads types.ReadSet) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, ver := range reads {
+		cur, ok := s.data[k]
+		if !ok {
+			if ver != (types.Version{}) {
+				return false
+			}
+			continue
+		}
+		if cur.ver != ver {
+			return false
+		}
+	}
+	return true
+}
+
+// History returns the retained historical values of key, oldest first.
+func (s *Store) History(key string) []HistEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.hist[key]
+	out := make([]HistEntry, len(h))
+	copy(out, h)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Keys returns all live keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entry is one key-value pair returned by Scan.
+type Entry struct {
+	Key     string
+	Value   []byte
+	Version types.Version
+}
+
+// Scan returns all live entries whose key starts with prefix, sorted by
+// key — the range-query primitive ledger databases expose (e.g. listing
+// an enterprise's namespace or a shard's keyspace).
+func (s *Store) Scan(prefix string) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Entry
+	for k, e := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, Entry{Key: k, Value: e.val, Version: e.ver})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// StateHash digests the full state deterministically; two replicas with
+// identical state produce identical hashes. Used by tests and by the
+// single-ledger scalability experiments to check replica agreement.
+func (s *Store) StateHash() types.Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([][]byte, 0, 2*len(keys))
+	for _, k := range keys {
+		parts = append(parts, []byte(k), s.data[k].val)
+	}
+	return types.HashConcat(parts...)
+}
+
+// EncodeInt renders an integer as its decimal byte string, the canonical
+// integer encoding of the store.
+func EncodeInt(n int64) []byte { return strconv.AppendInt(nil, n, 10) }
+
+// DecodeInt parses a value written by EncodeInt.
+func DecodeInt(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	return strconv.ParseInt(string(b), 10, 64)
+}
+
+// Execution errors. A transaction that fails retains no effects.
+var (
+	// ErrInsufficient is returned when a transfer would drive a balance
+	// negative.
+	ErrInsufficient = errors.New("statedb: insufficient balance")
+	// ErrAssertFailed is returned when an OpAssertGE predicate fails.
+	ErrAssertFailed = errors.New("statedb: assertion failed")
+)
+
+// SimResult is the outcome of simulating (or executing) a payload.
+type SimResult struct {
+	Reads  types.ReadSet
+	Writes types.WriteSet
+	Err    error // nil when the payload succeeded
+}
+
+// Simulate runs ops against the reader without committing, recording the
+// read set (with observed versions) and the write set. It provides
+// read-your-writes semantics within the transaction. This is both the
+// XOV endorsement step and, applied to live state, the OX/OXII executor.
+func Simulate(r Reader, ops []types.Op) SimResult {
+	res := SimResult{Reads: types.ReadSet{}, Writes: types.WriteSet{}}
+	buf := map[string][]byte{}
+
+	read := func(key string) []byte {
+		if v, ok := buf[key]; ok {
+			return v
+		}
+		v, ver, ok := r.Get(key)
+		if _, seen := res.Reads[key]; !seen {
+			if ok {
+				res.Reads[key] = ver
+			} else {
+				res.Reads[key] = types.Version{}
+			}
+		}
+		if !ok {
+			return nil
+		}
+		return v
+	}
+	readInt := func(key string) int64 {
+		b := read(key)
+		n, err := DecodeInt(b)
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+	write := func(key string, val []byte) {
+		buf[key] = val
+		res.Writes[key] = val
+	}
+
+	for _, op := range ops {
+		switch op.Code {
+		case types.OpGet:
+			read(op.Key)
+		case types.OpPut:
+			write(op.Key, op.Value)
+		case types.OpAdd:
+			write(op.Key, EncodeInt(readInt(op.Key)+op.Delta))
+		case types.OpTransfer:
+			from := readInt(op.Key)
+			if from < op.Delta {
+				res.Err = fmt.Errorf("%w: %s has %d, need %d", ErrInsufficient, op.Key, from, op.Delta)
+				res.Writes = types.WriteSet{}
+				return res
+			}
+			write(op.Key, EncodeInt(from-op.Delta))
+			write(op.Key2, EncodeInt(readInt(op.Key2)+op.Delta))
+		case types.OpAssertGE:
+			if v := readInt(op.Key); v < op.Delta {
+				res.Err = fmt.Errorf("%w: %s = %d < %d", ErrAssertFailed, op.Key, v, op.Delta)
+				res.Writes = types.WriteSet{}
+				return res
+			}
+		default:
+			res.Err = fmt.Errorf("statedb: unknown opcode %v", op.Code)
+			res.Writes = types.WriteSet{}
+			return res
+		}
+	}
+	return res
+}
+
+// Execute simulates ops against the store and, on success, commits the
+// writes at the given version. It returns the result; failed transactions
+// leave the state untouched.
+func (s *Store) Execute(ver types.Version, ops []types.Op) SimResult {
+	res := Simulate(s, ops)
+	if res.Err == nil {
+		s.Apply(ver, res.Writes)
+	}
+	return res
+}

@@ -1,0 +1,305 @@
+package statedb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"permchain/internal/types"
+)
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	if _, _, ok := s.Get("nope"); ok {
+		t.Fatal("missing key reported present")
+	}
+	if s.GetInt("nope") != 0 {
+		t.Fatal("missing int key not 0")
+	}
+}
+
+func TestApplyGetRoundTrip(t *testing.T) {
+	s := New()
+	ver := types.Version{Block: 1, Tx: 0}
+	s.Apply(ver, types.WriteSet{"a": []byte("x")})
+	v, gotVer, ok := s.Get("a")
+	if !ok || string(v) != "x" || gotVer != ver {
+		t.Fatalf("got %q %v %v", v, gotVer, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestValidateMVCC(t *testing.T) {
+	s := New()
+	v1 := types.Version{Block: 1, Tx: 0}
+	s.Apply(v1, types.WriteSet{"a": []byte("x")})
+
+	// Reading the current version validates.
+	if !s.Validate(types.ReadSet{"a": v1}) {
+		t.Fatal("current version rejected")
+	}
+	// A read of a missing key at the zero version validates.
+	if !s.Validate(types.ReadSet{"ghost": {}}) {
+		t.Fatal("absent key at zero version rejected")
+	}
+	// A stale version fails after an overwrite.
+	s.Apply(types.Version{Block: 2, Tx: 3}, types.WriteSet{"a": []byte("y")})
+	if s.Validate(types.ReadSet{"a": v1}) {
+		t.Fatal("stale version validated")
+	}
+	// A read that expected a value for a key that never existed fails.
+	if s.Validate(types.ReadSet{"ghost": v1}) {
+		t.Fatal("phantom read validated")
+	}
+	// A read of zero version for a key that now exists fails.
+	if s.Validate(types.ReadSet{"a": {}}) {
+		t.Fatal("zero-version read of existing key validated")
+	}
+}
+
+func TestHistory(t *testing.T) {
+	s := New(WithHistory(2))
+	for i := 1; i <= 3; i++ {
+		s.Apply(types.Version{Block: uint64(i)}, types.WriteSet{"k": EncodeInt(int64(i))})
+	}
+	h := s.History("k")
+	if len(h) != 2 {
+		t.Fatalf("history len = %d, want 2 (bounded)", len(h))
+	}
+	if h[0].Version.Block != 2 || h[1].Version.Block != 3 {
+		t.Fatalf("history order wrong: %v", h)
+	}
+	// History disabled by default.
+	s2 := New()
+	s2.Apply(types.Version{Block: 1}, types.WriteSet{"k": []byte("v")})
+	if len(s2.History("k")) != 0 {
+		t.Fatal("history retained when disabled")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{"b": nil, "a": nil, "c": nil})
+	ks := s.Keys()
+	if len(ks) != 3 || ks[0] != "a" || ks[1] != "b" || ks[2] != "c" {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+func TestStateHashAgreement(t *testing.T) {
+	a, b := New(), New()
+	// Same writes in different order must agree.
+	a.Apply(types.Version{Block: 1}, types.WriteSet{"x": []byte("1")})
+	a.Apply(types.Version{Block: 2}, types.WriteSet{"y": []byte("2")})
+	b.Apply(types.Version{Block: 2}, types.WriteSet{"y": []byte("2")})
+	b.Apply(types.Version{Block: 1}, types.WriteSet{"x": []byte("1")})
+	if a.StateHash() != b.StateHash() {
+		t.Fatal("identical states hash differently")
+	}
+	b.Apply(types.Version{Block: 3}, types.WriteSet{"y": []byte("3")})
+	if a.StateHash() == b.StateHash() {
+		t.Fatal("different states hash equal")
+	}
+}
+
+func TestIntCodec(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, 42, -9999999, 1 << 60} {
+		got, err := DecodeInt(EncodeInt(n))
+		if err != nil || got != n {
+			t.Fatalf("round trip %d → %d, err %v", n, got, err)
+		}
+	}
+	if n, err := DecodeInt(nil); err != nil || n != 0 {
+		t.Fatal("empty value should decode to 0")
+	}
+	if _, err := DecodeInt([]byte("xyz")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestSimulateReadYourWrites(t *testing.T) {
+	s := New()
+	res := Simulate(s, []types.Op{
+		{Code: types.OpPut, Key: "k", Value: EncodeInt(5)},
+		{Code: types.OpAdd, Key: "k", Delta: 3},
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if string(res.Writes["k"]) != "8" {
+		t.Fatalf("write = %q, want 8", res.Writes["k"])
+	}
+	// The read of k after our own write must not appear as a store read
+	// at a phantom version... it appears with zero version since the store
+	// never had it; but only the first external read records.
+	if len(res.Reads) != 0 {
+		// OpAdd read k from the buffer, not the store.
+		t.Fatalf("reads = %v, want none (buffered)", res.Reads)
+	}
+}
+
+func TestSimulateRecordsVersions(t *testing.T) {
+	s := New()
+	ver := types.Version{Block: 4, Tx: 2}
+	s.Apply(ver, types.WriteSet{"k": EncodeInt(10)})
+	res := Simulate(s, []types.Op{{Code: types.OpAdd, Key: "k", Delta: 1}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Reads["k"] != ver {
+		t.Fatalf("read version = %v, want %v", res.Reads["k"], ver)
+	}
+	if string(res.Writes["k"]) != "11" {
+		t.Fatalf("write = %q", res.Writes["k"])
+	}
+}
+
+func TestSimulateTransfer(t *testing.T) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{"alice": EncodeInt(100)})
+	res := Simulate(s, []types.Op{{Code: types.OpTransfer, Key: "alice", Key2: "bob", Delta: 30}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if string(res.Writes["alice"]) != "70" || string(res.Writes["bob"]) != "30" {
+		t.Fatalf("writes = %v", res.Writes)
+	}
+}
+
+func TestSimulateInsufficient(t *testing.T) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{"alice": EncodeInt(10)})
+	res := Simulate(s, []types.Op{{Code: types.OpTransfer, Key: "alice", Key2: "bob", Delta: 30}})
+	if !errors.Is(res.Err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", res.Err)
+	}
+	if len(res.Writes) != 0 {
+		t.Fatal("failed transaction produced writes")
+	}
+}
+
+func TestSimulateAssert(t *testing.T) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{"hours": EncodeInt(38)})
+	ok := Simulate(s, []types.Op{{Code: types.OpAssertGE, Key: "hours", Delta: 30}})
+	if ok.Err != nil {
+		t.Fatal(ok.Err)
+	}
+	bad := Simulate(s, []types.Op{{Code: types.OpAssertGE, Key: "hours", Delta: 40}})
+	if !errors.Is(bad.Err, ErrAssertFailed) {
+		t.Fatalf("err = %v, want ErrAssertFailed", bad.Err)
+	}
+}
+
+func TestSimulateUnknownOpcode(t *testing.T) {
+	res := Simulate(New(), []types.Op{{Code: types.OpCode(99)}})
+	if res.Err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+}
+
+func TestExecuteCommitsOnSuccessOnly(t *testing.T) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{"a": EncodeInt(5)})
+	res := s.Execute(types.Version{Block: 2}, []types.Op{{Code: types.OpTransfer, Key: "a", Key2: "b", Delta: 100}})
+	if res.Err == nil {
+		t.Fatal("expected failure")
+	}
+	if s.GetInt("a") != 5 || s.GetInt("b") != 0 {
+		t.Fatal("failed execute mutated state")
+	}
+	res = s.Execute(types.Version{Block: 2}, []types.Op{{Code: types.OpTransfer, Key: "a", Key2: "b", Delta: 3}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if s.GetInt("a") != 2 || s.GetInt("b") != 3 {
+		t.Fatalf("a=%d b=%d", s.GetInt("a"), s.GetInt("b"))
+	}
+}
+
+func TestTransferConservationProperty(t *testing.T) {
+	// Property: any sequence of transfers between 4 accounts conserves
+	// total balance and never produces a negative balance.
+	f := func(moves []struct {
+		From, To uint8
+		Amt      int16
+	}) bool {
+		s := New()
+		accts := []string{"a", "b", "c", "d"}
+		for i, a := range accts {
+			s.Apply(types.Version{Block: 1, Tx: i}, types.WriteSet{a: EncodeInt(1000)})
+		}
+		for i, m := range moves {
+			amt := int64(m.Amt)
+			if amt < 0 {
+				amt = -amt
+			}
+			s.Execute(types.Version{Block: 2, Tx: i}, []types.Op{{
+				Code:  types.OpTransfer,
+				Key:   accts[int(m.From)%4],
+				Key2:  accts[int(m.To)%4],
+				Delta: amt,
+			}})
+		}
+		total := int64(0)
+		for _, a := range accts {
+			n := s.GetInt(a)
+			if n < 0 {
+				return false
+			}
+			total += n
+		}
+		return total == 4000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", w)
+				s.Apply(types.Version{Block: uint64(i)}, types.WriteSet{key: EncodeInt(int64(i))})
+				s.Get(key)
+				s.Validate(types.ReadSet{key: {Block: uint64(i)}})
+				s.StateHash()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{
+		"acct/alice": EncodeInt(10),
+		"acct/bob":   EncodeInt(20),
+		"cfg/limit":  EncodeInt(99),
+	})
+	got := s.Scan("acct/")
+	if len(got) != 2 || got[0].Key != "acct/alice" || got[1].Key != "acct/bob" {
+		t.Fatalf("Scan = %v", got)
+	}
+	if string(got[1].Value) != "20" || got[1].Version.Block != 1 {
+		t.Fatalf("entry = %+v", got[1])
+	}
+	if len(s.Scan("zzz")) != 0 {
+		t.Fatal("phantom prefix matched")
+	}
+	if len(s.Scan("")) != 3 {
+		t.Fatal("empty prefix should match all")
+	}
+}

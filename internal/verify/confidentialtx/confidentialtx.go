@@ -1,0 +1,318 @@
+// Package confidentialtx implements zero-knowledge-proof-based
+// verifiability (§2.3.2): confidential asset transfers in the style of
+// Quorum's ZSL / Zcash, over the sigma-protocol stack in internal/crypto.
+//
+// Amounts live in Pedersen commitments ("notes"); a transfer proves,
+// without revealing sender, receiver or amounts, that
+//
+//  1. the spender owns the input notes (Ed25519 signature),
+//  2. no note is spent twice (deterministic nullifiers against a ledger
+//     nullifier set),
+//  3. value is conserved — inputs minus outputs commit to zero
+//     (homomorphic Schnorr proof), and
+//  4. every output is non-negative (bit-decomposition range proofs),
+//     so conservation cannot be gamed with negative outputs.
+//
+// This is the "truly decentralized but computationally expensive" end of
+// the verifiability trade-off; package separ is the other end.
+package confidentialtx
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"permchain/internal/crypto"
+	"permchain/internal/types"
+)
+
+// AmountBits bounds transferable amounts to [0, 2^AmountBits).
+const AmountBits = 32
+
+const (
+	domainConserve = "confidentialtx conservation"
+)
+
+// NoteID identifies a note on the ledger (the hash of its commitment).
+type NoteID = types.Hash
+
+// Note is the owner-side secret material of one committed amount.
+type Note struct {
+	ID       NoteID
+	Owner    ed25519.PublicKey
+	Comm     crypto.Commitment
+	opening  crypto.Opening
+	ownerKey ed25519.PrivateKey
+}
+
+// Amount reveals the note's amount to its owner.
+func (n *Note) Amount() int64 { return n.opening.Value.Int64() }
+
+// WithOwnerKey returns a copy of the note equipped with the owner's
+// signing key. Wallets call this on receipt: transfers deliver notes
+// without keys, and only the rightful owner can attach one that will
+// produce valid ownership signatures.
+func (n *Note) WithOwnerKey(priv ed25519.PrivateKey) *Note {
+	cp := *n
+	cp.ownerKey = priv
+	return &cp
+}
+
+// nullifier derives the note's unique spend tag. Ledger validators learn
+// which note was spent but never the amount; real systems hide the note
+// link too (requires SNARK-strength proofs, see DESIGN.md).
+func nullifier(id NoteID) types.Hash {
+	return types.HashConcat([]byte("confidentialtx nullifier"), id[:])
+}
+
+// OutputSpec describes one desired transfer output.
+type OutputSpec struct {
+	Owner  ed25519.PublicKey
+	Amount int64
+}
+
+// TransferOutput is the public side of a created note.
+type TransferOutput struct {
+	ID    NoteID
+	Owner ed25519.PublicKey
+	Comm  crypto.Commitment
+	Range crypto.RangeProof
+}
+
+// Transfer is the public transaction: spends inputs, creates outputs.
+type Transfer struct {
+	Nullifiers []types.Hash
+	InputIDs   []NoteID
+	Outputs    []TransferOutput
+	// Conserve proves Σinputs − Σoutputs commits to zero.
+	Conserve crypto.SchnorrProof
+	// Sigs authorize each input, signed by the input note's owner over
+	// the transfer digest.
+	Sigs [][]byte
+}
+
+// digest binds all public transfer content for the ownership signatures.
+func (t *Transfer) digest() types.Hash {
+	parts := [][]byte{[]byte("confidentialtx transfer")}
+	for _, nf := range t.Nullifiers {
+		nf := nf
+		parts = append(parts, nf[:])
+	}
+	for _, o := range t.Outputs {
+		o := o
+		parts = append(parts, o.ID[:], o.Owner, o.Comm.C.Bytes())
+	}
+	return types.HashConcat(parts...)
+}
+
+// Ledger is the replicated verifier state: live note commitments and the
+// nullifier set.
+type Ledger struct {
+	g  *crypto.Group
+	mu sync.Mutex
+	// notes maps live note ids to their commitments and owners.
+	notes map[NoteID]TransferOutput
+	spent map[types.Hash]bool
+}
+
+// NewLedger creates an empty confidential-asset ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		g:     crypto.DefaultGroup(),
+		notes: map[NoteID]TransferOutput{},
+		spent: map[types.Hash]bool{},
+	}
+}
+
+// Ledger errors.
+var (
+	ErrDoubleSpend  = errors.New("confidentialtx: note already spent")
+	ErrUnknownNote  = errors.New("confidentialtx: unknown input note")
+	ErrBadSignature = errors.New("confidentialtx: ownership signature invalid")
+	ErrBadRange     = errors.New("confidentialtx: output range proof invalid")
+	ErrBadConserve  = errors.New("confidentialtx: mass conservation proof invalid")
+	ErrBadAmount    = errors.New("confidentialtx: amount out of range")
+)
+
+// Mint issues a new note to the given owner — the trusted issuance used
+// to bootstrap tests and experiments (a deployment would gateway deposits).
+func (l *Ledger) Mint(ownerPub ed25519.PublicKey, ownerPriv ed25519.PrivateKey, amount int64) (*Note, error) {
+	if amount < 0 || amount >= 1<<AmountBits {
+		return nil, ErrBadAmount
+	}
+	comm, opening := l.g.Commit(big.NewInt(amount))
+	id := types.HashConcat([]byte("note"), comm.C.Bytes(), ownerPub)
+	note := &Note{ID: id, Owner: ownerPub, Comm: comm, opening: opening, ownerKey: ownerPriv}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.notes[id] = TransferOutput{ID: id, Owner: ownerPub, Comm: comm}
+	return note, nil
+}
+
+// NewTransfer builds a transfer spending the inputs into the outputs,
+// producing the new owner-side notes. All inputs must share an owner key
+// (the spender); input total must equal output total — the caller adds a
+// change output if needed.
+func (l *Ledger) NewTransfer(inputs []*Note, outputs []OutputSpec) (*Transfer, []*Note, error) {
+	if len(inputs) == 0 || len(outputs) == 0 {
+		return nil, nil, errors.New("confidentialtx: transfer needs inputs and outputs")
+	}
+	var inSum, outSum int64
+	for _, in := range inputs {
+		inSum += in.Amount()
+	}
+	for _, o := range outputs {
+		if o.Amount < 0 || o.Amount >= 1<<AmountBits {
+			return nil, nil, ErrBadAmount
+		}
+		outSum += o.Amount
+	}
+	if inSum != outSum {
+		return nil, nil, fmt.Errorf("confidentialtx: inputs %d != outputs %d", inSum, outSum)
+	}
+
+	t := &Transfer{}
+	var notes []*Note
+	inBlind := new(big.Int)
+	for _, in := range inputs {
+		t.Nullifiers = append(t.Nullifiers, nullifier(in.ID))
+		t.InputIDs = append(t.InputIDs, in.ID)
+		inBlind.Add(inBlind, in.opening.Blinding)
+	}
+	outBlind := new(big.Int)
+	for _, o := range outputs {
+		comm, opening := l.g.Commit(big.NewInt(o.Amount))
+		rp, err := l.g.ProveRange(opening, AmountBits)
+		if err != nil {
+			return nil, nil, err
+		}
+		id := types.HashConcat([]byte("note"), comm.C.Bytes(), o.Owner)
+		t.Outputs = append(t.Outputs, TransferOutput{ID: id, Owner: o.Owner, Comm: comm, Range: rp})
+		notes = append(notes, &Note{ID: id, Owner: o.Owner, Comm: comm, opening: opening})
+		outBlind.Add(outBlind, opening.Blinding)
+	}
+
+	// Conservation: C_in / C_out commits to 0 with blinding rIn − rOut.
+	diff, err := l.conservationCommitment(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := new(big.Int).Sub(inBlind, outBlind)
+	r.Mod(r, l.g.Q)
+	t.Conserve = l.g.ProveZero(domainConserve, diff, r)
+
+	// Ownership signatures over the final digest.
+	d := t.digest()
+	for _, in := range inputs {
+		t.Sigs = append(t.Sigs, ed25519.Sign(in.ownerKey, d[:]))
+	}
+	return t, notes, nil
+}
+
+// conservationCommitment computes C = Πinputs / Πoutputs from ledger
+// state; it must commit to zero.
+func (l *Ledger) conservationCommitment(t *Transfer) (crypto.Commitment, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	acc := crypto.Commitment{C: big.NewInt(1)}
+	var err error
+	for _, id := range t.InputIDs {
+		in, ok := l.notes[id]
+		if !ok {
+			return crypto.Commitment{}, fmt.Errorf("%w: %v", ErrUnknownNote, id)
+		}
+		acc, err = l.g.AddCommitments(acc, in.Comm)
+		if err != nil {
+			return crypto.Commitment{}, err
+		}
+	}
+	for _, o := range t.Outputs {
+		acc, err = l.g.SubCommitments(acc, o.Comm)
+		if err != nil {
+			return crypto.Commitment{}, err
+		}
+	}
+	return acc, nil
+}
+
+// Verify checks a transfer without applying it.
+func (l *Ledger) Verify(t *Transfer) error {
+	if len(t.InputIDs) == 0 || len(t.InputIDs) != len(t.Nullifiers) || len(t.InputIDs) != len(t.Sigs) {
+		return errors.New("confidentialtx: malformed transfer")
+	}
+	d := t.digest()
+	l.mu.Lock()
+	for i, id := range t.InputIDs {
+		in, ok := l.notes[id]
+		if !ok {
+			l.mu.Unlock()
+			return fmt.Errorf("%w: %v", ErrUnknownNote, id)
+		}
+		if l.spent[t.Nullifiers[i]] {
+			l.mu.Unlock()
+			return ErrDoubleSpend
+		}
+		if nullifier(id) != t.Nullifiers[i] {
+			l.mu.Unlock()
+			return errors.New("confidentialtx: nullifier mismatch")
+		}
+		if !ed25519.Verify(in.Owner, d[:], t.Sigs[i]) {
+			l.mu.Unlock()
+			return ErrBadSignature
+		}
+	}
+	l.mu.Unlock()
+
+	for _, o := range t.Outputs {
+		if !l.g.VerifyRange(o.Comm, o.Range) {
+			return ErrBadRange
+		}
+	}
+	diff, err := l.conservationCommitment(t)
+	if err != nil {
+		return err
+	}
+	if !l.g.VerifyZero(domainConserve, diff, t.Conserve) {
+		return ErrBadConserve
+	}
+	return nil
+}
+
+// Apply verifies and commits a transfer: inputs become spent, outputs
+// become live notes.
+func (l *Ledger) Apply(t *Transfer) error {
+	if err := l.Verify(t); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range t.InputIDs {
+		if l.spent[t.Nullifiers[i]] {
+			return ErrDoubleSpend // lost a race; state unchanged so far
+		}
+	}
+	for i, id := range t.InputIDs {
+		l.spent[t.Nullifiers[i]] = true
+		delete(l.notes, id)
+	}
+	for _, o := range t.Outputs {
+		l.notes[o.ID] = o
+	}
+	return nil
+}
+
+// LiveNotes returns the number of unspent notes.
+func (l *Ledger) LiveNotes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.notes)
+}
+
+// SpentCount returns the nullifier-set size.
+func (l *Ledger) SpentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.spent)
+}

@@ -1,0 +1,243 @@
+// Package separ implements the token-based verifiability technique of
+// Separ (Amiri et al., WWW'21) as presented in §2.3.2: a trusted central
+// authority models a global regulation (e.g. FLSA's 40 work-hours per
+// week) as a per-worker budget of anonymous tokens, issued via RSA blind
+// signatures so that spending is unlinkable to issuance. Platforms verify
+// a token with one cheap signature check plus a double-spend lookup in a
+// ledger shared across platforms, so a worker cannot exceed the global
+// budget even by splitting work across competing platforms.
+//
+// The trade-off against package confidentialtx is the tutorial's point:
+// token verification is orders of magnitude cheaper than zero-knowledge
+// proofs, but everyone must trust the authority.
+package separ
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"permchain/internal/crypto"
+)
+
+// Period identifies a regulation window (e.g. an ISO week).
+type Period string
+
+// Token is one spendable unit of the regulated quantity (one work hour).
+type Token struct {
+	Body []byte   // random token body, unknown to the authority
+	Sig  *big.Int // authority's unblinded RSA signature over Body
+}
+
+// ID returns the token's ledger key.
+func (t *Token) ID() string { return hex.EncodeToString(t.Body) }
+
+// Authority is the trusted token issuer. It knows which worker asked for
+// how many tokens (enforcing the budget) but never sees token bodies, so
+// it cannot link spends back to workers.
+type Authority struct {
+	signer *crypto.BlindSigner
+	budget int
+	mu     sync.Mutex
+	issued map[Period]map[string]int // period → workerID → count
+}
+
+// Authority and platform errors.
+var (
+	ErrBudgetExceeded = errors.New("separ: token budget exceeded for period")
+	ErrDoubleSpend    = errors.New("separ: token already spent")
+	ErrBadToken       = errors.New("separ: token signature invalid")
+)
+
+// NewAuthority creates an authority enforcing the given per-period,
+// per-worker token budget (e.g. 40 for FLSA weekly hours).
+func NewAuthority(budget int) (*Authority, error) {
+	signer, err := crypto.NewBlindSigner(1024)
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{signer: signer, budget: budget, issued: map[Period]map[string]int{}}, nil
+}
+
+// PublicKey returns the token verification key platforms use.
+func (a *Authority) PublicKey() *rsa.PublicKey { return a.signer.PublicKey() }
+
+// Budget returns the per-period budget.
+func (a *Authority) Budget() int { return a.budget }
+
+// IssueBlind signs the blinded token bodies for a worker, refusing to
+// exceed the worker's remaining budget for the period.
+func (a *Authority) IssueBlind(period Period, workerID string, blinded []*big.Int) ([]*big.Int, error) {
+	a.mu.Lock()
+	per, ok := a.issued[period]
+	if !ok {
+		per = map[string]int{}
+		a.issued[period] = per
+	}
+	if per[workerID]+len(blinded) > a.budget {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s has %d of %d", ErrBudgetExceeded, workerID, per[workerID], a.budget)
+	}
+	per[workerID] += len(blinded)
+	a.mu.Unlock()
+
+	out := make([]*big.Int, len(blinded))
+	for i, b := range blinded {
+		sig, err := a.signer.SignBlinded(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sig
+	}
+	return out, nil
+}
+
+// Issued reports how many tokens a worker obtained in a period.
+func (a *Authority) Issued(period Period, workerID string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.issued[period][workerID]
+}
+
+// Worker holds unspent tokens.
+type Worker struct {
+	ID     string
+	mu     sync.Mutex
+	tokens []*Token
+}
+
+// NewWorker creates a worker.
+func NewWorker(id string) *Worker { return &Worker{ID: id} }
+
+// RequestTokens obtains n fresh anonymous tokens from the authority.
+func (w *Worker) RequestTokens(a *Authority, period Period, n int) error {
+	pub := a.PublicKey()
+	bodies := make([][]byte, n)
+	blindeds := make([]*big.Int, n)
+	states := make([]*crypto.BlindedToken, n)
+	for i := 0; i < n; i++ {
+		body := make([]byte, 24)
+		if _, err := rand.Read(body); err != nil {
+			return err
+		}
+		bt, err := crypto.Blind(pub, body)
+		if err != nil {
+			return err
+		}
+		bodies[i] = body
+		blindeds[i] = bt.Blinded
+		states[i] = bt
+	}
+	sigs, err := a.IssueBlind(period, w.ID, blindeds)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, s := range sigs {
+		sig, err := states[i].Unblind(pub, s)
+		if err != nil {
+			return err
+		}
+		w.tokens = append(w.tokens, &Token{Body: bodies[i], Sig: sig})
+	}
+	return nil
+}
+
+// TokenCount returns the worker's unspent token count.
+func (w *Worker) TokenCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.tokens)
+}
+
+// Take removes and returns one unspent token.
+func (w *Worker) Take() (*Token, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.tokens) == 0 {
+		return nil, errors.New("separ: no tokens left")
+	}
+	t := w.tokens[len(w.tokens)-1]
+	w.tokens = w.tokens[:len(w.tokens)-1]
+	return t, nil
+}
+
+// Ledger is the spent-token set shared across platforms. A deployment
+// replicates it across the platforms with a consensus protocol (any
+// internal/consensus implementation slots in — double-spend recording is
+// just another ordered operation); this type captures the verification
+// logic the replicas run.
+type Ledger struct {
+	mu    sync.Mutex
+	spent map[string]string // token id → platform that accepted it
+}
+
+// NewLedger creates an empty spent-token ledger.
+func NewLedger() *Ledger { return &Ledger{spent: map[string]string{}} }
+
+// SpentCount returns how many tokens have been consumed system-wide.
+func (l *Ledger) SpentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.spent)
+}
+
+// spend records the token atomically, failing on double-spend.
+func (l *Ledger) spend(id, platform string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.spent[id]; ok {
+		return ErrDoubleSpend
+	}
+	l.spent[id] = platform
+	return nil
+}
+
+// Platform is one crowdworking platform: it verifies tokens against the
+// authority's public key and the shared ledger.
+type Platform struct {
+	ID       string
+	ledger   *Ledger
+	authPub  *rsa.PublicKey
+	accepted int
+	mu       sync.Mutex
+}
+
+// NewPlatform creates a platform over the shared ledger.
+func NewPlatform(id string, ledger *Ledger, authPub *rsa.PublicKey) *Platform {
+	return &Platform{ID: id, ledger: ledger, authPub: authPub}
+}
+
+// AcceptWork verifies one token for one unit of work: signature check
+// (the token really came from the authority) and double-spend check (it
+// was not used on any platform before).
+func (p *Platform) AcceptWork(t *Token) error {
+	if !crypto.VerifyTokenSig(p.authPub, t.Body, t.Sig) {
+		return ErrBadToken
+	}
+	if err := p.ledger.spend(t.ID(), p.ID); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.accepted++
+	p.mu.Unlock()
+	return nil
+}
+
+// VerifyToken checks a token's authority signature without spending it —
+// the pure verification cost the E5 experiment measures.
+func (p *Platform) VerifyToken(t *Token) bool {
+	return crypto.VerifyTokenSig(p.authPub, t.Body, t.Sig)
+}
+
+// Accepted returns how many work units this platform has accepted.
+func (p *Platform) Accepted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted
+}

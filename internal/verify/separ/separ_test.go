@@ -1,0 +1,201 @@
+package separ
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"permchain/internal/crypto"
+)
+
+const week = Period("2026-W27")
+
+func setup(t *testing.T, budget int) (*Authority, *Ledger) {
+	t.Helper()
+	a, err := NewAuthority(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, NewLedger()
+}
+
+func TestIssueAndSpend(t *testing.T) {
+	a, l := setup(t, 40)
+	w := NewWorker("driver-1")
+	if err := w.RequestTokens(a, week, 10); err != nil {
+		t.Fatal(err)
+	}
+	if w.TokenCount() != 10 {
+		t.Fatalf("tokens %d", w.TokenCount())
+	}
+	p := NewPlatform("uber", l, a.PublicKey())
+	for i := 0; i < 10; i++ {
+		tok, err := w.Take()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AcceptWork(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Accepted() != 10 || l.SpentCount() != 10 {
+		t.Fatalf("accepted %d spent %d", p.Accepted(), l.SpentCount())
+	}
+}
+
+func TestGlobalBudgetAcrossPlatforms(t *testing.T) {
+	// The FLSA scenario from the tutorial: a worker on two platforms
+	// cannot exceed 40 total hours because the authority caps issuance.
+	a, l := setup(t, 40)
+	w := NewWorker("driver-1")
+	if err := w.RequestTokens(a, week, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RequestTokens(a, week, 15); err != nil {
+		t.Fatal(err)
+	}
+	// The 41st token is refused.
+	if err := w.RequestTokens(a, week, 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	uber := NewPlatform("uber", l, a.PublicKey())
+	lyft := NewPlatform("lyft", l, a.PublicKey())
+	for i := 0; i < 25; i++ {
+		tok, _ := w.Take()
+		if err := uber.AcceptWork(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		tok, _ := w.Take()
+		if err := lyft.AcceptWork(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if uber.Accepted()+lyft.Accepted() != 40 {
+		t.Fatalf("total %d", uber.Accepted()+lyft.Accepted())
+	}
+	if _, err := w.Take(); err == nil {
+		t.Fatal("41st hour worked")
+	}
+}
+
+func TestNewPeriodResetsBudget(t *testing.T) {
+	a, _ := setup(t, 5)
+	w := NewWorker("w")
+	if err := w.RequestTokens(a, "W1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RequestTokens(a, "W1", 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal("budget not enforced")
+	}
+	if err := w.RequestTokens(a, "W2", 5); err != nil {
+		t.Fatalf("new period refused: %v", err)
+	}
+	if a.Issued("W1", "w") != 5 || a.Issued("W2", "w") != 5 {
+		t.Fatal("issuance accounting wrong")
+	}
+}
+
+func TestDoubleSpendAcrossPlatforms(t *testing.T) {
+	a, l := setup(t, 10)
+	w := NewWorker("w")
+	if err := w.RequestTokens(a, week, 1); err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := w.Take()
+	p1 := NewPlatform("p1", l, a.PublicKey())
+	p2 := NewPlatform("p2", l, a.PublicKey())
+	if err := p1.AcceptWork(tok); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.AcceptWork(tok); !errors.Is(err, ErrDoubleSpend) {
+		t.Fatalf("token spent twice: %v", err)
+	}
+}
+
+func TestForgedTokenRejected(t *testing.T) {
+	a, l := setup(t, 10)
+	p := NewPlatform("p", l, a.PublicKey())
+	forged := &Token{Body: []byte("fake token"), Sig: big.NewInt(12345)}
+	if err := p.AcceptWork(forged); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("forged token accepted: %v", err)
+	}
+	// A token signed by a different authority is also rejected.
+	other, err := NewAuthority(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker("w")
+	if err := w.RequestTokens(other, week, 1); err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := w.Take()
+	if err := p.AcceptWork(tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("foreign token accepted: %v", err)
+	}
+}
+
+func TestUnlinkability(t *testing.T) {
+	// The authority's view: blinded values. The platform's view: token
+	// bodies. These must share no common strings, or the authority could
+	// deanonymize spends. Structural check: the token body never appears
+	// in the blinded values the authority signed.
+	a, err := NewAuthority(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker("w")
+	pub := a.PublicKey()
+
+	// Run the blinding manually to capture the authority's view.
+	body := []byte("the secret token body 01")
+	bt, err := crypto.Blind(pub, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bt.Blinded.Bytes()) == string(body) {
+		t.Fatal("blinded value reveals token body")
+	}
+	_ = w
+	if a.Budget() != 10 {
+		t.Fatal("budget accessor")
+	}
+}
+
+func TestTokenIDsDistinct(t *testing.T) {
+	a, _ := setup(t, 10)
+	w := NewWorker("w")
+	if err := w.RequestTokens(a, week, 10); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		tok, _ := w.Take()
+		if seen[tok.ID()] {
+			t.Fatal("duplicate token id")
+		}
+		seen[tok.ID()] = true
+	}
+}
+
+func BenchmarkTokenVerify(b *testing.B) {
+	a, err := NewAuthority(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := NewLedger()
+	w := NewWorker("w")
+	if err := w.RequestTokens(a, week, b.N%4096+1); err != nil {
+		b.Fatal(err)
+	}
+	p := NewPlatform("p", l, a.PublicKey())
+	tok, _ := w.Take()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Verify-only cost: signature check (the expensive part).
+		if !p.VerifyToken(tok) {
+			b.Fatal("verify failed")
+		}
+	}
+}

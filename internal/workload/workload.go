@@ -1,0 +1,282 @@
+// Package workload generates the synthetic transaction streams the
+// experiments run on: contended key-value workloads with a Zipfian skew
+// dial (the contention knob of experiment E2), bank-style transfers,
+// cross-shard mixes with a tunable cross-shard fraction (E6/E7), and
+// cross-enterprise mixes for the confidentiality experiments (E4).
+//
+// All generators are deterministic given a seed, so experiments are
+// reproducible run to run.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"permchain/internal/types"
+)
+
+// Gen is a seeded workload generator.
+type Gen struct {
+	rng *rand.Rand
+	seq int
+}
+
+// New creates a generator with the given seed.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Gen) nextID(prefix string) string {
+	g.seq++
+	return fmt.Sprintf("%s-%d", prefix, g.seq)
+}
+
+// KVConfig shapes a read-modify-write key-value workload.
+type KVConfig struct {
+	// Txs is the number of transactions to generate.
+	Txs int
+	// Keys is the keyspace size.
+	Keys int
+	// OpsPerTx is the number of read-modify-write operations per
+	// transaction (each touches one key).
+	OpsPerTx int
+	// ReadOps adds this many pure-read operations per transaction.
+	// Read-vs-write conflicts are the ones Fabric++/FabricSharp can save
+	// by reordering, unlike write-write cycles.
+	ReadOps int
+	// Skew is the Zipf s parameter; values > 1 concentrate traffic on few
+	// keys (contention), 0 selects uniform access.
+	Skew float64
+}
+
+// KV generates read-modify-write transactions (OpAdd) over a keyspace
+// with the configured skew. Higher skew ⇒ more read-write conflicts,
+// the contention dial of §2.3.3's architecture comparison.
+func (g *Gen) KV(cfg KVConfig) []*types.Transaction {
+	if cfg.OpsPerTx <= 0 {
+		cfg.OpsPerTx = 1
+	}
+	pick := g.keyPicker(cfg.Keys, cfg.Skew)
+	txs := make([]*types.Transaction, cfg.Txs)
+	for i := range txs {
+		ops := make([]types.Op, 0, cfg.OpsPerTx+cfg.ReadOps)
+		for j := 0; j < cfg.OpsPerTx; j++ {
+			ops = append(ops, types.Op{Code: types.OpAdd, Key: fmt.Sprintf("key%d", pick()), Delta: 1})
+		}
+		for j := 0; j < cfg.ReadOps; j++ {
+			ops = append(ops, types.Op{Code: types.OpGet, Key: fmt.Sprintf("key%d", pick())})
+		}
+		txs[i] = &types.Transaction{ID: g.nextID("kv"), Ops: ops}
+	}
+	return txs
+}
+
+// keyPicker returns a sampler over [0, keys) with the given Zipf skew.
+func (g *Gen) keyPicker(keys int, skew float64) func() int {
+	if keys <= 0 {
+		keys = 1
+	}
+	if skew <= 0 {
+		return func() int { return g.rng.Intn(keys) }
+	}
+	s := skew
+	if s <= 1 {
+		// rand.Zipf requires s > 1; approximate mild skew by mixing
+		// uniform with a hot set.
+		hot := keys / 10
+		if hot < 1 {
+			hot = 1
+		}
+		return func() int {
+			if g.rng.Float64() < s {
+				return g.rng.Intn(hot)
+			}
+			return g.rng.Intn(keys)
+		}
+	}
+	z := rand.NewZipf(g.rng, s, 1, uint64(keys-1))
+	return func() int { return int(z.Uint64()) }
+}
+
+// TransferConfig shapes a bank-transfer workload.
+type TransferConfig struct {
+	Txs      int
+	Accounts int
+	// MaxAmount bounds each transfer; amounts are in [1, MaxAmount].
+	MaxAmount int64
+	// Skew concentrates transfers on few hot accounts.
+	Skew float64
+}
+
+// AccountKey names account i's balance key.
+func AccountKey(i int) string { return fmt.Sprintf("acct%d", i) }
+
+// Transfers generates two-account transfer transactions.
+func (g *Gen) Transfers(cfg TransferConfig) []*types.Transaction {
+	if cfg.MaxAmount <= 0 {
+		cfg.MaxAmount = 10
+	}
+	pick := g.keyPicker(cfg.Accounts, cfg.Skew)
+	txs := make([]*types.Transaction, cfg.Txs)
+	for i := range txs {
+		from := pick()
+		to := pick()
+		for to == from {
+			to = (to + 1) % cfg.Accounts
+		}
+		txs[i] = &types.Transaction{
+			ID: g.nextID("xfer"),
+			Ops: []types.Op{{
+				Code: types.OpTransfer,
+				Key:  AccountKey(from), Key2: AccountKey(to),
+				Delta: 1 + g.rng.Int63n(cfg.MaxAmount),
+			}},
+		}
+	}
+	return txs
+}
+
+// ShardedConfig shapes a sharded workload (experiments E6/E7).
+type ShardedConfig struct {
+	Txs    int
+	Shards int
+	// KeysPerShard is each shard's keyspace size.
+	KeysPerShard int
+	// CrossFraction is the probability a transaction spans two shards.
+	CrossFraction float64
+}
+
+// ShardKey names key k of shard s; sharded stores partition by this
+// prefix.
+func ShardKey(s types.ShardID, k int) string { return fmt.Sprintf("s%d/key%d", s, k) }
+
+// Sharded generates a mix of intra-shard and two-shard transactions.
+// Cross-shard transactions move value between a key in each shard, the
+// access pattern AHL/SharPer-style systems must coordinate.
+func (g *Gen) Sharded(cfg ShardedConfig) []*types.Transaction {
+	if cfg.KeysPerShard <= 0 {
+		cfg.KeysPerShard = 1024
+	}
+	txs := make([]*types.Transaction, cfg.Txs)
+	for i := range txs {
+		home := types.ShardID(g.rng.Intn(cfg.Shards))
+		k1 := g.rng.Intn(cfg.KeysPerShard)
+		if cfg.Shards > 1 && g.rng.Float64() < cfg.CrossFraction {
+			other := types.ShardID(g.rng.Intn(cfg.Shards - 1))
+			if other >= home {
+				other++
+			}
+			k2 := g.rng.Intn(cfg.KeysPerShard)
+			txs[i] = &types.Transaction{
+				ID:     g.nextID("xs"),
+				Kind:   types.TxCross,
+				Shards: []types.ShardID{home, other},
+				Ops: []types.Op{
+					{Code: types.OpAdd, Key: ShardKey(home, k1), Delta: -1},
+					{Code: types.OpAdd, Key: ShardKey(other, k2), Delta: 1},
+				},
+			}
+			continue
+		}
+		txs[i] = &types.Transaction{
+			ID:     g.nextID("is"),
+			Kind:   types.TxInternal,
+			Shards: []types.ShardID{home},
+			Ops:    []types.Op{{Code: types.OpAdd, Key: ShardKey(home, k1), Delta: 1}},
+		}
+	}
+	return txs
+}
+
+// EnterpriseConfig shapes a cross-enterprise collaboration workload
+// (confidentiality experiments, §2.3.1).
+type EnterpriseConfig struct {
+	Txs         int
+	Enterprises int
+	// CrossFraction is the probability a transaction is cross-enterprise.
+	CrossFraction float64
+	// KeysPerEnterprise is each enterprise's private keyspace.
+	KeysPerEnterprise int
+}
+
+// EnterpriseKey names enterprise e's private key k.
+func EnterpriseKey(e types.EnterpriseID, k int) string {
+	return fmt.Sprintf("e%d/key%d", e, k)
+}
+
+// SharedKey names a key visible to all enterprises.
+func SharedKey(k int) string { return fmt.Sprintf("shared/key%d", k) }
+
+// Enterprise generates internal transactions (touching one enterprise's
+// private keys) mixed with cross-enterprise transactions (touching the
+// shared keyspace).
+func (g *Gen) Enterprise(cfg EnterpriseConfig) []*types.Transaction {
+	if cfg.KeysPerEnterprise <= 0 {
+		cfg.KeysPerEnterprise = 256
+	}
+	txs := make([]*types.Transaction, cfg.Txs)
+	for i := range txs {
+		ent := types.EnterpriseID(1 + g.rng.Intn(cfg.Enterprises))
+		if g.rng.Float64() < cfg.CrossFraction {
+			txs[i] = &types.Transaction{
+				ID:         g.nextID("xe"),
+				Enterprise: ent,
+				Kind:       types.TxCross,
+				Ops: []types.Op{{
+					Code:  types.OpAdd,
+					Key:   SharedKey(g.rng.Intn(cfg.KeysPerEnterprise)),
+					Delta: 1,
+				}},
+			}
+			continue
+		}
+		txs[i] = &types.Transaction{
+			ID:         g.nextID("ie"),
+			Enterprise: ent,
+			Kind:       types.TxInternal,
+			Ops: []types.Op{{
+				Code:  types.OpAdd,
+				Key:   EnterpriseKey(ent, g.rng.Intn(cfg.KeysPerEnterprise)),
+				Delta: 1,
+			}},
+		}
+	}
+	return txs
+}
+
+// ConflictRate measures the fraction of transaction pairs within
+// consecutive windows of size blockSize that conflict on declared key
+// sets — a cheap contention metric used to sanity-check skew settings.
+func ConflictRate(txs []*types.Transaction, blockSize int) float64 {
+	if blockSize < 2 {
+		return 0
+	}
+	pairs, conflicts := 0, 0
+	for start := 0; start+blockSize <= len(txs); start += blockSize {
+		blk := txs[start : start+blockSize]
+		for i := 0; i < len(blk); i++ {
+			ki := keySet(blk[i])
+			for j := i + 1; j < len(blk); j++ {
+				pairs++
+				for _, k := range blk[j].TouchedKeys() {
+					if ki[k] {
+						conflicts++
+						break
+					}
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(conflicts) / float64(pairs)
+}
+
+func keySet(tx *types.Transaction) map[string]bool {
+	m := map[string]bool{}
+	for _, k := range tx.TouchedKeys() {
+		m[k] = true
+	}
+	return m
+}

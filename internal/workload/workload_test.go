@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"permchain/internal/types"
+)
+
+func TestKVDeterministic(t *testing.T) {
+	cfg := KVConfig{Txs: 50, Keys: 100, OpsPerTx: 2, Skew: 1.2}
+	a := New(7).KV(cfg)
+	b := New(7).KV(cfg)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Ops[0].Key != b[i].Ops[0].Key {
+			t.Fatalf("tx %d differs across same-seed runs", i)
+		}
+	}
+	c := New(8).KV(cfg)
+	same := true
+	for i := range a {
+		if a[i].Ops[0].Key != c[i].Ops[0].Key {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workload")
+	}
+}
+
+func TestKVSkewRaisesContention(t *testing.T) {
+	uniform := New(1).KV(KVConfig{Txs: 2000, Keys: 10000, OpsPerTx: 1, Skew: 0})
+	skewed := New(1).KV(KVConfig{Txs: 2000, Keys: 10000, OpsPerTx: 1, Skew: 1.5})
+	cu := ConflictRate(uniform, 100)
+	cs := ConflictRate(skewed, 100)
+	if cs <= cu {
+		t.Fatalf("skewed conflict rate %.4f not above uniform %.4f", cs, cu)
+	}
+}
+
+func TestKVMildSkewStillWorks(t *testing.T) {
+	txs := New(2).KV(KVConfig{Txs: 100, Keys: 50, OpsPerTx: 1, Skew: 0.5})
+	if len(txs) != 100 {
+		t.Fatalf("len %d", len(txs))
+	}
+}
+
+func TestTransfersWellFormed(t *testing.T) {
+	txs := New(3).Transfers(TransferConfig{Txs: 200, Accounts: 10, MaxAmount: 50})
+	for _, tx := range txs {
+		op := tx.Ops[0]
+		if op.Code != types.OpTransfer {
+			t.Fatalf("op %v", op.Code)
+		}
+		if op.Key == op.Key2 {
+			t.Fatal("self transfer generated")
+		}
+		if op.Delta < 1 || op.Delta > 50 {
+			t.Fatalf("amount %d out of range", op.Delta)
+		}
+	}
+}
+
+func TestShardedMix(t *testing.T) {
+	txs := New(4).Sharded(ShardedConfig{Txs: 1000, Shards: 4, KeysPerShard: 100, CrossFraction: 0.3})
+	cross := 0
+	for _, tx := range txs {
+		switch tx.Kind {
+		case types.TxCross:
+			cross++
+			if len(tx.Shards) != 2 || tx.Shards[0] == tx.Shards[1] {
+				t.Fatalf("bad cross tx shards %v", tx.Shards)
+			}
+		case types.TxInternal:
+			if len(tx.Shards) != 1 {
+				t.Fatalf("bad internal tx shards %v", tx.Shards)
+			}
+		}
+	}
+	if cross < 200 || cross > 400 {
+		t.Fatalf("cross count %d, want ≈300", cross)
+	}
+}
+
+func TestShardedZeroCross(t *testing.T) {
+	txs := New(5).Sharded(ShardedConfig{Txs: 300, Shards: 4, CrossFraction: 0})
+	for _, tx := range txs {
+		if tx.Kind == types.TxCross {
+			t.Fatal("cross tx with CrossFraction 0")
+		}
+	}
+}
+
+func TestShardedSingleShard(t *testing.T) {
+	// CrossFraction is irrelevant with one shard; must not panic.
+	txs := New(6).Sharded(ShardedConfig{Txs: 50, Shards: 1, CrossFraction: 0.9})
+	for _, tx := range txs {
+		if tx.Kind == types.TxCross {
+			t.Fatal("cross tx with one shard")
+		}
+	}
+}
+
+func TestEnterpriseMix(t *testing.T) {
+	txs := New(7).Enterprise(EnterpriseConfig{Txs: 1000, Enterprises: 3, CrossFraction: 0.2})
+	cross, internal := 0, 0
+	for _, tx := range txs {
+		if tx.Enterprise < 1 || tx.Enterprise > 3 {
+			t.Fatalf("enterprise %v out of range", tx.Enterprise)
+		}
+		switch tx.Kind {
+		case types.TxCross:
+			cross++
+			if tx.Ops[0].Key[:6] != "shared" {
+				t.Fatalf("cross tx touches %q", tx.Ops[0].Key)
+			}
+		case types.TxInternal:
+			internal++
+			want := tx.Enterprise.String() + "/"
+			if tx.Ops[0].Key[:len(want)] != want {
+				t.Fatalf("internal tx of %v touches %q", tx.Enterprise, tx.Ops[0].Key)
+			}
+		}
+	}
+	if cross < 120 || cross > 280 {
+		t.Fatalf("cross = %d, want ≈200", cross)
+	}
+	if internal+cross != 1000 {
+		t.Fatal("counts do not add up")
+	}
+}
+
+func TestConflictRateEdges(t *testing.T) {
+	if ConflictRate(nil, 10) != 0 {
+		t.Fatal("empty workload conflict rate not 0")
+	}
+	if ConflictRate(New(1).KV(KVConfig{Txs: 10, Keys: 10}), 1) != 0 {
+		t.Fatal("blockSize 1 conflict rate not 0")
+	}
+	// All txs on one key: conflict rate 1.
+	txs := New(1).KV(KVConfig{Txs: 20, Keys: 1})
+	if got := ConflictRate(txs, 10); got != 1 {
+		t.Fatalf("single-key conflict rate %.2f, want 1", got)
+	}
+}

@@ -1,0 +1,128 @@
+// Package permchain is a from-scratch Go implementation of the
+// permissioned-blockchain design space surveyed in "Permissioned
+// Blockchains: Properties, Techniques and Applications" (Amiri, Agrawal,
+// El Abbadi — SIGMOD 2021).
+//
+// The package is a facade over the internal building blocks:
+//
+//   - six consensus protocols (PBFT, Raft, Paxos, Tendermint, HotStuff,
+//     IBFT) behind one Replica interface;
+//   - the three transaction-processing architectures of §2.3.3 —
+//     order-execute, order-parallel-execute (ParBlockchain), and
+//     execute-order-validate (Fabric) with the FastFabric, Fabric++,
+//     FabricSharp and XOX optimizations;
+//   - the confidentiality techniques of §2.3.1 (Caper views, Fabric
+//     channels, private data collections);
+//   - the verifiability techniques of §2.3.2 (zero-knowledge confidential
+//     transfers, Separ's anonymous tokens); and
+//   - the scalability techniques of §2.3.4 (ResilientDB single-ledger,
+//     AHL, SharPer, Saguaro).
+//
+// The quickest way in:
+//
+//	chain, err := permchain.NewChain(permchain.Config{
+//		Nodes:    4,
+//		Protocol: permchain.PBFT,
+//		Arch:     permchain.OXII,
+//	})
+//	chain.Start()
+//	defer chain.Stop()
+//	chain.Submit(permchain.NewTransaction("pay-1",
+//		permchain.Transfer("alice", "bob", 10)))
+//
+// See examples/ for complete applications and DESIGN.md for the full
+// system inventory.
+package permchain
+
+import (
+	"permchain/internal/core"
+	"permchain/internal/types"
+)
+
+// Core chain types, re-exported.
+type (
+	// Chain is a running permissioned blockchain: n nodes, each with its
+	// own ledger copy and world state, a consensus protocol, and a
+	// transaction-processing architecture.
+	Chain = core.Chain
+	// Config shapes a Chain.
+	Config = core.Config
+	// Node is one replica's ledger, state and statistics.
+	Node = core.Node
+	// Protocol selects the ordering protocol.
+	Protocol = core.Protocol
+	// Architecture selects the processing architecture.
+	Architecture = core.Architecture
+)
+
+// Transaction model, re-exported.
+type (
+	// Transaction is the unit of work clients submit.
+	Transaction = types.Transaction
+	// Op is one deterministic operation in a transaction payload.
+	Op = types.Op
+	// Hash is a SHA-256 digest.
+	Hash = types.Hash
+	// NodeID identifies a replica.
+	NodeID = types.NodeID
+	// EnterpriseID identifies an organization in collaborative settings.
+	EnterpriseID = types.EnterpriseID
+	// ShardID identifies a data shard.
+	ShardID = types.ShardID
+)
+
+// Ordering protocols.
+const (
+	PBFT       = core.PBFT
+	Raft       = core.Raft
+	Paxos      = core.Paxos
+	Tendermint = core.Tendermint
+	HotStuff   = core.HotStuff
+	IBFT       = core.IBFT
+)
+
+// Processing architectures (§2.3.3).
+const (
+	// OX is order-execute: simple, sequential, always serializable.
+	OX = core.OX
+	// OXII is order-parallel-execute: dependency graphs, parallel
+	// execution, no concurrency aborts (ParBlockchain).
+	OXII = core.OXII
+	// XOV is execute-order-validate: optimistic parallel endorsement with
+	// MVCC validation aborts (Hyperledger Fabric).
+	XOV = core.XOV
+)
+
+// NewChain assembles a chain from the config. Call Start before
+// submitting and Stop when done.
+func NewChain(cfg Config) (*Chain, error) { return core.New(cfg) }
+
+// NewTransaction builds a transaction with the given id and operations.
+func NewTransaction(id string, ops ...Op) *Transaction {
+	return &Transaction{ID: id, Ops: ops}
+}
+
+// Get reads key into the transaction's read set.
+func Get(key string) Op { return Op{Code: types.OpGet, Key: key} }
+
+// Put writes value to key.
+func Put(key string, value []byte) Op {
+	return Op{Code: types.OpPut, Key: key, Value: value}
+}
+
+// Add atomically adds delta to the integer at key.
+func Add(key string, delta int64) Op {
+	return Op{Code: types.OpAdd, Key: key, Delta: delta}
+}
+
+// Transfer moves amount from one key to another, failing the transaction
+// if the source balance is insufficient.
+func Transfer(from, to string, amount int64) Op {
+	return Op{Code: types.OpTransfer, Key: from, Key2: to, Delta: amount}
+}
+
+// AssertGE fails the transaction unless the integer at key is >= bound.
+// Use it to encode preconditions and SLA-style constraints.
+func AssertGE(key string, bound int64) Op {
+	return Op{Code: types.OpAssertGE, Key: key, Delta: bound}
+}

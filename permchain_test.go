@@ -1,0 +1,76 @@
+package permchain
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	chain, err := NewChain(Config{
+		Nodes: 4, Protocol: PBFT, Arch: OXII,
+		BlockSize: 8, Timeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.Start()
+	defer chain.Stop()
+
+	if err := chain.Submit(NewTransaction("fund", Add("alice", 100))); err != nil {
+		t.Fatal(err)
+	}
+	chain.Flush()
+	if !chain.AwaitTxs(1, 10*time.Second) {
+		t.Fatal("funding stalled")
+	}
+	if err := chain.Submit(NewTransaction("pay", Transfer("alice", "bob", 30))); err != nil {
+		t.Fatal(err)
+	}
+	chain.Flush()
+	if !chain.AwaitAllNodesTxs(2, 10*time.Second) {
+		t.Fatal("payment stalled")
+	}
+	if err := chain.VerifyReplication(); err != nil {
+		t.Fatal(err)
+	}
+	if got := chain.Node(0).Store().GetInt("alice"); got != 70 {
+		t.Fatalf("alice = %d", got)
+	}
+	if got := chain.Node(0).Store().GetInt("bob"); got != 30 {
+		t.Fatalf("bob = %d", got)
+	}
+}
+
+func TestOpConstructors(t *testing.T) {
+	tx := NewTransaction("t",
+		Get("a"), Put("b", []byte("v")), Add("c", 5), Transfer("d", "e", 7), AssertGE("f", 3))
+	if len(tx.Ops) != 5 {
+		t.Fatalf("ops = %d", len(tx.Ops))
+	}
+	if tx.Ops[3].Key != "d" || tx.Ops[3].Key2 != "e" || tx.Ops[3].Delta != 7 {
+		t.Fatalf("transfer op %+v", tx.Ops[3])
+	}
+	keys := tx.TouchedKeys()
+	if len(keys) != 6 {
+		t.Fatalf("touched %v", keys)
+	}
+}
+
+func TestFacadeAllArchConstants(t *testing.T) {
+	for _, a := range []Architecture{OX, OXII, XOV} {
+		chain, err := NewChain(Config{Nodes: 4, Arch: a, Timeout: 400 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		chain.Start()
+		if err := chain.Submit(NewTransaction(fmt.Sprintf("t-%v", a), Add("k", 1))); err != nil {
+			t.Fatal(err)
+		}
+		chain.Flush()
+		if !chain.AwaitTxs(1, 10*time.Second) {
+			t.Fatalf("%v stalled", a)
+		}
+		chain.Stop()
+	}
+}
