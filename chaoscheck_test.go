@@ -1,0 +1,70 @@
+package permchain
+
+// chaoscheck is the repo-level robustness matrix: every consensus protocol
+// is driven through the chaos harness's canonical fault schedules —
+// crash-recovery and partition/heal for all six, leader kill for the
+// protocols that expose leadership, equivocation for the BFT ones — and
+// every run must pass both checkers (safety across all incarnations,
+// bounded post-heal liveness). The per-package tests exercise each
+// protocol's recovery mechanism in isolation; this matrix is the single
+// place where the §2.2 fault-tolerance claims are checked uniformly.
+
+import (
+	"testing"
+	"time"
+
+	"permchain/internal/chaos"
+	"permchain/internal/types"
+)
+
+func runChaos(t *testing.T, p chaos.Protocol, sched []chaos.Event, via int) {
+	t.Helper()
+	rep := chaos.Run(chaos.Config{
+		Protocol:  p,
+		Seed:      7,
+		Timeout:   150 * time.Millisecond,
+		SubmitVia: via,
+		Schedule:  sched,
+	})
+	if !rep.Ok() {
+		t.Fatalf("chaos run failed:\n%s", rep)
+	}
+	t.Log("\n" + rep.String())
+}
+
+func TestChaosMatrix(t *testing.T) {
+	const warm, dark, post = 3, 4, 2
+	for _, p := range chaos.Protocols() {
+		p := p
+		n := p.MinN
+		last := types.NodeID(n - 1)
+		minority := []types.NodeID{last}
+		var majority []types.NodeID
+		for i := 0; i < n-1; i++ {
+			majority = append(majority, types.NodeID(i))
+		}
+
+		t.Run(p.Name+"/crash-recovery", func(t *testing.T) {
+			t.Parallel()
+			runChaos(t, p, chaos.CrashRecoverySchedule(last, warm, dark, post), 0)
+		})
+		t.Run(p.Name+"/partition-heal", func(t *testing.T) {
+			t.Parallel()
+			runChaos(t, p, chaos.PartitionHealSchedule(minority, majority, warm, dark, post), 0)
+		})
+		if p.Name == "raft" || p.Name == "paxos" {
+			t.Run(p.Name+"/leader-kill", func(t *testing.T) {
+				t.Parallel()
+				runChaos(t, p, chaos.LeaderKillSchedule(warm, dark, 500*time.Millisecond), 0)
+			})
+		}
+		if p.ByzFault {
+			t.Run(p.Name+"/equivocation", func(t *testing.T) {
+				t.Parallel()
+				// The last replica turns Byzantine (split silence);
+				// submissions go via a correct one.
+				runChaos(t, p, chaos.EquivocationSchedule(last, warm, dark, post), 0)
+			})
+		}
+	}
+}

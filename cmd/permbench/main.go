@@ -1,4 +1,4 @@
-// Command permbench runs the paper-reproduction experiments (E1–E8 in
+// Command permbench runs the paper-reproduction experiments (E1–E10 in
 // DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -69,6 +69,7 @@ func main() {
 			return bench.E8ConsensusProtocols(scale(300, 30), 4)
 		}},
 		{"E9", func() (*bench.Table, error) { return bench.E9Ablations(scale(1000, 120)) }},
+		{"E10", func() (*bench.Table, error) { return bench.E10Chaos(*quick) }},
 	}
 
 	failed := false

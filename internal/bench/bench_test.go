@@ -180,3 +180,20 @@ func TestE9Quick(t *testing.T) {
 	}
 	t.Log("\n" + tbl.String())
 }
+
+func TestE10Quick(t *testing.T) {
+	tbl, err := E10Chaos(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 protocols × 2 quick schedules.
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	for _, row := range tbl.Rows {
+		if row[6] != "held" || row[7] != "ok" {
+			t.Fatalf("chaos row failed: %v", row)
+		}
+	}
+	t.Log("\n" + tbl.String())
+}

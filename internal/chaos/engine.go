@@ -1,0 +1,410 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"permchain/internal/consensus"
+	"permchain/internal/crypto"
+	"permchain/internal/network"
+	"permchain/internal/types"
+)
+
+// collector drains one replica incarnation's decision stream into a
+// mutex-guarded log the checkers can read while the run is still going.
+type collector struct {
+	mu   sync.Mutex
+	log  []consensus.Decision
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+func collect(ch <-chan consensus.Decision) *collector {
+	c := &collector{quit: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		for {
+			select {
+			case d := <-ch:
+				c.mu.Lock()
+				c.log = append(c.log, d)
+				c.mu.Unlock()
+			case <-c.quit:
+				// Drain what the replica emitted before it stopped.
+				for {
+					select {
+					case d := <-ch:
+						c.mu.Lock()
+						c.log = append(c.log, d)
+						c.mu.Unlock()
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	return c
+}
+
+func (c *collector) stop() {
+	c.once.Do(func() { close(c.quit) })
+	<-c.done
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.log)
+}
+
+func (c *collector) snapshot() []consensus.Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]consensus.Decision, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// runner is the mutable state of one chaos run.
+type runner struct {
+	cfg   Config
+	net   *network.Network
+	keys  *crypto.Keyring
+	nodes []types.NodeID
+	reps  []consensus.Replica
+	// cols holds the live incarnation's collector per node (nil while
+	// crashed); allLogs keeps every incarnation ever started, because
+	// safety must hold across incarnations, not just survivors.
+	cols    []*collector
+	allLogs [][]*collector
+	crashed []bool
+	groups  [][]types.NodeID // nil when unpartitioned
+	subs    int
+	rep     *Report
+}
+
+// Run executes one scripted chaos run and returns its report.
+func Run(cfg Config) *Report {
+	cfg = cfg.defaulted()
+	r := &runner{
+		cfg:     cfg,
+		net:     network.New(network.WithSeed(cfg.Seed)),
+		keys:    crypto.NewKeyring(cfg.N),
+		nodes:   make([]types.NodeID, cfg.N),
+		reps:    make([]consensus.Replica, cfg.N),
+		cols:    make([]*collector, cfg.N),
+		allLogs: make([][]*collector, cfg.N),
+		crashed: make([]bool, cfg.N),
+		rep:     &Report{Protocol: cfg.Protocol.Name, N: cfg.N, Seed: cfg.Seed},
+	}
+	for i := range r.nodes {
+		r.nodes[i] = types.NodeID(i)
+	}
+	for i := range r.reps {
+		r.startIncarnation(types.NodeID(i))
+	}
+
+	seenFault := false
+	for _, ev := range cfg.Schedule {
+		if ev.isFault() && !seenFault {
+			seenFault = true
+			r.rep.DecisionsBefore = r.maxSeq()
+		}
+		r.exec(ev)
+	}
+	r.rep.DecisionsDuring = r.maxSeq()
+
+	if cfg.SkipProbe {
+		r.rep.LivenessOK = true
+	} else {
+		r.probeLiveness()
+	}
+	r.rep.DecisionsAfter = r.maxSeq()
+	r.rep.Submitted = r.subs
+
+	for i, rep := range r.reps {
+		if !r.crashed[i] {
+			rep.Stop()
+		}
+	}
+	for _, c := range r.cols {
+		if c != nil {
+			c.stop()
+		}
+	}
+	r.checkSafety()
+	r.rep.logs = make([][][]consensus.Decision, cfg.N)
+	for node, incs := range r.allLogs {
+		for _, c := range incs {
+			r.rep.logs[node] = append(r.rep.logs[node], c.snapshot())
+		}
+	}
+	r.rep.Stats = r.net.StatsSnapshot()
+	return r.rep
+}
+
+// startIncarnation (re)creates node id from empty state, starts it, and
+// attaches a fresh collector. Used both at boot and on Restart.
+func (r *runner) startIncarnation(id types.NodeID) {
+	rep := r.cfg.Protocol.New(consensus.Config{
+		Self: id, Nodes: r.nodes, Net: r.net, Keys: r.keys,
+		Timeout: r.cfg.Timeout, DisableSig: r.cfg.DisableSig,
+	})
+	r.reps[id] = rep
+	rep.Start()
+	c := collect(rep.Decisions())
+	r.cols[id] = c
+	r.allLogs[id] = append(r.allLogs[id], c)
+	r.crashed[id] = false
+}
+
+func (r *runner) exec(ev Event) {
+	switch ev.Kind {
+	case EvSubmit:
+		for i := 0; i < ev.Count; i++ {
+			r.submit()
+		}
+	case EvAwait:
+		r.await()
+	case EvCrash:
+		r.crashNode(ev.Node, ev.String())
+	case EvRestart:
+		r.logFault(ev.String())
+		if !r.crashed[ev.Node] {
+			r.fail(fmt.Sprintf("restart of node %d which is not crashed", ev.Node))
+			return
+		}
+		r.net.Rejoin(ev.Node)
+		r.net.Restore(ev.Node)
+		r.startIncarnation(ev.Node)
+	case EvKillLeader:
+		id := r.leader()
+		r.crashNode(id, fmt.Sprintf("kill leader (node %d)", id))
+	case EvPartition:
+		r.logFault(ev.String())
+		r.groups = ev.Groups
+		r.net.Partition(ev.Groups...)
+	case EvHeal:
+		r.logFault(ev.String())
+		r.groups = nil
+		r.net.Heal()
+	case EvDropBurst:
+		r.logFault(ev.String())
+		r.net.SetDropRate(ev.Rate)
+	case EvLatencySpike:
+		r.logFault(ev.String())
+		if ev.Dur > 0 {
+			d := ev.Dur
+			r.net.SetLatency(func(from, to types.NodeID) time.Duration { return d })
+		} else {
+			r.net.SetLatency(nil)
+		}
+	case EvEquivocate:
+		r.logFault(ev.String())
+		if !r.cfg.Protocol.ByzFault {
+			r.fail(fmt.Sprintf("equivocate on CFT protocol %s violates its fault model", r.cfg.Protocol.Name))
+			return
+		}
+		// Split silence: the Byzantine node's traffic reaches only the
+		// even-id half of the cluster, so quorums see conflicting worlds.
+		r.net.SetFilter(ev.Node, func(m network.Message) []network.Message {
+			if m.To%2 == 0 {
+				return []network.Message{m}
+			}
+			return nil
+		})
+	case EvClearFilter:
+		r.logFault(ev.String())
+		r.net.SetFilter(ev.Node, nil)
+	case EvSleep:
+		time.Sleep(ev.Dur)
+	}
+}
+
+func (r *runner) logFault(s string) { r.rep.Faults = append(r.rep.Faults, s) }
+
+func (r *runner) fail(s string) { r.rep.Failures = append(r.rep.Failures, s) }
+
+func (r *runner) crashNode(id types.NodeID, label string) {
+	r.logFault(label)
+	if r.crashed[id] {
+		r.fail(fmt.Sprintf("crash of node %d which is already crashed", id))
+		return
+	}
+	r.net.Crash(id)
+	r.reps[id].Stop()
+	r.cols[id].stop()
+	r.cols[id] = nil
+	r.crashed[id] = true
+}
+
+// leader returns the replica to assassinate on KillLeader: the one that
+// claims leadership (raft, paxos), or the lowest live id — which is the
+// view-0 primary / first round-robin proposer in the BFT protocols.
+func (r *runner) leader() types.NodeID {
+	for i, rep := range r.reps {
+		if r.crashed[i] {
+			continue
+		}
+		if l, ok := rep.(interface{ IsLeader() bool }); ok && l.IsLeader() {
+			return types.NodeID(i)
+		}
+	}
+	for i := range r.reps {
+		if !r.crashed[i] {
+			return types.NodeID(i)
+		}
+	}
+	return 0
+}
+
+// largestGroup returns the reachable node set submissions and barriers run
+// against: the whole cluster when unpartitioned, else the partition group
+// with the most live members.
+func (r *runner) largestGroup() []types.NodeID {
+	if r.groups == nil {
+		return r.nodes
+	}
+	best, bestLive := r.groups[0], -1
+	for _, g := range r.groups {
+		live := 0
+		for _, id := range g {
+			if !r.crashed[id] {
+				live++
+			}
+		}
+		if live > bestLive {
+			best, bestLive = g, live
+		}
+	}
+	return best
+}
+
+// submitter picks the replica to hand the next value to: the configured
+// one when it is live and reachable, otherwise the lowest live id in the
+// largest partition group.
+func (r *runner) submitter() types.NodeID {
+	want := types.NodeID(r.cfg.SubmitVia)
+	group := r.largestGroup()
+	fallback := types.NodeID(0)
+	found := false
+	for _, id := range group {
+		if r.crashed[id] {
+			continue
+		}
+		if id == want {
+			return want
+		}
+		if !found || id < fallback {
+			fallback, found = id, true
+		}
+	}
+	return fallback
+}
+
+func (r *runner) submit() {
+	v := fmt.Sprintf("%s/cmd-%d", r.cfg.Protocol.Name, r.subs)
+	r.subs++
+	r.reps[r.submitter()].Submit(v, types.HashBytes([]byte(v)))
+}
+
+// await blocks until every live replica in the largest group has decided
+// all submitted values, or the barrier times out (recorded as a failure).
+func (r *runner) await() bool {
+	deadline := time.Now().Add(r.cfg.AwaitTimeout)
+	for {
+		if r.caughtUp() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			r.fail(fmt.Sprintf("await barrier timed out with %d submitted", r.subs))
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// maxSeq returns the highest sequence number decided by any incarnation —
+// the cluster-wide committed frontier at this instant.
+func (r *runner) maxSeq() int {
+	max := uint64(0)
+	for _, incs := range r.allLogs {
+		for _, c := range incs {
+			for _, d := range c.snapshot() {
+				if d.Seq > max {
+					max = d.Seq
+				}
+			}
+		}
+	}
+	return int(max)
+}
+
+func (r *runner) caughtUp() bool {
+	for _, id := range r.largestGroup() {
+		if r.crashed[id] {
+			continue
+		}
+		if r.cols[id].count() < r.subs {
+			return false
+		}
+	}
+	return true
+}
+
+// probeLiveness submits one more value after the schedule ends and
+// requires every live reachable replica to decide it within
+// LivenessTimeouts consensus timeouts — the bounded-recovery claim.
+func (r *runner) probeLiveness() {
+	start := time.Now()
+	r.submit()
+	bound := time.Duration(r.cfg.LivenessTimeouts) * r.cfg.Timeout
+	deadline := start.Add(bound)
+	for {
+		if r.caughtUp() {
+			r.rep.LivenessOK = true
+			r.rep.RecoveryLatency = time.Since(start)
+			return
+		}
+		if time.Now().After(deadline) {
+			r.rep.LivenessOK = false
+			r.rep.RecoveryLatency = time.Since(start)
+			r.fail(fmt.Sprintf("liveness probe undecided after %v (%d timeouts)", bound, r.cfg.LivenessTimeouts))
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// checkSafety asserts agreement across every incarnation's full log: no
+// two logs may bind the same sequence number to different digests, and
+// each log must be the gapless in-order prefix 1..k.
+func (r *runner) checkSafety() {
+	type binding struct {
+		digest types.Hash
+		by     string
+	}
+	bySeq := map[uint64]binding{}
+	for node, incs := range r.allLogs {
+		for gen, c := range incs {
+			who := fmt.Sprintf("node %d incarnation %d", node, gen)
+			for j, d := range c.snapshot() {
+				if d.Seq != uint64(j+1) {
+					r.rep.SafetyViolations = append(r.rep.SafetyViolations,
+						fmt.Sprintf("%s: decision %d has seq %d, want %d (gap or reorder)", who, j, d.Seq, j+1))
+				}
+				if prev, ok := bySeq[d.Seq]; ok {
+					if prev.digest != d.Digest {
+						r.rep.SafetyViolations = append(r.rep.SafetyViolations,
+							fmt.Sprintf("seq %d: %s decided %x, %s decided %x", d.Seq, prev.by, prev.digest[:4], who, d.Digest[:4]))
+					}
+				} else {
+					bySeq[d.Seq] = binding{d.Digest, who}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"permchain/internal/types"
+)
+
+// EventKind enumerates the fault and workload steps a schedule can script.
+type EventKind int
+
+const (
+	// EvSubmit injects Count workload values via the current submitter.
+	EvSubmit EventKind = iota
+	// EvAwait blocks until every reachable live replica has decided all
+	// submitted values — the schedule's quiesce barrier.
+	EvAwait
+	// EvCrash crash-stops Node: the network mutes it and its replica
+	// goroutine is stopped.
+	EvCrash
+	// EvRestart re-creates Node from empty state on the same network; the
+	// protocol's recovery path must replay the full decision log.
+	EvRestart
+	// EvKillLeader crash-stops the current leader (replicas exposing
+	// IsLeader; lowest-id live replica otherwise, matching the view-0 /
+	// round-robin proposer convention).
+	EvKillLeader
+	// EvPartition splits the network into Groups; traffic across group
+	// boundaries is dropped.
+	EvPartition
+	// EvHeal removes all partitions.
+	EvHeal
+	// EvDropBurst sets the network-wide random loss rate to Rate
+	// (Rate 0 ends the burst).
+	EvDropBurst
+	// EvLatencySpike sets uniform link latency to Dur (Dur 0 ends it).
+	EvLatencySpike
+	// EvEquivocate makes Node Byzantine via a network filter: its outbound
+	// traffic reaches only even-id replicas (split silence). BFT-only.
+	EvEquivocate
+	// EvClearFilter restores Node to correct behavior.
+	EvClearFilter
+	// EvSleep waits Dur of wall time — for letting timer-driven recovery
+	// (elections, view changes) run; avoid it in determinism-sensitive
+	// schedules.
+	EvSleep
+)
+
+// Event is one schedule step. Use the constructor helpers.
+type Event struct {
+	Kind   EventKind
+	Node   types.NodeID
+	Count  int
+	Groups [][]types.NodeID
+	Rate   float64
+	Dur    time.Duration
+}
+
+// Submit injects n workload values.
+func Submit(n int) Event { return Event{Kind: EvSubmit, Count: n} }
+
+// Await blocks until all reachable live replicas are fully caught up.
+func Await() Event { return Event{Kind: EvAwait} }
+
+// Crash crash-stops a replica.
+func Crash(id types.NodeID) Event { return Event{Kind: EvCrash, Node: id} }
+
+// Restart re-creates a crashed replica from empty state.
+func Restart(id types.NodeID) Event { return Event{Kind: EvRestart, Node: id} }
+
+// KillLeader crash-stops the current leader.
+func KillLeader() Event { return Event{Kind: EvKillLeader} }
+
+// Partition splits the network into the given groups.
+func Partition(groups ...[]types.NodeID) Event {
+	return Event{Kind: EvPartition, Groups: groups}
+}
+
+// Heal removes all partitions.
+func Heal() Event { return Event{Kind: EvHeal} }
+
+// DropBurst sets the random message-loss rate (0 ends the burst).
+func DropBurst(rate float64) Event { return Event{Kind: EvDropBurst, Rate: rate} }
+
+// LatencySpike sets uniform link latency (0 ends the spike).
+func LatencySpike(d time.Duration) Event { return Event{Kind: EvLatencySpike, Dur: d} }
+
+// Equivocate makes a replica Byzantine by split silence.
+func Equivocate(id types.NodeID) Event { return Event{Kind: EvEquivocate, Node: id} }
+
+// ClearFilter restores an equivocating replica to correct behavior.
+func ClearFilter(id types.NodeID) Event { return Event{Kind: EvClearFilter, Node: id} }
+
+// Sleep waits wall time for timer-driven recovery.
+func Sleep(d time.Duration) Event { return Event{Kind: EvSleep, Dur: d} }
+
+// isFault reports whether the event injects a fault (vs workload/heal).
+func (e Event) isFault() bool {
+	switch e.Kind {
+	case EvCrash, EvKillLeader, EvPartition, EvEquivocate:
+		return true
+	case EvDropBurst:
+		return e.Rate > 0
+	case EvLatencySpike:
+		return e.Dur > 0
+	}
+	return false
+}
+
+// String renders the event for fault logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvSubmit:
+		return fmt.Sprintf("submit %d", e.Count)
+	case EvAwait:
+		return "await"
+	case EvCrash:
+		return fmt.Sprintf("crash node %d", e.Node)
+	case EvRestart:
+		return fmt.Sprintf("restart node %d", e.Node)
+	case EvKillLeader:
+		return "kill leader"
+	case EvPartition:
+		return fmt.Sprintf("partition %v", e.Groups)
+	case EvHeal:
+		return "heal"
+	case EvDropBurst:
+		return fmt.Sprintf("drop burst %.2f", e.Rate)
+	case EvLatencySpike:
+		return fmt.Sprintf("latency spike %v", e.Dur)
+	case EvEquivocate:
+		return fmt.Sprintf("equivocate node %d", e.Node)
+	case EvClearFilter:
+		return fmt.Sprintf("clear filter node %d", e.Node)
+	case EvSleep:
+		return fmt.Sprintf("sleep %v", e.Dur)
+	}
+	return "unknown"
+}
+
+// CrashRecoverySchedule scripts the canonical crash-recovery run: warm the
+// cluster, crash one replica, commit a workload it never sees, restart it,
+// and require everyone — including the fresh incarnation — to converge.
+func CrashRecoverySchedule(victim types.NodeID, warm, dark, post int) []Event {
+	return []Event{
+		Submit(warm), Await(),
+		Crash(victim),
+		Submit(dark), Await(),
+		Restart(victim),
+		Submit(post), Await(),
+	}
+}
+
+// PartitionHealSchedule scripts the canonical partition run: isolate a
+// minority, commit through the majority, heal, and require the minority to
+// catch up.
+func PartitionHealSchedule(minority, majority []types.NodeID, warm, dark, post int) []Event {
+	return []Event{
+		Submit(warm), Await(),
+		Partition(minority, majority),
+		Submit(dark), Await(),
+		Heal(),
+		Submit(post), Await(),
+	}
+}
+
+// LeaderKillSchedule scripts a leader assassination mid-stream: the
+// remaining quorum must elect/rotate and keep committing.
+func LeaderKillSchedule(warm, dark int, regroup time.Duration) []Event {
+	return []Event{
+		Submit(warm), Await(),
+		KillLeader(),
+		Submit(dark), Sleep(regroup), Await(),
+	}
+}
+
+// EquivocationSchedule scripts a Byzantine replica that split-silences
+// (reaches only even-id peers) through a workload window. BFT-only.
+func EquivocationSchedule(byz types.NodeID, warm, dark, post int) []Event {
+	return []Event{
+		Submit(warm), Await(),
+		Equivocate(byz),
+		Submit(dark), Await(),
+		ClearFilter(byz),
+		Submit(post), Await(),
+	}
+}
+
+// DropBurstSchedule scripts a lossy window: random loss at rate while a
+// workload commits, then the burst ends.
+func DropBurstSchedule(rate float64, warm, dark, post int, settle time.Duration) []Event {
+	return []Event{
+		Submit(warm), Await(),
+		DropBurst(rate),
+		Submit(dark), Sleep(settle),
+		DropBurst(0),
+		Await(),
+		Submit(post), Await(),
+	}
+}
+
+// LatencySpikeSchedule scripts a slow-network window.
+func LatencySpikeSchedule(d time.Duration, warm, dark, post int) []Event {
+	return []Event{
+		Submit(warm), Await(),
+		LatencySpike(d),
+		Submit(dark), Await(),
+		LatencySpike(0),
+		Submit(post), Await(),
+	}
+}

@@ -21,10 +21,12 @@ import (
 )
 
 const (
-	msgProposal = "hs/proposal"
-	msgVote     = "hs/vote"
-	msgNewView  = "hs/newview"
-	msgRequest  = "hs/request"
+	msgProposal   = "hs/proposal"
+	msgVote       = "hs/vote"
+	msgNewView    = "hs/newview"
+	msgRequest    = "hs/request"
+	msgFetch      = "hs/fetch"
+	msgFetchReply = "hs/fetchreply"
 )
 
 type request struct {
@@ -73,6 +75,21 @@ type newViewMsg struct {
 	HighQC qc
 }
 
+// fetchMsg asks peers for a block by hash: a restarted or long-partitioned
+// replica rebuilds the ancestor path of the current branch this way so it
+// can re-execute from genesis.
+type fetchMsg struct {
+	Block types.Hash
+}
+
+// fetchReply carries the requested block. Blocks are content-addressed, so
+// a reply is self-certifying: it is stored under the hash of what was
+// actually received, and a forged body simply lands under a hash nobody
+// references.
+type fetchReply struct {
+	Block block
+}
+
 // Replica is one HotStuff node.
 type Replica struct {
 	cfg consensus.Config
@@ -99,6 +116,8 @@ type Replica struct {
 	pendSet    map[types.Hash]bool
 	committed  map[types.Hash]bool // request digests already executed
 	proposedIn map[types.Hash]bool // request digests in the active branch
+	fetching   map[types.Hash]bool // ancestor fetches in flight
+	tip        types.Hash          // most recently accepted proposal, for re-running chain rules
 	timer      *consensus.LoopTimer
 }
 
@@ -120,6 +139,7 @@ func New(cfg consensus.Config) *Replica {
 		pendSet:    map[types.Hash]bool{},
 		committed:  map[types.Hash]bool{},
 		proposedIn: map[types.Hash]bool{},
+		fetching:   map[types.Hash]bool{},
 		timer:      consensus.NewLoopTimer(),
 	}
 	gh := g.hash()
@@ -283,6 +303,62 @@ func (r *Replica) onMessage(m network.Message) {
 			return
 		}
 		r.onNewView(m.From, nv)
+	case msgFetch:
+		f, ok := m.Payload.(fetchMsg)
+		if !ok {
+			return
+		}
+		if b, ok := r.blocks[f.Block]; ok {
+			r.ep.Send(m.From, msgFetchReply, fetchReply{Block: *b})
+		}
+	case msgFetchReply:
+		fr, ok := m.Payload.(fetchReply)
+		if !ok {
+			return
+		}
+		r.onFetchReply(fr)
+	}
+}
+
+// ensureAncestors walks b's parent chain toward genesis and requests the
+// first missing link. Replies re-enter here, so the whole path is restored
+// link by link.
+func (r *Replica) ensureAncestors(b *block) {
+	cur := b.Parent
+	for i := 0; i < len(r.blocks)+2; i++ {
+		if cur == r.genesis {
+			return
+		}
+		nb, ok := r.blocks[cur]
+		if !ok {
+			if !r.fetching[cur] {
+				r.fetching[cur] = true
+				r.ep.Multicast(r.cfg.Nodes, msgFetch, fetchMsg{Block: cur})
+			}
+			return
+		}
+		cur = nb.Parent
+	}
+}
+
+func (r *Replica) onFetchReply(fr fetchReply) {
+	b := fr.Block
+	bh := b.hash()
+	// Only accept blocks we asked for: the hash check makes the body
+	// authentic (content addressing), the fetching check bounds memory.
+	if !r.fetching[bh] {
+		return
+	}
+	delete(r.fetching, bh)
+	if _, ok := r.blocks[bh]; !ok {
+		cp := b
+		r.blocks[bh] = &cp
+	}
+	r.ensureAncestors(&b)
+	// Each recovered link may complete the path below an already-seen
+	// three-chain: re-run the commit rules from the latest proposal.
+	if tip, ok := r.blocks[r.tip]; ok {
+		r.applyChainRules(tip)
 	}
 }
 
@@ -330,7 +406,9 @@ func (r *Replica) onProposal(from types.NodeID, p proposalMsg) {
 	for _, req := range b.Reqs {
 		r.proposedIn[req.Digest] = true
 	}
+	r.tip = bh
 	r.updateHighQC(b.Justify)
+	r.ensureAncestors(&b)
 	r.applyChainRules(&b)
 
 	// Safety rule: vote once per view, for blocks extending the locked
@@ -487,8 +565,10 @@ func (r *Replica) onNewView(from types.NodeID, nv newViewMsg) {
 func (r *Replica) onTimeout() {
 	// A timeout means in-flight blocks may be lost: forget which requests
 	// were "already proposed" so they can be proposed again. Re-proposal
-	// is safe — execution deduplicates by digest.
+	// is safe — execution deduplicates by digest. Ancestor fetches whose
+	// replies were lost are likewise forgotten so they can be re-asked.
 	r.proposedIn = map[types.Hash]bool{}
+	r.fetching = map[types.Hash]bool{}
 	if !r.hasWork() && len(r.pendSet) == 0 {
 		return
 	}

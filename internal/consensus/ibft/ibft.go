@@ -8,6 +8,7 @@ package ibft
 
 import (
 	"sync"
+	"time"
 
 	"permchain/internal/consensus"
 	"permchain/internal/network"
@@ -20,9 +21,31 @@ const (
 	msgCommit      = "ibft/commit"
 	msgRoundChange = "ibft/roundchange"
 	msgRequest     = "ibft/request"
+	msgSyncReq     = "ibft/syncreq"
+	msgSyncRep     = "ibft/syncrep"
 )
 
+// syncBatch bounds how many decided heights one sync request replays.
+const syncBatch = 64
+
 type request struct {
+	Digest types.Hash
+	Value  any
+}
+
+// syncReq advertises the sender's next undecided height; peers that have
+// decided it reply with the missing heights. It doubles as low-rate
+// progress gossip: a receiver that is itself behind the advertised height
+// learns so and issues its own request.
+type syncReq struct {
+	Height uint64
+}
+
+// syncRep carries one decided height. A laggard adopts a height only when
+// f+1 distinct peers report the same digest for it — at least one of them
+// is correct.
+type syncRep struct {
+	Height uint64
 	Digest types.Hash
 	Value  any
 }
@@ -93,6 +116,9 @@ type Replica struct {
 	pendingSet map[types.Hash]bool
 	decided    map[types.Hash]bool
 	future     []network.Message
+	history    map[uint64]request // decided height → (digest, value), for laggard replay
+	syncVotes  map[uint64]map[types.NodeID]syncRep
+	lastSync   uint64 // height of the last sync request sent (dedupe)
 	timer      *consensus.LoopTimer
 }
 
@@ -113,6 +139,8 @@ func New(cfg consensus.Config) *Replica {
 		values:     map[types.Hash]any{},
 		pendingSet: map[types.Hash]bool{},
 		decided:    map[types.Hash]bool{},
+		history:    map[uint64]request{},
+		syncVotes:  map[uint64]map[types.NodeID]syncRep{},
 		timer:      consensus.NewLoopTimer(),
 	}
 }
@@ -149,6 +177,11 @@ func (r *Replica) proposer(height, round uint64) types.NodeID {
 func (r *Replica) loop() {
 	defer close(r.done)
 	defer r.timer.Stop()
+	// Low-rate progress gossip: advertising our next undecided height lets
+	// a restarted or partitioned-away validator discover it is behind even
+	// when the cluster is otherwise idle.
+	gossip := time.NewTicker(r.cfg.Timeout * 4)
+	defer gossip.Stop()
 	for {
 		select {
 		case <-r.stopCh:
@@ -160,6 +193,10 @@ func (r *Replica) loop() {
 			r.onMessage(m)
 		case <-r.timer.C():
 			r.onTimeout()
+		case <-gossip.C:
+			if r.height > 1 {
+				r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
+			}
 		}
 	}
 }
@@ -277,6 +314,88 @@ func (r *Replica) onMessage(m network.Message) {
 			return
 		}
 		r.onRoundChange(m.From, &rc)
+	case msgSyncReq:
+		q, ok := m.Payload.(syncReq)
+		if !ok {
+			return
+		}
+		r.onSyncReq(m.From, q)
+	case msgSyncRep:
+		rep, ok := m.Payload.(syncRep)
+		if !ok {
+			return
+		}
+		r.onSyncRep(m.From, rep)
+	}
+}
+
+func (r *Replica) onSyncReq(from types.NodeID, q syncReq) {
+	if q.Height < r.height {
+		// The asker is behind: replay a bounded window of decided heights.
+		end := q.Height + syncBatch
+		if end > r.height {
+			end = r.height
+		}
+		for h := q.Height; h < end; h++ {
+			if req, ok := r.history[h]; ok {
+				r.ep.Send(from, msgSyncRep, syncRep{Height: h, Digest: req.Digest, Value: req.Value})
+			}
+		}
+		return
+	}
+	if q.Height > r.height {
+		// The asker is ahead: we are the laggard. Gossip repeats every few
+		// timeouts, so requesting on every such beacon also retries after
+		// lost replies.
+		r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
+	}
+}
+
+func (r *Replica) onSyncRep(from types.NodeID, rep syncRep) {
+	if rep.Height < r.height {
+		return
+	}
+	m, ok := r.syncVotes[rep.Height]
+	if !ok {
+		m = map[types.NodeID]syncRep{}
+		r.syncVotes[rep.Height] = m
+	}
+	m[from] = rep
+	r.trySyncDecide()
+}
+
+// trySyncDecide adopts replayed heights in order once each gathers f+1
+// matching replies.
+func (r *Replica) trySyncDecide() {
+	for {
+		votes, ok := r.syncVotes[r.height]
+		if !ok {
+			return
+		}
+		counts := map[types.Hash]int{}
+		var winner types.Hash
+		found := false
+		for _, rep := range votes {
+			counts[rep.Digest]++
+			if counts[rep.Digest] >= r.cfg.MaxByzFaults()+1 {
+				winner = rep.Digest
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+		var val any
+		for _, rep := range votes {
+			if rep.Digest == winner {
+				val = rep.Value
+				break
+			}
+		}
+		delete(r.syncVotes, r.height)
+		r.values[winner] = val
+		r.decide(winner) // advances r.height; loop to check the next one
 	}
 }
 
@@ -284,6 +403,13 @@ func (r *Replica) buffer(m network.Message) {
 	const maxFuture = 100000
 	if len(r.future) < maxFuture {
 		r.future = append(r.future, m)
+	}
+	// Traffic for a future height means the cluster decided heights we
+	// missed (crash, partition): request a replay. Deduped per height —
+	// each adopted batch re-triggers naturally as buffered messages replay.
+	if r.lastSync != r.height {
+		r.lastSync = r.height
+		r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
 	}
 }
 
@@ -381,6 +507,7 @@ func (r *Replica) onCommit(from types.NodeID, v vote) {
 func (r *Replica) decide(dig types.Hash) {
 	val := r.values[dig]
 	r.decided[dig] = true
+	r.history[r.height] = request{Digest: dig, Value: val}
 	r.decCh <- consensus.Decision{Seq: r.height, Digest: dig, Value: val, Node: r.cfg.Self}
 
 	r.height++

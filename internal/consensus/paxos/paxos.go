@@ -13,6 +13,7 @@ package paxos
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"permchain/internal/consensus"
@@ -28,7 +29,11 @@ const (
 	msgDecide    = "paxos/decide"
 	msgHeartbeat = "paxos/heartbeat"
 	msgForward   = "paxos/forward"
+	msgSyncReq   = "paxos/syncreq"
 )
+
+// syncBatch bounds how many decided slots one sync request replays.
+const syncBatch = 256
 
 // ballot numbers are globally ordered and proposer-unique: counter in the
 // high bits, node id in the low bits.
@@ -73,6 +78,14 @@ type decide struct {
 
 type heartbeat struct {
 	Ballot uint64
+	// Applied is the leader's contiguous application point; a follower
+	// further behind requests a replay of the decided slots it is missing.
+	Applied uint64
+}
+
+// syncReq asks the leader to re-send decide messages starting at From.
+type syncReq struct {
+	From uint64
 }
 
 type forward struct {
@@ -98,7 +111,8 @@ type Replica struct {
 
 	// Proposer state.
 	leading      bool
-	ballot       uint64 // my current ballot when leading or campaigning
+	isLeader     atomic.Bool // mirrors leading, for cross-goroutine probes
+	ballot       uint64      // my current ballot when leading or campaigning
 	counter      uint64
 	promises     map[types.NodeID]promise
 	nextSlot     uint64
@@ -156,6 +170,16 @@ func (r *Replica) Stop() {
 	<-r.done
 }
 
+// IsLeader reports whether this replica currently leads (won phase 1 and
+// has not observed a higher ballot). Safe from any goroutine.
+func (r *Replica) IsLeader() bool { return r.isLeader.Load() }
+
+// setLeading flips proposer leadership, keeping the atomic mirror in sync.
+func (r *Replica) setLeading(v bool) {
+	r.leading = v
+	r.isLeader.Store(v)
+}
+
 // Submit implements consensus.Replica.
 func (r *Replica) Submit(value any, digest types.Hash) {
 	select {
@@ -195,7 +219,7 @@ func (r *Replica) resetFollowerTimer() {
 
 func (r *Replica) onTimeout() {
 	if r.leading {
-		r.ep.Multicast(r.cfg.Nodes, msgHeartbeat, heartbeat{Ballot: r.ballot})
+		r.ep.Multicast(r.cfg.Nodes, msgHeartbeat, heartbeat{Ballot: r.ballot, Applied: r.applied})
 		r.timer.Reset(r.cfg.Timeout / 5)
 		return
 	}
@@ -210,7 +234,7 @@ func (r *Replica) campaign() {
 		r.counter++
 	}
 	r.ballot = makeBallot(r.counter, r.cfg.Self)
-	r.leading = false
+	r.setLeading(false)
 	r.promises = map[types.NodeID]promise{}
 	r.proposedDig = map[types.Hash]bool{}
 	p := prepare{Ballot: r.ballot}
@@ -321,9 +345,31 @@ func (r *Replica) onMessage(m network.Message) {
 		if hb.Ballot >= r.leaderBallot {
 			r.leaderBallot = hb.Ballot
 			if ballotNode(hb.Ballot) != r.cfg.Self {
-				r.leading = false
+				r.setLeading(false)
 				r.resetFollowerTimer()
 				r.dispatchPending()
+			}
+		}
+		// Crash recovery: the leader has applied past us, so decide
+		// traffic we missed exists — ask for a replay. Heartbeats repeat
+		// every Timeout/5, re-triggering until fully caught up.
+		if hb.Applied > r.applied {
+			r.ep.Send(m.From, msgSyncReq, syncReq{From: r.applied + 1})
+		}
+	case msgSyncReq:
+		q, ok := m.Payload.(syncReq)
+		if !ok {
+			return
+		}
+		// Replay a bounded window of decided slots. Slots up to r.applied
+		// are contiguous in r.decided, so every slot in range answers.
+		end := q.From + syncBatch - 1
+		if end > r.applied {
+			end = r.applied
+		}
+		for slot := q.From; slot <= end; slot++ {
+			if v, ok := r.decided[slot]; ok {
+				r.ep.Send(m.From, msgDecide, decide{Slot: slot, Digest: v.Digest, Value: v.Value})
 			}
 		}
 	}
@@ -358,9 +404,9 @@ func (r *Replica) onPromise(from types.NodeID, p promise) {
 		return
 	}
 	// Won phase 1: become leader.
-	r.leading = true
+	r.setLeading(true)
 	r.leaderBallot = r.ballot
-	r.ep.Multicast(r.cfg.Nodes, msgHeartbeat, heartbeat{Ballot: r.ballot})
+	r.ep.Multicast(r.cfg.Nodes, msgHeartbeat, heartbeat{Ballot: r.ballot, Applied: r.applied})
 	r.timer.Reset(r.cfg.Timeout / 5)
 
 	// Re-propose the highest-ballot accepted value per open slot and
@@ -414,7 +460,7 @@ func (r *Replica) onAccept(from types.NodeID, a accept) {
 		// Track the active leader for forwarding.
 		if a.Ballot >= r.leaderBallot {
 			r.leaderBallot = a.Ballot
-			r.leading = false
+			r.setLeading(false)
 			r.resetFollowerTimer()
 		}
 		r.ep.Send(from, msgAccepted, accepted{Ballot: a.Ballot, Slot: a.Slot})

@@ -170,6 +170,7 @@ type Replica struct {
 	fetchTried   bool                                   // alternate gap-fetch with view change
 	histDigest   types.Hash                             // cumulative digest of executed history
 	ckptVotes    map[uint64]map[types.NodeID]types.Hash // checkpoint votes
+	knownExec    uint64                                 // highest peer execution point from status gossip
 	stableSeq    uint64                                 // highest quorum-stable checkpoint
 	lastNV       uint64                                 // view of the last accepted NewView
 	storedNV     *newView                               // for retransmission to stragglers
@@ -348,8 +349,11 @@ func (r *Replica) gapFetch() bool {
 	// decided somewhere. But even without it, asking costs n messages
 	// and recovers a replica whose commit traffic was entirely lost —
 	// peers only answer for slots they actually executed, and adoption
-	// needs f+1 matching answers, so a speculative ask is safe.
-	if !r.hasWorkAbove(gap) && len(r.pending) == 0 {
+	// needs f+1 matching answers, so a speculative ask is safe. A peer
+	// execution point above the gap (from status gossip) is evidence too:
+	// it is what keeps catch-up chaining slot after slot on a restarted
+	// replica that has no local work at all.
+	if gap > r.knownExec && !r.hasWorkAbove(gap) && len(r.pending) == 0 {
 		return false
 	}
 	r.ep.Multicast(r.cfg.Nodes, msgFetch, fetch{Seq: gap})
@@ -518,6 +522,13 @@ func (r *Replica) onMessage(m network.Message) {
 		}
 		if !r.cfg.VerifyPart(m.From, st.Sig, []byte(msgStatus), consensus.U64(st.LastExec)) {
 			return
+		}
+		// Remember the furthest execution point any peer claims; gapFetch
+		// uses it to keep chaining fetches during crash recovery. A lying
+		// peer can only cause wasted fetches — adoption still needs f+1
+		// matching replies.
+		if st.LastExec > r.knownExec {
+			r.knownExec = st.LastExec
 		}
 		// A peer is ahead: fetch the first slot we are missing. Adoption
 		// still requires f+1 agreeing replies, so a single lying peer

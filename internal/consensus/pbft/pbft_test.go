@@ -311,3 +311,115 @@ func TestCheckpointGarbageCollection(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashRecoveryCatchUp crash-stops a follower, runs a workload it never
+// sees, then rejoins a fresh incarnation on the same network and asserts it
+// replays the complete decision log (status gossip reveals the lag, gap
+// fetches chain through knownExec until caught up).
+func TestCrashRecoveryCatchUp(t *testing.T) {
+	const n = 4
+	net := network.New()
+	keys := crypto.NewKeyring(n)
+	nodes := make([]types.NodeID, n)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	mk := func(i int) *Replica {
+		return New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout: 150 * time.Millisecond,
+		})
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = mk(i)
+		reps[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+
+	submit := func(i int) {
+		v, d := val(i)
+		reps[0].Submit(v, d)
+	}
+	const pre = 4
+	for i := 0; i < pre; i++ {
+		submit(i)
+	}
+	ref := consensus.WaitDecisions(reps[0].Decisions(), pre, 10*time.Second)
+	for i := 1; i < n; i++ {
+		if got := len(consensus.WaitDecisions(reps[i].Decisions(), pre, 10*time.Second)); got != pre {
+			t.Fatalf("replica %d decided %d/%d before crash", i, got, pre)
+		}
+	}
+
+	const victim = n - 1
+	net.Crash(types.NodeID(victim))
+	reps[victim].Stop()
+
+	const during = 4
+	for i := pre; i < pre+during; i++ {
+		submit(i)
+	}
+	ref = append(ref, consensus.WaitDecisions(reps[0].Decisions(), during, 10*time.Second)...)
+	if len(ref) != pre+during {
+		t.Fatalf("live cluster decided %d/%d during crash", len(ref), pre+during)
+	}
+
+	// Restart: a fresh, empty incarnation rejoins the same network.
+	net.Rejoin(types.NodeID(victim))
+	net.Restore(types.NodeID(victim))
+	reps[victim] = mk(victim)
+	reps[victim].Start()
+
+	// One post-restart probe keeps traffic flowing while catch-up runs.
+	submit(pre + during)
+	const total = pre + during + 1
+	ref = append(ref, consensus.WaitDecisions(reps[0].Decisions(), 1, 10*time.Second)...)
+	ds := consensus.WaitDecisions(reps[victim].Decisions(), total, 20*time.Second)
+	if len(ds) != total {
+		t.Fatalf("restarted replica caught up %d/%d decisions", len(ds), total)
+	}
+	for j, dec := range ds {
+		if dec.Seq != uint64(j+1) || dec.Digest != ref[j].Digest {
+			t.Fatalf("restarted replica decision %d = (seq %d, %v), want (seq %d, %v)",
+				j, dec.Seq, dec.Digest, ref[j].Seq, ref[j].Digest)
+		}
+	}
+}
+
+// TestPartitionDuringViewChange isolates the view-0 primary behind a
+// partition: the majority must complete a view change amongst themselves
+// and keep committing, and the stale primary must catch up on the decided
+// log (via status gossip and gap fetches) once the partition heals.
+func TestPartitionDuringViewChange(t *testing.T) {
+	net, reps := cluster(t, 4)
+	net.Partition([]types.NodeID{0}, []types.NodeID{1, 2, 3})
+
+	const k = 5
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[1].Submit(v, d)
+	}
+	all := make([][]consensus.Decision, 4)
+	for i := 1; i < 4; i++ {
+		all[i] = consensus.WaitDecisions(reps[i].Decisions(), k, 15*time.Second)
+		if len(all[i]) != k {
+			t.Fatalf("replica %d decided %d/%d with primary partitioned away", i, len(all[i]), k)
+		}
+	}
+
+	// Heal: node 0 rejoins holding a stale view and an empty log; the
+	// others' status gossip reveals the gap and fetches chain it closed.
+	net.Heal()
+	v, d := val(k)
+	reps[1].Submit(v, d)
+	all[0] = consensus.WaitDecisions(reps[0].Decisions(), k+1, 20*time.Second)
+	if len(all[0]) != k+1 {
+		t.Fatalf("healed primary caught up %d/%d decisions", len(all[0]), k+1)
+	}
+	checkAgreement(t, all)
+}

@@ -14,6 +14,7 @@ package tendermint
 
 import (
 	"sync"
+	"time"
 
 	"permchain/internal/consensus"
 	"permchain/internal/network"
@@ -25,7 +26,12 @@ const (
 	msgPrevote   = "tm/prevote"
 	msgPrecommit = "tm/precommit"
 	msgRequest   = "tm/request"
+	msgSyncReq   = "tm/syncreq"
+	msgSyncRep   = "tm/syncrep"
 )
+
+// syncBatch bounds how many decided heights one sync request replays.
+const syncBatch = 64
 
 // Config adds the validator stake table to the shared consensus config.
 type Config struct {
@@ -51,6 +57,24 @@ type voteMsg struct { // prevote or precommit; zero digest = nil vote
 }
 
 type request struct {
+	Digest types.Hash
+	Value  any
+}
+
+// syncReq advertises the sender's next undecided height; peers that have
+// decided it reply with the missing heights. It doubles as low-rate
+// progress gossip: a receiver that is itself behind the advertised height
+// learns so and issues its own request.
+type syncReq struct {
+	Height uint64
+}
+
+// syncRep carries one decided height. Adoption is quorum-guarded: a
+// laggard applies a height only once replies carrying more than one third
+// of total voting power agree on the digest — more than Byzantine
+// validators can muster, so at least one correct validator vouches.
+type syncRep struct {
+	Height uint64
 	Digest types.Hash
 	Value  any
 }
@@ -106,7 +130,10 @@ type Replica struct {
 	pending     []types.Hash
 	pendingSet  map[types.Hash]bool
 	decidedDig  map[types.Hash]bool
-	future      []network.Message // buffered messages for later heights
+	future      []network.Message  // buffered messages for later heights
+	history     map[uint64]request // decided height → (digest, value), for laggard replay
+	syncVotes   map[uint64]map[types.NodeID]syncRep
+	lastSyncReq uint64 // height of the last sync request sent (dedupe)
 	timer       *consensus.LoopTimer
 }
 
@@ -127,6 +154,8 @@ func New(cfg Config) *Replica {
 		values:      map[types.Hash]any{},
 		pendingSet:  map[types.Hash]bool{},
 		decidedDig:  map[types.Hash]bool{},
+		history:     map[uint64]request{},
+		syncVotes:   map[uint64]map[types.NodeID]syncRep{},
 		timer:       consensus.NewLoopTimer(),
 	}
 	for i, id := range cfg.Nodes {
@@ -193,6 +222,11 @@ func (r *Replica) quorum(power int64) bool { return 3*power > 2*r.total }
 func (r *Replica) loop() {
 	defer close(r.done)
 	defer r.timer.Stop()
+	// Low-rate progress gossip: advertising our next undecided height lets
+	// a restarted or partitioned-away validator discover it is behind even
+	// when the cluster is otherwise idle.
+	gossip := time.NewTicker(r.cfg.Timeout * 4)
+	defer gossip.Stop()
 	for {
 		select {
 		case <-r.stopCh:
@@ -203,6 +237,10 @@ func (r *Replica) loop() {
 			r.onMessage(m)
 		case <-r.timer.C():
 			r.onTimeout()
+		case <-gossip.C:
+			if r.height > 1 {
+				r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
+			}
 		}
 	}
 }
@@ -316,6 +354,90 @@ func (r *Replica) onMessage(m network.Message) {
 		} else {
 			r.onPrecommit(m.From, v)
 		}
+	case msgSyncReq:
+		q, ok := m.Payload.(syncReq)
+		if !ok {
+			return
+		}
+		r.onSyncReq(m.From, q)
+	case msgSyncRep:
+		rep, ok := m.Payload.(syncRep)
+		if !ok {
+			return
+		}
+		r.onSyncRep(m.From, rep)
+	}
+}
+
+func (r *Replica) onSyncReq(from types.NodeID, q syncReq) {
+	if q.Height < r.height {
+		// The asker is behind: replay a bounded window of decided heights.
+		end := q.Height + syncBatch
+		if end > r.height {
+			end = r.height
+		}
+		for h := q.Height; h < end; h++ {
+			if req, ok := r.history[h]; ok {
+				r.ep.Send(from, msgSyncRep, syncRep{Height: h, Digest: req.Digest, Value: req.Value})
+			}
+		}
+		return
+	}
+	if q.Height > r.height {
+		// The asker is ahead: we are the laggard. Gossip repeats every few
+		// timeouts, so requesting on every such beacon also retries after
+		// lost replies.
+		r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
+	}
+}
+
+func (r *Replica) onSyncRep(from types.NodeID, rep syncRep) {
+	if rep.Height < r.height {
+		return
+	}
+	m, ok := r.syncVotes[rep.Height]
+	if !ok {
+		m = map[types.NodeID]syncRep{}
+		r.syncVotes[rep.Height] = m
+	}
+	m[from] = rep
+	r.trySyncDecide()
+}
+
+// trySyncDecide adopts replayed heights in order once each gathers replies
+// worth more than one third of total voting power on one digest.
+func (r *Replica) trySyncDecide() {
+	for {
+		votes, ok := r.syncVotes[r.height]
+		if !ok {
+			return
+		}
+		powers := map[types.Hash]int64{}
+		for id, rep := range votes {
+			powers[rep.Digest] += r.stakes[id]
+		}
+		var winner types.Hash
+		found := false
+		for dig, p := range powers {
+			if 3*p > r.total {
+				winner = dig
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+		var val any
+		for _, rep := range votes {
+			if rep.Digest == winner {
+				val = rep.Value
+				break
+			}
+		}
+		delete(r.syncVotes, r.height)
+		r.values[winner] = val
+		r.decide(winner) // advances r.height; loop to check the next one
 	}
 }
 
@@ -325,6 +447,13 @@ func (r *Replica) buffer(m network.Message) {
 	const maxFuture = 100000
 	if len(r.future) < maxFuture {
 		r.future = append(r.future, m)
+	}
+	// Traffic for a future height means the cluster decided heights we
+	// missed (crash, partition): request a replay. Deduped per height —
+	// each adopted batch re-triggers naturally as buffered messages replay.
+	if r.lastSyncReq != r.height {
+		r.lastSyncReq = r.height
+		r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
 	}
 }
 
@@ -446,6 +575,7 @@ func (r *Replica) onPrecommit(from types.NodeID, v voteMsg) {
 func (r *Replica) decide(dig types.Hash) {
 	val := r.values[dig]
 	r.decidedDig[dig] = true
+	r.history[r.height] = request{Digest: dig, Value: val}
 	r.decCh <- consensus.Decision{Seq: r.height, Digest: dig, Value: val, Node: r.cfg.Self}
 
 	// Reset for the next height.

@@ -1,12 +1,17 @@
 package consensus
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // LoopTimer is a resettable one-shot timer for single-goroutine event
 // loops. Unlike a bare time.Timer it is safe to reset or stop without the
-// drain dance, because the owner only observes C from the same goroutine
-// that resets it: a stale tick is filtered by generation count.
+// drain dance: a tick from a superseded arm is filtered by generation
+// count, so after Reset the channel can only ever carry the fresh arm's
+// tick.
 type LoopTimer struct {
+	mu  sync.Mutex
 	c   chan struct{}
 	gen int
 	t   *time.Timer
@@ -21,22 +26,28 @@ func NewLoopTimer() *LoopTimer {
 func (lt *LoopTimer) C() <-chan struct{} { return lt.c }
 
 // Reset (re)arms the timer to fire after d, cancelling any earlier arm.
+// Only the owning goroutine may call Reset/Stop.
 func (lt *LoopTimer) Reset(d time.Duration) {
+	lt.mu.Lock()
 	lt.gen++
 	gen := lt.gen
 	if lt.t != nil {
 		lt.t.Stop()
 	}
-	// Drain a stale tick so the next fire is the fresh one.
+	// Drain a stale tick under the lock: any superseded fire either
+	// completed its send before we got here (drained now) or is blocked on
+	// the lock and will see the bumped generation and discard itself.
 	select {
 	case <-lt.c:
 	default:
 	}
+	lt.mu.Unlock()
 	lt.t = time.AfterFunc(d, func() {
-		// A tick from a superseded generation may still race in here;
-		// the buffered channel holds at most one tick and the loop treats
-		// any tick as "check timeouts now", so over-delivery is harmless.
-		_ = gen
+		lt.mu.Lock()
+		defer lt.mu.Unlock()
+		if gen != lt.gen {
+			return // superseded by a later Reset/Stop
+		}
 		select {
 		case lt.c <- struct{}{}:
 		default:
@@ -46,6 +57,8 @@ func (lt *LoopTimer) Reset(d time.Duration) {
 
 // Stop disarms the timer and discards any pending tick.
 func (lt *LoopTimer) Stop() {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
 	lt.gen++
 	if lt.t != nil {
 		lt.t.Stop()

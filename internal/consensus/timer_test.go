@@ -1,0 +1,69 @@
+package consensus
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoopTimerFires(t *testing.T) {
+	lt := NewLoopTimer()
+	lt.Reset(5 * time.Millisecond)
+	select {
+	case <-lt.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestLoopTimerStopDiscardsTick(t *testing.T) {
+	lt := NewLoopTimer()
+	lt.Reset(time.Millisecond)
+	time.Sleep(20 * time.Millisecond) // tick is in the channel
+	lt.Stop()
+	select {
+	case <-lt.C():
+		t.Fatal("tick survived Stop")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestLoopTimerNoStaleTickAfterReset is the regression test for the
+// generation filter: a superseded arm racing its fire against Reset must
+// never deliver a tick attributed to the new arm. Before the fix, the
+// fire callback captured gen but never compared it, so an AfterFunc that
+// had already started when Reset drained the channel could still inject a
+// spurious tick afterwards.
+func TestLoopTimerNoStaleTickAfterReset(t *testing.T) {
+	lt := NewLoopTimer()
+	for i := 0; i < 300; i++ {
+		// Arm short and re-arm long right around the firing instant, to
+		// maximize the chance the short arm's callback is mid-flight.
+		lt.Reset(500 * time.Microsecond)
+		time.Sleep(500 * time.Microsecond)
+		lt.Reset(time.Hour)
+		select {
+		case <-lt.C():
+			t.Fatalf("iteration %d: stale tick delivered after Reset", i)
+		default:
+		}
+	}
+	// Give any straggling callbacks a moment, then check once more.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-lt.C():
+		t.Fatal("stale tick delivered late after Reset")
+	default:
+	}
+	lt.Stop()
+}
+
+func TestLoopTimerResetRearms(t *testing.T) {
+	lt := NewLoopTimer()
+	lt.Reset(time.Hour)
+	lt.Reset(2 * time.Millisecond) // shorter re-arm wins
+	select {
+	case <-lt.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-armed timer never fired")
+	}
+}

@@ -70,11 +70,43 @@ func (e *Endpoint) Multicast(ids []types.NodeID, typ string, payload any) {
 // different receivers is equivocation.
 type Filter func(Message) []Message
 
+// DropCause classifies why a message was lost; the chaos harness reports
+// losses by cause, so "the partition ate it" is distinguishable from "the
+// random loss dial ate it".
+type DropCause int
+
+const (
+	DropRate      DropCause = iota // random per-message loss
+	DropPartition                  // sender and receiver in different groups
+	DropCrash                      // sender or receiver is crashed
+	DropOverflow                   // receiver inbox full
+	DropUnknown                    // destination never joined
+	dropCauses                     // count; keep last
+)
+
+// String names the cause for reports.
+func (c DropCause) String() string {
+	switch c {
+	case DropRate:
+		return "rate"
+	case DropPartition:
+		return "partition"
+	case DropCrash:
+		return "crash"
+	case DropOverflow:
+		return "overflow"
+	case DropUnknown:
+		return "unknown-dest"
+	}
+	return "?"
+}
+
 // Stats counts traffic. All counters are protected by the network lock.
 type Stats struct {
-	Sent      int64 // messages submitted
-	Delivered int64 // messages delivered to an inbox
-	Dropped   int64 // lost to drop rate, partitions, or overflow
+	Sent      int64             // messages submitted
+	Delivered int64             // messages delivered to an inbox
+	Dropped   int64             // total losses, all causes
+	ByCause   [dropCauses]int64 // losses broken down by DropCause
 	ByType    map[string]int64
 }
 
@@ -88,6 +120,7 @@ type Network struct {
 	filters   map[types.NodeID]Filter
 	attested  map[types.NodeID]bool
 	groups    map[types.NodeID]int // partition group; absent = group 0
+	crashed   map[types.NodeID]bool
 	stats     Stats
 	closed    bool
 }
@@ -126,6 +159,7 @@ func New(opts ...Option) *Network {
 		filters:   map[types.NodeID]Filter{},
 		attested:  map[types.NodeID]bool{},
 		groups:    map[types.NodeID]int{},
+		crashed:   map[types.NodeID]bool{},
 		rng:       rand.New(rand.NewSource(1)),
 	}
 	n.stats.ByType = map[string]int64{}
@@ -222,6 +256,52 @@ func (n *Network) Heal() {
 	n.groups = map[types.NodeID]int{}
 }
 
+// SetDropRate replaces the random-loss probability at runtime; the chaos
+// harness uses it for scripted loss bursts.
+func (n *Network) SetDropRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropRate = p
+}
+
+// Crash mutes a node in both directions: messages it sends and messages
+// addressed to it are dropped (cause DropCrash) until Restore. The
+// endpoint itself stays attached, so a node "frozen" by Crash/Restore
+// without a process restart keeps its inbox.
+func (n *Network) Crash(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Restore unmutes a crashed node. In-flight messages sent while the node
+// was crashed are already lost; traffic after Restore flows normally.
+func (n *Network) Restore(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// IsCrashed reports whether id is currently muted by Crash.
+func (n *Network) IsCrashed(id types.NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.crashed[id]
+}
+
+// Rejoin replaces a node's endpoint with a fresh one (empty inbox) and
+// returns it, invalidating the previous Endpoint. A replica restarted
+// after a crash calls Join through its constructor and receives this
+// fresh attachment instead of the dead incarnation's inbox. Rejoining a
+// node that never joined is equivalent to Join.
+func (n *Network) Rejoin(id types.NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := &Endpoint{id: id, inbox: make(chan Message, inboxDepth), net: n}
+	n.endpoints[id] = e
+	return e
+}
+
 // Close drops all future traffic.
 func (n *Network) Close() {
 	n.mu.Lock()
@@ -278,6 +358,12 @@ func (n *Network) broadcastFrom(from types.NodeID, typ string, payload any) {
 	}
 }
 
+// drop records a loss with its cause. Caller holds the lock.
+func (n *Network) drop(cause DropCause) {
+	n.stats.Dropped++
+	n.stats.ByCause[cause]++
+}
+
 func (n *Network) transmit(m Message) {
 	n.mu.Lock()
 	if n.closed {
@@ -286,19 +372,23 @@ func (n *Network) transmit(m Message) {
 	}
 	n.stats.Sent++
 	n.stats.ByType[m.Type]++
-	dst, ok := n.endpoints[m.To]
-	if !ok {
-		n.stats.Dropped++
+	if _, ok := n.endpoints[m.To]; !ok {
+		n.drop(DropUnknown)
+		n.mu.Unlock()
+		return
+	}
+	if n.crashed[m.From] || n.crashed[m.To] {
+		n.drop(DropCrash)
 		n.mu.Unlock()
 		return
 	}
 	if n.groups[m.From] != n.groups[m.To] {
-		n.stats.Dropped++
+		n.drop(DropPartition)
 		n.mu.Unlock()
 		return
 	}
 	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
-		n.stats.Dropped++
+		n.drop(DropRate)
 		n.mu.Unlock()
 		return
 	}
@@ -309,21 +399,34 @@ func (n *Network) transmit(m Message) {
 	n.mu.Unlock()
 
 	if delay <= 0 {
-		n.deliver(dst, m)
+		n.deliver(m)
 		return
 	}
-	time.AfterFunc(delay, func() { n.deliver(dst, m) })
+	time.AfterFunc(delay, func() { n.deliver(m) })
 }
 
-func (n *Network) deliver(dst *Endpoint, m Message) {
+// deliver re-resolves the destination at delivery time: a delayed message
+// addressed to a node that crashed (or was replaced via Rejoin) while the
+// message was in flight lands in the node's *current* state, not a stale
+// endpoint pointer.
+func (n *Network) deliver(m Message) {
+	n.mu.Lock()
+	dst, ok := n.endpoints[m.To]
+	if !ok {
+		n.drop(DropUnknown)
+		n.mu.Unlock()
+		return
+	}
+	if n.crashed[m.To] {
+		n.drop(DropCrash)
+		n.mu.Unlock()
+		return
+	}
 	select {
 	case dst.inbox <- m:
-		n.mu.Lock()
 		n.stats.Delivered++
-		n.mu.Unlock()
 	default:
-		n.mu.Lock()
-		n.stats.Dropped++
-		n.mu.Unlock()
+		n.drop(DropOverflow)
 	}
+	n.mu.Unlock()
 }

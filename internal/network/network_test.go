@@ -72,7 +72,8 @@ func TestUnknownDestinationDropped(t *testing.T) {
 	n := New()
 	a := n.Join(0)
 	a.Send(9, "x", nil)
-	if st := n.StatsSnapshot(); st.Dropped != 1 {
+	st := n.StatsSnapshot()
+	if st.Dropped != 1 || st.ByCause[DropUnknown] != 1 {
 		t.Fatalf("stats %+v", st)
 	}
 }
@@ -85,9 +86,14 @@ func TestDropRate(t *testing.T) {
 		a.Send(1, "x", i)
 	}
 	expectSilence(t, b, 50*time.Millisecond)
-	if st := n.StatsSnapshot(); st.Dropped != 10 {
+	st := n.StatsSnapshot()
+	if st.Dropped != 10 || st.ByCause[DropRate] != 10 {
 		t.Fatalf("stats %+v", st)
 	}
+	// The dial is adjustable at runtime.
+	n.SetDropRate(0)
+	a.Send(1, "x", nil)
+	recvOne(t, b)
 }
 
 func TestLatencyDelaysDelivery(t *testing.T) {
@@ -133,9 +139,72 @@ func TestPartitionAndHeal(t *testing.T) {
 	n.Partition([]types.NodeID{0}, []types.NodeID{1})
 	a.Send(1, "x", nil)
 	expectSilence(t, b, 50*time.Millisecond)
+	if st := n.StatsSnapshot(); st.ByCause[DropPartition] != 1 {
+		t.Fatalf("stats %+v", st)
+	}
 	n.Heal()
 	a.Send(1, "x", nil)
 	recvOne(t, b)
+}
+
+func TestCrashMutesBothDirections(t *testing.T) {
+	n := New()
+	a := n.Join(0)
+	b := n.Join(1)
+	n.Crash(1)
+	if !n.IsCrashed(1) {
+		t.Fatal("crash not recorded")
+	}
+	a.Send(1, "x", nil) // inbound to crashed node
+	b.Send(0, "x", nil) // outbound from crashed node
+	expectSilence(t, b, 30*time.Millisecond)
+	expectSilence(t, a, 30*time.Millisecond)
+	st := n.StatsSnapshot()
+	if st.Dropped != 2 || st.ByCause[DropCrash] != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	n.Restore(1)
+	if n.IsCrashed(1) {
+		t.Fatal("restore not recorded")
+	}
+	a.Send(1, "x", nil)
+	recvOne(t, b)
+}
+
+func TestCrashDropsDelayedDelivery(t *testing.T) {
+	// A message already in flight when the destination crashes must not be
+	// delivered: crash semantics are checked at delivery time too.
+	n := New(WithUniformLatency(40 * time.Millisecond))
+	a := n.Join(0)
+	b := n.Join(1)
+	a.Send(1, "x", nil)
+	n.Crash(1)
+	expectSilence(t, b, 80*time.Millisecond)
+	if st := n.StatsSnapshot(); st.ByCause[DropCrash] != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRejoinFreshInbox(t *testing.T) {
+	n := New()
+	a := n.Join(0)
+	old := n.Join(1)
+	a.Send(1, "stale", nil) // sits in the old incarnation's inbox
+	n.Crash(1)
+	fresh := n.Rejoin(1)
+	n.Restore(1)
+	if n.Join(1) != fresh {
+		t.Fatal("Join after Rejoin returned a stale endpoint")
+	}
+	a.Send(1, "new", nil)
+	if m := recvOne(t, fresh); m.Type != "new" {
+		t.Fatalf("fresh inbox got %+v", m)
+	}
+	// The pre-crash message stayed with the dead incarnation.
+	if m := <-old.Inbox(); m.Type != "stale" {
+		t.Fatalf("old inbox got %+v", m)
+	}
+	expectSilence(t, fresh, 30*time.Millisecond)
 }
 
 func TestPartitionWithinGroupDelivers(t *testing.T) {

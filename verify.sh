@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repo verification: static analysis plus the full test suite under the
+# race detector. This is the tier-1 gate (see ROADMAP.md) — run it before
+# every commit. The chaos matrix (chaoscheck_test.go) and all protocol
+# recovery tests are part of the suite, so a green run covers the §2.2
+# safety/liveness assertions too.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
