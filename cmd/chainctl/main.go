@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	chainctl [-nodes 4] [-protocol pbft] [-arch oxii]
+//	chainctl [-nodes 4] [-protocol pbft] [-arch oxii] [-metrics json|prom]
+//
+// -metrics dumps the chain's full metrics snapshot (consensus phase
+// latencies, network counters, engine stage timings) in the chosen format
+// on exit; the `metrics` stdin command prints it at any point.
 //
 // Commands on stdin:
 //
@@ -13,6 +17,7 @@
 //	get <key>                  read a key from node 0's state
 //	height                     print ledger heights of all nodes
 //	verify                     check the replication invariant
+//	metrics                    print the current metrics snapshot (JSON)
 //	quit
 package main
 
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"permchain"
+	"permchain/internal/obs"
 )
 
 func protocolFromName(s string) (permchain.Protocol, error) {
@@ -62,7 +68,12 @@ func main() {
 	nodes := flag.Int("nodes", 4, "replica count")
 	protoName := flag.String("protocol", "pbft", "pbft|raft|paxos|tendermint|hotstuff|ibft")
 	archName := flag.String("arch", "oxii", "ox|oxii|xov")
+	metrics := flag.String("metrics", "", "dump the metrics snapshot on exit: json or prom")
 	flag.Parse()
+	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
+		fmt.Fprintf(os.Stderr, "-metrics must be json or prom, got %q\n", *metrics)
+		os.Exit(2)
+	}
 
 	proto, err := protocolFromName(*protoName)
 	if err != nil {
@@ -74,9 +85,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	o := obs.New()
 	chain, err := permchain.NewChain(permchain.Config{
 		Nodes: *nodes, Protocol: proto, Arch: arch,
 		BlockSize: 1, Timeout: 500 * time.Millisecond,
+		Obs: o,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -84,6 +97,20 @@ func main() {
 	}
 	chain.Start()
 	defer chain.Stop()
+	if *metrics != "" {
+		defer func() {
+			snap := o.Reg.Snapshot()
+			var werr error
+			if *metrics == "json" {
+				werr = snap.WriteJSON(os.Stdout)
+			} else {
+				werr = snap.WritePrometheus(os.Stdout)
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "metrics dump:", werr)
+			}
+		}()
+	}
 	fmt.Printf("chain up: %d nodes, %v, %v\n", *nodes, proto, arch)
 
 	txSeq := 0
@@ -165,8 +192,12 @@ func main() {
 			} else {
 				fmt.Println("replication invariant holds on all nodes")
 			}
+		case "metrics":
+			if err := o.Reg.Snapshot().WriteJSON(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
 		default:
-			fmt.Println("commands: add put transfer get height verify quit")
+			fmt.Println("commands: add put transfer get height verify metrics quit")
 		}
 	}
 }

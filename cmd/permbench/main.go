@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	permbench              # run everything at full scale
-//	permbench -quick       # smaller workloads (seconds instead of minutes)
-//	permbench -only E2,E5  # run a subset
+//	permbench                # run everything at full scale
+//	permbench -quick         # smaller workloads (seconds instead of minutes)
+//	permbench -only E2,E5    # run a subset
+//	permbench -metrics json  # also dump each experiment's metrics (json|prom)
 package main
 
 import (
@@ -21,7 +22,12 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E2,E5)")
+	metrics := flag.String("metrics", "", "dump each experiment's metrics snapshot: json or prom")
 	flag.Parse()
+	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
+		fmt.Fprintf(os.Stderr, "-metrics must be json or prom, got %q\n", *metrics)
+		os.Exit(2)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -85,6 +91,19 @@ func main() {
 			continue
 		}
 		fmt.Println(tbl)
+		if *metrics != "" && tbl.Metrics != nil {
+			fmt.Printf("--- %s metrics (%s) ---\n", e.id, *metrics)
+			var werr error
+			if *metrics == "json" {
+				werr = tbl.Metrics.WriteJSON(os.Stdout)
+			} else {
+				werr = tbl.Metrics.WritePrometheus(os.Stdout)
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "%s: metrics dump: %v\n", e.id, werr)
+			}
+			fmt.Println()
+		}
 		fmt.Printf("(%s completed in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
 	if failed {

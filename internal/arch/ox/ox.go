@@ -8,7 +8,10 @@
 package ox
 
 import (
+	"time"
+
 	"permchain/internal/arch"
+	"permchain/internal/obs"
 	"permchain/internal/statedb"
 	"permchain/internal/types"
 )
@@ -19,7 +22,11 @@ type Engine struct {
 	// workFactor models per-operation smart-contract cost (SHA-256
 	// compressions per op).
 	workFactor int
+	obs        *obs.Obs
 }
+
+// SetObs attaches per-stage timing instrumentation (nil detaches).
+func (e *Engine) SetObs(o *obs.Obs) { e.obs = o }
 
 // New creates an OX engine over the given state.
 func New(store *statedb.Store, workFactor int) *Engine {
@@ -32,6 +39,8 @@ func (e *Engine) Store() *statedb.Store { return e.store }
 // ExecuteBlock runs every transaction in order. Transactions never abort
 // for concurrency reasons in OX — only payload failures count.
 func (e *Engine) ExecuteBlock(b *types.Block) arch.Stats {
+	start := time.Now()
+	defer func() { e.obs.Observe("arch/ox/execute", time.Since(start)) }()
 	var st arch.Stats
 	for i, tx := range b.Txs {
 		for range tx.Ops {

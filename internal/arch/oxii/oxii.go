@@ -12,8 +12,10 @@ package oxii
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"permchain/internal/arch"
+	"permchain/internal/obs"
 	"permchain/internal/statedb"
 	"permchain/internal/types"
 )
@@ -23,7 +25,11 @@ type Engine struct {
 	store      *statedb.Store
 	workFactor int
 	workers    int
+	obs        *obs.Obs
 }
+
+// SetObs attaches per-stage timing instrumentation (nil detaches).
+func (e *Engine) SetObs(o *obs.Obs) { e.obs = o }
 
 // New creates an OXII engine. workers <= 0 selects GOMAXPROCS.
 func New(store *statedb.Store, workFactor, workers int) *Engine {
@@ -39,13 +45,17 @@ func (e *Engine) Store() *statedb.Store { return e.store }
 // ExecuteBlock builds the dependency graph (the orderer's job in
 // ParBlockchain) and executes the block with maximal parallelism.
 func (e *Engine) ExecuteBlock(b *types.Block) arch.Stats {
+	start := time.Now()
 	g := arch.BuildDependencyGraph(b.Txs)
+	e.obs.Observe("arch/oxii/graph_build", time.Since(start))
 	return e.ExecuteWithGraph(b, g)
 }
 
 // ExecuteWithGraph executes a block whose dependency graph was already
 // computed (e.g. shipped with the block by the orderers).
 func (e *Engine) ExecuteWithGraph(b *types.Block, g *arch.DependencyGraph) arch.Stats {
+	start := time.Now()
+	defer func() { e.obs.Observe("arch/oxii/execute", time.Since(start)) }()
 	n := len(b.Txs)
 	if n == 0 {
 		return arch.Stats{}

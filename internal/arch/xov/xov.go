@@ -18,8 +18,10 @@ package xov
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"permchain/internal/arch"
+	"permchain/internal/obs"
 	"permchain/internal/statedb"
 	"permchain/internal/types"
 )
@@ -48,7 +50,11 @@ type Engine struct {
 	opts       Options
 	workFactor int
 	workers    int
+	obs        *obs.Obs
 }
+
+// SetObs attaches per-stage timing instrumentation (nil detaches).
+func (e *Engine) SetObs(o *obs.Obs) { e.obs = o }
 
 // New creates an XOV engine. workers <= 0 selects GOMAXPROCS.
 func New(store *statedb.Store, opts Options, workFactor, workers int) *Engine {
@@ -79,6 +85,8 @@ func (e *Engine) Endorse(tx *types.Transaction) error {
 // EndorseAll endorses a batch concurrently, returning the transactions
 // that simulated successfully.
 func (e *Engine) EndorseAll(txs []*types.Transaction) []*types.Transaction {
+	start := time.Now()
+	defer func() { e.obs.Observe("arch/xov/endorse", time.Since(start)) }()
 	ok := make([]bool, len(txs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.workers)
@@ -112,6 +120,7 @@ func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
 	// already stale against committed state can never validate, in any
 	// order — drop it before spending reorder/validation work.
 	if e.opts.EarlyAbort {
+		eaStart := time.Now()
 		kept := txs[:0:0]
 		for _, tx := range txs {
 			if e.store.Validate(tx.Reads) {
@@ -121,6 +130,7 @@ func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
 			}
 		}
 		txs = kept
+		e.obs.Observe("arch/xov/early_abort", time.Since(eaStart))
 	}
 
 	// Within-block reordering (Fabric++ / FabricSharp). Victims of cycle
@@ -132,6 +142,7 @@ func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
 		order[i] = i
 	}
 	if e.opts.Reorder != arch.ReorderNone {
+		roStart := time.Now()
 		var abortedIdx map[int]bool
 		order, abortedIdx = arch.Reorder(txs, e.opts.Reorder)
 		for idx := range abortedIdx {
@@ -141,9 +152,11 @@ func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
 				st.Aborted++
 			}
 		}
+		e.obs.Observe("arch/xov/reorder", time.Since(roStart))
 	}
 
 	// Validation + commit.
+	valStart := time.Now()
 	var aborted []*types.Transaction
 	if e.opts.ParallelValidation {
 		s, ab := e.validateParallel(b.Header.Height, txs, order)
@@ -154,10 +167,13 @@ func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
 		st.Add(s)
 		aborted = ab
 	}
+	e.obs.Observe("arch/xov/validate", time.Since(valStart))
 
 	// Post-order execution (XOX): re-execute invalidated transactions
 	// against fresh state so their work is salvaged rather than lost.
 	if e.opts.PostOrderExecution {
+		poStart := time.Now()
+		defer func() { e.obs.Observe("arch/xov/postorder", time.Since(poStart)) }()
 		st.Aborted += len(postponed) // balanced out per-tx below
 		aborted = append(aborted, postponed...)
 		for _, tx := range aborted {

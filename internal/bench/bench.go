@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"permchain/internal/obs"
 )
 
 // Table is one experiment's result, formatted like the paper would
@@ -23,6 +25,20 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics is the experiment's observability snapshot (histograms,
+	// counters, gauges from the attached registry), emitted alongside the
+	// table by permbench -metrics. Nil when the experiment does not attach
+	// a registry.
+	Metrics *obs.Snapshot
+}
+
+// attachMetrics stores the registry's final snapshot on the table.
+func (t *Table) attachMetrics(o *obs.Obs) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	snap := o.Reg.Snapshot()
+	t.Metrics = &snap
 }
 
 // AddRow appends a row, formatting each cell with %v.

@@ -191,7 +191,7 @@ func TestE10Quick(t *testing.T) {
 		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
 	}
 	for _, row := range tbl.Rows {
-		if row[6] != "held" || row[7] != "ok" {
+		if row[7] != "held" || row[8] != "ok" {
 			t.Fatalf("chaos row failed: %v", row)
 		}
 	}

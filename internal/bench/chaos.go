@@ -28,7 +28,7 @@ func E10Chaos(quick bool) (*Table, error) {
 		Title: "chaos matrix: protocols under scripted fault schedules",
 		Claim: "safety holds through every fault; liveness returns bounded after the last heal (§2.2)",
 		Columns: []string{"protocol", "schedule", "n", "decided",
-			"drops(rate/part/crash)", "recovery", "safety", "liveness"},
+			"drops(rate/part/crash)", "fetches", "recovery", "safety", "liveness"},
 	}
 
 	var failures []string
@@ -61,7 +61,7 @@ func E10Chaos(quick bool) (*Table, error) {
 
 		for _, sc := range scenarios {
 			if sc.skip {
-				tbl.AddRow(p.Name, sc.name, n, "-", "-", "-", "n/a (CFT)", "n/a (CFT)")
+				tbl.AddRow(p.Name, sc.name, n, "-", "-", "-", "-", "n/a (CFT)", "n/a (CFT)")
 				continue
 			}
 			rep := chaos.Run(chaos.Config{
@@ -85,7 +85,7 @@ func E10Chaos(quick bool) (*Table, error) {
 					rep.Stats.ByCause[network.DropRate],
 					rep.Stats.ByCause[network.DropPartition],
 					rep.Stats.ByCause[network.DropCrash]),
-				rep.RecoveryLatency, safety, liveness)
+				rep.RecoveryFetches(), rep.RecoveryLatency, safety, liveness)
 			if !rep.Ok() {
 				failures = append(failures, fmt.Sprintf("%s/%s:\n%s", p.Name, sc.name, rep))
 			}
@@ -93,6 +93,7 @@ func E10Chaos(quick bool) (*Table, error) {
 	}
 	tbl.Notes = append(tbl.Notes,
 		"decided column is the committed frontier before/during/after faults",
+		"fetches counts state-transfer pulls by lagging or recovering replicas (from the run's metrics snapshot)",
 		"recovery is the post-heal liveness probe's commit latency across all live replicas")
 	if len(failures) > 0 {
 		return tbl, fmt.Errorf("chaos runs failed:\n%s", strings.Join(failures, "\n"))

@@ -10,6 +10,7 @@ import (
 	"permchain/internal/arch/oxii"
 	"permchain/internal/arch/xov"
 	"permchain/internal/core"
+	"permchain/internal/obs"
 	"permchain/internal/statedb"
 	"permchain/internal/types"
 	"permchain/internal/workload"
@@ -27,9 +28,11 @@ func E1Figure1(txs int) (*Table, error) {
 		Claim:   "each node maintains a copy of the blockchain ledger; all copies are identical",
 		Columns: []string{"node", "ledger height", "txs", "chain valid", "identical to n0"},
 	}
+	o := obs.New()
 	chain, err := core.New(core.Config{
 		Nodes: 5, Protocol: core.PBFT, Arch: core.OX,
 		BlockSize: 16, Timeout: 500 * time.Millisecond,
+		Obs: o,
 	})
 	if err != nil {
 		return nil, err
@@ -58,6 +61,10 @@ func E1Figure1(txs int) (*Table, error) {
 	} else {
 		t.Notes = append(t.Notes, "replication invariant holds: all 5 ledger copies and states identical")
 	}
+	if hs, ok := o.Reg.Snapshot().Histograms["core/submit_to_apply"]; ok {
+		t.Notes = append(t.Notes, "end-to-end submit→apply latency: "+hs.DurString())
+	}
+	t.attachMetrics(o)
 	return t, nil
 }
 
@@ -65,23 +72,26 @@ func E1Figure1(txs int) (*Table, error) {
 // without consensus in the loop, so the measured quantity is the §2.3.3
 // comparison: how each architecture handles (non-)conflicting
 // transactions. workFactor models contract execution cost per op.
-func archRun(name string, txs []*types.Transaction, blockSize, workFactor int) (arch.Stats, time.Duration) {
+func archRun(name string, o *obs.Obs, txs []*types.Transaction, blockSize, workFactor int) (arch.Stats, time.Duration) {
 	store := statedb.New()
 	var st arch.Stats
 	start := time.Now()
 	switch name {
 	case "OX":
 		e := ox.New(store, workFactor)
+		e.SetObs(o)
 		for h, blk := range blocks(txs, blockSize) {
 			st.Add(e.ExecuteBlock(types.NewBlock(uint64(h+1), types.ZeroHash, 0, blk)))
 		}
 	case "OXII":
 		e := oxii.New(store, workFactor, 0)
+		e.SetObs(o)
 		for h, blk := range blocks(txs, blockSize) {
 			st.Add(e.ExecuteBlock(types.NewBlock(uint64(h+1), types.ZeroHash, 0, blk)))
 		}
 	default: // XOV family: name selects the option set
 		e := xov.New(store, xovOptions(name), workFactor, 0)
+		e.SetObs(o)
 		for h, blk := range blocks(txs, blockSize) {
 			// Pipelined endorsement: the whole block is endorsed against
 			// the same pre-block snapshot, as under load in Fabric.
@@ -146,6 +156,7 @@ func E2Architectures(txCount, blockSize, workFactor int) (*Table, error) {
 		Claim:   "OX suffers sequential execution; OXII and XOV parallelize; under contention XOV aborts conflicting txs while OXII only loses parallelism",
 		Columns: []string{"skew", "conflict rate", "arch", "tps", "ideal speedup", "committed", "aborted", "abort %"},
 	}
+	o := obs.New()
 	for _, skew := range []float64{0, 0.5, 1.2, 1.5} {
 		gen := workload.New(42)
 		base := gen.KV(workload.KVConfig{Txs: txCount, Keys: 20000, OpsPerTx: 1, ReadOps: 1, Skew: skew})
@@ -163,11 +174,12 @@ func E2Architectures(txCount, blockSize, workFactor int) (*Table, error) {
 		oxiiSpeedup := fmt.Sprintf("%.1fx", float64(totalOps)/float64(critOps))
 		speedups := map[string]string{"OX": "1.0x (serial)", "OXII": oxiiSpeedup, "XOV": fmt.Sprintf("%dx (endorse)", blockSize)}
 		for _, name := range []string{"OX", "OXII", "XOV"} {
-			st, dur := archRun(name, cloneWorkload(base), blockSize, workFactor)
+			st, dur := archRun(name, o, cloneWorkload(base), blockSize, workFactor)
 			t.AddRow(fmt.Sprintf("%.1f", skew), fmt.Sprintf("%.3f", rate), name,
 				tps(txCount, dur), speedups[name], st.Committed, st.Aborted, pct(st.Aborted, txCount))
 		}
 	}
+	t.attachMetrics(o)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("workload: %d txs, 1 RMW + 1 read op each, blocks of %d, contract cost %d hash-units/op", txCount, blockSize, workFactor),
 		fmt.Sprintf("'ideal speedup' is host-independent (dependency-graph critical path); this host has %d CPU core(s), so wall-clock tps cannot exhibit it", runtimeNumCPU()))
@@ -184,20 +196,22 @@ func E3FabricFamily(txCount, blockSize, workFactor int) (*Table, error) {
 		Claim:   "FastFabric speeds conflict-free validation; Fabric++/FabricSharp reduce aborts by reordering (Sharp aborts least); XOX salvages aborted txs by re-execution",
 		Columns: []string{"variant", "tps", "committed", "aborted", "reexecuted", "effective commit %"},
 	}
+	o := obs.New()
 	gen := workload.New(42)
 	base := gen.KV(workload.KVConfig{Txs: txCount, Keys: 20000, OpsPerTx: 1, ReadOps: 2, Skew: 1.2})
 	for _, name := range []string{"XOV", "FastFabric", "Fabric++", "FabricSharp", "XOX"} {
-		st, dur := archRun(name, cloneWorkload(base), blockSize, workFactor)
+		st, dur := archRun(name, o, cloneWorkload(base), blockSize, workFactor)
 		t.AddRow(name, tps(txCount, dur), st.Committed, st.Aborted, st.Reexecuted,
 			pct(st.Committed, txCount))
 	}
 	// Conflict-free control: FastFabric's headline case.
 	free := gen.KV(workload.KVConfig{Txs: txCount, Keys: txCount * 10, OpsPerTx: 1, ReadOps: 1, Skew: 0})
 	for _, name := range []string{"XOV", "FastFabric"} {
-		st, dur := archRun(name, cloneWorkload(free), blockSize, workFactor)
+		st, dur := archRun(name, o, cloneWorkload(free), blockSize, workFactor)
 		t.AddRow(name+" (conflict-free)", tps(txCount, dur), st.Committed, st.Aborted,
 			st.Reexecuted, pct(st.Committed, txCount))
 	}
 	t.Notes = append(t.Notes, "contended rows: Zipf 1.2; control rows: uniform over a large keyspace")
+	t.attachMetrics(o)
 	return t, nil
 }

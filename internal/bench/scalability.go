@@ -14,6 +14,7 @@ import (
 	"permchain/internal/consensus/tendermint"
 	"permchain/internal/crypto"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/sharding/ahl"
 	"permchain/internal/sharding/cluster"
 	"permchain/internal/sharding/resilientdb"
@@ -313,8 +314,11 @@ func E8ConsensusProtocols(decisions, n int) (*Table, error) {
 		ID:      "E8",
 		Title:   fmt.Sprintf("consensus protocols at n=%d: throughput and message complexity", n),
 		Claim:   "PBFT-family protocols pay O(n²) messages per decision; HotStuff is linear; crash-fault protocols (Raft/Paxos) are cheapest but tolerate no Byzantine nodes",
-		Columns: []string{"protocol", "fault model", "decisions/s", "msgs/decision"},
+		Columns: []string{"protocol", "fault model", "decisions/s", "msgs/decision", "commit latency"},
 	}
+	// One registry serves all six protocols: metric names are
+	// protocol-prefixed, so their histograms stay separable.
+	o := obs.New()
 	protos := []struct {
 		name  string
 		fault string
@@ -341,6 +345,7 @@ func E8ConsensusProtocols(decisions, n int) (*Table, error) {
 			reps[i] = p.mk(consensus.Config{
 				Self: ids[i], Nodes: ids, Net: net, Keys: keys,
 				Timeout: 2 * time.Second, DisableSig: true,
+				Obs: o,
 			})
 			reps[i].Start()
 		}
@@ -368,11 +373,19 @@ func E8ConsensusProtocols(decisions, n int) (*Table, error) {
 		if got > 0 {
 			msgsPer = fmt.Sprintf("%.0f", float64(stats.Sent)/float64(got))
 		}
-		t.AddRow(p.name, p.fault, tps(got, dur), msgsPer)
+		commitLat := "-"
+		if hs, ok := o.Reg.Snapshot().Histograms[p.name+"/commit_latency"]; ok && hs.Count > 0 {
+			commitLat = fmt.Sprintf("p50=%v p95=%v",
+				time.Duration(hs.P50).Round(10*time.Microsecond),
+				time.Duration(hs.P95).Round(10*time.Microsecond))
+		}
+		t.AddRow(p.name, p.fault, tps(got, dur), msgsPer, commitLat)
 		for _, r := range reps {
 			r.Stop()
 		}
 	}
-	t.Notes = append(t.Notes, fmt.Sprintf("%d decisions, signatures disabled to isolate protocol logic", decisions))
+	t.Notes = append(t.Notes, fmt.Sprintf("%d decisions, signatures disabled to isolate protocol logic", decisions),
+		"commit latency is the propose→commit phase histogram from the shared metrics registry")
+	t.attachMetrics(o)
 	return t, nil
 }

@@ -29,6 +29,7 @@ import (
 	"permchain/internal/consensus/raft"
 	"permchain/internal/consensus/tendermint"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 )
 
 // Protocol describes one consensus protocol the harness can run.
@@ -148,8 +149,27 @@ type Report struct {
 	LivenessOK bool
 	// Stats is the network's final counter snapshot, drops by cause.
 	Stats network.Stats
+	// Metrics is the run's full observability snapshot: the protocol's
+	// commit-latency histogram and counters, the network's per-cause drop
+	// counters and delivery-latency histogram, and the runner's
+	// chaos/commit_latency/{before,during,after} split, which shows how
+	// commit latency degrades under faults and recovers after the heal.
+	Metrics obs.Snapshot
 
 	logs [][][]consensus.Decision
+}
+
+// RecoveryFetches sums every state-transfer fetch counter in the metrics
+// snapshot (pbft/fetches, paxos/sync_fetches, ...): how many times lagging
+// or recovering replicas had to pull decided values from their peers.
+func (r *Report) RecoveryFetches() int64 {
+	var total int64
+	for name, v := range r.Metrics.Counters {
+		if strings.HasSuffix(name, "fetches") {
+			total += v
+		}
+	}
+	return total
 }
 
 // Logs returns every incarnation's decision log, indexed
@@ -178,6 +198,14 @@ func (r *Report) String() string {
 		r.Stats.ByCause[network.DropRate], r.Stats.ByCause[network.DropPartition],
 		r.Stats.ByCause[network.DropCrash], r.Stats.ByCause[network.DropOverflow],
 		r.Stats.ByCause[network.DropUnknown])
+	for _, phase := range []string{"before", "during", "after"} {
+		if hs, ok := r.Metrics.Histograms["chaos/commit_latency/"+phase]; ok {
+			fmt.Fprintf(&b, "\n  commit latency %s faults: %s", phase, hs.DurString())
+		}
+	}
+	if f := r.RecoveryFetches(); f > 0 {
+		fmt.Fprintf(&b, "\n  state-transfer fetches: %d", f)
+	}
 	for _, v := range r.SafetyViolations {
 		fmt.Fprintf(&b, "\n  SAFETY: %s", v)
 	}

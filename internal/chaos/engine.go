@@ -3,11 +3,13 @@ package chaos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"permchain/internal/consensus"
 	"permchain/internal/crypto"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -21,24 +23,28 @@ type collector struct {
 	once sync.Once
 }
 
-func collect(ch <-chan consensus.Decision) *collector {
+func collect(ch <-chan consensus.Decision, onDecision func(consensus.Decision)) *collector {
 	c := &collector{quit: make(chan struct{}), done: make(chan struct{})}
+	take := func(d consensus.Decision) {
+		c.mu.Lock()
+		c.log = append(c.log, d)
+		c.mu.Unlock()
+		if onDecision != nil {
+			onDecision(d)
+		}
+	}
 	go func() {
 		defer close(c.done)
 		for {
 			select {
 			case d := <-ch:
-				c.mu.Lock()
-				c.log = append(c.log, d)
-				c.mu.Unlock()
+				take(d)
 			case <-c.quit:
 				// Drain what the replica emitted before it stopped.
 				for {
 					select {
 					case d := <-ch:
-						c.mu.Lock()
-						c.log = append(c.log, d)
-						c.mu.Unlock()
+						take(d)
 					default:
 						return
 					}
@@ -84,15 +90,37 @@ type runner struct {
 	groups  [][]types.NodeID // nil when unpartitioned
 	subs    int
 	rep     *Report
+	// o is the run-wide observability layer: one registry and tracer
+	// shared by every incarnation and the network, so protocol counters
+	// survive crashes and restarts.
+	o *obs.Obs
+	// faultPhase is "before" until the first fault, "during" until the
+	// schedule ends, then "after"; collector goroutines read it when
+	// splitting the commit-latency histogram.
+	faultPhase atomic.Value
+}
+
+// recordDecision buckets one decision's submit→commit latency into the
+// histogram for the current fault phase. Called from collector goroutines.
+func (r *runner) recordDecision(d consensus.Decision) {
+	sp, ok := r.o.Tracer.Span(d.Digest)
+	if !ok {
+		return
+	}
+	if lat, ok := sp.Between(obs.PhaseSubmit, obs.PhaseCommit); ok {
+		r.o.Reg.Histogram("chaos/commit_latency/" + r.faultPhase.Load().(string)).Observe(lat)
+	}
 }
 
 // Run executes one scripted chaos run and returns its report.
 func Run(cfg Config) *Report {
 	cfg = cfg.defaulted()
+	o := obs.New()
 	r := &runner{
 		cfg:     cfg,
-		net:     network.New(network.WithSeed(cfg.Seed)),
+		net:     network.New(network.WithSeed(cfg.Seed), network.WithRegistry(o.Reg)),
 		keys:    crypto.NewKeyring(cfg.N),
+		o:       o,
 		nodes:   make([]types.NodeID, cfg.N),
 		reps:    make([]consensus.Replica, cfg.N),
 		cols:    make([]*collector, cfg.N),
@@ -100,6 +128,7 @@ func Run(cfg Config) *Report {
 		crashed: make([]bool, cfg.N),
 		rep:     &Report{Protocol: cfg.Protocol.Name, N: cfg.N, Seed: cfg.Seed},
 	}
+	r.faultPhase.Store("before")
 	for i := range r.nodes {
 		r.nodes[i] = types.NodeID(i)
 	}
@@ -112,10 +141,12 @@ func Run(cfg Config) *Report {
 		if ev.isFault() && !seenFault {
 			seenFault = true
 			r.rep.DecisionsBefore = r.maxSeq()
+			r.faultPhase.Store("during")
 		}
 		r.exec(ev)
 	}
 	r.rep.DecisionsDuring = r.maxSeq()
+	r.faultPhase.Store("after")
 
 	if cfg.SkipProbe {
 		r.rep.LivenessOK = true
@@ -143,6 +174,7 @@ func Run(cfg Config) *Report {
 		}
 	}
 	r.rep.Stats = r.net.StatsSnapshot()
+	r.rep.Metrics = r.o.Reg.Snapshot()
 	return r.rep
 }
 
@@ -152,10 +184,11 @@ func (r *runner) startIncarnation(id types.NodeID) {
 	rep := r.cfg.Protocol.New(consensus.Config{
 		Self: id, Nodes: r.nodes, Net: r.net, Keys: r.keys,
 		Timeout: r.cfg.Timeout, DisableSig: r.cfg.DisableSig,
+		Obs: r.o,
 	})
 	r.reps[id] = rep
 	rep.Start()
-	c := collect(rep.Decisions())
+	c := collect(rep.Decisions(), r.recordDecision)
 	r.cols[id] = c
 	r.allLogs[id] = append(r.allLogs[id], c)
 	r.crashed[id] = false

@@ -14,6 +14,7 @@ import (
 
 	"permchain/internal/crypto"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -58,6 +59,12 @@ type Config struct {
 	// DisableSig skips message authentication, isolating protocol logic
 	// cost in microbenchmarks. Deployments keep signatures on.
 	DisableSig bool
+	// Obs, when non-nil, receives protocol metrics (commit-latency
+	// histograms, view-change/round counters, state-transfer fetches) and
+	// lifecycle span marks. May be shared by every replica in a cluster;
+	// nil disables instrumentation with no hot-path branching (all *Obs
+	// methods are nil-safe).
+	Obs *obs.Obs
 	// ByzQuorumOverride, when positive, replaces the 2f+1 quorum size.
 	// AHL-style attested committees (§2.3.4) use it to run n = 2f+1 nodes
 	// with quorum f+1: trusted hardware makes equivocation impossible

@@ -17,6 +17,7 @@ import (
 
 	"permchain/internal/consensus"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -168,6 +169,7 @@ func (r *Replica) Stop() {
 
 // Submit implements consensus.Replica.
 func (r *Replica) Submit(value any, digest types.Hash) {
+	r.cfg.Obs.Mark(digest, 0, obs.PhaseSubmit)
 	select {
 	case r.submitCh <- request{Digest: digest, Value: value}:
 	case <-r.stopCh:
@@ -333,6 +335,7 @@ func (r *Replica) ensureAncestors(b *block) {
 		if !ok {
 			if !r.fetching[cur] {
 				r.fetching[cur] = true
+				r.cfg.Obs.Inc("hotstuff/fetches")
 				r.ep.Multicast(r.cfg.Nodes, msgFetch, fetchMsg{Block: cur})
 			}
 			return
@@ -405,6 +408,7 @@ func (r *Replica) onProposal(from types.NodeID, p proposalMsg) {
 	}
 	for _, req := range b.Reqs {
 		r.proposedIn[req.Digest] = true
+		r.cfg.Obs.Mark(req.Digest, 0, obs.PhasePropose)
 	}
 	r.tip = bh
 	r.updateHighQC(b.Justify)
@@ -468,6 +472,9 @@ func (r *Replica) applyChainRules(b *block) {
 	// Two-chain: lock b2.
 	if b1.Justify.View > r.lockedQC.View {
 		r.lockedQC = b1.Justify
+		for _, req := range b2.Reqs {
+			r.cfg.Obs.Mark(req.Digest, 0, obs.PhasePreCommit)
+		}
 	}
 	b3, ok := r.blocks[b2.Justify.Block]
 	if !ok {
@@ -503,6 +510,9 @@ func (r *Replica) execute(target types.Hash) {
 			r.committed[req.Digest] = true
 			delete(r.proposedIn, req.Digest)
 			r.execSeq++
+			r.cfg.Obs.MarkLatency("hotstuff/commit_latency", req.Digest, r.execSeq, obs.PhasePropose, obs.PhaseCommit)
+			r.cfg.Obs.Mark(req.Digest, r.execSeq, obs.PhaseApply)
+			r.cfg.Obs.Inc("hotstuff/decisions")
 			r.decCh <- consensus.Decision{Seq: r.execSeq, Digest: req.Digest, Value: req.Value, Node: r.cfg.Self}
 		}
 	}
@@ -573,6 +583,7 @@ func (r *Replica) onTimeout() {
 		return
 	}
 	r.curView++
+	r.cfg.Obs.Inc("hotstuff/new_views")
 	r.timer.Reset(r.cfg.Timeout)
 	nv := newViewMsg{View: r.curView, HighQC: r.highQC}
 	if r.leader(r.curView) == r.cfg.Self {

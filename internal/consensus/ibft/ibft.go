@@ -12,6 +12,7 @@ import (
 
 	"permchain/internal/consensus"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -162,6 +163,7 @@ func (r *Replica) Stop() {
 
 // Submit implements consensus.Replica.
 func (r *Replica) Submit(value any, digest types.Hash) {
+	r.cfg.Obs.Mark(digest, 0, obs.PhaseSubmit)
 	select {
 	case r.submitCh <- request{Digest: digest, Value: value}:
 	case <-r.stopCh:
@@ -347,6 +349,7 @@ func (r *Replica) onSyncReq(from types.NodeID, q syncReq) {
 		// The asker is ahead: we are the laggard. Gossip repeats every few
 		// timeouts, so requesting on every such beacon also retries after
 		// lost replies.
+		r.cfg.Obs.Inc("ibft/sync_fetches")
 		r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
 	}
 }
@@ -409,6 +412,7 @@ func (r *Replica) buffer(m network.Message) {
 	// each adopted batch re-triggers naturally as buffered messages replay.
 	if r.lastSync != r.height {
 		r.lastSync = r.height
+		r.cfg.Obs.Inc("ibft/sync_fetches")
 		r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
 	}
 }
@@ -432,6 +436,7 @@ func (r *Replica) onPrePrepare(from types.NodeID, pp prePrepare) {
 	}
 	rs.proposal = &pp
 	r.values[pp.Digest] = pp.Value
+	r.cfg.Obs.Mark(pp.Digest, pp.Height, obs.PhasePropose)
 	if pp.Round != r.round || rs.sentPrep {
 		return
 	}
@@ -475,6 +480,7 @@ func (r *Replica) onPrepare(from types.NodeID, v vote) {
 		r.prepDigest = v.Digest
 		r.prepValue = r.values[v.Digest]
 	}
+	r.cfg.Obs.Mark(v.Digest, v.Height, obs.PhasePrepare)
 	rs.sentCommit = true
 	c := vote{
 		Height: r.height, Round: v.Round, Digest: v.Digest,
@@ -508,6 +514,9 @@ func (r *Replica) decide(dig types.Hash) {
 	val := r.values[dig]
 	r.decided[dig] = true
 	r.history[r.height] = request{Digest: dig, Value: val}
+	r.cfg.Obs.MarkLatency("ibft/commit_latency", dig, r.height, obs.PhasePropose, obs.PhaseCommit)
+	r.cfg.Obs.Mark(dig, r.height, obs.PhaseApply)
+	r.cfg.Obs.Inc("ibft/decisions")
 	r.decCh <- consensus.Decision{Seq: r.height, Digest: dig, Value: val, Node: r.cfg.Self}
 
 	r.height++
@@ -534,6 +543,7 @@ func (r *Replica) onTimeout() {
 }
 
 func (r *Replica) sendRoundChange(round uint64) {
+	r.cfg.Obs.Inc("ibft/round_changes")
 	rc := roundChange{
 		Height: r.height, Round: round,
 		PreparedRound: r.prepRound, PreparedDigest: r.prepDigest, PreparedValue: r.prepValue,

@@ -18,6 +18,7 @@ import (
 
 	"permchain/internal/consensus"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -182,6 +183,7 @@ func (r *Replica) setLeading(v bool) {
 
 // Submit implements consensus.Replica.
 func (r *Replica) Submit(value any, digest types.Hash) {
+	r.cfg.Obs.Mark(digest, 0, obs.PhaseSubmit)
 	select {
 	case r.submitCh <- forward{Digest: digest, Value: value}:
 	case <-r.stopCh:
@@ -228,6 +230,7 @@ func (r *Replica) onTimeout() {
 
 // campaign starts phase 1 with a ballot higher than anything seen.
 func (r *Replica) campaign() {
+	r.cfg.Obs.Inc("paxos/campaigns")
 	r.counter++
 	for makeBallot(r.counter, r.cfg.Self) <= r.promised ||
 		makeBallot(r.counter, r.cfg.Self) <= r.leaderBallot {
@@ -289,6 +292,9 @@ func (r *Replica) proposeValue(digest types.Hash, value any) {
 }
 
 func (r *Replica) phase2(slot uint64, digest types.Hash, value any) {
+	if !digest.IsZero() { // no-op gap fills have no lifecycle
+		r.cfg.Obs.Mark(digest, slot, obs.PhasePropose)
+	}
 	r.inFlight[slot] = acceptedVal{Ballot: r.ballot, Digest: digest, Value: value}
 	r.acceptVotes[slot] = map[types.NodeID]bool{}
 	a := accept{Ballot: r.ballot, Slot: slot, Digest: digest, Value: value}
@@ -354,6 +360,7 @@ func (r *Replica) onMessage(m network.Message) {
 		// traffic we missed exists — ask for a replay. Heartbeats repeat
 		// every Timeout/5, re-triggering until fully caught up.
 		if hb.Applied > r.applied {
+			r.cfg.Obs.Inc("paxos/sync_fetches")
 			r.ep.Send(m.From, msgSyncReq, syncReq{From: r.applied + 1})
 		}
 	case msgSyncReq:
@@ -508,6 +515,9 @@ func (r *Replica) learn(slot uint64, v acceptedVal) {
 		}
 		r.chosen[next.Digest] = true
 		r.appliedSeq++
+		r.cfg.Obs.MarkLatency("paxos/commit_latency", next.Digest, r.appliedSeq, obs.PhasePropose, obs.PhaseCommit)
+		r.cfg.Obs.Mark(next.Digest, r.appliedSeq, obs.PhaseApply)
+		r.cfg.Obs.Inc("paxos/decisions")
 		r.decCh <- consensus.Decision{Seq: r.appliedSeq, Digest: next.Digest, Value: next.Value, Node: r.cfg.Self}
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"permchain/internal/consensus"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -217,6 +218,7 @@ func (r *Replica) Stop() {
 
 // Submit implements consensus.Replica.
 func (r *Replica) Submit(value any, digest types.Hash) {
+	r.cfg.Obs.Mark(digest, 0, obs.PhaseSubmit)
 	select {
 	case r.submitCh <- request{Digest: digest, Value: value}:
 	case <-r.stopCh:
@@ -356,6 +358,7 @@ func (r *Replica) gapFetch() bool {
 	if gap > r.knownExec && !r.hasWorkAbove(gap) && len(r.pending) == 0 {
 		return false
 	}
+	r.cfg.Obs.Inc("pbft/fetches")
 	r.ep.Multicast(r.cfg.Nodes, msgFetch, fetch{Seq: gap})
 	return true
 }
@@ -534,6 +537,7 @@ func (r *Replica) onMessage(m network.Message) {
 		// still requires f+1 agreeing replies, so a single lying peer
 		// costs only a wasted fetch.
 		if st.LastExec > r.lastExec {
+			r.cfg.Obs.Inc("pbft/fetches")
 			r.ep.Multicast(r.cfg.Nodes, msgFetch, fetch{Seq: r.lastExec + 1})
 		}
 	}
@@ -563,6 +567,7 @@ func (r *Replica) acceptPrePrepare(from types.NodeID, pp prePrepare) {
 	s.ppView = pp.View
 	s.digest = pp.Digest
 	s.value = pp.Value
+	r.cfg.Obs.Mark(pp.Digest, pp.Seq, obs.PhasePropose)
 	r.armTimer()
 
 	p := vote{
@@ -584,6 +589,7 @@ func (r *Replica) onPrepare(from types.NodeID, v vote) {
 	}
 	if n >= r.cfg.ByzQuorum() && !s.sentCommit {
 		s.sentCommit = true
+		r.cfg.Obs.Mark(v.Digest, v.Seq, obs.PhasePrepare)
 		c := vote{
 			View: v.View, Seq: v.Seq, Digest: v.Digest,
 			Sig: r.cfg.SignPart([]byte(msgCommit), consensus.U64(v.View), consensus.U64(v.Seq), v.Digest[:]),
@@ -607,12 +613,14 @@ func (r *Replica) onCommit(from types.NodeID, v vote) {
 		return
 	}
 	s.committed = true
+	r.cfg.Obs.MarkLatency("pbft/commit_latency", v.Digest, v.Seq, obs.PhasePropose, obs.PhaseCommit)
 	if !s.hasPP || s.digest != v.Digest {
 		// Quorum proves the digest, but we missed the pre-prepare and
 		// have no value: adopt the digest and fetch the value.
 		s.digest = v.Digest
 		s.hasPP = false
 		s.value = nil
+		r.cfg.Obs.Inc("pbft/fetches")
 		r.ep.Multicast(r.cfg.Nodes, msgFetch, fetch{Seq: v.Seq})
 		return
 	}
@@ -648,6 +656,8 @@ func (r *Replica) executeReady() {
 			// each digest exactly once, at its first slot.
 			if _, dup := r.executedDig[s.digest]; !dup {
 				r.executedDig[s.digest] = r.lastExec
+				r.cfg.Obs.Mark(s.digest, r.lastExec, obs.PhaseApply)
+				r.cfg.Obs.Inc("pbft/decisions")
 				r.decCh <- consensus.Decision{Seq: r.lastExec, Digest: s.digest, Value: s.value, Node: r.cfg.Self}
 			}
 		}
@@ -704,6 +714,7 @@ func (r *Replica) startViewChange(newV uint64) {
 	}
 	r.view = newV
 	r.inViewChange = true
+	r.cfg.Obs.Inc("pbft/view_changes")
 	var certs []preparedCert
 	for seq, s := range r.slots {
 		if seq <= r.lastExec {

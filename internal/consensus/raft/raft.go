@@ -15,6 +15,7 @@ import (
 
 	"permchain/internal/consensus"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -149,6 +150,7 @@ func (r *Replica) Stop() {
 
 // Submit implements consensus.Replica.
 func (r *Replica) Submit(value any, digest types.Hash) {
+	r.cfg.Obs.Mark(digest, 0, obs.PhaseSubmit)
 	select {
 	case r.submitCh <- forward{Digest: digest, Value: value}:
 	case <-r.stopCh:
@@ -229,6 +231,7 @@ func (r *Replica) leaderAppend(digest types.Hash, value any) {
 		return
 	}
 	r.inLog[digest] = true
+	r.cfg.Obs.Mark(digest, 0, obs.PhasePropose)
 	r.log = append(r.log, entry{Term: r.term, Digest: digest, Value: value})
 	r.matchIndex[r.cfg.Self] = r.lastLogIndex()
 	r.broadcastAppend()
@@ -248,6 +251,7 @@ func (r *Replica) becomeFollower(term uint64) {
 }
 
 func (r *Replica) becomeCandidate() {
+	r.cfg.Obs.Inc("raft/elections")
 	r.role = candidate
 	r.isLeader.Store(false)
 	r.term++
@@ -263,6 +267,7 @@ func (r *Replica) becomeCandidate() {
 }
 
 func (r *Replica) becomeLeader() {
+	r.cfg.Obs.Inc("raft/leader_changes")
 	r.role = leader
 	r.isLeader.Store(true)
 	r.leaderID = r.cfg.Self
@@ -510,6 +515,9 @@ func (r *Replica) applyCommitted() {
 		}
 		r.appliedDig[e.Digest] = true
 		r.appliedSeq++
+		r.cfg.Obs.MarkLatency("raft/commit_latency", e.Digest, r.appliedSeq, obs.PhasePropose, obs.PhaseCommit)
+		r.cfg.Obs.Mark(e.Digest, r.appliedSeq, obs.PhaseApply)
+		r.cfg.Obs.Inc("raft/decisions")
 		r.decCh <- consensus.Decision{Seq: r.appliedSeq, Digest: e.Digest, Value: e.Value, Node: r.cfg.Self}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"permchain/internal/consensus"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -194,6 +195,7 @@ func (r *Replica) Stop() {
 
 // Submit implements consensus.Replica.
 func (r *Replica) Submit(value any, digest types.Hash) {
+	r.cfg.Obs.Mark(digest, 0, obs.PhaseSubmit)
 	select {
 	case r.submitCh <- request{Digest: digest, Value: value}:
 	case <-r.stopCh:
@@ -281,6 +283,9 @@ func (r *Replica) roundState(round uint64) *roundState {
 }
 
 func (r *Replica) startRound(round uint64) {
+	if round > 0 {
+		r.cfg.Obs.Inc("tendermint/extra_rounds")
+	}
 	r.round = round
 	r.step = stepPropose
 	r.timer.Reset(r.cfg.Timeout)
@@ -387,6 +392,7 @@ func (r *Replica) onSyncReq(from types.NodeID, q syncReq) {
 		// The asker is ahead: we are the laggard. Gossip repeats every few
 		// timeouts, so requesting on every such beacon also retries after
 		// lost replies.
+		r.cfg.Obs.Inc("tendermint/sync_fetches")
 		r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
 	}
 }
@@ -453,6 +459,7 @@ func (r *Replica) buffer(m network.Message) {
 	// each adopted batch re-triggers naturally as buffered messages replay.
 	if r.lastSyncReq != r.height {
 		r.lastSyncReq = r.height
+		r.cfg.Obs.Inc("tendermint/sync_fetches")
 		r.ep.Multicast(r.cfg.Nodes, msgSyncReq, syncReq{Height: r.height})
 	}
 }
@@ -476,6 +483,7 @@ func (r *Replica) onProposal(from types.NodeID, p proposal) {
 	}
 	rs.proposal = &p
 	r.values[p.Digest] = p.Value
+	r.cfg.Obs.Mark(p.Digest, p.Height, obs.PhasePropose)
 	if p.Round != r.round {
 		return
 	}
@@ -522,6 +530,7 @@ func (r *Replica) onPrevote(from types.NodeID, v voteMsg) {
 			r.lockedDig = v.Digest
 			r.lockedVal = r.values[v.Digest]
 		}
+		r.cfg.Obs.Mark(v.Digest, r.height, obs.PhasePrepare)
 		r.sendPrecommit(v.Round, v.Digest)
 		return
 	}
@@ -537,6 +546,9 @@ func (r *Replica) sendPrecommit(round uint64, dig types.Hash) {
 		return
 	}
 	rs.sentPrecommit = true
+	if !dig.IsZero() {
+		r.cfg.Obs.Mark(dig, r.height, obs.PhasePreCommit)
+	}
 	if round == r.round {
 		r.step = stepPrecommit
 		r.timer.Reset(r.cfg.Timeout)
@@ -576,6 +588,9 @@ func (r *Replica) decide(dig types.Hash) {
 	val := r.values[dig]
 	r.decidedDig[dig] = true
 	r.history[r.height] = request{Digest: dig, Value: val}
+	r.cfg.Obs.MarkLatency("tendermint/commit_latency", dig, r.height, obs.PhasePropose, obs.PhaseCommit)
+	r.cfg.Obs.Mark(dig, r.height, obs.PhaseApply)
+	r.cfg.Obs.Inc("tendermint/decisions")
 	r.decCh <- consensus.Decision{Seq: r.height, Digest: dig, Value: val, Node: r.cfg.Self}
 
 	// Reset for the next height.

@@ -31,6 +31,7 @@ import (
 	"permchain/internal/crypto"
 	"permchain/internal/ledger"
 	"permchain/internal/network"
+	"permchain/internal/obs"
 	"permchain/internal/statedb"
 	"permchain/internal/types"
 )
@@ -124,6 +125,10 @@ type Config struct {
 	// HistoryLimit retains up to this many historical versions per key on
 	// every node's state, enabling provenance queries (0 disables).
 	HistoryLimit int
+	// Obs optionally attaches the observability layer: one registry and
+	// tracer shared by every replica, engine, and the transport. Nil
+	// disables instrumentation.
+	Obs *obs.Obs
 }
 
 // engine abstracts the per-node processing pipeline.
@@ -234,11 +239,15 @@ func New(cfg Config) (*Chain, error) {
 	for i := range ids {
 		ids[i] = types.NodeID(i)
 	}
+	if cfg.Obs != nil && cfg.Obs.Reg != nil {
+		cfg.Net.SetRegistry(cfg.Obs.Reg)
+	}
 	c := &Chain{cfg: cfg, net: cfg.Net, stopCh: make(chan struct{})}
 	for i := range ids {
 		ccfg := consensus.Config{
 			Self: ids[i], Nodes: ids, Net: cfg.Net, Keys: keys,
 			Timeout: cfg.Timeout, DisableSig: cfg.DisableSig,
+			Obs: cfg.Obs,
 		}
 		var rep consensus.Replica
 		switch cfg.Protocol {
@@ -266,11 +275,17 @@ func New(cfg Config) (*Chain, error) {
 		var eng engine
 		switch cfg.Arch {
 		case OX:
-			eng = oxEngine{ox.New(store, cfg.WorkFactor)}
+			e := ox.New(store, cfg.WorkFactor)
+			e.SetObs(cfg.Obs)
+			eng = oxEngine{e}
 		case OXII:
-			eng = oxiiEngine{oxii.New(store, cfg.WorkFactor, cfg.Workers)}
+			e := oxii.New(store, cfg.WorkFactor, cfg.Workers)
+			e.SetObs(cfg.Obs)
+			eng = oxiiEngine{e}
 		case XOV:
-			eng = xovEngine{xov.New(store, cfg.XOVOptions, cfg.WorkFactor, cfg.Workers)}
+			e := xov.New(store, cfg.XOVOptions, cfg.WorkFactor, cfg.Workers)
+			e.SetObs(cfg.Obs)
+			eng = xovEngine{e}
 		default:
 			return nil, fmt.Errorf("core: unknown architecture %v", cfg.Arch)
 		}
@@ -329,6 +344,7 @@ func (c *Chain) Submit(tx *types.Transaction) error {
 		return ErrStopped
 	default:
 	}
+	c.cfg.Obs.Mark(tx.Hash(), 0, obs.PhaseSubmit)
 	if c.cfg.Arch == XOV {
 		if e, ok := c.nodes[0].eng.(xovEngine); ok {
 			if err := e.e.Endorse(tx); err != nil {
@@ -397,6 +413,14 @@ func (c *Chain) drainNode(n *Node) {
 			if err := n.chain.Append(blk); err != nil {
 				// A node that cannot extend its own chain is a bug.
 				panic(fmt.Sprintf("core: node %v append: %v", n.ID, err))
+			}
+			// Node 0 stamps the end of each transaction's lifecycle; one
+			// node suffices since the span tracer is cluster-wide and
+			// earliest-mark-wins would otherwise record the fastest replica.
+			if n.ID == 0 {
+				for _, tx := range b.Txs {
+					c.cfg.Obs.MarkLatency("core/submit_to_apply", tx.Hash(), d.Seq, obs.PhaseSubmit, obs.PhaseApply)
+				}
 			}
 			n.mu.Lock()
 			n.stats.Add(st)

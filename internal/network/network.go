@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -123,6 +125,14 @@ type Network struct {
 	crashed   map[types.NodeID]bool
 	stats     Stats
 	closed    bool
+	// reg mirrors the traffic counters into an obs registry when set
+	// (drop causes as counters, plus delivery-latency and per-link
+	// queue-depth histograms). Guarded by mu like everything else.
+	reg *obs.Registry
+	// logical counts network events (sends + deliveries) monotonically;
+	// obs.ClockFunc(net.LogicalNow) turns it into a deterministic span
+	// clock for chaos and determinism tests.
+	logical atomic.Int64
 }
 
 // Option configures a Network.
@@ -146,6 +156,13 @@ func WithDropRate(p float64) Option {
 // WithSeed seeds the loss randomness for reproducibility.
 func WithSeed(seed int64) Option {
 	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithRegistry mirrors traffic counters into reg: per-cause drop counters
+// ("net/drop/<cause>"), sent/delivered totals, a delivery-latency histogram
+// and per-link inbox-depth histograms.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(n *Network) { n.reg = reg }
 }
 
 // inboxDepth is sized so slow consumers in tests don't spuriously drop;
@@ -309,7 +326,24 @@ func (n *Network) Close() {
 	n.closed = true
 }
 
-// StatsSnapshot returns a copy of the traffic counters.
+// SetRegistry attaches (or detaches, with nil) an obs registry at runtime;
+// see WithRegistry.
+func (n *Network) SetRegistry(reg *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reg = reg
+}
+
+// LogicalNow returns the network's logical clock: the count of send and
+// delivery events so far. It only moves when traffic moves, so span
+// timestamps taken from it are reproducible under a fixed seed regardless
+// of scheduler timing. Adapt it with obs.ClockFunc(net.LogicalNow).
+func (n *Network) LogicalNow() int64 { return n.logical.Load() }
+
+// StatsSnapshot returns a copy of the traffic counters. This is the only
+// way to read Stats: the struct is written under the network mutex on
+// every transmit/deliver, so callers must never retain a reference into
+// the live struct (per-cause counters would tear under -race).
 func (n *Network) StatsSnapshot() Stats {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
@@ -362,9 +396,14 @@ func (n *Network) broadcastFrom(from types.NodeID, typ string, payload any) {
 func (n *Network) drop(cause DropCause) {
 	n.stats.Dropped++
 	n.stats.ByCause[cause]++
+	if n.reg != nil {
+		n.reg.Counter("net/drop/" + cause.String()).Inc()
+	}
 }
 
 func (n *Network) transmit(m Message) {
+	sentAt := time.Now()
+	n.logical.Add(1)
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -372,6 +411,9 @@ func (n *Network) transmit(m Message) {
 	}
 	n.stats.Sent++
 	n.stats.ByType[m.Type]++
+	if n.reg != nil {
+		n.reg.Counter("net/sent").Inc()
+	}
 	if _, ok := n.endpoints[m.To]; !ok {
 		n.drop(DropUnknown)
 		n.mu.Unlock()
@@ -399,17 +441,18 @@ func (n *Network) transmit(m Message) {
 	n.mu.Unlock()
 
 	if delay <= 0 {
-		n.deliver(m)
+		n.deliver(m, sentAt)
 		return
 	}
-	time.AfterFunc(delay, func() { n.deliver(m) })
+	time.AfterFunc(delay, func() { n.deliver(m, sentAt) })
 }
 
 // deliver re-resolves the destination at delivery time: a delayed message
 // addressed to a node that crashed (or was replaced via Rejoin) while the
 // message was in flight lands in the node's *current* state, not a stale
 // endpoint pointer.
-func (n *Network) deliver(m Message) {
+func (n *Network) deliver(m Message, sentAt time.Time) {
+	n.logical.Add(1)
 	n.mu.Lock()
 	dst, ok := n.endpoints[m.To]
 	if !ok {
@@ -425,6 +468,11 @@ func (n *Network) deliver(m Message) {
 	select {
 	case dst.inbox <- m:
 		n.stats.Delivered++
+		if n.reg != nil {
+			n.reg.Counter("net/delivered").Inc()
+			n.reg.Histogram("net/delivery_latency").Observe(int64(time.Since(sentAt)))
+			n.reg.Histogram(fmt.Sprintf("net/inbox_depth/n%d", m.To)).Observe(int64(len(dst.inbox)))
+		}
 	default:
 		n.drop(DropOverflow)
 	}

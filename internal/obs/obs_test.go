@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"permchain/internal/types"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 40, 41}, {1<<63 - 1, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if BucketUpper(0) != 0 || BucketUpper(1) != 1 || BucketUpper(3) != 7 || BucketUpper(9) != 511 {
+		t.Errorf("BucketUpper boundaries wrong: %d %d %d %d",
+			BucketUpper(0), BucketUpper(1), BucketUpper(3), BucketUpper(9))
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 100 samples: 1..100. Buckets: [1], [2,3], [4..7], ... quantile returns
+	// the bucket upper bound clamped to observed max.
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %d, want 5050", h.Sum())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d, want 100", h.Max())
+	}
+	// p50: rank 50 falls in bucket [32..63] (cumulative through 63 is 63) -> upper bound 63.
+	if got := h.Quantile(0.50); got != 63 {
+		t.Errorf("p50 = %d, want 63", got)
+	}
+	// p95: rank 95 falls in bucket [64..127], upper 127 clamped to max 100.
+	if got := h.Quantile(0.95); got != 100 {
+		t.Errorf("p95 = %d, want 100 (clamped)", got)
+	}
+	if got := h.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+	// Single-sample histogram: every quantile is the sample.
+	h2 := &Histogram{}
+	h2.Observe(42)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h2.Quantile(q); got != 42 {
+			t.Errorf("single-sample q=%v = %d, want 42", q, got)
+		}
+	}
+}
+
+func TestHistogramSnapshotClamping(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(1000) // bucket upper 1023; min=max=1000 so estimates clamp to 1000
+	s := h.snapshot()
+	if s.P50 != 1000 || s.P99 != 1000 || s.Max != 1000 || s.Min != 1000 || s.Mean != 1000 {
+		t.Errorf("snapshot not clamped to observed value: %+v", s)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestTracerOutOfOrderAssembly(t *testing.T) {
+	clk := &ManualClock{}
+	tr := NewTracer(clk)
+	d := types.HashBytes([]byte("tx1"))
+
+	// Phases arrive out of order: commit first, then propose, then submit.
+	clk.Set(300)
+	tr.Mark(d, 7, PhaseCommit)
+	clk.Set(100)
+	tr.Mark(d, 0, PhasePropose)
+	clk.Set(50)
+	tr.Mark(d, 0, PhaseSubmit)
+	// A second node marks commit later; the earlier stamp must win.
+	clk.Set(400)
+	tr.Mark(d, 7, PhaseCommit)
+
+	s, ok := tr.Span(d)
+	if !ok {
+		t.Fatal("span missing")
+	}
+	if s.Seq != 7 {
+		t.Errorf("seq = %d, want 7", s.Seq)
+	}
+	if got, ok := s.Between(PhaseSubmit, PhaseCommit); !ok || got != 250 {
+		t.Errorf("submit->commit = %d,%v, want 250,true", got, ok)
+	}
+	if got, ok := s.Between(PhasePropose, PhaseCommit); !ok || got != 200 {
+		t.Errorf("propose->commit = %d,%v, want 200,true", got, ok)
+	}
+}
+
+func TestTracerDroppedPhases(t *testing.T) {
+	clk := &ManualClock{}
+	tr := NewTracer(clk)
+	d := types.HashBytes([]byte("tx2"))
+	// Raft-shaped span: no prepare/precommit phases.
+	clk.Set(10)
+	tr.Mark(d, 3, PhaseSubmit)
+	clk.Set(20)
+	tr.Mark(d, 3, PhasePropose)
+	clk.Set(90)
+	tr.Mark(d, 3, PhaseCommit)
+	clk.Set(95)
+	tr.Mark(d, 3, PhaseApply)
+
+	s, _ := tr.Span(d)
+	if s.Has(PhasePrepare) || s.Has(PhasePreCommit) {
+		t.Fatal("unmarked phases must not appear")
+	}
+	if _, ok := s.Between(PhasePrepare, PhaseCommit); ok {
+		t.Fatal("Between must report missing phases")
+	}
+
+	reg := NewRegistry()
+	SummarizeSpans(tr.Spans(), reg, "trace")
+	// Consecutive-present pairs skip the dropped phases.
+	for _, name := range []string{"trace/submit_to_propose", "trace/propose_to_commit", "trace/commit_to_apply", "trace/submit_to_apply"} {
+		if reg.Histogram(name).Count() != 1 {
+			t.Errorf("%s count = %d, want 1", name, reg.Histogram(name).Count())
+		}
+	}
+	if got := reg.Histogram("trace/propose_to_commit").Max(); got != 70 {
+		t.Errorf("propose_to_commit = %d, want 70", got)
+	}
+	if reg.Histogram("trace/propose_to_prepare").Count() != 0 {
+		t.Error("dropped phase must not produce a pair histogram")
+	}
+}
+
+func TestNilObsIsSafe(t *testing.T) {
+	var o *Obs
+	o.Inc("x")
+	o.Add("x", 2)
+	o.SetGauge("g", 1)
+	o.Observe("h", time.Millisecond)
+	o.Mark(types.Hash{}, 1, PhaseCommit)
+	o.MarkLatency("h", types.Hash{}, 1, PhasePropose, PhaseCommit)
+	partial := &Obs{} // nil Reg and Tracer inside
+	partial.Inc("x")
+	partial.Mark(types.Hash{}, 1, PhaseCommit)
+}
+
+func TestMarkLatency(t *testing.T) {
+	clk := &ManualClock{}
+	o := NewWithClock(clk)
+	d := types.HashBytes([]byte("tx3"))
+	clk.Set(1000)
+	o.Mark(d, 5, PhasePropose)
+	clk.Set(4000)
+	o.MarkLatency("proto/commit_latency", d, 5, PhasePropose, PhaseCommit)
+	h := o.Reg.Histogram("proto/commit_latency")
+	if h.Count() != 1 || h.Max() != 3000 {
+		t.Fatalf("commit latency: count=%d max=%d, want 1, 3000", h.Count(), h.Max())
+	}
+	// Missing `from` phase: mark still lands, no observation.
+	d2 := types.HashBytes([]byte("tx4"))
+	o.MarkLatency("proto/commit_latency", d2, 6, PhasePropose, PhaseCommit)
+	if h.Count() != 1 {
+		t.Fatal("latency observed despite missing start phase")
+	}
+	if s, ok := o.Tracer.Span(d2); !ok || !s.Has(PhaseCommit) {
+		t.Fatal("commit phase not marked on span")
+	}
+}
+
+func TestSnapshotRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("net/drop/rate").Add(3)
+	r.Gauge("view").Set(2)
+	r.Histogram("pbft/commit_latency").Observe(int64(2 * time.Millisecond))
+	s := r.Snapshot()
+
+	var jsonBuf bytes.Buffer
+	if err := s.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(jsonBuf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Counters["net/drop/rate"] != 3 || round.Histograms["pbft/commit_latency"].Count != 1 {
+		t.Fatalf("JSON round-trip mismatch: %+v", round)
+	}
+
+	var promBuf bytes.Buffer
+	if err := s.WritePrometheus(&promBuf); err != nil {
+		t.Fatal(err)
+	}
+	out := promBuf.String()
+	for _, want := range []string{
+		"# TYPE net_drop_rate counter", "net_drop_rate 3",
+		"# TYPE view gauge",
+		"# TYPE pbft_commit_latency summary",
+		"pbft_commit_latency_count 1",
+		`pbft_commit_latency{quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameSanitize(t *testing.T) {
+	cases := map[string]string{
+		"pbft/commit_latency": "pbft_commit_latency",
+		"net.drop-rate":       "net_drop_rate",
+		"9lives":              "_9lives",
+		"ok_name:sub":         "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"permchain/internal/types"
+)
+
+// Clock supplies span timestamps in nanoseconds. Any monotonic source works;
+// the unit only has to be consistent within one Tracer.
+type Clock interface {
+	Now() int64
+}
+
+// WallClock stamps spans from the real time clock.
+type WallClock struct{}
+
+// Now returns the wall time in nanoseconds.
+func (WallClock) Now() int64 { return time.Now().UnixNano() }
+
+// ManualClock is an explicitly advanced clock for deterministic tests.
+type ManualClock struct{ ns atomic.Int64 }
+
+// Now returns the current manual time.
+func (c *ManualClock) Now() int64 { return c.ns.Load() }
+
+// Set jumps the clock to ns.
+func (c *ManualClock) Set(ns int64) { c.ns.Store(ns) }
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// ClockFunc adapts any func() int64 into a Clock — e.g. the simulated
+// network's logical event counter: obs.ClockFunc(net.LogicalNow).
+type ClockFunc func() int64
+
+// Now invokes the adapted function.
+func (f ClockFunc) Now() int64 { return f() }
+
+// Phase is one step of the transaction lifecycle. The canonical order is
+// Submit -> Propose -> Prepare -> PreCommit -> Commit -> Apply; protocols
+// stamp the subset that exists in their state machine (Raft has no prepare
+// round, HotStuff's lock maps to PreCommit, ...).
+type Phase uint8
+
+const (
+	PhaseSubmit Phase = iota
+	PhasePropose
+	PhasePrepare
+	PhasePreCommit
+	PhaseCommit
+	PhaseApply
+	numPhases
+)
+
+// String returns the phase's lowercase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSubmit:
+		return "submit"
+	case PhasePropose:
+		return "propose"
+	case PhasePrepare:
+		return "prepare"
+	case PhasePreCommit:
+		return "precommit"
+	case PhaseCommit:
+		return "commit"
+	case PhaseApply:
+		return "apply"
+	default:
+		return "unknown"
+	}
+}
+
+// Phases lists every lifecycle phase in canonical order.
+func Phases() []Phase {
+	return []Phase{PhaseSubmit, PhasePropose, PhasePrepare, PhasePreCommit, PhaseCommit, PhaseApply}
+}
+
+// Span is the assembled lifecycle of one digest: the earliest timestamp at
+// which each phase was observed, across every node that marked it. A zero
+// At entry with Seen=false means the phase was never reached (dropped
+// phases are expected — protocols stamp different subsets).
+type Span struct {
+	Digest types.Hash
+	Seq    uint64
+	At     [numPhases]int64
+	Seen   [numPhases]bool
+}
+
+// Has reports whether the phase was marked.
+func (s *Span) Has(p Phase) bool { return p < numPhases && s.Seen[p] }
+
+// Between returns the elapsed time from phase a to phase b, and whether
+// both phases were marked.
+func (s *Span) Between(a, b Phase) (int64, bool) {
+	if !s.Has(a) || !s.Has(b) {
+		return 0, false
+	}
+	return s.At[b] - s.At[a], true
+}
+
+// Tracer assembles lifecycle spans keyed by digest. Marks may arrive out of
+// order and from many goroutines (every replica in a cluster can share one
+// tracer); the earliest timestamp per phase wins, so the assembled span is
+// the cluster-wide frontier of each phase.
+type Tracer struct {
+	clock Clock
+	mu    sync.Mutex
+	spans map[types.Hash]*Span
+}
+
+// NewTracer returns a tracer stamping from clk (WallClock{} if nil).
+func NewTracer(clk Clock) *Tracer {
+	if clk == nil {
+		clk = WallClock{}
+	}
+	return &Tracer{clock: clk, spans: make(map[types.Hash]*Span)}
+}
+
+// Now returns the tracer's current clock reading.
+func (t *Tracer) Now() int64 { return t.clock.Now() }
+
+// Mark stamps phase ph on the span for digest at the current clock reading
+// and returns that reading. seq may be 0 when unknown; the first non-zero
+// seq recorded for a digest is kept.
+func (t *Tracer) Mark(digest types.Hash, seq uint64, ph Phase) int64 {
+	now := t.clock.Now()
+	t.MarkAt(digest, seq, ph, now)
+	return now
+}
+
+// MarkAt stamps phase ph at an explicit timestamp (for replaying recorded
+// events or testing out-of-order assembly).
+func (t *Tracer) MarkAt(digest types.Hash, seq uint64, ph Phase, ts int64) {
+	if ph >= numPhases {
+		return
+	}
+	t.mu.Lock()
+	s := t.spans[digest]
+	if s == nil {
+		s = &Span{Digest: digest}
+		t.spans[digest] = s
+	}
+	if s.Seq == 0 && seq != 0 {
+		s.Seq = seq
+	}
+	if !s.Seen[ph] || ts < s.At[ph] {
+		s.At[ph] = ts
+		s.Seen[ph] = true
+	}
+	t.mu.Unlock()
+}
+
+// PhaseAt returns the timestamp at which ph was first marked for digest.
+func (t *Tracer) PhaseAt(digest types.Hash, ph Phase) (int64, bool) {
+	if ph >= numPhases {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.spans[digest]
+	if s == nil || !s.Seen[ph] {
+		return 0, false
+	}
+	return s.At[ph], true
+}
+
+// Span returns a copy of the assembled span for digest.
+func (t *Tracer) Span(digest types.Hash) (Span, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.spans[digest]
+	if s == nil {
+		return Span{}, false
+	}
+	return *s, true
+}
+
+// Spans returns copies of every assembled span, in unspecified order.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.spans))
+	for _, s := range t.spans {
+		out = append(out, *s)
+	}
+	return out
+}
+
+// Len returns the number of spans assembled so far.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Reset drops all assembled spans (the clock is untouched).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.spans = make(map[types.Hash]*Span)
+	t.mu.Unlock()
+}
+
+// SummarizeSpans folds a set of spans into reg as phase-to-phase latency
+// histograms named "<prefix>/<from>_to_<to>" for each consecutive pair of
+// phases present in a span, plus "<prefix>/submit_to_apply" end-to-end when
+// both endpoints exist. Dropped phases are skipped over, so a Raft span
+// (submit, propose, commit, apply) still yields propose_to_commit.
+func SummarizeSpans(spans []Span, reg *Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	order := Phases()
+	for i := range spans {
+		s := &spans[i]
+		prev := -1
+		for _, ph := range order {
+			if !s.Has(ph) {
+				continue
+			}
+			if prev >= 0 {
+				from := Phase(prev)
+				if d, ok := s.Between(from, ph); ok && d >= 0 {
+					reg.Histogram(prefix + "/" + from.String() + "_to_" + ph.String()).Observe(d)
+				}
+			}
+			prev = int(ph)
+		}
+		if d, ok := s.Between(PhaseSubmit, PhaseApply); ok && d >= 0 {
+			reg.Histogram(prefix + "/submit_to_apply").Observe(d)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"permchain/internal/obs"
 	"permchain/internal/types"
 )
 
@@ -242,6 +243,38 @@ func (g *Gen) Enterprise(cfg EnterpriseConfig) []*types.Transaction {
 		}
 	}
 	return txs
+}
+
+// Submitter stamps each transaction's PhaseSubmit timestamp on the
+// shared lifecycle tracer before handing it to the chain, so end-to-end
+// (submit → apply) latency is measured from the workload driver's side
+// rather than from inside the consensus layer. A nil Obs passes
+// transactions through untouched.
+type Submitter struct {
+	o      *obs.Obs
+	submit func(*types.Transaction) error
+}
+
+// NewSubmitter wraps a submit function (typically core.Chain.Submit)
+// with lifecycle stamping.
+func NewSubmitter(o *obs.Obs, submit func(*types.Transaction) error) *Submitter {
+	return &Submitter{o: o, submit: submit}
+}
+
+// Submit records the transaction's submit timestamp and forwards it.
+func (s *Submitter) Submit(tx *types.Transaction) error {
+	s.o.Mark(tx.Hash(), 0, obs.PhaseSubmit)
+	return s.submit(tx)
+}
+
+// SubmitAll submits a batch in order, stopping at the first error.
+func (s *Submitter) SubmitAll(txs []*types.Transaction) error {
+	for _, tx := range txs {
+		if err := s.Submit(tx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ConflictRate measures the fraction of transaction pairs within
