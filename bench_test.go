@@ -84,3 +84,15 @@ func BenchmarkE8_ConsensusProtocols(b *testing.B) {
 func BenchmarkE9_Ablations(b *testing.B) {
 	runExperiment(b, func() (*bench.Table, error) { return bench.E9Ablations(300) })
 }
+
+// BenchmarkE10_Chaos regenerates the chaos matrix at quick scale: every
+// protocol under crash-recovery, partition-heal and full-restart faults.
+func BenchmarkE10_Chaos(b *testing.B) {
+	runExperiment(b, func() (*bench.Table, error) { return bench.E10Chaos(true) })
+}
+
+// BenchmarkE11_Durability regenerates the durability comparison: fsync
+// policy vs throughput and snapshot interval vs recovery time.
+func BenchmarkE11_Durability(b *testing.B) {
+	runExperiment(b, func() (*bench.Table, error) { return bench.E11Durability(true) })
+}

@@ -4,10 +4,17 @@
 // Usage:
 //
 //	chainctl [-nodes 4] [-protocol pbft] [-arch oxii] [-metrics json|prom]
+//	         [-store DIR] [-fsync always|interval|off] [-snap-every N]
 //
 // -metrics dumps the chain's full metrics snapshot (consensus phase
 // latencies, network counters, engine stage timings) in the chosen format
 // on exit; the `metrics` stdin command prints it at any point.
+//
+// -store makes the chain durable: every node persists its blocks to a
+// segmented write-ahead log under DIR, -fsync selects the durability
+// policy, and -snap-every writes a state snapshot every N blocks. An
+// existing DIR is recovered — ledger and state come back from disk and
+// the chain continues from the recovered height.
 //
 // Commands on stdin:
 //
@@ -32,6 +39,7 @@ import (
 
 	"permchain"
 	"permchain/internal/obs"
+	"permchain/internal/store"
 )
 
 func protocolFromName(s string) (permchain.Protocol, error) {
@@ -69,6 +77,9 @@ func main() {
 	protoName := flag.String("protocol", "pbft", "pbft|raft|paxos|tendermint|hotstuff|ibft")
 	archName := flag.String("arch", "oxii", "ox|oxii|xov")
 	metrics := flag.String("metrics", "", "dump the metrics snapshot on exit: json or prom")
+	storeDir := flag.String("store", "", "durable store directory; empty runs in-memory only")
+	fsyncName := flag.String("fsync", "always", "durability policy for -store: always|interval|off")
+	snapEvery := flag.Uint64("snap-every", 16, "write a state snapshot every N blocks (0 disables; needs -store)")
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
 		fmt.Fprintf(os.Stderr, "-metrics must be json or prom, got %q\n", *metrics)
@@ -86,17 +97,38 @@ func main() {
 		os.Exit(2)
 	}
 	o := obs.New()
-	chain, err := permchain.NewChain(permchain.Config{
+	cfg := permchain.Config{
 		Nodes: *nodes, Protocol: proto, Arch: arch,
 		BlockSize: 1, Timeout: 500 * time.Millisecond,
 		Obs: o,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	}
+	var chain *permchain.Chain
+	if *storeDir != "" {
+		fsync, err := store.ParseFsyncPolicy(*fsyncName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Store = &permchain.StoreConfig{Dir: *storeDir, Fsync: fsync, SnapshotEvery: *snapEvery}
+		// OpenChain recovers an existing directory and creates a fresh one.
+		chain, err = permchain.OpenChain(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		chain, err = permchain.NewChain(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	chain.Start()
 	defer chain.Stop()
+	if h := chain.Node(0).Chain().Height(); h > 0 {
+		fmt.Printf("recovered %d blocks from %s\n", h, *storeDir)
+	}
 	if *metrics != "" {
 		defer func() {
 			snap := o.Reg.Snapshot()
@@ -123,7 +155,9 @@ func main() {
 			return
 		}
 		chain.Flush()
-		if !chain.AwaitTxs(before+1, 10*time.Second) {
+		// Wait for every node, not just node 0, so a `verify` right after
+		// a commit cannot observe replicas mid-apply.
+		if !chain.AwaitAllNodesTxs(before+1, 10*time.Second) {
 			fmt.Println("timed out waiting for commit")
 			return
 		}

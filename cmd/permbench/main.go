@@ -1,15 +1,18 @@
-// Command permbench runs the paper-reproduction experiments (E1–E10 in
+// Command permbench runs the paper-reproduction experiments (E1–E11 in
 // DESIGN.md) and prints their tables.
 //
 // Usage:
 //
-//	permbench                # run everything at full scale
-//	permbench -quick         # smaller workloads (seconds instead of minutes)
-//	permbench -only E2,E5    # run a subset
-//	permbench -metrics json  # also dump each experiment's metrics (json|prom)
+//	permbench                      # run everything at full scale
+//	permbench -quick               # smaller workloads (seconds instead of minutes)
+//	permbench -only E2,E5          # run a subset
+//	permbench -metrics json        # also dump each experiment's metrics (json|prom)
+//	permbench -out BENCH_<id>.json # also write each table+metrics as JSON,
+//	                               # <id> replaced by the experiment id
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E2,E5)")
 	metrics := flag.String("metrics", "", "dump each experiment's metrics snapshot: json or prom")
+	out := flag.String("out", "", "write each experiment's table and metrics as JSON to this path; <id> is replaced by the experiment id (e.g. BENCH_<id>.json)")
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
 		fmt.Fprintf(os.Stderr, "-metrics must be json or prom, got %q\n", *metrics)
@@ -76,6 +80,7 @@ func main() {
 		}},
 		{"E9", func() (*bench.Table, error) { return bench.E9Ablations(scale(1000, 120)) }},
 		{"E10", func() (*bench.Table, error) { return bench.E10Chaos(*quick) }},
+		{"E11", func() (*bench.Table, error) { return bench.E11Durability(*quick) }},
 	}
 
 	failed := false
@@ -91,6 +96,19 @@ func main() {
 			continue
 		}
 		fmt.Println(tbl)
+		if *out != "" {
+			path := strings.ReplaceAll(*out, "<id>", e.id)
+			data, werr := json.MarshalIndent(tbl, "", "  ")
+			if werr == nil {
+				werr = os.WriteFile(path, append(data, '\n'), 0o644)
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "%s: write %s: %v\n", e.id, path, werr)
+				failed = true
+			} else {
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
 		if *metrics != "" && tbl.Metrics != nil {
 			fmt.Printf("--- %s metrics (%s) ---\n", e.id, *metrics)
 			var werr error

@@ -186,8 +186,8 @@ func TestE10Quick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 6 protocols × 2 quick schedules.
-	if len(tbl.Rows) != 12 {
+	// 6 protocols × 3 quick schedules (crash-recovery, partition-heal, full-restart).
+	if len(tbl.Rows) != 18 {
 		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
 	}
 	for _, row := range tbl.Rows {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -28,7 +29,7 @@ func E10Chaos(quick bool) (*Table, error) {
 		Title: "chaos matrix: protocols under scripted fault schedules",
 		Claim: "safety holds through every fault; liveness returns bounded after the last heal (§2.2)",
 		Columns: []string{"protocol", "schedule", "n", "decided",
-			"drops(rate/part/crash)", "fetches", "recovery", "safety", "liveness"},
+			"drops(rate/part/crash)", "recovered(disk/fetch)", "recovery", "safety", "liveness"},
 	}
 
 	var failures []string
@@ -42,13 +43,15 @@ func E10Chaos(quick bool) (*Table, error) {
 		}
 
 		type scenario struct {
-			name  string
-			sched []chaos.Event
-			skip  bool
+			name    string
+			sched   []chaos.Event
+			skip    bool
+			durable bool
 		}
 		scenarios := []scenario{
 			{name: "crash-recovery", sched: chaos.CrashRecoverySchedule(last, warm, dark, post)},
 			{name: "partition-heal", sched: chaos.PartitionHealSchedule(minority, majority, warm, dark, post)},
+			{name: "full-restart", sched: chaos.FullClusterRestartSchedule(warm, post), durable: true},
 		}
 		if !quick {
 			scenarios = append(scenarios,
@@ -64,12 +67,21 @@ func E10Chaos(quick bool) (*Table, error) {
 				tbl.AddRow(p.Name, sc.name, n, "-", "-", "-", "-", "n/a (CFT)", "n/a (CFT)")
 				continue
 			}
+			var dir string
+			if sc.durable {
+				var err error
+				if dir, err = os.MkdirTemp("", "permbench-e10-*"); err != nil {
+					return tbl, err
+				}
+				defer os.RemoveAll(dir)
+			}
 			rep := chaos.Run(chaos.Config{
 				Protocol: p,
 				N:        n,
 				Seed:     1,
 				Timeout:  150 * time.Millisecond,
 				Schedule: sc.sched,
+				Dir:      dir,
 			})
 			safety := "held"
 			if len(rep.SafetyViolations) > 0 {
@@ -85,7 +97,8 @@ func E10Chaos(quick bool) (*Table, error) {
 					rep.Stats.ByCause[network.DropRate],
 					rep.Stats.ByCause[network.DropPartition],
 					rep.Stats.ByCause[network.DropCrash]),
-				rep.RecoveryFetches(), rep.RecoveryLatency, safety, liveness)
+				fmt.Sprintf("%d/%d", rep.DiskReplayed, rep.RecoveryFetches()),
+				rep.RecoveryLatency, safety, liveness)
 			if !rep.Ok() {
 				failures = append(failures, fmt.Sprintf("%s/%s:\n%s", p.Name, sc.name, rep))
 			}
@@ -93,7 +106,7 @@ func E10Chaos(quick bool) (*Table, error) {
 	}
 	tbl.Notes = append(tbl.Notes,
 		"decided column is the committed frontier before/during/after faults",
-		"fetches counts state-transfer pulls by lagging or recovering replicas (from the run's metrics snapshot)",
+		"recovered(disk/fetch) splits the recovery source: decisions replayed from durable logs vs state-transfer pulls from peers",
 		"recovery is the post-heal liveness probe's commit latency across all live replicas")
 	if len(failures) > 0 {
 		return tbl, fmt.Errorf("chaos runs failed:\n%s", strings.Join(failures, "\n"))

@@ -30,6 +30,7 @@ import (
 	"permchain/internal/consensus/tendermint"
 	"permchain/internal/network"
 	"permchain/internal/obs"
+	"permchain/internal/store"
 )
 
 // Protocol describes one consensus protocol the harness can run.
@@ -102,6 +103,15 @@ type Config struct {
 	// reported true vacuously). Schedules that deliberately leave the
 	// cluster without quorum use it.
 	SkipProbe bool
+	// Dir, when non-empty, attaches the durable storage engine: every node
+	// appends its decisions to a segmented write-ahead log under
+	// Dir/node-<i>, and FullRestart events recover the whole cluster from
+	// those logs instead of from peers.
+	Dir string
+	// Fsync is the decision logs' durability policy. The default,
+	// FsyncAlways, is deliberate: a harness that loses acknowledged
+	// decisions to a buffered tail would report phantom safety violations.
+	Fsync store.FsyncPolicy
 }
 
 func (c Config) defaulted() Config {
@@ -139,6 +149,10 @@ type Report struct {
 	// RecoveryLatency is how long the post-heal liveness probe took to be
 	// decided by every live replica.
 	RecoveryLatency time.Duration
+	// DiskReplayed counts decisions recovered from durable logs by
+	// FullRestart events — the disk-replay recovery source, as opposed to
+	// the peer state-transfer fetches RecoveryFetches sums.
+	DiskReplayed int
 	// SafetyViolations lists every (seq, digest) divergence found across
 	// all incarnation logs; empty means safety held.
 	SafetyViolations []string
@@ -203,8 +217,8 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, "\n  commit latency %s faults: %s", phase, hs.DurString())
 		}
 	}
-	if f := r.RecoveryFetches(); f > 0 {
-		fmt.Fprintf(&b, "\n  state-transfer fetches: %d", f)
+	if f := r.RecoveryFetches(); f > 0 || r.DiskReplayed > 0 {
+		fmt.Fprintf(&b, "\n  recovery source: disk-replayed=%d, state-transfer fetches=%d", r.DiskReplayed, f)
 	}
 	for _, v := range r.SafetyViolations {
 		fmt.Fprintf(&b, "\n  SAFETY: %s", v)

@@ -1,0 +1,141 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+
+	"permchain/internal/consensus"
+	"permchain/internal/store"
+	"permchain/internal/types"
+)
+
+// The durable side of the harness: when Config.Dir is set, every node
+// appends each decision it commits to a segmented store.Log under
+// Dir/node-<i>, and a FullRestart event recovers the entire cluster from
+// those logs — the disk-replay counterpart to the peer state-transfer
+// path a single-node Restart exercises.
+
+// encodeDecision frames one decision for the durable log:
+// [seq u64 BE][digest 32B][value bytes], value in its string form.
+func encodeDecision(d consensus.Decision) []byte {
+	v := fmt.Sprint(d.Value)
+	buf := make([]byte, 8+len(d.Digest)+len(v))
+	binary.BigEndian.PutUint64(buf, d.Seq)
+	copy(buf[8:], d.Digest[:])
+	copy(buf[8+len(d.Digest):], v)
+	return buf
+}
+
+func decodeDecision(rec []byte) (consensus.Decision, error) {
+	var d consensus.Decision
+	var h types.Hash
+	if len(rec) < 8+len(h) {
+		return d, fmt.Errorf("%w: decision record of %d bytes", store.ErrCorrupt, len(rec))
+	}
+	d.Seq = binary.BigEndian.Uint64(rec)
+	copy(h[:], rec[8:])
+	d.Digest = h
+	d.Value = string(rec[8+len(h):])
+	return d, nil
+}
+
+// openDecisionLog opens node id's durable decision log under cfg.Dir.
+func (r *runner) openDecisionLog(id types.NodeID) (*store.Log, error) {
+	dir := filepath.Join(r.cfg.Dir, fmt.Sprintf("node-%d", id))
+	return store.OpenLog(dir, store.Config{Fsync: r.cfg.Fsync, Obs: r.o})
+}
+
+// persist appends a decision to node id's durable log. Decisions at or
+// below the durable frontier are skipped: peer-fetch recovery after a
+// single-node Restart re-emits a prefix the node already logged in its
+// previous incarnation. Called from node id's collector goroutine only.
+func (r *runner) persist(id types.NodeID, d consensus.Decision) {
+	if r.dlogs == nil || r.dlogs[id] == nil {
+		return
+	}
+	if d.Seq != r.durable[id]+1 {
+		return
+	}
+	if err := r.dlogs[id].Append(encodeDecision(d)); err != nil {
+		r.fail(fmt.Sprintf("node %d durable append seq %d: %v", id, d.Seq, err))
+		return
+	}
+	r.durable[id]++
+}
+
+// replayDecisions reads node id's decision log back from disk, verifying
+// that record i carries sequence number i.
+func (r *runner) replayDecisions(id types.NodeID) ([]consensus.Decision, error) {
+	var out []consensus.Decision
+	err := r.dlogs[id].ReplayFrom(1, func(idx uint64, rec []byte) error {
+		d, err := decodeDecision(rec)
+		if err != nil {
+			return err
+		}
+		if d.Seq != idx {
+			return fmt.Errorf("%w: node %d decision record %d carries seq %d", store.ErrCorrupt, id, idx, d.Seq)
+		}
+		out = append(out, d)
+		return nil
+	})
+	return out, err
+}
+
+// fullRestart crash-stops every live replica at once, then recovers the
+// whole cluster from its durable decision logs: each node's fresh
+// incarnation is seeded with the decisions replayed from its own disk and
+// its live decisions are rebased past that frontier. No peer knows
+// anything the disk does not, so state-transfer fetch counters stay flat —
+// the recovery is disk-only by construction.
+func (r *runner) fullRestart() {
+	if r.dlogs == nil {
+		r.fail("full cluster restart requires Config.Dir")
+		return
+	}
+	for i := range r.reps {
+		if r.crashed[i] {
+			continue
+		}
+		id := types.NodeID(i)
+		r.net.Crash(id)
+		r.reps[i].Stop()
+		r.cols[i].stop()
+		r.cols[i] = nil
+		r.crashed[i] = true
+	}
+	// The schedule must quiesce (Await) before a full restart: rebased
+	// logical sequence numbers only line up across nodes if every node
+	// went down at the same durable frontier.
+	for i := 1; i < len(r.durable); i++ {
+		if r.durable[i] != r.durable[0] {
+			r.fail(fmt.Sprintf("full restart with unequal durable frontiers (node 0 at %d, node %d at %d); quiesce with Await first",
+				r.durable[0], i, r.durable[i]))
+		}
+	}
+	for i := range r.reps {
+		id := types.NodeID(i)
+		// Close and reopen the log so recovery reads exactly what a brand
+		// new process would find on disk.
+		if err := r.dlogs[i].Close(); err != nil {
+			r.fail(fmt.Sprintf("node %d log close: %v", i, err))
+		}
+		lg, err := r.openDecisionLog(id)
+		if err != nil {
+			r.fail(fmt.Sprintf("node %d log reopen: %v", i, err))
+			continue
+		}
+		r.dlogs[i] = lg
+		r.durable[i] = lg.Count()
+		replayed, err := r.replayDecisions(id)
+		if err != nil {
+			r.fail(fmt.Sprintf("node %d disk replay: %v", i, err))
+			continue
+		}
+		r.net.Rejoin(id)
+		r.net.Restore(id)
+		r.startIncarnationFrom(id, uint64(len(replayed)), replayed)
+		r.rep.DiskReplayed += len(replayed)
+		r.o.Add("store/replayed_records", int64(len(replayed)))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"permchain/internal/crypto"
 	"permchain/internal/network"
 	"permchain/internal/obs"
+	"permchain/internal/store"
 	"permchain/internal/types"
 )
 
@@ -23,9 +24,13 @@ type collector struct {
 	once sync.Once
 }
 
-func collect(ch <-chan consensus.Decision, onDecision func(consensus.Decision)) *collector {
+// base shifts every collected decision's sequence number: after a full
+// cluster restart the fresh consensus incarnation counts from 1 again,
+// while the harness's logical log continues past the recovered prefix.
+func collect(ch <-chan consensus.Decision, base uint64, onDecision func(consensus.Decision)) *collector {
 	c := &collector{quit: make(chan struct{}), done: make(chan struct{})}
 	take := func(d consensus.Decision) {
+		d.Seq += base
 		c.mu.Lock()
 		c.log = append(c.log, d)
 		c.mu.Unlock()
@@ -90,6 +95,15 @@ type runner struct {
 	groups  [][]types.NodeID // nil when unpartitioned
 	subs    int
 	rep     *Report
+	// dlogs are the per-node durable decision logs (nil without cfg.Dir);
+	// durable[i] is node i's durable logical frontier (the highest seq its
+	// log holds). Each index is written only by that node's collector
+	// goroutine, or by the schedule goroutine after the collector stopped.
+	dlogs   []*store.Log
+	durable []uint64
+	// failMu guards rep.Failures: persist reports append errors from
+	// collector goroutines while the schedule goroutine records its own.
+	failMu sync.Mutex
 	// o is the run-wide observability layer: one registry and tracer
 	// shared by every incarnation and the network, so protocol counters
 	// survive crashes and restarts.
@@ -132,6 +146,20 @@ func Run(cfg Config) *Report {
 	for i := range r.nodes {
 		r.nodes[i] = types.NodeID(i)
 	}
+	if cfg.Dir != "" {
+		r.dlogs = make([]*store.Log, cfg.N)
+		r.durable = make([]uint64, cfg.N)
+		for i := range r.dlogs {
+			lg, err := r.openDecisionLog(types.NodeID(i))
+			if err != nil {
+				r.fail(fmt.Sprintf("node %d decision log: %v", i, err))
+				r.rep.LivenessOK = false
+				return r.rep
+			}
+			r.dlogs[i] = lg
+			r.durable[i] = lg.Count()
+		}
+	}
 	for i := range r.reps {
 		r.startIncarnation(types.NodeID(i))
 	}
@@ -166,6 +194,11 @@ func Run(cfg Config) *Report {
 			c.stop()
 		}
 	}
+	for _, lg := range r.dlogs {
+		if lg != nil {
+			lg.Close()
+		}
+	}
 	r.checkSafety()
 	r.rep.logs = make([][][]consensus.Decision, cfg.N)
 	for node, incs := range r.allLogs {
@@ -181,6 +214,13 @@ func Run(cfg Config) *Report {
 // startIncarnation (re)creates node id from empty state, starts it, and
 // attaches a fresh collector. Used both at boot and on Restart.
 func (r *runner) startIncarnation(id types.NodeID) {
+	r.startIncarnationFrom(id, 0, nil)
+}
+
+// startIncarnationFrom starts an incarnation whose logical log continues a
+// disk-recovered prefix: seed pre-populates the collector with the
+// replayed decisions and base rebases the live ones after them.
+func (r *runner) startIncarnationFrom(id types.NodeID, base uint64, seed []consensus.Decision) {
 	rep := r.cfg.Protocol.New(consensus.Config{
 		Self: id, Nodes: r.nodes, Net: r.net, Keys: r.keys,
 		Timeout: r.cfg.Timeout, DisableSig: r.cfg.DisableSig,
@@ -188,7 +228,15 @@ func (r *runner) startIncarnation(id types.NodeID) {
 	})
 	r.reps[id] = rep
 	rep.Start()
-	c := collect(rep.Decisions(), r.recordDecision)
+	c := collect(rep.Decisions(), base, func(d consensus.Decision) {
+		r.persist(id, d)
+		r.recordDecision(d)
+	})
+	if len(seed) > 0 {
+		c.mu.Lock()
+		c.log = append(c.log, seed...)
+		c.mu.Unlock()
+	}
 	r.cols[id] = c
 	r.allLogs[id] = append(r.allLogs[id], c)
 	r.crashed[id] = false
@@ -213,6 +261,9 @@ func (r *runner) exec(ev Event) {
 		r.net.Rejoin(ev.Node)
 		r.net.Restore(ev.Node)
 		r.startIncarnation(ev.Node)
+	case EvFullRestart:
+		r.logFault(ev.String())
+		r.fullRestart()
 	case EvKillLeader:
 		id := r.leader()
 		r.crashNode(id, fmt.Sprintf("kill leader (node %d)", id))
@@ -259,7 +310,11 @@ func (r *runner) exec(ev Event) {
 
 func (r *runner) logFault(s string) { r.rep.Faults = append(r.rep.Faults, s) }
 
-func (r *runner) fail(s string) { r.rep.Failures = append(r.rep.Failures, s) }
+func (r *runner) fail(s string) {
+	r.failMu.Lock()
+	r.rep.Failures = append(r.rep.Failures, s)
+	r.failMu.Unlock()
+}
 
 func (r *runner) crashNode(id types.NodeID, label string) {
 	r.logFault(label)

@@ -45,6 +45,11 @@ const (
 	// (elections, view changes) run; avoid it in determinism-sensitive
 	// schedules.
 	EvSleep
+	// EvFullRestart crash-stops every live replica at once and recovers
+	// the whole cluster from its durable decision logs (requires
+	// Config.Dir). Recovery is disk-only: no peer survives to serve
+	// state-transfer fetches.
+	EvFullRestart
 )
 
 // Event is one schedule step. Use the constructor helpers.
@@ -95,10 +100,13 @@ func ClearFilter(id types.NodeID) Event { return Event{Kind: EvClearFilter, Node
 // Sleep waits wall time for timer-driven recovery.
 func Sleep(d time.Duration) Event { return Event{Kind: EvSleep, Dur: d} }
 
+// FullRestart takes the whole cluster down and recovers it from disk.
+func FullRestart() Event { return Event{Kind: EvFullRestart} }
+
 // isFault reports whether the event injects a fault (vs workload/heal).
 func (e Event) isFault() bool {
 	switch e.Kind {
-	case EvCrash, EvKillLeader, EvPartition, EvEquivocate:
+	case EvCrash, EvKillLeader, EvPartition, EvEquivocate, EvFullRestart:
 		return true
 	case EvDropBurst:
 		return e.Rate > 0
@@ -135,6 +143,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("clear filter node %d", e.Node)
 	case EvSleep:
 		return fmt.Sprintf("sleep %v", e.Dur)
+	case EvFullRestart:
+		return "full cluster restart"
 	}
 	return "unknown"
 }
@@ -148,6 +158,19 @@ func CrashRecoverySchedule(victim types.NodeID, warm, dark, post int) []Event {
 		Crash(victim),
 		Submit(dark), Await(),
 		Restart(victim),
+		Submit(post), Await(),
+	}
+}
+
+// FullClusterRestartSchedule scripts the durability run: warm the
+// cluster, quiesce so every durable frontier agrees, take every node down
+// at once, recover all of them from their on-disk decision logs, and
+// commit a fresh workload through the recovered cluster. Requires
+// Config.Dir.
+func FullClusterRestartSchedule(warm, post int) []Event {
+	return []Event{
+		Submit(warm), Await(),
+		FullRestart(),
 		Submit(post), Await(),
 	}
 }

@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"permchain/internal/network"
 	"permchain/internal/obs"
 	"permchain/internal/statedb"
+	"permchain/internal/store"
 	"permchain/internal/types"
 )
 
@@ -129,6 +131,12 @@ type Config struct {
 	// tracer shared by every replica, engine, and the transport. Nil
 	// disables instrumentation.
 	Obs *obs.Obs
+	// Store attaches the durable storage engine: when non-nil, every node
+	// persists its blocks to a segmented write-ahead log under
+	// Store.Dir/node-<i> and (when Store.SnapshotEvery > 0) writes periodic
+	// state snapshots. New requires the directory to hold no blocks; use
+	// OpenChain to recover a crashed chain from disk.
+	Store *store.Config
 }
 
 // engine abstracts the per-node processing pipeline.
@@ -165,6 +173,7 @@ type Node struct {
 	replica consensus.Replica
 	chain   *ledger.Chain
 	eng     engine
+	disk    *store.Store // nil when the chain is not durable
 
 	mu    sync.Mutex
 	stats arch.Stats
@@ -173,6 +182,10 @@ type Node struct {
 
 // Chain returns this node's copy of the ledger.
 func (n *Node) Chain() *ledger.Chain { return n.chain }
+
+// Disk returns this node's durable block store, or nil when the chain was
+// built without Config.Store.
+func (n *Node) Disk() *store.Store { return n.disk }
 
 // Store returns this node's world state.
 func (n *Node) Store() *statedb.Store { return n.eng.store() }
@@ -220,8 +233,27 @@ func batchDigest(txs []*types.Transaction) types.Hash {
 	return types.HashConcat(parts...)
 }
 
-// New assembles a chain. Call Start before submitting.
-func New(cfg Config) (*Chain, error) {
+// New assembles a chain. Call Start before submitting. When cfg.Store is
+// set, the directory must hold no blocks yet — recovering existing durable
+// state is OpenChain's job, and New refuses it rather than diverging the
+// fresh in-memory ledger from what disk says is committed.
+func New(cfg Config) (*Chain, error) { return build(cfg, false) }
+
+// OpenChain assembles a chain that recovers from the durable state under
+// cfg.Store.Dir: each node restores its newest usable state snapshot,
+// loads every logged block into its ledger, and re-executes only the
+// blocks after the snapshot. An empty directory yields a fresh chain, so
+// OpenChain is also the idiomatic "open or create" entry point for
+// durable deployments. Consensus replicas restart from a clean slate (a
+// new view/term); the ledger keeps extending from the recovered height.
+func OpenChain(cfg Config) (*Chain, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("core: OpenChain requires Config.Store")
+	}
+	return build(cfg, true)
+}
+
+func build(cfg Config, resume bool) (*Chain, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 4
 	}
@@ -266,32 +298,168 @@ func New(cfg Config) (*Chain, error) {
 		default:
 			return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
 		}
-		var store *statedb.Store
+		var st *statedb.Store
 		if cfg.HistoryLimit > 0 {
-			store = statedb.New(statedb.WithHistory(cfg.HistoryLimit))
+			st = statedb.New(statedb.WithHistory(cfg.HistoryLimit))
 		} else {
-			store = statedb.New()
+			st = statedb.New()
 		}
+
+		var disk *store.Store
+		if cfg.Store != nil {
+			scfg := *cfg.Store
+			scfg.Dir = filepath.Join(cfg.Store.Dir, fmt.Sprintf("node-%d", i))
+			if scfg.Obs == nil {
+				scfg.Obs = cfg.Obs
+			}
+			ds, err := store.Open(scfg)
+			if err != nil {
+				c.closeDisks()
+				return nil, fmt.Errorf("core: node %d store: %w", i, err)
+			}
+			if !resume && ds.Height() > 0 {
+				ds.Close()
+				c.closeDisks()
+				return nil, fmt.Errorf("core: node %d store already holds %d blocks; use OpenChain to recover it", i, ds.Height())
+			}
+			disk = ds
+		}
+
 		var eng engine
 		switch cfg.Arch {
 		case OX:
-			e := ox.New(store, cfg.WorkFactor)
+			e := ox.New(st, cfg.WorkFactor)
 			e.SetObs(cfg.Obs)
 			eng = oxEngine{e}
 		case OXII:
-			e := oxii.New(store, cfg.WorkFactor, cfg.Workers)
+			e := oxii.New(st, cfg.WorkFactor, cfg.Workers)
 			e.SetObs(cfg.Obs)
 			eng = oxiiEngine{e}
 		case XOV:
-			e := xov.New(store, cfg.XOVOptions, cfg.WorkFactor, cfg.Workers)
+			e := xov.New(st, cfg.XOVOptions, cfg.WorkFactor, cfg.Workers)
 			e.SetObs(cfg.Obs)
 			eng = xovEngine{e}
 		default:
+			c.closeDisks()
 			return nil, fmt.Errorf("core: unknown architecture %v", cfg.Arch)
 		}
-		c.nodes = append(c.nodes, &Node{ID: ids[i], replica: rep, chain: ledger.NewChain(), eng: eng})
+
+		n := &Node{ID: ids[i], replica: rep, chain: ledger.NewChain(), eng: eng, disk: disk}
+		if resume && disk != nil && disk.Height() > 0 {
+			if err := n.recoverFromDisk(st, cfg.Obs); err != nil {
+				disk.Close()
+				c.closeDisks()
+				return nil, fmt.Errorf("core: node %d recovery: %w", i, err)
+			}
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	if resume {
+		if err := c.catchUpNodes(); err != nil {
+			c.closeDisks()
+			return nil, err
+		}
 	}
 	return c, nil
+}
+
+// catchUpNodes levels recovered nodes to the tallest verified ledger: a
+// node that went down behind its peers recovers to a lower height, and
+// without help its next block would fork the cluster. Because every
+// node's store lives in this process, the missing suffix is replayed
+// straight from the reference copy — the in-process analogue of the
+// state transfer a distributed deployment would run.
+func (c *Chain) catchUpNodes() error {
+	var ref *Node
+	for _, n := range c.nodes {
+		if ref == nil || n.chain.Height() > ref.chain.Height() {
+			ref = n
+		}
+	}
+	if ref == nil || ref.chain.Height() == 0 {
+		return nil
+	}
+	refBlocks := ref.chain.Blocks() // [0] is genesis; [h] is the block at height h
+	for _, n := range c.nodes {
+		h := n.chain.Height()
+		if h == ref.chain.Height() {
+			continue
+		}
+		// The shorter ledger must be a prefix of the reference one;
+		// anything else is divergence, not lag.
+		if n.chain.Head().Hash() != refBlocks[h].Hash() {
+			return fmt.Errorf("%w: node %v ledger diverges from node %v at height %d",
+				store.ErrCorrupt, n.ID, ref.ID, h)
+		}
+		for _, b := range refBlocks[h+1:] {
+			n.eng.process(b.Header.Height, b.Txs)
+			if err := n.chain.Append(b); err != nil {
+				return fmt.Errorf("core: node %v catch-up: %w", n.ID, err)
+			}
+			if err := n.disk.AppendBlock(b); err != nil {
+				return fmt.Errorf("core: node %v catch-up append: %w", n.ID, err)
+			}
+			c.cfg.Obs.Inc("store/catchup_blocks")
+		}
+	}
+	return nil
+}
+
+// closeDisks releases any stores already opened by a failed build.
+func (c *Chain) closeDisks() {
+	for _, n := range c.nodes {
+		if n.disk != nil {
+			n.disk.Close()
+		}
+	}
+}
+
+// recoverFromDisk rebuilds this node's ledger and world state from its
+// durable store: restore the newest usable snapshot into st, load every
+// block into the in-memory chain (the hash-chain needs them all), and
+// re-execute through the engine only the blocks the snapshot does not
+// already cover. Replayed transactions do not count toward ProcessedTxs —
+// they were counted in the incarnation that first processed them.
+func (n *Node) recoverFromDisk(st *statedb.Store, o *obs.Obs) error {
+	start := time.Now()
+	var snapHeight uint64
+	if ref, snap, ok, err := n.disk.LatestSnapshot(); err != nil {
+		return err
+	} else if ok {
+		st.Restore(snap)
+		if st.StateHash().Hex() != ref.StateHash {
+			return fmt.Errorf("%w: snapshot at height %d restores to state %s, manifest says %s",
+				store.ErrCorrupt, ref.Height, st.StateHash().Hex(), ref.StateHash)
+		}
+		snapHeight = ref.Height
+	}
+	blocks := make([]*types.Block, 0, n.disk.Height())
+	if err := n.disk.ReplayBlocks(1, func(b *types.Block) error {
+		blocks = append(blocks, b)
+		return nil
+	}); err != nil {
+		return err
+	}
+	chain, err := ledger.NewChainFromBlocks(blocks)
+	if err != nil {
+		return err
+	}
+	if err := chain.Verify(); err != nil {
+		return err
+	}
+	replayed := 0
+	for _, b := range blocks {
+		if b.Header.Height <= snapHeight {
+			continue
+		}
+		n.eng.process(b.Header.Height, b.Txs)
+		replayed++
+	}
+	n.chain = chain
+	o.Add("store/loaded_blocks", int64(len(blocks)))
+	o.Add("store/replayed_blocks", int64(replayed))
+	o.Observe("store/recovery_duration", time.Since(start))
+	return nil
 }
 
 // Start launches the replicas and the batching loop.
@@ -314,13 +482,15 @@ func (c *Chain) Start() {
 	go c.flushLoop()
 }
 
-// Stop shuts the chain down. Idempotent.
+// Stop shuts the chain down, syncing and closing any durable stores.
+// Idempotent.
 func (c *Chain) Stop() {
 	c.stopOnce.Do(func() { close(c.stopCh) })
 	c.wg.Wait()
 	for _, n := range c.nodes {
 		n.replica.Stop()
 	}
+	c.closeDisks()
 }
 
 // Nodes returns the chain's node handles.
@@ -413,6 +583,17 @@ func (c *Chain) drainNode(n *Node) {
 			if err := n.chain.Append(blk); err != nil {
 				// A node that cannot extend its own chain is a bug.
 				panic(fmt.Sprintf("core: node %v append: %v", n.ID, err))
+			}
+			if n.disk != nil {
+				if err := n.disk.AppendBlock(blk); err != nil {
+					panic(fmt.Sprintf("core: node %v durable append: %v", n.ID, err))
+				}
+				if se := c.cfg.Store.SnapshotEvery; se > 0 && height%se == 0 {
+					stdb := n.Store()
+					if err := n.disk.WriteSnapshot(height, stdb.Snapshot(), stdb.StateHash()); err != nil {
+						panic(fmt.Sprintf("core: node %v snapshot: %v", n.ID, err))
+					}
+				}
 			}
 			// Node 0 stamps the end of each transaction's lifecycle; one
 			// node suffices since the span tracer is cluster-wide and

@@ -2,9 +2,14 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"permchain/internal/obs"
+	storepkg "permchain/internal/store"
 	"permchain/internal/types"
 	"permchain/internal/workload"
 )
@@ -232,5 +237,213 @@ func TestProvenanceHistory(t *testing.T) {
 		if !h[i-1].Version.Less(h[i].Version) {
 			t.Fatal("history versions not increasing")
 		}
+	}
+}
+
+func TestDurableRestartRecoversLedgerAndState(t *testing.T) {
+	dir := t.TempDir()
+	scfg := &storepkg.Config{Dir: dir, Fsync: storepkg.FsyncAlways, SnapshotEvery: 3}
+	o := obs.New()
+	cfg := Config{Nodes: 4, Protocol: PBFT, Arch: OX, BlockSize: 4,
+		Timeout: 400 * time.Millisecond, Store: scfg, Obs: o}
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	const k = 40
+	for i := 0; i < k; i++ {
+		if err := c.Submit(addTx(fmt.Sprintf("t%d", i), fmt.Sprintf("k%d", i%10), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Flush()
+	if !c.AwaitAllNodesTxs(k, 20*time.Second) {
+		t.Fatalf("processed %d/%d", c.Node(0).ProcessedTxs(), k)
+	}
+	wantHeight := c.Node(0).Chain().Height()
+	wantState := c.Node(0).Store().StateHash()
+	wantHead := c.Node(0).Chain().Head().Hash()
+	c.Stop()
+
+	// Reopen the whole cluster from disk.
+	re, err := OpenChain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range re.Nodes() {
+		if got := n.Chain().Height(); got != wantHeight {
+			t.Fatalf("node %v recovered height %d, want %d", n.ID, got, wantHeight)
+		}
+		if n.Chain().Head().Hash() != wantHead {
+			t.Fatalf("node %v head hash differs after recovery", n.ID)
+		}
+		if n.Store().StateHash() != wantState {
+			t.Fatalf("node %v state hash differs after recovery", n.ID)
+		}
+		if err := n.Chain().Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := o.Reg.Snapshot()
+	if snap.Counters["store/loaded_blocks"] == 0 {
+		t.Fatal("no loaded_blocks recorded")
+	}
+	// SnapshotEvery=3 guarantees snapshots exist, so replay must cover
+	// strictly fewer blocks than were loaded.
+	if snap.Counters["store/replayed_blocks"] >= snap.Counters["store/loaded_blocks"] {
+		t.Fatalf("replayed %d >= loaded %d despite snapshots",
+			snap.Counters["store/replayed_blocks"], snap.Counters["store/loaded_blocks"])
+	}
+
+	// The recovered cluster keeps working and stays replicated.
+	re.Start()
+	defer re.Stop()
+	const k2 = 8
+	for i := 0; i < k2; i++ {
+		if err := re.Submit(addTx(fmt.Sprintf("post-%d", i), "post", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re.Flush()
+	if !re.AwaitAllNodesTxs(k2, 20*time.Second) {
+		t.Fatalf("post-restart processed %d/%d", re.Node(0).ProcessedTxs(), k2)
+	}
+	if err := re.VerifyReplication(); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Node(0).Chain().Height(); got <= wantHeight {
+		t.Fatalf("height %d did not advance past %d", got, wantHeight)
+	}
+	if re.Node(0).Store().GetInt("post") != k2 {
+		t.Fatalf("post = %d", re.Node(0).Store().GetInt("post"))
+	}
+	if re.Node(0).Store().GetInt("k0") != 4 {
+		t.Fatalf("recovered k0 = %d", re.Node(0).Store().GetInt("k0"))
+	}
+}
+
+func TestNewRefusesExistingDurableState(t *testing.T) {
+	dir := t.TempDir()
+	scfg := &storepkg.Config{Dir: dir, Fsync: storepkg.FsyncOff}
+	cfg := Config{Nodes: 4, Protocol: PBFT, Arch: OX, BlockSize: 2,
+		Timeout: 400 * time.Millisecond, Store: scfg}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for i := 0; i < 4; i++ {
+		if err := c.Submit(addTx(fmt.Sprintf("t%d", i), "k", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Flush()
+	if !c.AwaitAllNodesTxs(4, 20*time.Second) {
+		t.Fatal("no progress")
+	}
+	c.Stop()
+
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted a directory with existing blocks")
+	} else if !strings.Contains(err.Error(), "OpenChain") {
+		t.Fatalf("error does not point at OpenChain: %v", err)
+	}
+}
+
+func TestOpenChainOnEmptyDirIsFresh(t *testing.T) {
+	dir := t.TempDir()
+	scfg := &storepkg.Config{Dir: dir, Fsync: storepkg.FsyncOff}
+	c, err := OpenChain(Config{Nodes: 4, Protocol: PBFT, Arch: OX,
+		Timeout: 400 * time.Millisecond, Store: scfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	if c.Node(0).Chain().Height() != 0 {
+		t.Fatal("fresh chain has blocks")
+	}
+	if c.Node(0).Disk() == nil {
+		t.Fatal("durable chain has no disk store")
+	}
+}
+
+func TestOpenChainCatchesUpLaggingNode(t *testing.T) {
+	dir := t.TempDir()
+	scfg := &storepkg.Config{Dir: dir, Fsync: storepkg.FsyncAlways}
+	cfg := Config{Nodes: 4, Protocol: PBFT, Arch: OX, BlockSize: 4,
+		Timeout: 400 * time.Millisecond, Store: scfg}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	const k = 20
+	for i := 0; i < k; i++ {
+		if err := c.Submit(addTx(fmt.Sprintf("t%d", i), fmt.Sprintf("k%d", i%5), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Flush()
+	if !c.AwaitAllNodesTxs(k, 20*time.Second) {
+		t.Fatal("no progress")
+	}
+	wantState := c.Node(0).Store().StateHash()
+	c.Stop()
+
+	// Rebuild node 3's store one block short: the node went down lagging.
+	nodeDir := filepath.Join(dir, "node-3")
+	short, err := storepkg.Open(storepkg.Config{Dir: nodeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []*types.Block
+	if err := short.ReplayBlocks(1, func(b *types.Block) error {
+		blocks = append(blocks, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	short.Close()
+	if err := os.RemoveAll(nodeDir); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := storepkg.Open(storepkg.Config{Dir: nodeDir, Fsync: storepkg.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks[:len(blocks)-1] {
+		if err := rebuilt.AppendBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt.Close()
+
+	o := obs.New()
+	cfg.Obs = o
+	re, err := OpenChain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Start()
+	defer re.Stop()
+	wantHeight := re.Node(0).Chain().Height()
+	if got := re.Node(3).Chain().Height(); got != wantHeight {
+		t.Fatalf("node 3 height %d, want %d after catch-up", got, wantHeight)
+	}
+	if re.Node(3).Store().StateHash() != wantState {
+		t.Fatal("node 3 state differs after catch-up")
+	}
+	if err := re.VerifyReplication(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Reg.Snapshot().Counters["store/catchup_blocks"] != 1 {
+		t.Fatalf("catchup_blocks = %d, want 1", o.Reg.Snapshot().Counters["store/catchup_blocks"])
+	}
+	// Node 3's disk now holds the caught-up suffix too.
+	if got := re.Node(3).Disk().Height(); got != wantHeight {
+		t.Fatalf("node 3 durable height %d, want %d", got, wantHeight)
 	}
 }

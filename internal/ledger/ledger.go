@@ -39,6 +39,32 @@ func NewChain() *Chain {
 	return c
 }
 
+// NewChainFromBlocks rebuilds a chain from application blocks (heights
+// 1..n, genesis excluded), validating every link as it goes. This is the
+// disk loader's entry point: blocks decoded from the block log must pass
+// exactly the checks a live Append would have run, so a corrupted or
+// reordered log is rejected with a positional error instead of producing
+// a ledger Verify would later fail.
+func NewChainFromBlocks(blocks []*types.Block) (*Chain, error) {
+	c := NewChain()
+	for i, b := range blocks {
+		if err := c.Append(b); err != nil {
+			return nil, fmt.Errorf("ledger: loading block %d (height %d): %w", i, b.Header.Height, err)
+		}
+	}
+	return c, nil
+}
+
+// Blocks returns a copy of the chain's block slice, genesis included.
+// Blocks themselves are immutable and shared.
+func (c *Chain) Blocks() []*types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*types.Block, len(c.blocks))
+	copy(out, c.blocks)
+	return out
+}
+
 // Append validates that b extends the head and appends it.
 func (c *Chain) Append(b *types.Block) error {
 	c.mu.Lock()

@@ -3,6 +3,7 @@ package ledger
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -319,5 +320,110 @@ func TestTxInclusionProof(t *testing.T) {
 	}
 	if _, err := c.TxProof(0, 0); err == nil {
 		t.Fatal("genesis (empty) proof accepted")
+	}
+}
+
+// grow appends n single-tx blocks and returns the chain.
+func grow(t *testing.T, n int) *Chain {
+	t.Helper()
+	c := NewChain()
+	for i := 0; i < n; i++ {
+		if err := c.Append(mkBlock(c, mkTx(fmt.Sprintf("t%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// The corruption tests below are the contract the disk loader relies on:
+// any in-memory mutation a corrupted block log could smuggle past Append
+// must be caught by Verify, with an error that names the position.
+
+func TestVerifyDetectsFlippedHeaderHash(t *testing.T) {
+	c := grow(t, 6)
+	// Flip a bit in block 3's recorded parent hash; 3 no longer chains to 2.
+	c.blocks[3].Header.PrevHash[0] ^= 0x80
+	err := c.Verify()
+	if err == nil {
+		t.Fatal("flipped header hash not detected")
+	}
+	if !strings.Contains(err.Error(), "block 3") {
+		t.Fatalf("error does not name position: %v", err)
+	}
+}
+
+func TestVerifyDetectsSplicedBlock(t *testing.T) {
+	c := grow(t, 6)
+	// Splice in a substitute block at height 4: same height, same parent,
+	// different body. It is internally consistent, but block 5 still names
+	// the original as parent.
+	forged := types.NewBlock(4, c.blocks[3].Hash(), 0, []*types.Transaction{mkTx("forged")})
+	c.blocks[4] = forged
+	err := c.Verify()
+	if err == nil {
+		t.Fatal("spliced block not detected")
+	}
+	if !strings.Contains(err.Error(), "block 5") {
+		t.Fatalf("error does not name the broken link: %v", err)
+	}
+}
+
+func TestVerifyDetectsTruncatedChain(t *testing.T) {
+	c := grow(t, 6)
+	// Cut block 3 out of the middle; heights above shift down by one slot.
+	c.blocks = append(c.blocks[:3], c.blocks[4:]...)
+	err := c.Verify()
+	if err == nil {
+		t.Fatal("mid-chain truncation not detected")
+	}
+	if !strings.Contains(err.Error(), "block 3") {
+		t.Fatalf("error does not name position: %v", err)
+	}
+}
+
+func TestVerifyDetectsTamperedBody(t *testing.T) {
+	c := grow(t, 4)
+	// Swap block 2's body for a different transaction list; the header's
+	// Merkle root no longer matches.
+	c.blocks[2].Txs = []*types.Transaction{mkTx("tampered")}
+	err := c.Verify()
+	if err == nil {
+		t.Fatal("tampered body not detected")
+	}
+	if !strings.Contains(err.Error(), "block 2") || !strings.Contains(err.Error(), "merkle") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestNewChainFromBlocks(t *testing.T) {
+	src := grow(t, 5)
+	blocks := src.Blocks()
+	if len(blocks) != 6 || blocks[0].Header.Height != 0 {
+		t.Fatalf("Blocks() = %d entries", len(blocks))
+	}
+	re, err := NewChainFromBlocks(blocks[1:]) // genesis excluded
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.EqualTo(src) {
+		t.Fatal("rebuilt chain differs")
+	}
+	if err := re.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewChainFromBlocksRejectsGap(t *testing.T) {
+	src := grow(t, 5)
+	blocks := src.Blocks()[1:]
+	// Drop block at height 3 (index 2): the loader must refuse with the
+	// position of the break.
+	gappy := append(append([]*types.Block{}, blocks[:2]...), blocks[3:]...)
+	_, err := NewChainFromBlocks(gappy)
+	if !errors.Is(err, ErrBadHeight) {
+		t.Fatalf("err = %v, want ErrBadHeight", err)
+	}
+	if !strings.Contains(err.Error(), "height 4") {
+		t.Fatalf("error does not name the offending height: %v", err)
 	}
 }

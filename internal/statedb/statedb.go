@@ -198,6 +198,67 @@ func (s *Store) StateHash() types.Hash {
 	return types.HashConcat(parts...)
 }
 
+// Snapshot is a full, self-contained copy of a Store's contents: every
+// live entry, the retained per-key history, and the history limit it was
+// taken under. It is the unit the durable storage engine checkpoints to
+// disk (internal/store) and the input to Restore.
+type Snapshot struct {
+	Entries   []Entry
+	Hist      map[string][]HistEntry
+	HistLimit int
+}
+
+// Snapshot copies the full state. Entries come back sorted by key so the
+// snapshot (and anything serialized from it) is deterministic.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := &Snapshot{HistLimit: s.histLimit}
+	snap.Entries = make([]Entry, 0, len(s.data))
+	for k, e := range s.data {
+		snap.Entries = append(snap.Entries, Entry{Key: k, Value: e.val, Version: e.ver})
+	}
+	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Key < snap.Entries[j].Key })
+	if len(s.hist) > 0 {
+		snap.Hist = make(map[string][]HistEntry, len(s.hist))
+		for k, h := range s.hist {
+			cp := make([]HistEntry, len(h))
+			copy(cp, h)
+			snap.Hist[k] = cp
+		}
+	}
+	return snap
+}
+
+// Restore replaces the store's contents with the snapshot's. The store
+// keeps its own configured history limit: restored history is trimmed to
+// it (keeping the newest entries), and a store configured without history
+// drops the snapshot's history entirely. Replaying the block suffix after
+// Restore therefore reproduces exactly the state — and, when the limits
+// match, the history — of a store that never went through a snapshot.
+func (s *Store) Restore(snap *Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string]entry, len(snap.Entries))
+	for _, e := range snap.Entries {
+		s.data[e.Key] = entry{val: e.Value, ver: e.Version}
+	}
+	s.hist = make(map[string][]HistEntry)
+	if s.histLimit > 0 {
+		for k, h := range snap.Hist {
+			if len(h) == 0 {
+				continue
+			}
+			if len(h) > s.histLimit {
+				h = h[len(h)-s.histLimit:]
+			}
+			cp := make([]HistEntry, len(h))
+			copy(cp, h)
+			s.hist[k] = cp
+		}
+	}
+}
+
 // EncodeInt renders an integer as its decimal byte string, the canonical
 // integer encoding of the store.
 func EncodeInt(n int64) []byte { return strconv.AppendInt(nil, n, 10) }

@@ -303,3 +303,119 @@ func TestScan(t *testing.T) {
 		t.Fatal("empty prefix should match all")
 	}
 }
+
+// applySeq writes a deterministic workload of versioned writes to s,
+// starting at block height from (inclusive) up to to (exclusive).
+func applySeq(s *Store, from, to uint64) {
+	for h := from; h < to; h++ {
+		s.Apply(types.Version{Block: h, Tx: 0}, types.WriteSet{
+			fmt.Sprintf("k%d", h%7): EncodeInt(int64(h)),
+			"hot":                   EncodeInt(int64(h * 3)),
+		})
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	ref := New()
+	applySeq(ref, 1, 20)
+
+	// Snapshot at height 10, restore into a fresh store, replay the rest:
+	// the restored store must land on the identical state hash.
+	mid := New()
+	applySeq(mid, 1, 10)
+	snap := mid.Snapshot()
+
+	restored := New()
+	applySeq(restored, 1, 3) // pre-existing junk Restore must wipe
+	restored.Restore(snap)
+	applySeq(restored, 10, 20)
+
+	if restored.StateHash() != ref.StateHash() {
+		t.Fatal("snapshot→restore→replay state hash differs from straight-through execution")
+	}
+	if restored.Len() != ref.Len() {
+		t.Fatalf("Len = %d, want %d", restored.Len(), ref.Len())
+	}
+	// Versions must round-trip too, not just values.
+	_, ver, ok := restored.Get("hot")
+	if !ok || ver != (types.Version{Block: 19, Tx: 0}) {
+		t.Fatalf("hot version = %v ok=%v", ver, ok)
+	}
+}
+
+func TestSnapshotIsDeterministicAndSorted(t *testing.T) {
+	s := New()
+	applySeq(s, 1, 9)
+	a, b := s.Snapshot(), s.Snapshot()
+	if len(a.Entries) != len(b.Entries) || len(a.Entries) == 0 {
+		t.Fatalf("entries %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		if a.Entries[i].Key != b.Entries[i].Key {
+			t.Fatal("snapshot entry order is not deterministic")
+		}
+		if i > 0 && a.Entries[i].Key <= a.Entries[i-1].Key {
+			t.Fatalf("entries not strictly sorted at %d: %q <= %q", i, a.Entries[i].Key, a.Entries[i-1].Key)
+		}
+	}
+}
+
+func TestSnapshotRestoreHistory(t *testing.T) {
+	// Matching limits: history survives restore+replay identically.
+	ref := New(WithHistory(3))
+	applySeq(ref, 1, 15)
+
+	mid := New(WithHistory(3))
+	applySeq(mid, 1, 8)
+	snap := mid.Snapshot()
+	if snap.HistLimit != 3 {
+		t.Fatalf("HistLimit = %d", snap.HistLimit)
+	}
+
+	restored := New(WithHistory(3))
+	restored.Restore(snap)
+	applySeq(restored, 8, 15)
+
+	if restored.StateHash() != ref.StateHash() {
+		t.Fatal("state hash differs")
+	}
+	want, got := ref.History("hot"), restored.History("hot")
+	if len(got) != len(want) {
+		t.Fatalf("history len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Version != want[i].Version || string(got[i].Value) != string(want[i].Value) {
+			t.Fatalf("history[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRestoreTrimsHistoryToSmallerLimit(t *testing.T) {
+	src := New(WithHistory(5))
+	applySeq(src, 1, 10)
+	snap := src.Snapshot()
+	if got := len(snap.Hist["hot"]); got != 5 {
+		t.Fatalf("snapshot history = %d, want 5", got)
+	}
+
+	small := New(WithHistory(2))
+	small.Restore(snap)
+	h := small.History("hot")
+	if len(h) != 2 {
+		t.Fatalf("restored history = %d, want trim to 2", len(h))
+	}
+	// The newest entries must be the ones kept.
+	if h[1].Version != (types.Version{Block: 9, Tx: 0}) {
+		t.Fatalf("newest retained = %v", h[1].Version)
+	}
+
+	// A store configured without history drops it entirely.
+	none := New()
+	none.Restore(snap)
+	if len(none.History("hot")) != 0 {
+		t.Fatal("history kept by a store with history disabled")
+	}
+	if none.StateHash() != small.StateHash() {
+		t.Fatal("history handling changed live state")
+	}
+}

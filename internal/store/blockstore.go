@@ -1,0 +1,375 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"permchain/internal/statedb"
+	"permchain/internal/types"
+)
+
+// manifestName is the block store's metadata file, replaced atomically.
+const manifestName = "MANIFEST.json"
+
+// keepSnapshots is how many snapshot generations the lineage retains;
+// older checkpoint files are deleted when a new one lands.
+const keepSnapshots = 3
+
+// SnapshotRef is one entry in the manifest's snapshot lineage.
+type SnapshotRef struct {
+	// Height is the block height the checkpoint captures: the state after
+	// applying blocks 1..Height.
+	Height uint64 `json:"height"`
+	// File is the checkpoint's file name within the store directory.
+	File string `json:"file"`
+	// StateHash is the hex statedb.StateHash of the checkpointed state;
+	// recovery re-derives it after restore and refuses a mismatch.
+	StateHash string `json:"state_hash"`
+}
+
+// manifest is the store's durable metadata. It is small, rewritten whole,
+// and installed by atomic rename, so a crash leaves either the old or the
+// new version — never a torn one.
+type manifest struct {
+	Version int `json:"version"`
+	// LastDurableHeight is the highest block height known fsynced. The
+	// block log may legitimately hold more (un-synced tail under
+	// FsyncOff/Interval, truncatable on crash) but never less: recovering
+	// fewer blocks than this is data loss and fails the open.
+	LastDurableHeight uint64 `json:"last_durable_height"`
+	// Segments lists the log's segment files, oldest first.
+	Segments []string `json:"segments"`
+	// Snapshots is the checkpoint lineage, oldest first.
+	Snapshots []SnapshotRef `json:"snapshots"`
+}
+
+// Store is the durable block store: a Log whose record i is the block at
+// height i, plus a manifest and state-snapshot lineage. One Store holds
+// one node's chain; it is safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	cfg    Config
+	log    *Log
+	man    manifest
+	height uint64
+	closed bool
+}
+
+// Open opens (creating if needed) the store rooted at cfg.Dir, running
+// crash recovery on the block log: segments are CRC-scanned, a torn tail
+// is truncated, and the recovered height is checked against the
+// manifest's durable floor.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.defaulted()
+	if cfg.Dir == "" {
+		return nil, errors.New("store: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: cfg.Dir, cfg: cfg}
+
+	fresh := true
+	raw, err := os.ReadFile(filepath.Join(cfg.Dir, manifestName))
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &s.man); err != nil {
+			return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+		}
+		fresh = false
+	case os.IsNotExist(err):
+		s.man = manifest{Version: 1}
+	default:
+		return nil, err
+	}
+
+	for _, name := range s.man.Segments {
+		if _, err := os.Stat(filepath.Join(cfg.Dir, "wal", name)); err != nil {
+			return nil, fmt.Errorf("%w: manifest lists segment %s which is missing", ErrCorrupt, name)
+		}
+	}
+
+	l, err := OpenLog(filepath.Join(cfg.Dir, "wal"), cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.log = l
+	s.height = l.Count()
+	if s.height < s.man.LastDurableHeight {
+		l.Close()
+		return nil, fmt.Errorf("%w: block log recovered to height %d but manifest says %d is durable",
+			ErrCorrupt, s.height, s.man.LastDurableHeight)
+	}
+	if fresh {
+		if err := s.writeManifestLocked(); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Height returns the height of the last appended block (0 = only genesis,
+// which is implicit and never stored).
+func (s *Store) Height() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.height
+}
+
+// DurableHeight returns the manifest's durable floor.
+func (s *Store) DurableHeight() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.LastDurableHeight
+}
+
+// Segments returns the number of log segment files.
+func (s *Store) Segments() int { return s.log.Segments() }
+
+// AppendBlock encodes and appends the block, which must extend the stored
+// chain by exactly one height.
+func (s *Store) AppendBlock(b *types.Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	if b.Header.Height != s.height+1 {
+		return fmt.Errorf("store: append height %d, want %d", b.Header.Height, s.height+1)
+	}
+	if err := s.log.Append(EncodeBlock(b)); err != nil {
+		return err
+	}
+	s.height++
+	return nil
+}
+
+// Sync forces the block log to stable storage and advances the manifest's
+// durable floor to the current height.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	if s.man.LastDurableHeight != s.height {
+		return s.writeManifestLocked()
+	}
+	return nil
+}
+
+// ReplayBlocks streams stored blocks with height >= from, decoded and
+// body-verified, to fn. Segments wholly below from are skipped.
+func (s *Store) ReplayBlocks(from uint64, fn func(*types.Block) error) error {
+	return s.log.ReplayFrom(from, func(idx uint64, rec []byte) error {
+		b, err := DecodeBlock(rec)
+		if err != nil {
+			return fmt.Errorf("block %d: %w", idx, err)
+		}
+		if b.Header.Height != idx {
+			return fmt.Errorf("%w: record %d decodes to height %d", ErrCorrupt, idx, b.Header.Height)
+		}
+		return fn(b)
+	})
+}
+
+// WriteSnapshot checkpoints the world state as of the given height: the
+// block log is synced first (a checkpoint must never be ahead of the
+// durable blocks it summarizes), the encoded snapshot is written to a
+// temporary file, fsynced, atomically renamed into place, and the
+// manifest lineage is updated — trimming to the newest keepSnapshots and
+// deleting the files that fell off.
+func (s *Store) WriteSnapshot(height uint64, snap *statedb.Snapshot, stateHash types.Hash) error {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	if height > s.height {
+		return fmt.Errorf("store: snapshot height %d beyond stored height %d", height, s.height)
+	}
+	if n := len(s.man.Snapshots); n > 0 && height < s.man.Snapshots[n-1].Height {
+		return fmt.Errorf("store: snapshot height %d below newest checkpoint %d", height, s.man.Snapshots[n-1].Height)
+	}
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+
+	payload := EncodeStateSnapshot(snap)
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	name := fmt.Sprintf("snap-%016x.bin", height)
+	tmp := filepath.Join(s.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		return err
+	}
+	syncDir(s.dir)
+
+	s.man.Snapshots = append(s.man.Snapshots, SnapshotRef{
+		Height: height, File: name, StateHash: stateHash.Hex(),
+	})
+	for len(s.man.Snapshots) > keepSnapshots {
+		old := s.man.Snapshots[0]
+		s.man.Snapshots = s.man.Snapshots[1:]
+		os.Remove(filepath.Join(s.dir, old.File))
+	}
+	if err := s.writeManifestLocked(); err != nil {
+		return err
+	}
+	s.cfg.Obs.Inc("store/snapshots_written")
+	s.cfg.Obs.Add("store/snapshot_bytes_written", int64(len(payload)+frameHeader))
+	s.cfg.Obs.Observe("store/snapshot_latency", time.Since(start))
+	return nil
+}
+
+// LatestSnapshot loads the newest usable checkpoint, walking the lineage
+// backwards past any that fail their CRC (each skip is counted as
+// store/snapshot_skipped). ok is false when no usable checkpoint exists.
+func (s *Store) LatestSnapshot() (ref SnapshotRef, snap *statedb.Snapshot, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.man.Snapshots) - 1; i >= 0; i-- {
+		ref = s.man.Snapshots[i]
+		if ref.Height > s.height {
+			// A checkpoint ahead of the recovered log (lost tail): useless.
+			s.cfg.Obs.Inc("store/snapshot_skipped")
+			continue
+		}
+		snap, err = readSnapshotFile(filepath.Join(s.dir, ref.File))
+		if err != nil {
+			s.cfg.Obs.Inc("store/snapshot_skipped")
+			continue
+		}
+		return ref, snap, true, nil
+	}
+	return SnapshotRef{}, nil, false, nil
+}
+
+// SnapshotRefs returns a copy of the checkpoint lineage, oldest first.
+func (s *Store) SnapshotRefs() []SnapshotRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SnapshotRef, len(s.man.Snapshots))
+	copy(out, s.man.Snapshots)
+	return out
+}
+
+func readSnapshotFile(path string) (*statedb.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < frameHeader {
+		return nil, fmt.Errorf("%w: snapshot %s truncated", ErrCorrupt, filepath.Base(path))
+	}
+	length := binary.BigEndian.Uint32(data[0:])
+	crc := binary.BigEndian.Uint32(data[4:])
+	if int(length) != len(data)-frameHeader {
+		return nil, fmt.Errorf("%w: snapshot %s length %d, have %d bytes", ErrCorrupt, filepath.Base(path), length, len(data)-frameHeader)
+	}
+	payload := data[frameHeader:]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, fmt.Errorf("%w: snapshot %s fails CRC", ErrCorrupt, filepath.Base(path))
+	}
+	return DecodeStateSnapshot(payload)
+}
+
+// writeManifestLocked rewrites MANIFEST.json via temp-file + fsync +
+// atomic rename, then fsyncs the directory.
+func (s *Store) writeManifestLocked() error {
+	s.man.Version = 1
+	s.man.LastDurableHeight = s.height
+	s.man.Segments = s.man.Segments[:0]
+	s.log.mu.Lock()
+	for _, seg := range s.log.segs {
+		s.man.Segments = append(s.man.Segments, filepath.Base(seg.path))
+	}
+	s.log.mu.Unlock()
+
+	raw, err := json.MarshalIndent(&s.man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return err
+	}
+	syncDir(s.dir)
+	s.cfg.Obs.Inc("store/manifest_writes")
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable. Errors are
+// ignored: some filesystems refuse directory fsync, and the rename itself
+// already ordered correctly on the ones we target.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close syncs the log, records the final durable height in the manifest,
+// and closes the store. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.syncLocked()
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	s.closed = true
+	return err
+}

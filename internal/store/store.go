@@ -1,0 +1,122 @@
+// Package store is permchain's durable storage engine: a dependency-free,
+// crash-safe persistence layer for the ledger and world state, built from
+// three pieces (DESIGN.md, "Durability"):
+//
+//   - Log: a segmented append-only record log. Records are framed as
+//     [len u32][crc32c u32][payload]; segments rotate at a configurable
+//     size. On open every segment is scanned: a torn final record (the
+//     tail of a crashed write) is truncated away, while a corrupted
+//     record in the middle of the data is rejected with a positional
+//     error — corruption must never surface as silent data loss.
+//
+//   - Store: the block store. It binds a Log whose record i is the block
+//     at height i to a MANIFEST.json (updated by atomic rename) tracking
+//     segment lineage, the last durable height, and state snapshots.
+//
+//   - State snapshots: periodic full statedb checkpoints written
+//     alongside the log, so reopening a store replays only the block
+//     suffix after the newest snapshot instead of re-executing the whole
+//     chain.
+//
+// Durability policy is configurable per Geyer et al.'s observation that
+// fsync strategy is a first-order throughput factor: FsyncAlways syncs
+// after every append, FsyncInterval groups syncs on a timer, FsyncOff
+// leaves flushing to the OS (syncing only on rotation and close).
+//
+// Everything is instrumented through internal/obs when a registry is
+// attached: append/fsync latency histograms, bytes written, segments
+// rotated, torn-tail truncations, snapshot and recovery counters.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"permchain/internal/obs"
+)
+
+// FsyncPolicy selects when appends are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the active segment after every append — maximum
+	// durability, one fsync per record.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval groups syncs: an append syncs only when FsyncEvery has
+	// elapsed since the last sync (plus rotation and close).
+	FsyncInterval
+	// FsyncOff never syncs on append; the OS flushes at its leisure and
+	// the log syncs only on rotation and close. A crash may lose the
+	// recent tail, which recovery truncates away.
+	FsyncOff
+)
+
+// String names the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy parses the String form.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always|interval|off)", s)
+}
+
+// Config shapes a Log or Store.
+type Config struct {
+	// Dir is the store's root directory (required for Open; OpenLog takes
+	// its directory explicitly).
+	Dir string
+	// SegmentBytes caps a segment file; the log rotates past it
+	// (default 4 MiB).
+	SegmentBytes int64
+	// Fsync is the durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the group-sync period under FsyncInterval
+	// (default 50ms).
+	FsyncEvery time.Duration
+	// SnapshotEvery makes core write a full state snapshot every k blocks
+	// (0 disables snapshots; recovery then replays from genesis).
+	SnapshotEvery uint64
+	// Obs receives storage metrics; nil disables instrumentation.
+	Obs *obs.Obs
+}
+
+func (c Config) defaulted() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = 50 * time.Millisecond
+	}
+	return c
+}
+
+// ErrCorrupt marks unrecoverable on-disk damage: a record that fails its
+// CRC with valid data after it, a missing segment, or a log shorter than
+// the manifest's durable height. Open refuses to proceed rather than
+// silently dropping committed data; errors wrapping it carry the file and
+// offset of the damage.
+var ErrCorrupt = errors.New("store: corrupt")
+
+// errTornTail is the internal verdict for an invalid final record that is
+// consistent with a crashed append: it occupies the very tail of the last
+// segment, so recovery may truncate it. Never returned to callers.
+var errTornTail = errors.New("store: torn tail")

@@ -36,6 +36,7 @@ package permchain
 
 import (
 	"permchain/internal/core"
+	"permchain/internal/store"
 	"permchain/internal/types"
 )
 
@@ -53,6 +54,11 @@ type (
 	Protocol = core.Protocol
 	// Architecture selects the processing architecture.
 	Architecture = core.Architecture
+	// StoreConfig shapes the durable storage engine; assign one to
+	// Config.Store to persist each node's ledger and state snapshots.
+	StoreConfig = store.Config
+	// FsyncPolicy selects when appends are forced to stable storage.
+	FsyncPolicy = store.FsyncPolicy
 )
 
 // Transaction model, re-exported.
@@ -93,9 +99,25 @@ const (
 	XOV = core.XOV
 )
 
+// Durability policies for StoreConfig.Fsync.
+const (
+	// FsyncAlways syncs the log after every block append.
+	FsyncAlways = store.FsyncAlways
+	// FsyncInterval groups syncs on a timer (StoreConfig.FsyncEvery).
+	FsyncInterval = store.FsyncInterval
+	// FsyncOff leaves flushing to the OS; a crash may lose the tail.
+	FsyncOff = store.FsyncOff
+)
+
 // NewChain assembles a chain from the config. Call Start before
 // submitting and Stop when done.
 func NewChain(cfg Config) (*Chain, error) { return core.New(cfg) }
+
+// OpenChain assembles a chain that recovers its ledger and world state
+// from the durable store under cfg.Store.Dir (which NewChain must have
+// been writing in an earlier run). An empty directory yields a fresh
+// chain.
+func OpenChain(cfg Config) (*Chain, error) { return core.OpenChain(cfg) }
 
 // NewTransaction builds a transaction with the given id and operations.
 func NewTransaction(id string, ops ...Op) *Transaction {
