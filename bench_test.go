@@ -96,3 +96,10 @@ func BenchmarkE10_Chaos(b *testing.B) {
 func BenchmarkE11_Durability(b *testing.B) {
 	runExperiment(b, func() (*bench.Table, error) { return bench.E11Durability(true) })
 }
+
+// BenchmarkE12_Pipeline regenerates the commit-pipeline comparison:
+// inline vs pipelined commit path under forced fsync and periodic
+// snapshots.
+func BenchmarkE12_Pipeline(b *testing.B) {
+	runExperiment(b, func() (*bench.Table, error) { return bench.E12Pipeline(true) })
+}

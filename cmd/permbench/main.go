@@ -1,4 +1,4 @@
-// Command permbench runs the paper-reproduction experiments (E1–E11 in
+// Command permbench runs the paper-reproduction experiments (E1–E12 in
 // DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -81,6 +81,7 @@ func main() {
 		{"E9", func() (*bench.Table, error) { return bench.E9Ablations(scale(1000, 120)) }},
 		{"E10", func() (*bench.Table, error) { return bench.E10Chaos(*quick) }},
 		{"E11", func() (*bench.Table, error) { return bench.E11Durability(*quick) }},
+		{"E12", func() (*bench.Table, error) { return bench.E12Pipeline(*quick) }},
 	}
 
 	failed := false

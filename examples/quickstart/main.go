@@ -1,5 +1,6 @@
 // Quickstart: a four-node PBFT permissioned blockchain processing simple
-// payments — the minimal end-to-end use of the public API.
+// payments — the minimal end-to-end use of the public API: submit with
+// receipts, wait on commit watermarks, read back state and metrics.
 //
 //	go run ./examples/quickstart
 package main
@@ -7,18 +8,21 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"permchain"
 )
 
 func main() {
+	o := permchain.NewObs()
 	chain, err := permchain.NewChain(permchain.Config{
 		Nodes:     4,
 		Protocol:  permchain.PBFT,
 		Arch:      permchain.OXII,
 		BlockSize: 4,
 		Timeout:   500 * time.Millisecond,
+		Obs:       o,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -27,20 +31,32 @@ func main() {
 	defer chain.Stop()
 	fmt.Println("started a 4-node PBFT chain with parallel (OXII) execution")
 
-	// Fund two accounts, then move value between them.
+	// Fund two accounts, then move value between them. Each submission
+	// returns a receipt that settles when the transaction's fate is
+	// known.
 	txs := []*permchain.Transaction{
 		permchain.NewTransaction("fund-alice", permchain.Add("alice", 100)),
 		permchain.NewTransaction("fund-bob", permchain.Add("bob", 50)),
 		permchain.NewTransaction("pay-1", permchain.Transfer("alice", "bob", 30)),
 		permchain.NewTransaction("pay-2", permchain.Transfer("bob", "alice", 10)),
 	}
+	receipts := make([]*permchain.Receipt, 0, len(txs))
 	for _, tx := range txs {
-		if err := chain.Submit(tx); err != nil {
+		r, err := chain.SubmitAsync(tx)
+		if err != nil {
 			log.Fatal(err)
 		}
+		receipts = append(receipts, r)
 	}
 	chain.Flush()
-	if !chain.AwaitAllNodesTxs(len(txs), 15*time.Second) {
+	for _, r := range receipts {
+		if err := r.Wait(15 * time.Second); err != nil {
+			log.Fatalf("%s did not commit: %v", r.TxID(), err)
+		}
+		fmt.Printf("  %s: %v at height %d\n", r.TxID(), r.Status(), r.Height())
+	}
+	// Receipts settle when node 0 commits; wait for the whole cluster.
+	if !chain.Await(permchain.AwaitSpec{Txs: len(txs), Timeout: 15 * time.Second}) {
 		log.Fatal("transactions did not commit in time")
 	}
 
@@ -68,5 +84,14 @@ func main() {
 			ids[i] = tx.ID
 		}
 		fmt.Printf("  block %d (%v ← %v): %v\n", h, blk.Hash(), blk.Header.PrevHash, ids)
+	}
+
+	// The chain's metrics registry saw every layer; print a few commit-
+	// path numbers and the Prometheus exposition of the rest.
+	m := chain.Metrics()
+	fmt.Printf("receipts issued/resolved: %d/%d\n",
+		m.Counters["core/receipts_issued"], m.Counters["core/receipts_resolved"])
+	if err := m.WritePrometheus(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -14,10 +14,43 @@ package arch
 
 import (
 	"crypto/sha256"
+	"fmt"
 	"sort"
 
 	"permchain/internal/types"
 )
+
+// TxStatus is the per-transaction outcome of processing one block: the
+// receipt-level answer to "what happened to my transaction". Engines that
+// report statuses return one per transaction, indexed by the transaction's
+// position in the block, regardless of any internal reordering.
+type TxStatus uint8
+
+const (
+	// TxCommitted: the transaction's writes reached the state (including
+	// XOX salvage re-execution).
+	TxCommitted TxStatus = iota
+	// TxAborted: dropped for a read-write conflict (MVCC validation,
+	// early abort, or reorder cycle elimination).
+	TxAborted
+	// TxFailed: the payload logic itself failed (e.g. insufficient
+	// balance); not a concurrency conflict.
+	TxFailed
+)
+
+// String names the status.
+func (s TxStatus) String() string {
+	switch s {
+	case TxCommitted:
+		return "committed"
+	case TxAborted:
+		return "aborted"
+	case TxFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("TxStatus(%d)", int(s))
+	}
+}
 
 // Stats summarizes the outcome of processing one block.
 type Stats struct {

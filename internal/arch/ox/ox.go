@@ -39,9 +39,17 @@ func (e *Engine) Store() *statedb.Store { return e.store }
 // ExecuteBlock runs every transaction in order. Transactions never abort
 // for concurrency reasons in OX — only payload failures count.
 func (e *Engine) ExecuteBlock(b *types.Block) arch.Stats {
+	st, _ := e.ExecuteBlockStatus(b)
+	return st
+}
+
+// ExecuteBlockStatus is ExecuteBlock plus a per-transaction outcome,
+// indexed by block position — the input to commit receipts.
+func (e *Engine) ExecuteBlockStatus(b *types.Block) (arch.Stats, []arch.TxStatus) {
 	start := time.Now()
 	defer func() { e.obs.Observe("arch/ox/execute", time.Since(start)) }()
 	var st arch.Stats
+	statuses := make([]arch.TxStatus, len(b.Txs))
 	for i, tx := range b.Txs {
 		for range tx.Ops {
 			arch.SimulateWork(e.workFactor)
@@ -49,9 +57,11 @@ func (e *Engine) ExecuteBlock(b *types.Block) arch.Stats {
 		res := e.store.Execute(types.Version{Block: b.Header.Height, Tx: i}, tx.Ops)
 		if res.Err != nil {
 			st.Failed++
+			statuses[i] = arch.TxFailed
 			continue
 		}
 		st.Committed++
+		statuses[i] = arch.TxCommitted
 	}
-	return st
+	return st, statuses
 }

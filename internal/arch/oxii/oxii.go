@@ -45,21 +45,37 @@ func (e *Engine) Store() *statedb.Store { return e.store }
 // ExecuteBlock builds the dependency graph (the orderer's job in
 // ParBlockchain) and executes the block with maximal parallelism.
 func (e *Engine) ExecuteBlock(b *types.Block) arch.Stats {
+	st, _ := e.ExecuteBlockStatus(b)
+	return st
+}
+
+// ExecuteBlockStatus is ExecuteBlock plus a per-transaction outcome,
+// indexed by block position — the input to commit receipts.
+func (e *Engine) ExecuteBlockStatus(b *types.Block) (arch.Stats, []arch.TxStatus) {
 	start := time.Now()
 	g := arch.BuildDependencyGraph(b.Txs)
 	e.obs.Observe("arch/oxii/graph_build", time.Since(start))
-	return e.ExecuteWithGraph(b, g)
+	return e.ExecuteWithGraphStatus(b, g)
 }
 
 // ExecuteWithGraph executes a block whose dependency graph was already
 // computed (e.g. shipped with the block by the orderers).
 func (e *Engine) ExecuteWithGraph(b *types.Block, g *arch.DependencyGraph) arch.Stats {
+	st, _ := e.ExecuteWithGraphStatus(b, g)
+	return st
+}
+
+// ExecuteWithGraphStatus is ExecuteWithGraph plus per-transaction
+// outcomes. OXII never aborts for concurrency, so every status is either
+// committed or failed.
+func (e *Engine) ExecuteWithGraphStatus(b *types.Block, g *arch.DependencyGraph) (arch.Stats, []arch.TxStatus) {
 	start := time.Now()
 	defer func() { e.obs.Observe("arch/oxii/execute", time.Since(start)) }()
 	n := len(b.Txs)
 	if n == 0 {
-		return arch.Stats{}
+		return arch.Stats{}, nil
 	}
+	statuses := make([]arch.TxStatus, n)
 
 	indeg := make([]int, n)
 	copy(indeg, g.InDeg)
@@ -99,8 +115,10 @@ func (e *Engine) ExecuteWithGraph(b *types.Block, g *arch.DependencyGraph) arch.
 					mu.Lock()
 					if res.Err != nil {
 						st.Failed++
+						statuses[i] = arch.TxFailed
 					} else {
 						st.Committed++
+						statuses[i] = arch.TxCommitted
 					}
 					completed++
 					fin := completed == n
@@ -121,5 +139,5 @@ func (e *Engine) ExecuteWithGraph(b *types.Block, g *arch.DependencyGraph) arch.
 		}()
 	}
 	wg.Wait()
-	return st
+	return st, statuses
 }

@@ -113,6 +113,28 @@ func (e *Engine) EndorseAll(txs []*types.Transaction) []*types.Transaction {
 // commits the surviving transactions, applying whichever optimizations
 // are enabled. Transactions must be endorsed (rw-sets filled).
 func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
+	st, _ := e.CommitBlockStatus(b)
+	return st
+}
+
+// CommitBlockStatus is CommitBlock plus a per-transaction outcome,
+// indexed by the transaction's original block position (not the
+// reordered one) — the input to commit receipts. MVCC validation losers
+// report TxAborted; transactions salvaged by XOX re-execution report
+// TxCommitted; payload failures report TxFailed.
+func (e *Engine) CommitBlockStatus(b *types.Block) (arch.Stats, []arch.TxStatus) {
+	statuses := make([]arch.TxStatus, len(b.Txs))
+	pos := make(map[*types.Transaction]int, len(b.Txs))
+	for i, tx := range b.Txs {
+		statuses[i] = arch.TxCommitted // refined below as phases drop txs
+		pos[tx] = i
+	}
+	setStatus := func(tx *types.Transaction, s arch.TxStatus) {
+		if i, ok := pos[tx]; ok {
+			statuses[i] = s
+		}
+	}
+
 	var st arch.Stats
 	txs := b.Txs
 
@@ -127,6 +149,7 @@ func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
 				kept = append(kept, tx)
 			} else {
 				st.Aborted++
+				setStatus(tx, arch.TxAborted)
 			}
 		}
 		txs = kept
@@ -150,6 +173,7 @@ func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
 				postponed = append(postponed, txs[idx])
 			} else {
 				st.Aborted++
+				setStatus(txs[idx], arch.TxAborted)
 			}
 		}
 		e.obs.Observe("arch/xov/reorder", time.Since(roStart))
@@ -168,6 +192,9 @@ func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
 		aborted = ab
 	}
 	e.obs.Observe("arch/xov/validate", time.Since(valStart))
+	for _, tx := range aborted {
+		setStatus(tx, arch.TxAborted) // refined again if XOX salvages it
+	}
 
 	// Post-order execution (XOX): re-execute invalidated transactions
 	// against fresh state so their work is salvaged rather than lost.
@@ -184,14 +211,16 @@ func (e *Engine) CommitBlock(b *types.Block) arch.Stats {
 			st.Aborted--
 			if res.Err != nil {
 				st.Failed++
+				setStatus(tx, arch.TxFailed)
 				continue
 			}
 			tx.Reads, tx.Writes = res.Reads, res.Writes
 			st.Committed++
 			st.Reexecuted++
+			setStatus(tx, arch.TxCommitted)
 		}
 	}
-	return st
+	return st, statuses
 }
 
 // validateSerial is Fabric's standard validator: walk the block in order,

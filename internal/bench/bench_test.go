@@ -181,6 +181,18 @@ func TestE9Quick(t *testing.T) {
 	t.Log("\n" + tbl.String())
 }
 
+func TestE12Quick(t *testing.T) {
+	tbl, err := E12Pipeline(true)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	// 2 configurations × {inline, pipelined}.
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	t.Log("\n" + tbl.String())
+}
+
 func TestE10Quick(t *testing.T) {
 	tbl, err := E10Chaos(true)
 	if err != nil {

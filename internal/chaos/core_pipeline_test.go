@@ -1,0 +1,190 @@
+package chaos
+
+// Chain-level chaos: the schedules in this package exercise consensus
+// replicas against their decision logs; these tests drive the full
+// core.Chain commit pipeline through the same shapes — a full-cluster
+// restart and an un-drained crash — and check the client-visible
+// contract: every receipt settles exactly once, and the Figure 1
+// replication invariant survives recovery.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"permchain/internal/arch"
+	"permchain/internal/core"
+	"permchain/internal/obs"
+	"permchain/internal/store"
+	"permchain/internal/types"
+)
+
+func pipelineTx(id string, delta int64) *types.Transaction {
+	return &types.Transaction{ID: id, Ops: []types.Op{{Code: types.OpAdd, Key: "ctr", Delta: delta}}}
+}
+
+// settleAll waits out every receipt and asserts each settled exactly once
+// (a second settlement would re-close Done and panic; here we also check
+// none is still open).
+func settleAll(t *testing.T, receipts []*core.Receipt, timeout time.Duration) (committed, stopped int) {
+	t.Helper()
+	for i, r := range receipts {
+		if err := r.Wait(timeout); err != nil && !errors.Is(err, core.ErrStopped) {
+			t.Fatalf("receipt %d: %v", i, err)
+		}
+		switch {
+		case r.Err() == nil && r.Status() == arch.TxCommitted:
+			committed++
+		case errors.Is(r.Err(), core.ErrStopped):
+			stopped++
+		default:
+			t.Fatalf("receipt %d: status %v err %v", i, r.Status(), r.Err())
+		}
+	}
+	return committed, stopped
+}
+
+func TestCoreReceiptsExactlyOnceAcrossFullRestart(t *testing.T) {
+	// The FullClusterRestartSchedule shape at chain level: warm workload,
+	// quiesce, take the whole cluster down, recover from disk, post
+	// workload. Every receipt — warm and post — must fire exactly once.
+	const warm, post = 16, 8
+	o := obs.New()
+	cfg := core.Config{Nodes: 4, Protocol: core.PBFT, Arch: core.OX, BlockSize: 4,
+		Timeout: 400 * time.Millisecond, Obs: o,
+		Store: &store.Config{Dir: t.TempDir(), Fsync: store.FsyncAlways, SnapshotEvery: 3}}
+
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	warmReceipts := make([]*core.Receipt, 0, warm)
+	for i := 0; i < warm; i++ {
+		r, err := c.SubmitAsync(pipelineTx(fmt.Sprintf("warm%d", i), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmReceipts = append(warmReceipts, r)
+	}
+	c.Flush()
+	if !c.Await(core.AwaitSpec{Txs: warm, Timeout: 20 * time.Second}) {
+		t.Fatalf("warm phase processed %d/%d", c.Node(0).ProcessedTxs(), warm)
+	}
+	if err := c.VerifyReplication(); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	if committed, _ := settleAll(t, warmReceipts, 0); committed != warm {
+		t.Fatalf("warm receipts committed %d/%d", committed, warm)
+	}
+
+	re, err := core.OpenChain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Start()
+	defer re.Stop()
+	postReceipts := make([]*core.Receipt, 0, post)
+	for i := 0; i < post; i++ {
+		r, err := re.SubmitAsync(pipelineTx(fmt.Sprintf("post%d", i), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		postReceipts = append(postReceipts, r)
+	}
+	re.Flush()
+	if !re.Await(core.AwaitSpec{Txs: post, Timeout: 20 * time.Second}) {
+		t.Fatalf("post phase processed %d/%d", re.Node(0).ProcessedTxs(), post)
+	}
+	if committed, _ := settleAll(t, postReceipts, 20*time.Second); committed != post {
+		t.Fatalf("post receipts committed %d/%d", committed, post)
+	}
+	if err := re.VerifyReplication(); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Node(0).Store().GetInt("ctr"); got != warm+post {
+		t.Fatalf("ctr = %d, want %d", got, warm+post)
+	}
+	// Exactly once, by the books: every issued receipt resolved or was
+	// orphaned, and nothing resolved twice (the counters share the
+	// registry across both incarnations).
+	m := o.Reg.Snapshot()
+	issued := m.Counters["core/receipts_issued"]
+	settled := m.Counters["core/receipts_resolved"] + m.Counters["core/receipts_orphaned"]
+	if issued != warm+post || settled != issued {
+		t.Fatalf("issued %d settled %d, want %d each", issued, settled, warm+post)
+	}
+}
+
+func TestCoreCrashMidPipelineRecovers(t *testing.T) {
+	// Crash (no drain, no final sync) while the pipeline is busy, then
+	// recover. FsyncAlways means every block the persister appended is on
+	// disk, so the recovered cluster must reach at least the highest
+	// durable watermark any node reported — and replication must hold.
+	o := obs.New()
+	cfg := core.Config{Nodes: 4, Protocol: core.PBFT, Arch: core.OX, BlockSize: 2,
+		Timeout: 400 * time.Millisecond, Obs: o,
+		Store: &store.Config{Dir: t.TempDir(), Fsync: store.FsyncAlways, SnapshotEvery: 4}}
+
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	const k = 40
+	receipts := make([]*core.Receipt, 0, k)
+	for i := 0; i < k; i++ {
+		r, err := c.SubmitAsync(pipelineTx(fmt.Sprintf("t%d", i), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		receipts = append(receipts, r)
+	}
+	c.Flush()
+	// Let part of the workload commit, then pull the plug mid-stream.
+	if !c.Await(core.AwaitSpec{Nodes: []int{0}, Txs: k / 4, Timeout: 20 * time.Second}) {
+		t.Fatalf("no progress before crash: %d txs", c.Node(0).ProcessedTxs())
+	}
+	c.Crash()
+	var durable uint64
+	for _, n := range c.Nodes() {
+		if h := n.DurableHeight(); h > durable {
+			durable = h
+		}
+	}
+	committed, stoppedCount := settleAll(t, receipts, 0)
+	if committed+stoppedCount != k {
+		t.Fatalf("receipts settled %d/%d", committed+stoppedCount, k)
+	}
+
+	re, err := core.OpenChain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Start()
+	defer re.Stop()
+	for _, n := range re.Nodes() {
+		if got := n.Chain().Height(); got < durable {
+			t.Fatalf("node %v recovered to height %d, below durable watermark %d", n.ID, got, durable)
+		}
+	}
+	if err := re.VerifyReplication(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered cluster keeps committing.
+	const post = 8
+	for i := 0; i < post; i++ {
+		if err := re.Submit(pipelineTx(fmt.Sprintf("p%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re.Flush()
+	if !re.Await(core.AwaitSpec{Txs: post, Timeout: 20 * time.Second}) {
+		t.Fatalf("post-crash processed %d/%d", re.Node(0).ProcessedTxs(), post)
+	}
+	if err := re.VerifyReplication(); err != nil {
+		t.Fatal(err)
+	}
+}

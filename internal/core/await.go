@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// AwaitSpec describes a commit watermark to wait for. Zero-valued floors
+// are not checked, so the common cases read naturally:
+//
+//	c.Await(core.AwaitSpec{Txs: 100, Timeout: 5 * time.Second})            // all nodes, 100 txs
+//	c.Await(core.AwaitSpec{Nodes: []int{0, 2}, Height: 8, Timeout: ...})   // survivors reach height 8
+type AwaitSpec struct {
+	// Nodes lists the node indices that must reach every floor; nil
+	// means every node — fault tests pass the survivor set.
+	Nodes []int
+	// Txs is the processed-transaction floor.
+	Txs int
+	// Height is the applied ledger-height floor.
+	Height uint64
+	// DurableHeight is the persisted ledger-height floor; it only
+	// advances on chains built with Config.Store.
+	DurableHeight uint64
+	// Timeout bounds the wait; a timeout <= 0 checks once and returns
+	// without blocking.
+	Timeout time.Duration
+}
+
+// commitWaiter is the pipeline's commit-notification hub: the executor
+// and persister advance per-node watermarks under one lock and
+// broadcast; Await sleeps on the condition variable until its spec is
+// satisfied, replacing the old 1ms sleep-polling loops.
+type commitWaiter struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	txs     []int    // transactions applied, per node
+	applied []uint64 // ledger height applied, per node
+	durable []uint64 // ledger height persisted, per node
+}
+
+func newCommitWaiter(nodes int) *commitWaiter {
+	w := &commitWaiter{
+		txs:     make([]int, nodes),
+		applied: make([]uint64, nodes),
+		durable: make([]uint64, nodes),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// seed initializes node i's height watermarks after recovery; the tx
+// watermark stays zero because replayed transactions are not re-counted.
+func (w *commitWaiter) seed(i int, applied, durable uint64) {
+	w.mu.Lock()
+	w.applied[i] = applied
+	w.durable[i] = durable
+	w.mu.Unlock()
+}
+
+func (w *commitWaiter) advanceApplied(i, dtxs int, height uint64) {
+	w.mu.Lock()
+	w.txs[i] += dtxs
+	if height > w.applied[i] {
+		w.applied[i] = height
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *commitWaiter) advanceDurable(i int, height uint64) {
+	w.mu.Lock()
+	if height > w.durable[i] {
+		w.durable[i] = height
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *commitWaiter) durableHeight(i int) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable[i]
+}
+
+// Await blocks until every node listed in spec satisfies every non-zero
+// floor, or the timeout elapses; it reports whether the spec was
+// satisfied. The wait is event-driven — each commit broadcasts — so
+// satisfied waits return at commit time, not at the next poll tick.
+func (c *Chain) Await(spec AwaitSpec) bool {
+	nodes := spec.Nodes
+	if nodes == nil {
+		nodes = make([]int, len(c.nodes))
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	w := c.cw
+	satisfied := func() bool {
+		for _, i := range nodes {
+			if w.txs[i] < spec.Txs || w.applied[i] < spec.Height || w.durable[i] < spec.DurableHeight {
+				return false
+			}
+		}
+		return true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if satisfied() {
+		return true
+	}
+	if spec.Timeout <= 0 {
+		return false
+	}
+	// The timer takes the waiter lock before flagging expiry, so the
+	// broadcast can never slip between a waiter's check and its Wait —
+	// the classic missed-wakeup race.
+	expired := false
+	t := time.AfterFunc(spec.Timeout, func() {
+		w.mu.Lock()
+		expired = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	})
+	defer t.Stop()
+	for {
+		w.cond.Wait()
+		if satisfied() {
+			return true
+		}
+		if expired {
+			return false
+		}
+	}
+}
+
+// AwaitTxs blocks until node 0 has processed n transactions.
+//
+// Deprecated: use Await; kept as a wrapper so existing call sites
+// compile unchanged.
+func (c *Chain) AwaitTxs(n int, timeout time.Duration) bool {
+	return c.Await(AwaitSpec{Nodes: []int{0}, Txs: n, Timeout: timeout})
+}
+
+// AwaitAllNodesTxs blocks until every node has processed n transactions.
+//
+// Deprecated: use Await; kept as a wrapper so existing call sites
+// compile unchanged.
+func (c *Chain) AwaitAllNodesTxs(n int, timeout time.Duration) bool {
+	return c.Await(AwaitSpec{Txs: n, Timeout: timeout})
+}
+
+// AwaitAllNodesTxsSubset blocks until each of the listed nodes has
+// processed n transactions — for fault tests where some nodes are
+// partitioned away and only the survivors can make progress.
+//
+// Deprecated: use Await; kept as a wrapper so existing call sites
+// compile unchanged.
+func (c *Chain) AwaitAllNodesTxsSubset(nodes []int, n int, timeout time.Duration) bool {
+	return c.Await(AwaitSpec{Nodes: nodes, Txs: n, Timeout: timeout})
+}

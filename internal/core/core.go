@@ -131,6 +131,16 @@ type Config struct {
 	// tracer shared by every replica, engine, and the transport. Nil
 	// disables instrumentation.
 	Obs *obs.Obs
+	// ApplyQueue bounds each node's apply queue — the buffer between
+	// consensus intake and the executor stage of the commit pipeline.
+	// When an executor stalls, intake blocks once the queue is full, so
+	// decided-but-unapplied batches occupy bounded memory. Default 64.
+	ApplyQueue int
+	// InlineCommit reverts to the pre-pipeline commit path: every
+	// decision is executed, appended, fsynced and snapshotted inline in
+	// the consensus-decision loop, serializing the whole commit path per
+	// node. Kept as the baseline arm of the E12 pipeline experiment.
+	InlineCommit bool
 	// Store attaches the durable storage engine: when non-nil, every node
 	// persists its blocks to a segmented write-ahead log under
 	// Store.Dir/node-<i> and (when Store.SnapshotEvery > 0) writes periodic
@@ -139,30 +149,33 @@ type Config struct {
 	Store *store.Config
 }
 
-// engine abstracts the per-node processing pipeline.
+// engine abstracts the per-node processing pipeline. process returns the
+// per-transaction outcomes alongside the aggregate stats; statuses index
+// by the transaction's position in txs even when the architecture
+// reorders internally (XOV), so receipts can be settled per tx.
 type engine interface {
-	process(height uint64, txs []*types.Transaction) arch.Stats
+	process(height uint64, txs []*types.Transaction) (arch.Stats, []arch.TxStatus)
 	store() *statedb.Store
 }
 
 type oxEngine struct{ e *ox.Engine }
 
-func (o oxEngine) process(h uint64, txs []*types.Transaction) arch.Stats {
-	return o.e.ExecuteBlock(types.NewBlock(h, types.ZeroHash, 0, txs))
+func (o oxEngine) process(h uint64, txs []*types.Transaction) (arch.Stats, []arch.TxStatus) {
+	return o.e.ExecuteBlockStatus(types.NewBlock(h, types.ZeroHash, 0, txs))
 }
 func (o oxEngine) store() *statedb.Store { return o.e.Store() }
 
 type oxiiEngine struct{ e *oxii.Engine }
 
-func (o oxiiEngine) process(h uint64, txs []*types.Transaction) arch.Stats {
-	return o.e.ExecuteBlock(types.NewBlock(h, types.ZeroHash, 0, txs))
+func (o oxiiEngine) process(h uint64, txs []*types.Transaction) (arch.Stats, []arch.TxStatus) {
+	return o.e.ExecuteBlockStatus(types.NewBlock(h, types.ZeroHash, 0, txs))
 }
 func (o oxiiEngine) store() *statedb.Store { return o.e.Store() }
 
 type xovEngine struct{ e *xov.Engine }
 
-func (o xovEngine) process(h uint64, txs []*types.Transaction) arch.Stats {
-	return o.e.CommitBlock(types.NewBlock(h, types.ZeroHash, 0, txs))
+func (o xovEngine) process(h uint64, txs []*types.Transaction) (arch.Stats, []arch.TxStatus) {
+	return o.e.CommitBlockStatus(types.NewBlock(h, types.ZeroHash, 0, txs))
 }
 func (o xovEngine) store() *statedb.Store { return o.e.Store() }
 
@@ -174,6 +187,12 @@ type Node struct {
 	chain   *ledger.Chain
 	eng     engine
 	disk    *store.Store // nil when the chain is not durable
+
+	// The commit-pipeline stage channels, created by Start. Both are nil
+	// under Config.InlineCommit; persistCh is also nil when disk is.
+	applyCh   chan applyItem
+	persistCh chan persistItem
+	cw        *commitWaiter // the chain's shared watermark hub
 
 	mu    sync.Mutex
 	stats arch.Stats
@@ -204,19 +223,42 @@ func (n *Node) ProcessedTxs() int {
 	return n.txs
 }
 
+// DurableHeight returns the highest block height the commit pipeline has
+// persisted to this node's durable store — the watermark crash recovery
+// is guaranteed to reach. Zero when the chain was built without
+// Config.Store.
+func (n *Node) DurableHeight() uint64 { return n.cw.durableHeight(int(n.ID)) }
+
 // Chain is a running permissioned blockchain.
 type Chain struct {
 	cfg   Config
 	net   *network.Network
 	nodes []*Node
 
+	cw       *commitWaiter
+	receipts *receiptTable
+
 	mu      sync.Mutex
 	batch   []*types.Transaction
 	started bool
 
+	// stopMu orders submissions against shutdown: Submit and Flush hold
+	// the read side, Stop flips stopping under the write side before the
+	// pipeline is torn down, so no proposal can reach a replica that is
+	// about to stop.
+	stopMu   sync.RWMutex
+	stopping bool
+
 	stopCh   chan struct{}
+	killCh   chan struct{} // closed by Crash: abandon queued work un-synced
 	stopOnce sync.Once
+	killOnce sync.Once
 	wg       sync.WaitGroup
+
+	// testExecGate, when non-nil, makes every executor take one token per
+	// block before applying it — the hook the backpressure test uses to
+	// stall the pipeline and watch the apply queue fill up.
+	testExecGate chan struct{}
 }
 
 // batchMsg is what consensus orders.
@@ -263,6 +305,9 @@ func build(cfg Config, resume bool) (*Chain, error) {
 	if cfg.FlushEvery <= 0 {
 		cfg.FlushEvery = 20 * time.Millisecond
 	}
+	if cfg.ApplyQueue <= 0 {
+		cfg.ApplyQueue = 64
+	}
 	if cfg.Net == nil {
 		cfg.Net = network.New()
 	}
@@ -274,7 +319,13 @@ func build(cfg Config, resume bool) (*Chain, error) {
 	if cfg.Obs != nil && cfg.Obs.Reg != nil {
 		cfg.Net.SetRegistry(cfg.Obs.Reg)
 	}
-	c := &Chain{cfg: cfg, net: cfg.Net, stopCh: make(chan struct{})}
+	c := &Chain{
+		cfg: cfg, net: cfg.Net,
+		cw:       newCommitWaiter(cfg.Nodes),
+		receipts: newReceiptTable(),
+		stopCh:   make(chan struct{}),
+		killCh:   make(chan struct{}),
+	}
 	for i := range ids {
 		ccfg := consensus.Config{
 			Self: ids[i], Nodes: ids, Net: cfg.Net, Keys: keys,
@@ -344,7 +395,7 @@ func build(cfg Config, resume bool) (*Chain, error) {
 			return nil, fmt.Errorf("core: unknown architecture %v", cfg.Arch)
 		}
 
-		n := &Node{ID: ids[i], replica: rep, chain: ledger.NewChain(), eng: eng, disk: disk}
+		n := &Node{ID: ids[i], replica: rep, chain: ledger.NewChain(), eng: eng, disk: disk, cw: c.cw}
 		if resume && disk != nil && disk.Height() > 0 {
 			if err := n.recoverFromDisk(st, cfg.Obs); err != nil {
 				disk.Close()
@@ -359,6 +410,17 @@ func build(cfg Config, resume bool) (*Chain, error) {
 			c.closeDisks()
 			return nil, err
 		}
+	}
+	// Seed the watermarks with what recovery rebuilt, so Await(Height)
+	// floors at or below the recovered height are already satisfied.
+	// Replayed transactions stay out of the tx watermark, matching
+	// ProcessedTxs.
+	for i, n := range c.nodes {
+		var dh uint64
+		if n.disk != nil {
+			dh = n.disk.Height()
+		}
+		c.cw.seed(i, n.chain.Height(), dh)
 	}
 	return c, nil
 }
@@ -462,7 +524,9 @@ func (n *Node) recoverFromDisk(st *statedb.Store, o *obs.Obs) error {
 	return nil
 }
 
-// Start launches the replicas and the batching loop.
+// Start launches the replicas, the batching loop, and each node's commit
+// pipeline (intake -> executor -> persister), or the single-stage inline
+// loop under Config.InlineCommit.
 func (c *Chain) Start() {
 	c.mu.Lock()
 	if c.started {
@@ -475,22 +539,72 @@ func (c *Chain) Start() {
 		n.replica.Start()
 	}
 	for _, n := range c.nodes {
+		if !c.cfg.InlineCommit {
+			// Both channels must exist before either stage goroutine
+			// starts: the executor reads n.persistCh on its first block.
+			n.applyCh = make(chan applyItem, c.cfg.ApplyQueue)
+			if n.disk != nil {
+				n.persistCh = make(chan persistItem, c.cfg.ApplyQueue)
+			}
+			c.wg.Add(1)
+			go c.executor(n)
+			if n.persistCh != nil {
+				c.wg.Add(1)
+				go c.persister(n)
+			}
+		}
 		c.wg.Add(1)
-		go c.drainNode(n)
+		go c.intake(n)
 	}
 	c.wg.Add(1)
 	go c.flushLoop()
 }
 
-// Stop shuts the chain down, syncing and closing any durable stores.
-// Idempotent.
-func (c *Chain) Stop() {
+// Stop shuts the chain down cleanly: the pipeline drains every decided
+// batch it has already accepted, durable stores sync and close, and any
+// receipt still unresolved fails with ErrStopped. Idempotent.
+func (c *Chain) Stop() { c.shutdown(false) }
+
+// Crash is the in-process stand-in for kill -9: queued-but-unapplied
+// batches are abandoned, disks are dropped without a final sync (whatever
+// the fsync policy already made durable is all recovery gets), and
+// unresolved receipts fail with ErrStopped. The chain is unusable
+// afterwards; reopen from the same directory with OpenChain.
+func (c *Chain) Crash() { c.shutdown(true) }
+
+func (c *Chain) shutdown(crash bool) {
+	c.stopMu.Lock()
+	c.stopping = true
+	c.stopMu.Unlock()
+	if crash {
+		c.killOnce.Do(func() { close(c.killCh) })
+	}
 	c.stopOnce.Do(func() { close(c.stopCh) })
 	c.wg.Wait()
 	for _, n := range c.nodes {
 		n.replica.Stop()
 	}
+	c.receipts.failAll(ErrStopped, c.cfg.Obs)
+	if crash {
+		for _, n := range c.nodes {
+			if n.disk != nil {
+				n.disk.Kill()
+			}
+		}
+		return
+	}
 	c.closeDisks()
+}
+
+// Metrics returns a point-in-time snapshot of the chain's metrics
+// registry — counters, gauges, and histograms from every layer that
+// shares Config.Obs. The zero Snapshot is returned when the chain was
+// built without one.
+func (c *Chain) Metrics() obs.Snapshot {
+	if c.cfg.Obs == nil {
+		return obs.Snapshot{}
+	}
+	return c.cfg.Obs.Reg.Snapshot()
 }
 
 // Nodes returns the chain's node handles.
@@ -509,31 +623,62 @@ var ErrStopped = errors.New("core: chain stopped")
 // against current state to produce its read/write sets); endorsement
 // failures surface here, matching Fabric's client-visible behavior.
 func (c *Chain) Submit(tx *types.Transaction) error {
-	select {
-	case <-c.stopCh:
-		return ErrStopped
-	default:
+	_, err := c.submit(tx, false)
+	return err
+}
+
+// SubmitAsync queues a transaction and returns a Receipt that settles
+// when its fate is known: Done closes once the transaction commits
+// (durably, on a durable chain), is aborted by concurrency control, or is
+// orphaned by Stop. Submission errors (endorsement failure, stopped
+// chain) surface here, before a receipt exists.
+func (c *Chain) SubmitAsync(tx *types.Transaction) (*Receipt, error) {
+	return c.submit(tx, true)
+}
+
+func (c *Chain) submit(tx *types.Transaction, withReceipt bool) (*Receipt, error) {
+	c.stopMu.RLock()
+	if c.stopping {
+		c.stopMu.RUnlock()
+		return nil, ErrStopped
 	}
 	c.cfg.Obs.Mark(tx.Hash(), 0, obs.PhaseSubmit)
 	if c.cfg.Arch == XOV {
 		if e, ok := c.nodes[0].eng.(xovEngine); ok {
 			if err := e.e.Endorse(tx); err != nil {
-				return err
+				c.stopMu.RUnlock()
+				return nil, err
 			}
 		}
+	}
+	var r *Receipt
+	if withReceipt {
+		// Register before the batch can flush, so the commit path can
+		// never settle the transaction between enqueue and registration.
+		r = c.receipts.register(tx)
+		c.cfg.Obs.Inc("core/receipts_issued")
 	}
 	c.mu.Lock()
 	c.batch = append(c.batch, tx)
 	full := len(c.batch) >= c.cfg.BlockSize
 	c.mu.Unlock()
+	c.stopMu.RUnlock()
 	if full {
 		c.Flush()
 	}
-	return nil
+	return r, nil
 }
 
-// Flush proposes any queued transactions immediately.
+// Flush proposes any queued transactions immediately. Once the chain is
+// stopping it is a no-op: the replicas may already be down, and proposing
+// to a stopped replica was a shutdown race — queued transactions settle
+// through the receipt table as stopped instead.
 func (c *Chain) Flush() {
+	c.stopMu.RLock()
+	defer c.stopMu.RUnlock()
+	if c.stopping {
+		return
+	}
 	c.mu.Lock()
 	if len(c.batch) == 0 {
 		c.mu.Unlock()
@@ -556,116 +701,6 @@ func (c *Chain) flushLoop() {
 		case <-t.C:
 			c.Flush()
 		}
-	}
-}
-
-// drainNode turns each consensus decision into a block on this node's
-// ledger and processes it through the node's engine.
-func (c *Chain) drainNode(n *Node) {
-	defer c.wg.Done()
-	decs := n.replica.Decisions()
-	for {
-		select {
-		case <-c.stopCh:
-			return
-		case d := <-decs:
-			b, ok := d.Value.(batchMsg)
-			if !ok {
-				continue
-			}
-			head := n.chain.Head()
-			height := head.Header.Height + 1
-			st := n.eng.process(height, b.Txs)
-			// The proposer field must be identical on every node for the
-			// ledgers to match; derive it from the decided slot.
-			proposer := types.NodeID(int(d.Seq % uint64(len(c.nodes))))
-			blk := types.NewBlock(height, head.Hash(), proposer, b.Txs)
-			if err := n.chain.Append(blk); err != nil {
-				// A node that cannot extend its own chain is a bug.
-				panic(fmt.Sprintf("core: node %v append: %v", n.ID, err))
-			}
-			if n.disk != nil {
-				if err := n.disk.AppendBlock(blk); err != nil {
-					panic(fmt.Sprintf("core: node %v durable append: %v", n.ID, err))
-				}
-				if se := c.cfg.Store.SnapshotEvery; se > 0 && height%se == 0 {
-					stdb := n.Store()
-					if err := n.disk.WriteSnapshot(height, stdb.Snapshot(), stdb.StateHash()); err != nil {
-						panic(fmt.Sprintf("core: node %v snapshot: %v", n.ID, err))
-					}
-				}
-			}
-			// Node 0 stamps the end of each transaction's lifecycle; one
-			// node suffices since the span tracer is cluster-wide and
-			// earliest-mark-wins would otherwise record the fastest replica.
-			if n.ID == 0 {
-				for _, tx := range b.Txs {
-					c.cfg.Obs.MarkLatency("core/submit_to_apply", tx.Hash(), d.Seq, obs.PhaseSubmit, obs.PhaseApply)
-				}
-			}
-			n.mu.Lock()
-			n.stats.Add(st)
-			n.txs += len(b.Txs)
-			n.mu.Unlock()
-		}
-	}
-}
-
-// AwaitTxs blocks until node 0 has processed n transactions.
-func (c *Chain) AwaitTxs(n int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		if c.nodes[0].ProcessedTxs() >= n {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
-// AwaitAllNodesTxs blocks until every node has processed n transactions.
-func (c *Chain) AwaitAllNodesTxs(n int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		ready := true
-		for _, node := range c.nodes {
-			if node.ProcessedTxs() < n {
-				ready = false
-				break
-			}
-		}
-		if ready {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
-// AwaitAllNodesTxsSubset blocks until each of the listed nodes has
-// processed n transactions — for fault tests where some nodes are
-// partitioned away and only the survivors can make progress.
-func (c *Chain) AwaitAllNodesTxsSubset(nodes []int, n int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		ready := true
-		for _, i := range nodes {
-			if c.nodes[i].ProcessedTxs() < n {
-				ready = false
-				break
-			}
-		}
-		if ready {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"permchain/internal/arch"
+	"permchain/internal/obs"
+	"permchain/internal/types"
+)
+
+// ErrAwaitTimeout is returned by Receipt.Wait when the timeout elapses
+// before the transaction's fate is known.
+var ErrAwaitTimeout = errors.New("core: await timed out")
+
+// Receipt tracks one asynchronously submitted transaction through the
+// commit pipeline. Done closes exactly once, when the fate is settled:
+// committed at some height, aborted by concurrency control (XOV MVCC
+// conflicts — no retry, no hang), failed by its own execution error, or
+// orphaned because the chain stopped first. On a durable chain the
+// receipt settles only after the block's durable append, so Done implies
+// the commit survives a crash under the configured fsync policy.
+type Receipt struct {
+	txID string
+	hash types.Hash
+	done chan struct{}
+	once sync.Once
+
+	mu     sync.Mutex
+	height uint64
+	status arch.TxStatus
+	err    error
+}
+
+func newReceipt(tx *types.Transaction) *Receipt {
+	return &Receipt{txID: tx.ID, hash: tx.Hash(), done: make(chan struct{})}
+}
+
+// TxID returns the submitted transaction's ID.
+func (r *Receipt) TxID() string { return r.txID }
+
+// TxHash returns the submitted transaction's hash.
+func (r *Receipt) TxHash() types.Hash { return r.hash }
+
+// Done returns the settlement channel; it is closed exactly once, when
+// Height, Status and Err become valid.
+func (r *Receipt) Done() <-chan struct{} { return r.done }
+
+// Height returns the block height the transaction landed at; zero until
+// Done closes, and zero if the chain stopped before it landed.
+func (r *Receipt) Height() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.height
+}
+
+// Status returns the transaction's outcome; meaningful once Done closes.
+func (r *Receipt) Status() arch.TxStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// Aborted reports whether concurrency control aborted the transaction.
+func (r *Receipt) Aborted() bool { return r.Status() == arch.TxAborted }
+
+// Err returns why the receipt settled without an outcome — ErrStopped
+// when the chain shut down first — or nil when the transaction ran.
+func (r *Receipt) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Wait blocks until the receipt settles or the timeout elapses (a
+// timeout <= 0 waits forever). It returns the receipt's error, or
+// ErrAwaitTimeout if time ran out first.
+func (r *Receipt) Wait(timeout time.Duration) error {
+	if timeout <= 0 {
+		<-r.done
+		return r.Err()
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-r.done:
+		return r.Err()
+	case <-t.C:
+		return ErrAwaitTimeout
+	}
+}
+
+func (r *Receipt) resolve(height uint64, status arch.TxStatus) {
+	r.once.Do(func() {
+		r.mu.Lock()
+		r.height = height
+		r.status = status
+		r.mu.Unlock()
+		close(r.done)
+	})
+}
+
+func (r *Receipt) fail(err error) {
+	r.once.Do(func() {
+		r.mu.Lock()
+		r.status = arch.TxFailed
+		r.err = err
+		r.mu.Unlock()
+		close(r.done)
+	})
+}
+
+// receiptTable maps pending transaction hashes to their receipts. The
+// commit path settles entries as node 0 commits blocks; Stop fails
+// whatever is left so no receipt ever hangs.
+type receiptTable struct {
+	mu sync.Mutex
+	m  map[types.Hash][]*Receipt
+}
+
+func newReceiptTable() *receiptTable {
+	return &receiptTable{m: make(map[types.Hash][]*Receipt)}
+}
+
+func (t *receiptTable) register(tx *types.Transaction) *Receipt {
+	r := newReceipt(tx)
+	t.mu.Lock()
+	t.m[r.hash] = append(t.m[r.hash], r)
+	t.mu.Unlock()
+	return r
+}
+
+// resolveBlock settles every pending receipt whose transaction landed in
+// blk, using the per-tx outcomes the engine reported (indexed by block
+// position).
+func (t *receiptTable) resolveBlock(blk *types.Block, statuses []arch.TxStatus, o *obs.Obs) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, tx := range blk.Txs {
+		h := tx.Hash()
+		rs := t.m[h]
+		if len(rs) == 0 {
+			continue
+		}
+		status := arch.TxCommitted
+		if i < len(statuses) {
+			status = statuses[i]
+		}
+		for _, r := range rs {
+			r.resolve(blk.Header.Height, status)
+			o.Inc("core/receipts_resolved")
+			if status == arch.TxAborted {
+				o.Inc("core/receipts_aborted")
+			}
+		}
+		delete(t.m, h)
+	}
+}
+
+// failAll settles every still-pending receipt with err.
+func (t *receiptTable) failAll(err error, o *obs.Obs) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for h, rs := range t.m {
+		for _, r := range rs {
+			r.fail(err)
+			o.Inc("core/receipts_orphaned")
+		}
+		delete(t.m, h)
+	}
+}

@@ -63,6 +63,15 @@ func (o *Obs) SetGauge(name string, v int64) {
 	o.Reg.Gauge(name).Set(v)
 }
 
+// AddGauge adds delta (which may be negative) to the named gauge — the
+// increment/decrement form queue-depth gauges need.
+func (o *Obs) AddGauge(name string, delta int64) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	o.Reg.Gauge(name).Add(delta)
+}
+
 // Observe records a duration (in nanoseconds) into the named histogram.
 func (o *Obs) Observe(name string, d time.Duration) {
 	if o == nil || o.Reg == nil {

@@ -61,6 +61,9 @@ type Store struct {
 	man    manifest
 	height uint64
 	closed bool
+	// async is the background snapshot writer, started lazily by the
+	// first WriteSnapshotAsync (nil until then).
+	async *asyncSnap
 }
 
 // Open opens (creating if needed) the store rooted at cfg.Dir, running
@@ -358,15 +361,19 @@ func syncDir(dir string) {
 	}
 }
 
-// Close syncs the log, records the final durable height in the manifest,
-// and closes the store. Idempotent.
+// Close drains any queued async checkpoint, syncs the log, records the
+// final durable height in the manifest, and closes the store. Idempotent.
 func (s *Store) Close() error {
+	// Drain outside s.mu: the worker takes s.mu inside WriteSnapshot.
+	err := s.stopSnapWorker(true)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
-	err := s.syncLocked()
+	if serr := s.syncLocked(); err == nil {
+		err = serr
+	}
 	if cerr := s.log.Close(); err == nil {
 		err = cerr
 	}

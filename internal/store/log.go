@@ -326,3 +326,16 @@ func (l *Log) Close() error {
 	l.closed = true
 	return l.f.Close()
 }
+
+// kill abandons the log without syncing — the crash-simulation exit.
+// Closing the fd does not flush the page cache, so anything not yet
+// synced by policy is exactly the tail a real crash could lose.
+func (l *Log) kill() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.f.Close()
+}

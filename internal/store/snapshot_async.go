@@ -1,0 +1,185 @@
+package store
+
+import (
+	"sync"
+
+	"permchain/internal/statedb"
+	"permchain/internal/types"
+)
+
+// snapshotReq is one queued checkpoint request: the copy-on-write state
+// capture the executor took at height, to be made durable off the commit
+// path.
+type snapshotReq struct {
+	height uint64
+	snap   *statedb.Snapshot
+	hash   types.Hash
+}
+
+// asyncSnap is the store's background snapshot writer: a single worker
+// goroutine with a one-slot pending queue. The commit pipeline hands it a
+// state capture and keeps applying blocks; the worker runs the expensive
+// part (serialize, fsync, rename, manifest update) concurrently. A new
+// request arriving while one is already pending supersedes it — the
+// lineage only ever needs the newest checkpoint, so writing a stale
+// intermediate one would be wasted fsyncs.
+//
+// Durability is unchanged from the synchronous path: the worker calls
+// WriteSnapshot, which syncs the block log first and advances the
+// MANIFEST only after the checkpoint file is durable. A crash mid-write
+// leaves a .tmp file the manifest never references.
+type asyncSnap struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending *snapshotReq
+	busy    bool
+	stopped bool
+	err     error // last write failure, surfaced by Drain/Close
+	done    chan struct{}
+}
+
+func (s *Store) ensureSnapWorkerLocked() {
+	if s.async != nil {
+		return
+	}
+	a := &asyncSnap{done: make(chan struct{})}
+	a.cond = sync.NewCond(&a.mu)
+	s.async = a
+	go s.snapWorker(a)
+}
+
+// WriteSnapshotAsync queues a checkpoint for the background writer and
+// returns immediately. The caller must not mutate snap afterwards. If a
+// previous request is still waiting its turn it is superseded (counted as
+// store/snapshots_superseded); an in-progress write always completes.
+func (s *Store) WriteSnapshotAsync(height uint64, snap *statedb.Snapshot, stateHash types.Hash) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.ensureSnapWorkerLocked()
+	a := s.async
+	s.mu.Unlock()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stopped {
+		return
+	}
+	if a.pending != nil {
+		s.cfg.Obs.Inc("store/snapshots_superseded")
+	}
+	a.pending = &snapshotReq{height: height, snap: snap, hash: stateHash}
+	s.cfg.Obs.SetGauge("store/snapshot_inflight", 1)
+	a.cond.Broadcast()
+}
+
+func (s *Store) snapWorker(a *asyncSnap) {
+	defer close(a.done)
+	for {
+		a.mu.Lock()
+		for a.pending == nil && !a.stopped {
+			a.cond.Wait()
+		}
+		if a.pending == nil && a.stopped {
+			a.mu.Unlock()
+			return
+		}
+		req := a.pending
+		a.pending = nil
+		a.busy = true
+		a.mu.Unlock()
+
+		err := s.WriteSnapshot(req.height, req.snap, req.hash)
+
+		a.mu.Lock()
+		a.busy = false
+		if err != nil {
+			a.err = err
+			s.cfg.Obs.Inc("store/snapshot_errors")
+		} else {
+			s.cfg.Obs.Inc("store/snapshots_async")
+		}
+		if a.pending == nil {
+			s.cfg.Obs.SetGauge("store/snapshot_inflight", 0)
+		}
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	}
+}
+
+// SnapshotInFlight reports whether an async checkpoint is queued or being
+// written. The commit pipeline uses it to count blocks applied while a
+// snapshot is in flight — the deterministic witness that checkpointing
+// left the critical path.
+func (s *Store) SnapshotInFlight() bool {
+	s.mu.Lock()
+	a := s.async
+	s.mu.Unlock()
+	if a == nil {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pending != nil || a.busy
+}
+
+// DrainSnapshots blocks until every queued checkpoint has been written
+// and returns the last write error, if any. Close calls it, so a cleanly
+// closed store never loses a queued checkpoint.
+func (s *Store) DrainSnapshots() error {
+	s.mu.Lock()
+	a := s.async
+	s.mu.Unlock()
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.pending != nil || a.busy {
+		a.cond.Wait()
+	}
+	return a.err
+}
+
+// stopSnapWorker stops the worker goroutine. With drain, queued work is
+// written first; without, any pending request is abandoned (an
+// in-progress write still completes — WriteSnapshot is not interruptible,
+// by design: it must never leave a half-installed manifest).
+func (s *Store) stopSnapWorker(drain bool) error {
+	s.mu.Lock()
+	a := s.async
+	s.mu.Unlock()
+	if a == nil {
+		return nil
+	}
+	var err error
+	if drain {
+		err = s.DrainSnapshots()
+	}
+	a.mu.Lock()
+	if !drain {
+		a.pending = nil
+	}
+	a.stopped = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	<-a.done
+	return err
+}
+
+// Kill abandons the store without syncing anything — the in-process
+// stand-in for kill -9 used by crash tests and the chaos harness. The
+// async snapshot worker is stopped (dropping any queued checkpoint), the
+// store is marked closed so later appends fail, and the log's file
+// handles are abandoned un-synced: whatever the OS has not flushed is the
+// torn tail recovery must cope with. Unlike Close, the manifest's durable
+// floor is NOT advanced.
+func (s *Store) Kill() {
+	s.stopSnapWorker(false)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.log.kill()
+}

@@ -27,15 +27,18 @@
 //	})
 //	chain.Start()
 //	defer chain.Stop()
-//	chain.Submit(permchain.NewTransaction("pay-1",
+//	r, err := chain.SubmitAsync(permchain.NewTransaction("pay-1",
 //		permchain.Transfer("alice", "bob", 10)))
+//	<-r.Done() // settles at commit: r.Height(), r.Status()
 //
 // See examples/ for complete applications and DESIGN.md for the full
 // system inventory.
 package permchain
 
 import (
+	"permchain/internal/arch"
 	"permchain/internal/core"
+	"permchain/internal/obs"
 	"permchain/internal/store"
 	"permchain/internal/types"
 )
@@ -59,6 +62,22 @@ type (
 	StoreConfig = store.Config
 	// FsyncPolicy selects when appends are forced to stable storage.
 	FsyncPolicy = store.FsyncPolicy
+	// Receipt tracks a transaction submitted with Chain.SubmitAsync; its
+	// Done channel closes exactly once, when the transaction commits, is
+	// aborted by concurrency control, or is orphaned by Stop.
+	Receipt = core.Receipt
+	// TxStatus is a committed transaction's outcome on a Receipt.
+	TxStatus = arch.TxStatus
+	// AwaitSpec describes a commit watermark for Chain.Await: which
+	// nodes, and the transaction/height/durable-height floors to reach.
+	AwaitSpec = core.AwaitSpec
+	// Obs bundles the metrics registry and lifecycle tracer; assign one
+	// (from NewObs) to Config.Obs and read results via Chain.Metrics.
+	Obs = obs.Obs
+	// MetricsSnapshot is a point-in-time copy of every counter, gauge and
+	// histogram, as returned by Chain.Metrics. Its WriteJSON and
+	// WritePrometheus methods render it for export.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Transaction model, re-exported.
@@ -108,6 +127,30 @@ const (
 	// FsyncOff leaves flushing to the OS; a crash may lose the tail.
 	FsyncOff = store.FsyncOff
 )
+
+// Transaction outcomes reported by Receipt.Status.
+const (
+	// TxCommitted: the transaction executed and its writes are in state.
+	TxCommitted = arch.TxCommitted
+	// TxAborted: concurrency control aborted it (XOV MVCC conflicts).
+	TxAborted = arch.TxAborted
+	// TxFailed: its own payload failed (bad op, insufficient balance).
+	TxFailed = arch.TxFailed
+)
+
+// Sentinel errors from the client API.
+var (
+	// ErrStopped is returned for submissions after Stop, and set on
+	// receipts whose transactions the chain shut down underneath.
+	ErrStopped = core.ErrStopped
+	// ErrAwaitTimeout is returned by Receipt.Wait on timeout.
+	ErrAwaitTimeout = core.ErrAwaitTimeout
+)
+
+// NewObs returns a fresh observability bundle (metrics registry plus
+// lifecycle tracer) to assign to Config.Obs; harvest it with
+// Chain.Metrics once the workload has run.
+func NewObs() *Obs { return obs.New() }
 
 // NewChain assembles a chain from the config. Call Start before
 // submitting and Stop when done.

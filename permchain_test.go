@@ -2,6 +2,7 @@ package permchain
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -39,6 +40,58 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if got := chain.Node(0).Store().GetInt("bob"); got != 30 {
 		t.Fatalf("bob = %d", got)
+	}
+}
+
+func TestFacadeReceiptsAwaitAndMetrics(t *testing.T) {
+	o := NewObs()
+	chain, err := NewChain(Config{
+		Nodes: 4, Protocol: PBFT, Arch: OX,
+		BlockSize: 4, Timeout: 400 * time.Millisecond, Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.Start()
+	defer chain.Stop()
+
+	var receipts []*Receipt
+	for i := 0; i < 4; i++ {
+		r, err := chain.SubmitAsync(NewTransaction(fmt.Sprintf("r%d", i), Add("k", 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		receipts = append(receipts, r)
+	}
+	chain.Flush()
+	for _, r := range receipts {
+		if err := r.Wait(10 * time.Second); err != nil {
+			t.Fatalf("%s: %v", r.TxID(), err)
+		}
+		if r.Status() != TxCommitted || r.Height() == 0 {
+			t.Fatalf("%s: status %v height %d", r.TxID(), r.Status(), r.Height())
+		}
+	}
+	if !chain.Await(AwaitSpec{Txs: 4, Timeout: 10 * time.Second}) {
+		t.Fatal("cluster did not reach the watermark")
+	}
+
+	m := chain.Metrics()
+	if m.Counters["core/receipts_resolved"] != 4 {
+		t.Fatalf("receipts_resolved = %d", m.Counters["core/receipts_resolved"])
+	}
+	var json, prom strings.Builder
+	if err := m.WriteJSON(&json); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(json.String(), "core/receipts_resolved") {
+		t.Fatalf("JSON exposition missing receipt counter:\n%s", json.String())
+	}
+	if !strings.Contains(prom.String(), "core_receipts_resolved") {
+		t.Fatalf("Prometheus exposition missing receipt counter:\n%s", prom.String())
 	}
 }
 
