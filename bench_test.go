@@ -103,3 +103,10 @@ func BenchmarkE11_Durability(b *testing.B) {
 func BenchmarkE12_Pipeline(b *testing.B) {
 	runExperiment(b, func() (*bench.Table, error) { return bench.E12Pipeline(true) })
 }
+
+// BenchmarkE13_WorldState regenerates the world-state comparison:
+// incremental bucket-tree hashing vs the seed full rescan, and parallel
+// OXII execution scaling on the lock-striped store.
+func BenchmarkE13_WorldState(b *testing.B) {
+	runExperiment(b, func() (*bench.Table, error) { return bench.E13WorldState(true) })
+}

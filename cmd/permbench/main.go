@@ -1,4 +1,4 @@
-// Command permbench runs the paper-reproduction experiments (E1–E12 in
+// Command permbench runs the paper-reproduction experiments (E1–E13 in
 // DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -9,6 +9,8 @@
 //	permbench -metrics json        # also dump each experiment's metrics (json|prom)
 //	permbench -out BENCH_<id>.json # also write each table+metrics as JSON,
 //	                               # <id> replaced by the experiment id
+//	permbench -cpuprofile cpu.pprof  # profile the run (go tool pprof cpu.pprof)
+//	permbench -memprofile mem.pprof  # heap profile at exit
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,14 +27,51 @@ import (
 )
 
 func main() {
+	// Indirection so the profile-flushing defers run before the process
+	// exits with the failure code.
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E2,E5)")
 	metrics := flag.String("metrics", "", "dump each experiment's metrics snapshot: json or prom")
 	out := flag.String("out", "", "write each experiment's table and metrics as JSON to this path; <id> is replaced by the experiment id (e.g. BENCH_<id>.json)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
 		fmt.Fprintf(os.Stderr, "-metrics must be json or prom, got %q\n", *metrics)
-		os.Exit(2)
+		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize only live allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	want := map[string]bool{}
@@ -82,6 +123,7 @@ func main() {
 		{"E10", func() (*bench.Table, error) { return bench.E10Chaos(*quick) }},
 		{"E11", func() (*bench.Table, error) { return bench.E11Durability(*quick) }},
 		{"E12", func() (*bench.Table, error) { return bench.E12Pipeline(*quick) }},
+		{"E13", func() (*bench.Table, error) { return bench.E13WorldState(*quick) }},
 	}
 
 	failed := false
@@ -126,6 +168,7 @@ func main() {
 		fmt.Printf("(%s completed in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -12,6 +12,7 @@ package oxii
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"permchain/internal/arch"
@@ -68,6 +69,12 @@ func (e *Engine) ExecuteWithGraph(b *types.Block, g *arch.DependencyGraph) arch.
 // ExecuteWithGraphStatus is ExecuteWithGraph plus per-transaction
 // outcomes. OXII never aborts for concurrency, so every status is either
 // committed or failed.
+//
+// The scheduler is lock-free: in-degrees decrement atomically (the worker
+// that drops a successor to zero enqueues it), completion is an atomic
+// counter (the worker landing the final transaction closes done), and
+// each worker accumulates its own Stats, merged once after wg.Wait —
+// so transaction completion never serializes on a scheduler mutex.
 func (e *Engine) ExecuteWithGraphStatus(b *types.Block, g *arch.DependencyGraph) (arch.Stats, []arch.TxStatus) {
 	start := time.Now()
 	defer func() { e.obs.Observe("arch/oxii/execute", time.Since(start)) }()
@@ -75,10 +82,14 @@ func (e *Engine) ExecuteWithGraphStatus(b *types.Block, g *arch.DependencyGraph)
 	if n == 0 {
 		return arch.Stats{}, nil
 	}
+	// statuses[i] is written by exactly one worker (the one that executed
+	// tx i) and read only after wg.Wait, so it needs no synchronization.
 	statuses := make([]arch.TxStatus, n)
 
-	indeg := make([]int, n)
-	copy(indeg, g.InDeg)
+	indeg := make([]int32, n)
+	for i, d := range g.InDeg {
+		indeg[i] = int32(d)
+	}
 
 	ready := make(chan int, n)
 	for i := 0; i < n; i++ {
@@ -88,9 +99,7 @@ func (e *Engine) ExecuteWithGraphStatus(b *types.Block, g *arch.DependencyGraph)
 	}
 
 	var (
-		mu        sync.Mutex
-		st        arch.Stats
-		completed int
+		completed atomic.Int64
 		wg        sync.WaitGroup
 	)
 	done := make(chan struct{})
@@ -99,10 +108,12 @@ func (e *Engine) ExecuteWithGraphStatus(b *types.Block, g *arch.DependencyGraph)
 	if workers > n {
 		workers = n
 	}
+	perWorker := make([]arch.Stats, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			st := &perWorker[w]
 			for {
 				select {
 				case i := <-ready:
@@ -111,8 +122,6 @@ func (e *Engine) ExecuteWithGraphStatus(b *types.Block, g *arch.DependencyGraph)
 						arch.SimulateWork(e.workFactor)
 					}
 					res := e.store.Execute(types.Version{Block: b.Header.Height, Tx: i}, tx.Ops)
-
-					mu.Lock()
 					if res.Err != nil {
 						st.Failed++
 						statuses[i] = arch.TxFailed
@@ -120,24 +129,24 @@ func (e *Engine) ExecuteWithGraphStatus(b *types.Block, g *arch.DependencyGraph)
 						st.Committed++
 						statuses[i] = arch.TxCommitted
 					}
-					completed++
-					fin := completed == n
 					for _, j := range g.Succ[i] {
-						indeg[j]--
-						if indeg[j] == 0 {
+						if atomic.AddInt32(&indeg[j], -1) == 0 {
 							ready <- j
 						}
 					}
-					mu.Unlock()
-					if fin {
+					if completed.Add(1) == int64(n) {
 						close(done)
 					}
 				case <-done:
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	var st arch.Stats
+	for w := range perWorker {
+		st.Add(perWorker[w])
+	}
 	return st, statuses
 }

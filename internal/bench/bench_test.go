@@ -193,6 +193,18 @@ func TestE12Quick(t *testing.T) {
 	t.Log("\n" + tbl.String())
 }
 
+func TestE13Quick(t *testing.T) {
+	tbl, err := E13WorldState(true)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	// 2 hash rows + 2 store arms × 4 worker counts.
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	t.Log("\n" + tbl.String())
+}
+
 func TestE10Quick(t *testing.T) {
 	tbl, err := E10Chaos(true)
 	if err != nil {

@@ -38,11 +38,12 @@ type applyItem struct {
 
 // persistItem is one applied block waiting for the persister, together
 // with the per-tx outcomes (to settle receipts once durable) and, when a
-// checkpoint came due at this height, the state capture to write.
+// checkpoint came due at this height, the copy-on-write state capture to
+// materialize and write.
 type persistItem struct {
 	blk      *types.Block
 	statuses []arch.TxStatus
-	snap     *statedb.Snapshot
+	snapCap  *statedb.Capture
 	hash     types.Hash
 }
 
@@ -171,11 +172,14 @@ func (c *Chain) applyDecision(n *Node, seq uint64, txs []*types.Transaction) per
 	it := persistItem{blk: blk, statuses: statuses}
 	if n.disk != nil {
 		if se := c.cfg.Store.SnapshotEvery; se > 0 && height%se == 0 {
-			// The capture must happen here, between executing h and h+1:
-			// a point-in-time copy the snapshot writer can persist while
-			// the executor keeps mutating live state.
+			// The capture must happen here, between executing h and h+1: a
+			// copy-on-write freeze the persister can materialize while the
+			// executor keeps mutating live state. Only the freeze (brief
+			// per-shard lock) and the incremental state hash (dirty buckets
+			// only) stay on the executor's path; the O(n) snapshot copy
+			// moves to the persister.
 			stdb := n.Store()
-			it.snap = stdb.Snapshot()
+			it.snapCap = stdb.Capture()
 			it.hash = stdb.StateHash()
 		}
 	}
@@ -210,13 +214,14 @@ func (c *Chain) persistBlock(n *Node, it persistItem) {
 		panic(fmt.Sprintf("core: node %v durable append: %v", n.ID, err))
 	}
 	c.cfg.Obs.Observe("core/fsync", time.Since(t0))
-	if it.snap != nil {
+	if it.snapCap != nil {
+		snap := it.snapCap.Materialize()
 		if c.cfg.InlineCommit {
-			if err := n.disk.WriteSnapshot(it.blk.Header.Height, it.snap, it.hash); err != nil {
+			if err := n.disk.WriteSnapshot(it.blk.Header.Height, snap, it.hash); err != nil {
 				panic(fmt.Sprintf("core: node %v snapshot: %v", n.ID, err))
 			}
 		} else {
-			n.disk.WriteSnapshotAsync(it.blk.Header.Height, it.snap, it.hash)
+			n.disk.WriteSnapshotAsync(it.blk.Header.Height, snap, it.hash)
 		}
 	}
 	c.cw.advanceDurable(int(n.ID), it.blk.Header.Height)

@@ -11,6 +11,8 @@ package crypto
 
 import (
 	"errors"
+	"runtime"
+	"sync"
 
 	"permchain/internal/types"
 )
@@ -21,6 +23,11 @@ type MerkleTree struct {
 	levels [][]types.Hash // levels[0] = leaf hashes, last level = root
 }
 
+// parallelMerkleThreshold is the level width below which splitting the
+// hashing across goroutines costs more than it saves. Large blocks (and
+// the E13-scale state commitments) sit well above it.
+const parallelMerkleThreshold = 2048
+
 // NewMerkleTree hashes each leaf and builds the tree. It returns an error
 // for an empty leaf list (an empty block's root is types.ZeroHash by
 // convention, with no proofs to produce).
@@ -29,23 +36,12 @@ func NewMerkleTree(leaves [][]byte) (*MerkleTree, error) {
 		return nil, errors.New("merkle: no leaves")
 	}
 	level := make([]types.Hash, len(leaves))
-	for i, l := range leaves {
-		level[i] = types.HashBytes(l)
-	}
-	t := &MerkleTree{levels: [][]types.Hash{level}}
-	for len(level) > 1 {
-		next := make([]types.Hash, 0, (len(level)+1)/2)
-		for i := 0; i < len(level); i += 2 {
-			j := i
-			if i+1 < len(level) {
-				j = i + 1
-			}
-			next = append(next, types.HashConcat(level[i][:], level[j][:]))
+	hashRange(len(leaves), runtime.GOMAXPROCS(0), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			level[i] = types.HashBytes(leaves[i])
 		}
-		t.levels = append(t.levels, next)
-		level = next
-	}
-	return t, nil
+	})
+	return &MerkleTree{levels: buildLevels(level, runtime.GOMAXPROCS(0))}, nil
 }
 
 // NewMerkleTreeFromHashes builds a tree whose leaves are already hashes
@@ -58,20 +54,56 @@ func NewMerkleTreeFromHashes(hashes []types.Hash) (*MerkleTree, error) {
 	}
 	level := make([]types.Hash, len(hashes))
 	copy(level, hashes)
-	t := &MerkleTree{levels: [][]types.Hash{level}}
+	return &MerkleTree{levels: buildLevels(level, runtime.GOMAXPROCS(0))}, nil
+}
+
+// buildLevels grows the tree bottom-up from the leaf level. Wide levels
+// are hashed in parallel (split across workers); the result is
+// byte-identical to the serial construction because every node's position
+// is fixed — only who computes it changes.
+func buildLevels(level []types.Hash, workers int) [][]types.Hash {
+	levels := [][]types.Hash{level}
 	for len(level) > 1 {
-		next := make([]types.Hash, 0, (len(level)+1)/2)
-		for i := 0; i < len(level); i += 2 {
-			j := i
-			if i+1 < len(level) {
-				j = i + 1
+		next := make([]types.Hash, (len(level)+1)/2)
+		parent := level
+		hashRange(len(next), workers, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				i := 2 * p
+				j := i
+				if i+1 < len(parent) {
+					j = i + 1
+				}
+				next[p] = types.HashConcat(parent[i][:], parent[j][:])
 			}
-			next = append(next, types.HashConcat(level[i][:], level[j][:]))
-		}
-		t.levels = append(t.levels, next)
+		})
+		levels = append(levels, next)
 		level = next
 	}
-	return t, nil
+	return levels
+}
+
+// hashRange runs fn over [0,n) split into contiguous chunks, one per
+// worker, when n is large enough to amortize the goroutines; otherwise it
+// runs fn(0, n) inline.
+func hashRange(n, workers int, fn func(lo, hi int)) {
+	if n < parallelMerkleThreshold || workers < 2 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Root returns the tree's root hash.
