@@ -5,6 +5,7 @@
 //
 //	chainctl [-nodes 4] [-protocol pbft] [-arch oxii] [-metrics json|prom]
 //	         [-store DIR] [-fsync always|interval|off] [-snap-every N]
+//	         [-mempool-cap N]
 //
 // -metrics dumps the chain's full metrics snapshot (consensus phase
 // latencies, network counters, engine stage timings) in the chosen format
@@ -16,6 +17,11 @@
 // existing DIR is recovered — ledger and state come back from disk and
 // the chain continues from the recovered height.
 //
+// -mempool-cap routes submissions through the bounded admission layer
+// with the given hard capacity: overload is shed with typed rejections
+// and retry-after hints instead of queueing without bound, and the
+// `mempool` stdin command prints the pool's live accounting.
+//
 // Commands on stdin:
 //
 //	add <key> <delta>          increment an integer key
@@ -25,6 +31,7 @@
 //	height                     print ledger heights of all nodes
 //	verify                     check the replication invariant
 //	metrics                    print the current metrics snapshot (JSON)
+//	mempool                    print admission-pool stats (needs -mempool-cap)
 //	quit
 package main
 
@@ -80,6 +87,7 @@ func main() {
 	storeDir := flag.String("store", "", "durable store directory; empty runs in-memory only")
 	fsyncName := flag.String("fsync", "always", "durability policy for -store: always|interval|off")
 	snapEvery := flag.Uint64("snap-every", 16, "write a state snapshot every N blocks (0 disables; needs -store)")
+	mempoolCap := flag.Int("mempool-cap", 0, "route submissions through the bounded admission layer with this capacity (0 disables)")
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
 		fmt.Fprintf(os.Stderr, "-metrics must be json or prom, got %q\n", *metrics)
@@ -101,6 +109,9 @@ func main() {
 		Nodes: *nodes, Protocol: proto, Arch: arch,
 		BlockSize: 1, Timeout: 500 * time.Millisecond,
 		Obs: o,
+	}
+	if *mempoolCap > 0 {
+		cfg.Mempool = &permchain.MempoolConfig{Capacity: *mempoolCap}
 	}
 	var chain *permchain.Chain
 	if *storeDir != "" {
@@ -230,8 +241,20 @@ func main() {
 			if err := o.Reg.Snapshot().WriteJSON(os.Stdout); err != nil {
 				fmt.Println("error:", err)
 			}
+		case "mempool":
+			p := chain.Mempool()
+			if p == nil {
+				fmt.Println("no admission layer (start with -mempool-cap)")
+				continue
+			}
+			st := p.Stats()
+			fmt.Printf("occupancy %d/%d (high-water %d): %d pooled, %d inflight\n",
+				st.Occupancy, p.Config().Capacity, st.MaxOccupancy, st.Pooled, st.Inflight)
+			fmt.Printf("admitted %d, deduped %d, shed %d full + %d quota; %d active clients, drain %.1f tx/s\n",
+				st.Admitted, st.Deduped, st.RejectedFull, st.RejectedQuota,
+				st.ActiveClients, p.DrainRate())
 		default:
-			fmt.Println("commands: add put transfer get height verify metrics quit")
+			fmt.Println("commands: add put transfer get height verify metrics mempool quit")
 		}
 	}
 }

@@ -1,4 +1,4 @@
-// Command permbench runs the paper-reproduction experiments (E1–E13 in
+// Command permbench runs the paper-reproduction experiments (E1–E14 in
 // DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -124,6 +124,7 @@ func run() int {
 		{"E11", func() (*bench.Table, error) { return bench.E11Durability(*quick) }},
 		{"E12", func() (*bench.Table, error) { return bench.E12Pipeline(*quick) }},
 		{"E13", func() (*bench.Table, error) { return bench.E13WorldState(*quick) }},
+		{"E14", func() (*bench.Table, error) { return bench.E14Overload(*quick) }},
 	}
 
 	failed := false

@@ -221,3 +221,15 @@ func TestE10Quick(t *testing.T) {
 	}
 	t.Log("\n" + tbl.String())
 }
+
+func TestE14Quick(t *testing.T) {
+	tbl, err := E14Overload(true)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	// 1 ramp row + 4 overload arms.
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	t.Log("\n" + tbl.String())
+}

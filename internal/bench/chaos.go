@@ -29,7 +29,7 @@ func E10Chaos(quick bool) (*Table, error) {
 		Title: "chaos matrix: protocols under scripted fault schedules",
 		Claim: "safety holds through every fault; liveness returns bounded after the last heal (§2.2)",
 		Columns: []string{"protocol", "schedule", "n", "decided",
-			"drops(rate/part/crash)", "recovered(disk/fetch)", "recovery", "safety", "liveness"},
+			"drops(rate/part/crash/adm)", "recovered(disk/fetch)", "recovery", "safety", "liveness"},
 	}
 
 	var failures []string
@@ -93,10 +93,11 @@ func E10Chaos(quick bool) (*Table, error) {
 			}
 			tbl.AddRow(p.Name, sc.name, n,
 				fmt.Sprintf("%d/%d/%d", rep.DecisionsBefore, rep.DecisionsDuring, rep.DecisionsAfter),
-				fmt.Sprintf("%d/%d/%d",
+				fmt.Sprintf("%d/%d/%d/%d",
 					rep.Stats.ByCause[network.DropRate],
 					rep.Stats.ByCause[network.DropPartition],
-					rep.Stats.ByCause[network.DropCrash]),
+					rep.Stats.ByCause[network.DropCrash],
+					rep.Stats.ByCause[network.DropAdmission]),
 				fmt.Sprintf("%d/%d", rep.DiskReplayed, rep.RecoveryFetches()),
 				rep.RecoveryLatency, safety, liveness)
 			if !rep.Ok() {

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"permchain/internal/chaos"
+	"permchain/internal/core"
+	"permchain/internal/mempool"
+	"permchain/internal/obs"
+	"permchain/internal/types"
+	"permchain/internal/workload"
+)
+
+// E14Overload measures the overload-safe front door (DESIGN.md,
+// "Admission control & backpressure"): first a coordinated-omission-safe
+// open-loop ramp locates the cluster's saturation point, then the
+// overload arms offer guaranteed-overload load — a 3×-capacity burst, a
+// sustained open-loop stream at 2× the measured saturation rate, a
+// 90/10 hot-client split, and a crash mid-burst with disk recovery —
+// and assert graceful degradation rather than collapse:
+//
+//   - overload surfaces as typed *mempool.RejectError sheds with
+//     retry-after hints, visible in the transport's per-cause drop
+//     accounting (DropAdmission), never as silent queueing;
+//   - the pool's occupancy high-water mark stays within Capacity and
+//     the apply queue's observed depth stays within its bound, at every
+//     offered load;
+//   - committed-transaction p99 (measured from intended arrival — the
+//     open-loop driver charges stalls to the schedule) stays bounded;
+//   - no admitted transaction loses its receipt: committed + orphaned
+//     equals admitted, including across the crash/recovery arm.
+//
+// The ramp's bracket (last clean rate, first saturated rate) is recorded
+// in the table and therefore lands in BENCH_E14.json.
+func E14Overload(quick bool) (*Table, error) {
+	capacity, stepTxs, startRate := 64, 300, 500.0
+	if quick {
+		capacity, stepTxs, startRate = 32, 120, 400.0
+	}
+
+	tbl := &Table{
+		ID:    "E14",
+		Title: "overload front door: bounded mempool, admission control and graceful degradation under saturation",
+		Claim: "a bounded admission layer degrades gracefully: overload is shed with typed, hinted rejections while queues, latency and receipts stay bounded — including across a crash mid-burst",
+		Columns: []string{"arm", "rate(tx/s)", "offered", "admitted", "shed",
+			"committed", "orphaned", "max-occ/cap", "apply-q max", "p99(co-safe)"},
+	}
+
+	// Phase 1: locate the saturation point with the open-loop ramp.
+	sat, err := measureSaturation(capacity, stepTxs, startRate)
+	if err != nil {
+		return tbl, err
+	}
+	knee := sat.SaturationRate
+	if knee == 0 {
+		// The ramp ran out of steps before the knee; the bracket's top is
+		// still a lower bound on capacity, so overload at 2× it is not
+		// guaranteed — record and push on with the last rate anyway.
+		knee = sat.MaxSustainable
+		tbl.Notes = append(tbl.Notes, "ramp did not saturate within its steps; using its top rate as the knee estimate")
+	}
+	last := sat.Steps[len(sat.Steps)-1]
+	tbl.AddRow("ramp", knee, last.Offered, last.Admitted, last.Shed,
+		last.Settled, 0, fmt.Sprintf("-/%d", capacity), "-", last.P99)
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("saturation bracket: clean at %.0f tx/s, saturated at %.0f tx/s (capacity %d, shed threshold 5%%)",
+			sat.MaxSustainable, sat.SaturationRate, capacity))
+
+	// Phase 2: the overload arms, each a fresh cluster. The sustained arm
+	// offers 2× the measured knee — overload by construction, not by
+	// guessing a rate.
+	dir, err := os.MkdirTemp("", "permbench-e14-*")
+	if err != nil {
+		return tbl, err
+	}
+	defer os.RemoveAll(dir)
+	arms := []chaos.OverloadConfig{
+		{Arm: chaos.ArmBurst, Capacity: capacity},
+		{Arm: chaos.ArmSustained, Capacity: capacity, Rate: 2 * knee, Txs: 8 * capacity, P99Bound: 30 * time.Second},
+		{Arm: chaos.ArmHotClient, Capacity: capacity},
+		{Arm: chaos.ArmCrashRecovery, Capacity: capacity, Dir: dir},
+	}
+	var lastMetrics obs.Snapshot
+	for _, acfg := range arms {
+		rep := chaos.RunOverload(acfg)
+		lastMetrics = rep.Metrics
+		rate := "-"
+		if acfg.Rate > 0 {
+			rate = fmt.Sprintf("%.0f", acfg.Rate)
+		}
+		p99 := "-"
+		if rep.P99 > 0 {
+			p99 = rep.P99.Round(10 * time.Microsecond).String()
+		}
+		tbl.AddRow(string(rep.Arm), rate, rep.Offered, rep.Admitted, rep.Shed,
+			rep.Committed, rep.Orphaned,
+			fmt.Sprintf("%d/%d", rep.MaxOccupancy, rep.Capacity),
+			rep.ApplyQueueMax, p99)
+		if !rep.Ok() {
+			return tbl, fmt.Errorf("arm %s:\n%s", rep.Arm, rep)
+		}
+		if rep.Shed == 0 {
+			return tbl, fmt.Errorf("arm %s offered overload but shed nothing", rep.Arm)
+		}
+	}
+	tbl.Metrics = &lastMetrics
+
+	tbl.Notes = append(tbl.Notes,
+		"all phases are open-loop and coordinated-omission safe: latency is measured from each transaction's intended arrival time, so driver stalls are charged to the schedule, not omitted",
+		"sheds are typed *mempool.RejectError values carrying retry-after hints derived from the pool's drain-rate EWMA",
+		"max-occ/cap is the pool's occupancy high-water mark against its hard capacity; apply-q max is the deepest observed apply-queue length — both bounded regardless of offered load",
+		"committed + orphaned = admitted on every arm: no admitted transaction loses its receipt, including across the crash/recovery arm's kill and disk replay",
+		"the sustained arm offers 2x the ramp's measured saturation rate, so its overload is constructed, not assumed")
+	return tbl, nil
+}
+
+// measureSaturation stands up a fresh admission-controlled cluster and
+// ramps offered load geometrically until it sheds (or blows a 5s p99).
+func measureSaturation(capacity, stepTxs int, startRate float64) (workload.SaturationResult, error) {
+	c, err := core.New(core.Config{
+		Nodes: 4, Protocol: core.PBFT, Arch: core.OX, BlockSize: 8,
+		Timeout: 400 * time.Millisecond,
+		Mempool: &mempool.Config{Capacity: capacity},
+	})
+	if err != nil {
+		return workload.SaturationResult{}, err
+	}
+	c.Start()
+	defer c.Stop()
+	gen := workload.New(7)
+	res := workload.FindSaturation(workload.SaturationConfig{
+		StartRate:     startRate,
+		Growth:        2,
+		StepTxs:       stepTxs,
+		MaxSteps:      8,
+		ShedThreshold: 0.05,
+		P99Bound:      5 * time.Second,
+		Gen: func(step, n int) []*types.Transaction {
+			txs := gen.KV(workload.KVConfig{Txs: n, Keys: 64})
+			for i, tx := range txs {
+				tx.ID = fmt.Sprintf("sat-%d-%d", step, i)
+			}
+			return txs
+		},
+		Submit: func(tx *types.Transaction) (<-chan struct{}, error) {
+			r, err := c.SubmitAsync(tx)
+			if err != nil {
+				return nil, err
+			}
+			return r.Done(), nil
+		},
+		IsShed:        mempool.IsReject,
+		SettleTimeout: 60 * time.Second,
+	})
+	if len(res.Steps) == 0 {
+		return res, fmt.Errorf("saturation ramp produced no steps")
+	}
+	return res, nil
+}

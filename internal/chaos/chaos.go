@@ -208,10 +208,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "\n  decisions: %d before, %d during, %d after faults (submitted %d)",
 		r.DecisionsBefore, r.DecisionsDuring, r.DecisionsAfter, r.Submitted)
 	fmt.Fprintf(&b, "\n  recovery latency: %v, liveness ok: %v", r.RecoveryLatency, r.LivenessOK)
-	fmt.Fprintf(&b, "\n  drops: rate=%d partition=%d crash=%d overflow=%d unknown=%d",
+	fmt.Fprintf(&b, "\n  drops: rate=%d partition=%d crash=%d overflow=%d unknown=%d admission=%d",
 		r.Stats.ByCause[network.DropRate], r.Stats.ByCause[network.DropPartition],
 		r.Stats.ByCause[network.DropCrash], r.Stats.ByCause[network.DropOverflow],
-		r.Stats.ByCause[network.DropUnknown])
+		r.Stats.ByCause[network.DropUnknown], r.Stats.ByCause[network.DropAdmission])
 	for _, phase := range []string{"before", "during", "after"} {
 		if hs, ok := r.Metrics.Histograms["chaos/commit_latency/"+phase]; ok {
 			fmt.Fprintf(&b, "\n  commit latency %s faults: %s", phase, hs.DurString())

@@ -133,6 +133,19 @@ func (c *Chain) Await(spec AwaitSpec) bool {
 	}
 }
 
+// AwaitErr is Await with a typed result: nil when every floor was
+// satisfied, ErrAwaitTimeout when the timeout elapsed first. Clients
+// that thread errors (rather than booleans) through their control flow
+// — the overload harness, anything wrapping the chain in a service —
+// use this form so a shed or stalled chain surfaces as a typed,
+// matchable error instead of a bare false.
+func (c *Chain) AwaitErr(spec AwaitSpec) error {
+	if c.Await(spec) {
+		return nil
+	}
+	return ErrAwaitTimeout
+}
+
 // AwaitTxs blocks until node 0 has processed n transactions.
 //
 // Deprecated: use Await; kept as a wrapper so existing call sites

@@ -31,6 +31,7 @@ import (
 	"permchain/internal/consensus/tendermint"
 	"permchain/internal/crypto"
 	"permchain/internal/ledger"
+	"permchain/internal/mempool"
 	"permchain/internal/network"
 	"permchain/internal/obs"
 	"permchain/internal/statedb"
@@ -147,6 +148,15 @@ type Config struct {
 	// state snapshots. New requires the directory to hold no blocks; use
 	// OpenChain to recover a crashed chain from disk.
 	Store *store.Config
+	// Mempool attaches the bounded admission layer in front of the
+	// commit pipeline: submissions are deduplicated by digest, capped by
+	// a hard capacity and per-client fair-share quotas (typed rejections
+	// with retry-after hints instead of unbounded queueing), and handed
+	// to consensus in batches formed by size or deadline. Unset fields
+	// inherit the chain's shape: BatchSize from BlockSize, BatchDeadline
+	// from FlushEvery, Obs from Config.Obs. Nil keeps the direct
+	// unbounded submit path.
+	Mempool *mempool.Config
 }
 
 // engine abstracts the per-node processing pipeline. process returns the
@@ -237,6 +247,10 @@ type Chain struct {
 
 	cw       *commitWaiter
 	receipts *receiptTable
+	// pool is the admission layer (nil without Config.Mempool). When
+	// set, submissions route through it and batches are formed by the
+	// mempool drain loop instead of the direct batch+flush path.
+	pool *mempool.Pool
 
 	mu      sync.Mutex
 	batch   []*types.Transaction
@@ -325,6 +339,19 @@ func build(cfg Config, resume bool) (*Chain, error) {
 		receipts: newReceiptTable(),
 		stopCh:   make(chan struct{}),
 		killCh:   make(chan struct{}),
+	}
+	if cfg.Mempool != nil {
+		mcfg := *cfg.Mempool
+		if mcfg.BatchSize <= 0 {
+			mcfg.BatchSize = cfg.BlockSize
+		}
+		if mcfg.BatchDeadline <= 0 {
+			mcfg.BatchDeadline = cfg.FlushEvery
+		}
+		if mcfg.Obs == nil {
+			mcfg.Obs = cfg.Obs
+		}
+		c.pool = mempool.New(mcfg)
 	}
 	for i := range ids {
 		ccfg := consensus.Config{
@@ -557,7 +584,11 @@ func (c *Chain) Start() {
 		go c.intake(n)
 	}
 	c.wg.Add(1)
-	go c.flushLoop()
+	if c.pool != nil {
+		go c.mempoolLoop()
+	} else {
+		go c.flushLoop()
+	}
 }
 
 // Stop shuts the chain down cleanly: the pipeline drains every decided
@@ -583,6 +614,11 @@ func (c *Chain) shutdown(crash bool) {
 	c.wg.Wait()
 	for _, n := range c.nodes {
 		n.replica.Stop()
+	}
+	if c.pool != nil {
+		// Admission closes before the receipt sweep: anything still
+		// pooled or inflight is orphaned below, exactly once.
+		c.pool.Close()
 	}
 	c.receipts.failAll(ErrStopped, c.cfg.Obs)
 	if crash {
@@ -651,6 +687,32 @@ func (c *Chain) submit(tx *types.Transaction, withReceipt bool) (*Receipt, error
 			}
 		}
 	}
+	if c.pool != nil {
+		// Admission-controlled path. The receipt registers inside the
+		// admission decision, under the pool lock, so the commit path
+		// can never settle the transaction before its receipt exists —
+		// and a rejected transaction never issues one. A duplicate of a
+		// pooled/inflight digest consumes no slot; its receipt attaches
+		// to the pending commit (exactly-once handoff).
+		var r *Receipt
+		_, err := c.pool.Admit(tx, func(bool) {
+			if withReceipt {
+				r = c.receipts.register(tx)
+				c.cfg.Obs.Inc("core/receipts_issued")
+			}
+		})
+		c.stopMu.RUnlock()
+		if err != nil {
+			if mempool.IsReject(err) {
+				// Sheds land in the transport's per-cause loss
+				// accounting so overload is distinguishable from
+				// chaos-induced drops in the same snapshot.
+				c.net.DropExternal(network.DropAdmission)
+			}
+			return nil, err
+		}
+		return r, nil
+	}
 	var r *Receipt
 	if withReceipt {
 		// Register before the batch can flush, so the commit path can
@@ -669,11 +731,17 @@ func (c *Chain) submit(tx *types.Transaction, withReceipt bool) (*Receipt, error
 	return r, nil
 }
 
-// Flush proposes any queued transactions immediately. Once the chain is
-// stopping it is a no-op: the replicas may already be down, and proposing
-// to a stopped replica was a shutdown race — queued transactions settle
-// through the receipt table as stopped instead.
+// Flush proposes any queued transactions immediately — on an
+// admission-controlled chain it drains every pooled batch, partial
+// last one included. Once the chain is stopping it is a no-op: the
+// replicas may already be down, and proposing to a stopped replica was
+// a shutdown race — queued transactions settle through the receipt
+// table as stopped instead.
 func (c *Chain) Flush() {
+	if c.pool != nil {
+		c.proposePooled(true)
+		return
+	}
 	c.stopMu.RLock()
 	defer c.stopMu.RUnlock()
 	if c.stopping {

@@ -79,6 +79,9 @@ func (c *Chain) intake(n *Node) {
 			select {
 			case n.applyCh <- applyItem{seq: d.Seq, txs: b.Txs}:
 				c.cfg.Obs.AddGauge("core/apply_queue_depth", 1)
+				// The histogram's Max is the queue's high-water mark —
+				// the bounded-depth witness E14 asserts on.
+				c.cfg.Obs.ObserveInt("core/apply_queue_len", int64(len(n.applyCh)))
 			case <-c.stopCh:
 				return
 			}
@@ -197,9 +200,23 @@ func (c *Chain) applyDecision(n *Node, seq uint64, txs []*types.Transaction) per
 	n.mu.Unlock()
 	c.cw.advanceApplied(int(n.ID), len(txs), height)
 	if n.disk == nil && n.ID == 0 {
-		c.receipts.resolveBlock(blk, statuses, c.cfg.Obs)
+		c.settleBlock(blk, statuses)
 	}
 	return it
+}
+
+// settleBlock is the node-0 commit notification: release the block's
+// digests from the admission pool (re-opening capacity and advancing
+// the drain-rate estimate), then resolve its receipts. Release runs
+// first so a resubmission racing the commit either attaches to the
+// still-pending entry — and is resolved right here — or finds the
+// entry gone and is admitted as a fresh transaction; it can never
+// register a receipt that no commit will settle.
+func (c *Chain) settleBlock(blk *types.Block, statuses []arch.TxStatus) {
+	if c.pool != nil {
+		c.pool.Release(blk.Txs)
+	}
+	c.receipts.resolveBlock(blk, statuses, c.cfg.Obs)
 }
 
 // persistBlock is the durable half of the commit path, shared by the
@@ -226,6 +243,6 @@ func (c *Chain) persistBlock(n *Node, it persistItem) {
 	}
 	c.cw.advanceDurable(int(n.ID), it.blk.Header.Height)
 	if n.ID == 0 {
-		c.receipts.resolveBlock(it.blk, it.statuses, c.cfg.Obs)
+		c.settleBlock(it.blk, it.statuses)
 	}
 }

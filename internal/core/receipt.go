@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -90,6 +91,31 @@ func (r *Receipt) Wait(timeout time.Duration) error {
 		return ErrAwaitTimeout
 	}
 }
+
+// WaitContext blocks until the receipt settles or ctx is done. Like
+// Wait, it returns the receipt's own error once settled; if the
+// context ends first it returns ErrAwaitTimeout (wrapping ctx.Err(),
+// so both errors.Is(err, ErrAwaitTimeout) and errors.Is(err,
+// context.Canceled/DeadlineExceeded) match). A client blocked on a
+// shed or orphaned transaction therefore always gets a typed error —
+// it can never hang forever.
+func (r *Receipt) WaitContext(ctx context.Context) error {
+	select {
+	case <-r.done:
+		return r.Err()
+	case <-ctx.Done():
+		return &awaitTimeoutError{cause: ctx.Err()}
+	}
+}
+
+// awaitTimeoutError ties a context's end to the typed ErrAwaitTimeout.
+type awaitTimeoutError struct{ cause error }
+
+func (e *awaitTimeoutError) Error() string { return ErrAwaitTimeout.Error() + ": " + e.cause.Error() }
+func (e *awaitTimeoutError) Is(target error) bool {
+	return target == ErrAwaitTimeout || errors.Is(e.cause, target)
+}
+func (e *awaitTimeoutError) Unwrap() error { return e.cause }
 
 func (r *Receipt) resolve(height uint64, status arch.TxStatus) {
 	r.once.Do(func() {

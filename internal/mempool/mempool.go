@@ -1,0 +1,449 @@
+// Package mempool is the chain's overload-safe front door: a bounded
+// admission layer between clients and the commit pipeline. Every
+// production permissioned system the paper surveys (Fabric most
+// visibly — arXiv 1801.10228) learned the same lesson: the first thing
+// to fall over under bursty or adversarial load is not consensus, it is
+// the unbounded client queue in front of it. The pool therefore
+// enforces three properties at admission time, before a transaction
+// can cost the system anything downstream:
+//
+//   - bounded memory: a hard Capacity on outstanding transactions
+//     (pooled + handed-off-but-uncommitted). When it is reached,
+//     admission fast-fails with a typed *RejectError carrying a
+//     retry-after hint derived from the observed drain rate, instead of
+//     queueing and letting apply-queue depth and latency grow without
+//     bound;
+//   - fairness: a per-client fair-share quota (Capacity divided across
+//     clients active within a sliding window) so one hot client cannot
+//     occupy the whole pool and starve the rest;
+//   - exactly-once handoff: transactions are deduplicated by digest
+//     across their pooled-and-inflight lifetime, so a resubmitted
+//     transaction is handed to consensus once and both submissions
+//     settle from the same commit.
+//
+// Batches form by size or time deadline (whichever comes first) and
+// feed core.Chain's consensus intake; the commit path releases digests
+// once their block commits, which both re-opens capacity and drives the
+// drain-rate estimate behind retry-after hints.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"permchain/internal/obs"
+	"permchain/internal/types"
+)
+
+// Typed admission errors. RejectError wraps the two shed causes so
+// clients can errors.Is on the cause and still read the retry hint.
+var (
+	// ErrMempoolFull is the capacity shed: the pool holds Capacity
+	// outstanding transactions and cannot accept more.
+	ErrMempoolFull = errors.New("mempool: full")
+	// ErrClientQuota is the fairness shed: this client already holds its
+	// fair share of the pool while other clients are active.
+	ErrClientQuota = errors.New("mempool: client quota exceeded")
+	// ErrClosed is returned once the pool has shut down.
+	ErrClosed = errors.New("mempool: closed")
+)
+
+// RejectError is an admission shed: the typed fast-fail the overload
+// design calls for. Cause is ErrMempoolFull or ErrClientQuota (exposed
+// via Unwrap, so errors.Is works); RetryAfter estimates when capacity
+// should be available again, derived from the pool's observed drain
+// rate.
+type RejectError struct {
+	Cause      error
+	RetryAfter time.Duration
+}
+
+// Error renders the shed with its hint.
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Cause, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Unwrap exposes the shed cause to errors.Is/errors.As.
+func (e *RejectError) Unwrap() error { return e.Cause }
+
+// IsReject reports whether err is an admission shed (capacity or
+// quota), as opposed to a hard failure like ErrClosed.
+func IsReject(err error) bool {
+	return errors.Is(err, ErrMempoolFull) || errors.Is(err, ErrClientQuota)
+}
+
+// Config shapes a Pool.
+type Config struct {
+	// Capacity is the hard cap on outstanding transactions — pooled
+	// plus handed-off-but-uncommitted. Default 4096.
+	Capacity int
+	// ClientQuota fixes each client's cap on outstanding transactions.
+	// Zero (the default) selects the dynamic fair share:
+	// Capacity / (clients active within ActivityWindow).
+	ClientQuota int
+	// ActivityWindow is how long a client stays "active" for the
+	// dynamic fair-share divisor after its last submission. Default 30s.
+	ActivityWindow time.Duration
+	// BatchSize is the max transactions per handed-off batch.
+	// Default 64 (core aligns it with Config.BlockSize).
+	BatchSize int
+	// BatchDeadline bounds how long a partial batch waits before being
+	// handed off anyway. Default 20ms (core aligns it with FlushEvery).
+	BatchDeadline time.Duration
+	// Obs receives admission/reject/occupancy/batch metrics. Nil
+	// disables instrumentation.
+	Obs *obs.Obs
+}
+
+func (c Config) defaulted() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.ActivityWindow <= 0 {
+		c.ActivityWindow = 30 * time.Second
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.BatchDeadline <= 0 {
+		c.BatchDeadline = 20 * time.Millisecond
+	}
+	return c
+}
+
+// entry tracks one outstanding transaction from admission to release.
+type entry struct {
+	tx       *types.Transaction
+	client   types.NodeID
+	inflight bool // handed to consensus, awaiting commit
+	admitted time.Time
+}
+
+// Stats is a point-in-time copy of the pool's occupancy accounting.
+type Stats struct {
+	// Occupancy is the current outstanding count (pooled + inflight);
+	// MaxOccupancy is the high-water mark — the capacity invariant's
+	// deterministic witness (MaxOccupancy <= Capacity, always).
+	Occupancy    int
+	MaxOccupancy int
+	// Pooled counts transactions waiting for a batch; Inflight those
+	// handed off and awaiting commit.
+	Pooled   int
+	Inflight int
+	// Admitted/Deduped/RejectedFull/RejectedQuota are lifetime totals.
+	Admitted      int64
+	Deduped       int64
+	RejectedFull  int64
+	RejectedQuota int64
+	// ActiveClients is the current fair-share divisor.
+	ActiveClients int
+}
+
+// Pool is the bounded admission queue. Safe for concurrent use.
+type Pool struct {
+	cfg Config
+
+	mu        sync.Mutex
+	entries   map[types.Hash]*entry
+	queue     []types.Hash // FIFO of pooled (not yet inflight) digests
+	perClient map[types.NodeID]int
+	lastSeen  map[types.NodeID]time.Time
+	closed    bool
+
+	stats Stats
+
+	// ready is signalled (non-blocking) when the queue first reaches
+	// BatchSize, waking the drain loop before its deadline tick.
+	ready chan struct{}
+
+	// Drain-rate EWMA (txs/sec released by commits), behind RetryAfter.
+	drainRate   float64
+	lastRelease time.Time
+}
+
+// New builds a pool from cfg (zero fields take defaults).
+func New(cfg Config) *Pool {
+	cfg = cfg.defaulted()
+	return &Pool{
+		cfg:       cfg,
+		entries:   make(map[types.Hash]*entry),
+		perClient: make(map[types.NodeID]int),
+		lastSeen:  make(map[types.NodeID]time.Time),
+		ready:     make(chan struct{}, 1),
+	}
+}
+
+// Config returns the pool's effective (defaulted) configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Ready returns the channel the drain loop selects on: it receives a
+// token when a full batch is waiting, so handoff does not have to wait
+// for the deadline tick.
+func (p *Pool) Ready() <-chan struct{} { return p.ready }
+
+// quotaLocked returns this client's current cap. With ClientQuota set
+// it is fixed; otherwise it is the dynamic fair share — Capacity
+// divided by the number of clients active within ActivityWindow
+// (including the caller), so a lone client may use the whole pool but
+// can never starve a recently-seen peer out of its share.
+func (p *Pool) quotaLocked(now time.Time) int {
+	if p.cfg.ClientQuota > 0 {
+		return p.cfg.ClientQuota
+	}
+	active := 0
+	for id, seen := range p.lastSeen {
+		if now.Sub(seen) > p.cfg.ActivityWindow {
+			delete(p.lastSeen, id) // prune so the map stays bounded
+			continue
+		}
+		active++
+	}
+	if active < 1 {
+		active = 1
+	}
+	q := p.cfg.Capacity / active
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// retryAfterLocked estimates when admission is worth retrying: the time
+// for one batch to drain at the observed release rate, clamped to
+// [1ms, 5s]. Before any commit has been observed it falls back to one
+// batch deadline.
+func (p *Pool) retryAfterLocked() time.Duration {
+	if p.drainRate <= 0 {
+		return p.cfg.BatchDeadline
+	}
+	d := time.Duration(float64(p.cfg.BatchSize) / p.drainRate * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// Admit applies admission control to tx. On success it returns
+// dup=false and tx is queued for the next batch; onDecided (if
+// non-nil) runs under the pool lock after the admission decision but
+// before the transaction can be handed off — core registers the
+// receipt there, so the commit path can never settle a transaction
+// before its receipt exists. A duplicate of a pooled or inflight
+// digest returns dup=true with no new slot consumed: the transaction
+// will be handed to consensus exactly once, and onDecided still runs
+// so a second receipt can attach to the same pending commit.
+//
+// Sheds return a *RejectError (cause ErrMempoolFull or ErrClientQuota)
+// carrying a retry-after hint; onDecided does not run on a shed.
+func (p *Pool) Admit(tx *types.Transaction, onDecided func(dup bool)) (dup bool, err error) {
+	digest := tx.Hash()
+	now := time.Now()
+	o := p.cfg.Obs
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false, ErrClosed
+	}
+	p.lastSeen[tx.Client] = now
+	if _, ok := p.entries[digest]; ok {
+		p.stats.Deduped++
+		if onDecided != nil {
+			onDecided(true)
+		}
+		p.mu.Unlock()
+		o.Inc("mempool/deduped")
+		return true, nil
+	}
+	if p.stats.Occupancy >= p.cfg.Capacity {
+		p.stats.RejectedFull++
+		retry := p.retryAfterLocked()
+		p.mu.Unlock()
+		o.Inc("mempool/rejected_full")
+		return false, &RejectError{Cause: ErrMempoolFull, RetryAfter: retry}
+	}
+	if p.perClient[tx.Client] >= p.quotaLocked(now) {
+		p.stats.RejectedQuota++
+		retry := p.retryAfterLocked()
+		p.mu.Unlock()
+		o.Inc("mempool/rejected_quota")
+		return false, &RejectError{Cause: ErrClientQuota, RetryAfter: retry}
+	}
+
+	p.entries[digest] = &entry{tx: tx, client: tx.Client, admitted: now}
+	p.queue = append(p.queue, digest)
+	p.perClient[tx.Client]++
+	p.stats.Admitted++
+	p.stats.Occupancy++
+	p.stats.Pooled++
+	if p.stats.Occupancy > p.stats.MaxOccupancy {
+		p.stats.MaxOccupancy = p.stats.Occupancy
+	}
+	full := len(p.queue) >= p.cfg.BatchSize
+	occ := p.stats.Occupancy
+	if onDecided != nil {
+		onDecided(false)
+	}
+	p.mu.Unlock()
+
+	o.Inc("mempool/admitted")
+	o.SetGauge("mempool/occupancy", int64(occ))
+	if full {
+		select {
+		case p.ready <- struct{}{}:
+		default:
+		}
+	}
+	return false, nil
+}
+
+// NextBatch pops up to max pooled transactions (FIFO) and marks them
+// inflight; they stay counted against capacity and their client's
+// quota until Release. Returns nil when nothing is pooled.
+func (p *Pool) NextBatch(max int) []*types.Transaction {
+	if max <= 0 || max > p.cfg.BatchSize {
+		max = p.cfg.BatchSize
+	}
+	now := time.Now()
+	p.mu.Lock()
+	n := len(p.queue)
+	if n == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	batch := make([]*types.Transaction, 0, n)
+	var waited time.Duration
+	for _, digest := range p.queue[:n] {
+		e := p.entries[digest]
+		e.inflight = true
+		batch = append(batch, e.tx)
+		waited += now.Sub(e.admitted)
+	}
+	p.queue = p.queue[n:]
+	p.stats.Pooled -= n
+	p.stats.Inflight += n
+	p.mu.Unlock()
+
+	o := p.cfg.Obs
+	o.Inc("mempool/batches")
+	o.ObserveInt("mempool/batch_size", int64(n))
+	// One representative sample per batch keeps the histogram cheap;
+	// the mean pooled wait is what the deadline bounds.
+	o.Observe("mempool/admit_to_handoff", waited/time.Duration(n))
+	return batch
+}
+
+// Release removes committed transactions from the pool's accounting:
+// capacity re-opens, per-client counts drop, and the drain-rate EWMA
+// behind retry-after hints advances. Digests the pool does not know
+// (recovery replays, pre-mempool submissions) are ignored. The commit
+// path must call Release before settling receipts, so a resubmission
+// racing the commit either attaches to the pending entry (and settles
+// with it) or is admitted fresh after the entry is gone — never lost
+// in between.
+func (p *Pool) Release(txs []*types.Transaction) {
+	if len(txs) == 0 {
+		return
+	}
+	now := time.Now()
+	p.mu.Lock()
+	released := 0
+	for _, tx := range txs {
+		digest := tx.Hash()
+		e, ok := p.entries[digest]
+		if !ok {
+			continue
+		}
+		delete(p.entries, digest)
+		if !e.inflight {
+			// Committed without handoff (possible only if an identical
+			// digest reached consensus some other way); take it out of
+			// the FIFO too so NextBatch never sees a released digest.
+			p.dropFromQueueLocked(digest)
+			p.stats.Pooled--
+		} else {
+			p.stats.Inflight--
+		}
+		p.perClient[e.client]--
+		if p.perClient[e.client] <= 0 {
+			delete(p.perClient, e.client)
+		}
+		p.stats.Occupancy--
+		released++
+	}
+	if released > 0 {
+		if !p.lastRelease.IsZero() {
+			if dt := now.Sub(p.lastRelease).Seconds(); dt > 0 {
+				sample := float64(released) / dt
+				if p.drainRate == 0 {
+					p.drainRate = sample
+				} else {
+					p.drainRate = 0.8*p.drainRate + 0.2*sample
+				}
+			}
+		}
+		p.lastRelease = now
+	}
+	occ := p.stats.Occupancy
+	p.mu.Unlock()
+	if released > 0 {
+		p.cfg.Obs.Add("mempool/released", int64(released))
+		p.cfg.Obs.SetGauge("mempool/occupancy", int64(occ))
+	}
+}
+
+// dropFromQueueLocked removes one digest from the FIFO. Rare path (see
+// Release); O(n) is fine.
+func (p *Pool) dropFromQueueLocked(digest types.Hash) {
+	for i, d := range p.queue {
+		if d == digest {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// DrainRate returns the EWMA of commit-release throughput (txs/sec)
+// that retry-after hints are computed from; zero before any commit.
+func (p *Pool) DrainRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drainRate
+}
+
+// Stats returns a copy of the pool's accounting.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.ActiveClients = len(p.lastSeen)
+	return s
+}
+
+// Close shuts admission down: subsequent Admits return ErrClosed and
+// pooled transactions are dropped (their receipts are the caller's to
+// orphan — core settles them with ErrStopped). Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.entries = make(map[types.Hash]*entry)
+	p.queue = nil
+	p.perClient = make(map[types.NodeID]int)
+	p.stats.Occupancy = 0
+	p.stats.Pooled = 0
+	p.stats.Inflight = 0
+	p.mu.Unlock()
+	p.cfg.Obs.SetGauge("mempool/occupancy", 0)
+}

@@ -74,7 +74,8 @@ type Filter func(Message) []Message
 
 // DropCause classifies why a message was lost; the chaos harness reports
 // losses by cause, so "the partition ate it" is distinguishable from "the
-// random loss dial ate it".
+// random loss dial ate it" — and an overload shed at the admission layer
+// from either.
 type DropCause int
 
 const (
@@ -83,6 +84,7 @@ const (
 	DropCrash                      // sender or receiver is crashed
 	DropOverflow                   // receiver inbox full
 	DropUnknown                    // destination never joined
+	DropAdmission                  // shed by mempool admission control (via DropExternal)
 	dropCauses                     // count; keep last
 )
 
@@ -99,6 +101,8 @@ func (c DropCause) String() string {
 		return "overflow"
 	case DropUnknown:
 		return "unknown-dest"
+	case DropAdmission:
+		return "admission"
 	}
 	return "?"
 }
@@ -390,6 +394,18 @@ func (n *Network) broadcastFrom(from types.NodeID, typ string, payload any) {
 	for _, id := range ids {
 		n.Send(Message{From: from, To: id, Type: typ, Payload: payload})
 	}
+}
+
+// DropExternal records a loss decided outside the transport — the
+// admission layer sheds a transaction before any message exists, but
+// the loss still belongs in the same per-cause accounting so overload
+// sheds are distinguishable from chaos-induced drops in Stats
+// snapshots and the E10/E14 reports. Nothing was Sent, so only the
+// loss counters advance.
+func (n *Network) DropExternal(cause DropCause) {
+	n.mu.Lock()
+	n.drop(cause)
+	n.mu.Unlock()
 }
 
 // drop records a loss with its cause. Caller holds the lock.

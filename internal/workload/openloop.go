@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"permchain/internal/types"
+)
+
+// Open-loop load generation for the overload experiments (E14).
+//
+// A closed-loop driver (submit, wait, submit ...) cannot see overload:
+// when the system slows down the driver slows down with it, offered
+// load collapses to match capacity, and the latency histogram silently
+// drops every request that *would* have arrived during a stall — the
+// coordinated-omission trap. The open-loop driver here fixes both
+// halves: transactions are fired on a fixed schedule regardless of how
+// the system is doing, and each transaction's latency is measured from
+// its *intended* arrival time (schedule position), not from whenever
+// the driver actually got around to submitting it. A stall therefore
+// shows up as growing latency for every transaction scheduled behind
+// it, exactly as real clients would experience.
+
+// AsyncSubmit is the submission interface the open-loop driver drives:
+// it must not block on commit — it returns a channel that closes when
+// the transaction settles, or an error when submission itself failed
+// (an admission shed, a stopped chain). core.Chain.SubmitAsync adapts
+// directly: return r.Done(), err.
+type AsyncSubmit func(*types.Transaction) (<-chan struct{}, error)
+
+// OpenLoopConfig shapes one constant-rate run.
+type OpenLoopConfig struct {
+	// Rate is the offered load in transactions per second. Required.
+	Rate float64
+	// Txs is the pre-generated transaction stream; the run offers all of
+	// them (the run's duration is therefore len(Txs)/Rate at the
+	// schedule's pace, longer only by trailing settle waits).
+	Txs []*types.Transaction
+	// Submit is the non-blocking submission function.
+	Submit AsyncSubmit
+	// IsShed classifies submission errors: sheds (counted, expected
+	// under overload) versus hard errors (the run records them
+	// separately). Nil treats every error as a shed.
+	IsShed func(error) bool
+	// SettleTimeout bounds how long the driver waits for any admitted
+	// transaction to settle after the offer schedule ends. Default 30s.
+	SettleTimeout time.Duration
+}
+
+// OpenLoopResult is one run's outcome.
+type OpenLoopResult struct {
+	// Rate echoes the offered rate; Offered/Admitted/Shed/HardErrors
+	// partition the stream (Offered = Admitted + Shed + HardErrors).
+	Rate       float64
+	Offered    int
+	Admitted   int
+	Shed       int
+	HardErrors int
+	// Settled counts admitted transactions whose receipt settled within
+	// SettleTimeout; Unsettled is the remainder (a correctness red flag
+	// — admission without settlement is exactly the loss E14 forbids).
+	Settled   int
+	Unsettled int
+	// Latency percentiles over settled transactions, measured from each
+	// transaction's intended arrival time (coordinated-omission safe).
+	P50, P95, P99, Max time.Duration
+	// Elapsed is wall time for the whole run including settle waits;
+	// Throughput is Settled/Elapsed.
+	Elapsed    time.Duration
+	Throughput float64
+}
+
+// ShedFraction is the fraction of offered transactions shed at
+// admission.
+func (r OpenLoopResult) ShedFraction() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Offered)
+}
+
+// RunOpenLoop offers cfg.Txs at cfg.Rate and reports the outcome. The
+// driver never waits for the system inside the offer loop: if a submit
+// call itself lags the schedule, subsequent transactions are submitted
+// immediately (no catch-up sleep) and the lag is charged to their
+// latency via the intended-arrival timestamps.
+func RunOpenLoop(cfg OpenLoopConfig) OpenLoopResult {
+	if cfg.SettleTimeout <= 0 {
+		cfg.SettleTimeout = 30 * time.Second
+	}
+	isShed := cfg.IsShed
+	if isShed == nil {
+		isShed = func(error) bool { return true }
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	res := OpenLoopResult{Rate: cfg.Rate}
+	start := time.Now()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		unsettled int
+	)
+	for i, tx := range cfg.Txs {
+		intended := start.Add(time.Duration(i) * interval)
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		res.Offered++
+		done, err := cfg.Submit(tx)
+		if err != nil {
+			if isShed(err) {
+				res.Shed++
+			} else {
+				res.HardErrors++
+			}
+			continue
+		}
+		res.Admitted++
+		wg.Add(1)
+		go func(intended time.Time, done <-chan struct{}) {
+			defer wg.Done()
+			t := time.NewTimer(cfg.SettleTimeout)
+			defer t.Stop()
+			select {
+			case <-done:
+				lat := time.Since(intended)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			case <-t.C:
+				mu.Lock()
+				unsettled++
+				mu.Unlock()
+			}
+		}(intended, done)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Settled = len(latencies)
+	res.Unsettled = unsettled
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Settled) / res.Elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50 = quantile(latencies, 0.50)
+	res.P95 = quantile(latencies, 0.95)
+	res.P99 = quantile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		res.Max = latencies[n-1]
+	}
+	return res
+}
+
+// quantile reads the q-quantile from an ascending-sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	i := int(q * float64(n-1))
+	return sorted[i]
+}
+
+// SaturationConfig shapes a ramp-to-saturation search: geometric rate
+// steps until the system sheds (or blows its latency bound), bracketing
+// the capacity knee.
+type SaturationConfig struct {
+	// StartRate is the first probe rate (txs/sec). Required.
+	StartRate float64
+	// Growth multiplies the rate between steps. Default 2.
+	Growth float64
+	// StepTxs is how many transactions each probe step offers. Default 200.
+	StepTxs int
+	// MaxSteps bounds the ramp. Default 12.
+	MaxSteps int
+	// ShedThreshold is the shed fraction at which a step counts as
+	// saturated. Default 0.01 (any systematic shedding).
+	ShedThreshold float64
+	// P99Bound, when non-zero, also marks a step saturated if its
+	// CO-safe p99 exceeds the bound — latency saturation can precede
+	// admission sheds when queues are deep.
+	P99Bound time.Duration
+	// Gen produces each step's transaction stream; step streams must use
+	// distinct digests or dedup will flatter the later steps.
+	Gen func(step, n int) []*types.Transaction
+	// Submit and IsShed as in OpenLoopConfig.
+	Submit AsyncSubmit
+	IsShed func(error) bool
+	// SettleTimeout per step; default 30s.
+	SettleTimeout time.Duration
+}
+
+// SaturationResult reports the bracket the ramp found.
+type SaturationResult struct {
+	// SaturationRate is the first offered rate that saturated (shed
+	// fraction or p99 over threshold); zero if the ramp never saturated
+	// within MaxSteps.
+	SaturationRate float64
+	// MaxSustainable is the highest offered rate that ran clean — the
+	// capacity estimate overload experiments multiply to construct
+	// guaranteed-overload offered loads.
+	MaxSustainable float64
+	// Steps holds every probe's full result, in ramp order.
+	Steps []OpenLoopResult
+}
+
+// Saturated reports whether the ramp found the knee.
+func (r SaturationResult) Saturated() bool { return r.SaturationRate > 0 }
+
+// FindSaturation ramps offered load geometrically until the system
+// saturates, returning the bracket (last clean rate, first saturated
+// rate). Methodology per EXPERIMENTS.md E14: every step is open-loop
+// and CO-safe, so the knee is located by offered — not achieved — load.
+func FindSaturation(cfg SaturationConfig) SaturationResult {
+	if cfg.Growth <= 1 {
+		cfg.Growth = 2
+	}
+	if cfg.StepTxs <= 0 {
+		cfg.StepTxs = 200
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 12
+	}
+	if cfg.ShedThreshold <= 0 {
+		cfg.ShedThreshold = 0.01
+	}
+	var res SaturationResult
+	rate := cfg.StartRate
+	for step := 0; step < cfg.MaxSteps; step++ {
+		r := RunOpenLoop(OpenLoopConfig{
+			Rate:          rate,
+			Txs:           cfg.Gen(step, cfg.StepTxs),
+			Submit:        cfg.Submit,
+			IsShed:        cfg.IsShed,
+			SettleTimeout: cfg.SettleTimeout,
+		})
+		res.Steps = append(res.Steps, r)
+		saturated := r.ShedFraction() > cfg.ShedThreshold ||
+			(cfg.P99Bound > 0 && r.P99 > cfg.P99Bound)
+		if saturated {
+			res.SaturationRate = rate
+			return res
+		}
+		res.MaxSustainable = rate
+		rate *= cfg.Growth
+	}
+	return res
+}

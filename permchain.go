@@ -38,6 +38,7 @@ package permchain
 import (
 	"permchain/internal/arch"
 	"permchain/internal/core"
+	"permchain/internal/mempool"
 	"permchain/internal/obs"
 	"permchain/internal/store"
 	"permchain/internal/types"
@@ -71,6 +72,20 @@ type (
 	// AwaitSpec describes a commit watermark for Chain.Await: which
 	// nodes, and the transaction/height/durable-height floors to reach.
 	AwaitSpec = core.AwaitSpec
+	// MempoolConfig shapes the bounded admission layer; assign one to
+	// Config.Mempool to put the overload-safe front door between clients
+	// and the commit pipeline. Submissions beyond its capacity or a
+	// client's fair share fast-fail with a RejectError instead of
+	// queueing without bound.
+	MempoolConfig = mempool.Config
+	// Mempool is the running admission pool, from Chain.Mempool; its
+	// Stats expose occupancy, the high-water mark, and shed counts.
+	Mempool = mempool.Pool
+	// MempoolStats is a point-in-time copy of the pool's accounting.
+	MempoolStats = mempool.Stats
+	// RejectError is an admission shed: Cause is ErrMempoolFull or
+	// ErrClientQuota, RetryAfter estimates when capacity re-opens.
+	RejectError = mempool.RejectError
 	// Obs bundles the metrics registry and lifecycle tracer; assign one
 	// (from NewObs) to Config.Obs and read results via Chain.Metrics.
 	Obs = obs.Obs
@@ -143,9 +158,19 @@ var (
 	// ErrStopped is returned for submissions after Stop, and set on
 	// receipts whose transactions the chain shut down underneath.
 	ErrStopped = core.ErrStopped
-	// ErrAwaitTimeout is returned by Receipt.Wait on timeout.
+	// ErrAwaitTimeout is returned by Receipt.Wait on timeout and by
+	// Receipt.WaitContext when the context ends first (the returned
+	// error also matches the context's own error via errors.Is).
 	ErrAwaitTimeout = core.ErrAwaitTimeout
+	// ErrMempoolFull is the admission layer's capacity shed.
+	ErrMempoolFull = mempool.ErrMempoolFull
+	// ErrClientQuota is the admission layer's fairness shed.
+	ErrClientQuota = mempool.ErrClientQuota
 )
+
+// IsReject reports whether err is an admission shed (capacity or
+// quota) — retryable after the RejectError's hint, unlike ErrStopped.
+func IsReject(err error) bool { return mempool.IsReject(err) }
 
 // NewObs returns a fresh observability bundle (metrics registry plus
 // lifecycle tracer) to assign to Config.Obs; harvest it with

@@ -3,7 +3,11 @@
 # race detector. This is the tier-1 gate (see ROADMAP.md) — run it before
 # every commit. The chaos matrix (chaoscheck_test.go) and all protocol
 # recovery tests are part of the suite, so a green run covers the §2.2
-# safety/liveness assertions too.
+# safety/liveness assertions too. The race detector is mandatory for
+# changes touching internal/consensus, internal/network, internal/chaos
+# or internal/mempool — everything there is multi-goroutine by
+# construction (the mempool's capacity/dedup invariants are specifically
+# asserted under concurrent submitters).
 set -eu
 
 cd "$(dirname "$0")"
