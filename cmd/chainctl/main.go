@@ -5,7 +5,8 @@
 //
 //	chainctl [-nodes 4] [-protocol pbft] [-arch oxii] [-metrics json|prom]
 //	         [-store DIR] [-fsync always|interval|off] [-snap-every N]
-//	         [-mempool-cap N]
+//	         [-mempool-cap N] [-ops-addr HOST:PORT] [-log LEVEL]
+//	chainctl -ops-addr HOST:PORT status
 //
 // -metrics dumps the chain's full metrics snapshot (consensus phase
 // latencies, network counters, engine stage timings) in the chosen format
@@ -22,6 +23,16 @@
 // and retry-after hints instead of queueing without bound, and the
 // `mempool` stdin command prints the pool's live accounting.
 //
+// -ops-addr serves the live ops plane on the given address while the
+// chain runs: /metrics (Prometheus, with windowed rates), /metrics.json,
+// /healthz, /readyz, /status, /traces, /logs, and /debug/pprof. With the
+// `status` subcommand the same flag names the server to query instead:
+// `chainctl -ops-addr 127.0.0.1:9464 status` pretty-prints a running
+// node's /status and /healthz and exits non-zero when it is unhealthy.
+//
+// -log emits the structured component log (consensus, network, store,
+// mempool, chaos) to stderr at the given level: debug|info|warn|error.
+//
 // Commands on stdin:
 //
 //	add <key> <delta>          increment an integer key
@@ -37,9 +48,14 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -48,6 +64,105 @@ import (
 	"permchain/internal/obs"
 	"permchain/internal/store"
 )
+
+// statusCmd implements `chainctl -ops-addr HOST:PORT status`: query a
+// running node's ops plane and pretty-print its position and health.
+// Exits 0 when healthy, 1 when degraded/unhealthy or unreachable.
+func statusCmd(addr string) int {
+	if addr == "" {
+		fmt.Fprintln(os.Stderr, "status needs -ops-addr HOST:PORT of a running node")
+		return 2
+	}
+	base := "http://" + addr
+	fetch := func(path string, v any) (int, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, json.Unmarshal(body, v)
+	}
+
+	var st struct {
+		Protocol   string           `json:"protocol"`
+		Arch       string           `json:"arch"`
+		Height     uint64           `json:"height"`
+		StateHash  string           `json:"state_hash"`
+		LastCommit time.Time        `json:"last_commit"`
+		Views      map[string]int64 `json:"views"`
+		Nodes      []struct {
+			ID            int    `json:"id"`
+			Height        uint64 `json:"height"`
+			DurableHeight uint64 `json:"durable_height"`
+			ProcessedTxs  int    `json:"processed_txs"`
+		} `json:"nodes"`
+		Mempool *struct {
+			Occupancy int `json:"Occupancy"`
+		} `json:"mempool"`
+		Network struct {
+			Sent         int64            `json:"sent"`
+			Delivered    int64            `json:"delivered"`
+			Dropped      int64            `json:"dropped"`
+			DropsByCause map[string]int64 `json:"drops_by_cause"`
+		} `json:"network"`
+	}
+	if _, err := fetch("/status", &st); err != nil {
+		fmt.Fprintf(os.Stderr, "GET %s/status: %v\n", base, err)
+		return 1
+	}
+	fmt.Printf("%s/%s at height %d, state %.16s…\n", st.Protocol, st.Arch, st.Height, st.StateHash)
+	if !st.LastCommit.IsZero() {
+		fmt.Printf("last commit %s ago\n", time.Since(st.LastCommit).Round(time.Millisecond))
+	}
+	if len(st.Views) > 0 {
+		keys := make([]string, 0, len(st.Views))
+		for k := range st.Views {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%s: %d\n", k, st.Views[k])
+		}
+	}
+	for _, n := range st.Nodes {
+		fmt.Printf("node %d: height %d (durable %d), %d txs\n",
+			n.ID, n.Height, n.DurableHeight, n.ProcessedTxs)
+	}
+	if st.Mempool != nil {
+		fmt.Printf("mempool occupancy %d\n", st.Mempool.Occupancy)
+	}
+	fmt.Printf("network: %d sent, %d delivered, %d dropped", st.Network.Sent, st.Network.Delivered, st.Network.Dropped)
+	if len(st.Network.DropsByCause) > 0 {
+		fmt.Printf(" %v", st.Network.DropsByCause)
+	}
+	fmt.Println()
+
+	var rep struct {
+		Status string `json:"status"`
+		Checks []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			Reason string `json:"reason"`
+		} `json:"checks"`
+	}
+	code, err := fetch("/healthz", &rep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "GET %s/healthz: %v\n", base, err)
+		return 1
+	}
+	fmt.Printf("health: %s (healthz %d)\n", rep.Status, code)
+	for _, c := range rep.Checks {
+		fmt.Printf("  %-20s %-10s %s\n", c.Name, c.Status, c.Reason)
+	}
+	if rep.Status != "healthy" {
+		return 1
+	}
+	return 0
+}
 
 func protocolFromName(s string) (permchain.Protocol, error) {
 	switch strings.ToLower(s) {
@@ -88,10 +203,15 @@ func main() {
 	fsyncName := flag.String("fsync", "always", "durability policy for -store: always|interval|off")
 	snapEvery := flag.Uint64("snap-every", 16, "write a state snapshot every N blocks (0 disables; needs -store)")
 	mempoolCap := flag.Int("mempool-cap", 0, "route submissions through the bounded admission layer with this capacity (0 disables)")
+	opsAddr := flag.String("ops-addr", "", "serve the HTTP ops plane on this address (or, with the status subcommand, the address to query)")
+	logLevel := flag.String("log", "", "emit structured logs to stderr: debug|info|warn|error")
 	flag.Parse()
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
 		fmt.Fprintf(os.Stderr, "-metrics must be json or prom, got %q\n", *metrics)
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "status" {
+		os.Exit(statusCmd(*opsAddr))
 	}
 
 	proto, err := protocolFromName(*protoName)
@@ -105,6 +225,23 @@ func main() {
 		os.Exit(2)
 	}
 	o := obs.New()
+	var handlers []slog.Handler
+	if *logLevel != "" {
+		var lv slog.Level
+		if err := lv.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintf(os.Stderr, "-log: %v\n", err)
+			os.Exit(2)
+		}
+		handlers = append(handlers, slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	}
+	var ring *permchain.LogRing
+	if *opsAddr != "" {
+		ring = permchain.NewLogRing(1024, slog.LevelDebug)
+		handlers = append(handlers, ring.Handler())
+	}
+	if len(handlers) > 0 {
+		o.SetLogHandler(obs.TeeHandler(handlers...))
+	}
 	cfg := permchain.Config{
 		Nodes: *nodes, Protocol: proto, Arch: arch,
 		BlockSize: 1, Timeout: 500 * time.Millisecond,
@@ -137,6 +274,15 @@ func main() {
 	}
 	chain.Start()
 	defer chain.Stop()
+	if *opsAddr != "" {
+		srv, err := permchain.ServeOps(permchain.OpsConfig{Addr: *opsAddr, Chain: chain, LogRing: ring})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("ops plane on http://%s\n", srv.Addr())
+	}
 	if h := chain.Node(0).Chain().Height(); h > 0 {
 		fmt.Printf("recovered %d blocks from %s\n", h, *storeDir)
 	}

@@ -9,6 +9,11 @@
 //	permbench -metrics json        # also dump each experiment's metrics (json|prom)
 //	permbench -out BENCH_<id>.json # also write each table+metrics as JSON,
 //	                               # <id> replaced by the experiment id
+//	permbench -append BENCH_<id>.json # append a dated run record to the
+//	                               # JSON-array trajectory at the path —
+//	                               # the in-repo perf history CI extends
+//	permbench -ops-addr 127.0.0.1:9464 # serve /debug/pprof and /healthz
+//	                               # while the experiments run
 //	permbench -cpuprofile cpu.pprof  # profile the run (go tool pprof cpu.pprof)
 //	permbench -memprofile mem.pprof  # heap profile at exit
 package main
@@ -23,8 +28,38 @@ import (
 	"strings"
 	"time"
 
+	"permchain"
 	"permchain/internal/bench"
 )
+
+// runRecord is one entry in a -append trajectory file: the experiment's
+// table stamped with when and how it ran, so successive CI runs build a
+// queryable perf history in-repo instead of one-off artifacts.
+type runRecord struct {
+	Time  time.Time    `json:"time"`
+	ID    string       `json:"id"`
+	Quick bool         `json:"quick"`
+	Table *bench.Table `json:"table"`
+}
+
+// appendRun loads the JSON array at path (absent or empty file means an
+// empty trajectory), appends a record for this run, and writes it back.
+func appendRun(path, id string, quick bool, tbl *bench.Table) error {
+	var runs []runRecord
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if jerr := json.Unmarshal(data, &runs); jerr != nil {
+			return fmt.Errorf("existing trajectory unreadable: %w", jerr)
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, runRecord{Time: time.Now().UTC(), ID: id, Quick: quick, Table: tbl})
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func main() {
 	// Indirection so the profile-flushing defers run before the process
@@ -37,6 +72,8 @@ func run() int {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E2,E5)")
 	metrics := flag.String("metrics", "", "dump each experiment's metrics snapshot: json or prom")
 	out := flag.String("out", "", "write each experiment's table and metrics as JSON to this path; <id> is replaced by the experiment id (e.g. BENCH_<id>.json)")
+	appendTo := flag.String("append", "", "append a dated run record per experiment to the JSON-array file at this path; <id> is replaced by the experiment id")
+	opsAddr := flag.String("ops-addr", "", "serve the ops plane (pprof, live metrics, health) on this address while experiments run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	flag.Parse()
@@ -72,6 +109,16 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	if *opsAddr != "" {
+		srv, err := permchain.ServeOps(permchain.OpsConfig{Addr: *opsAddr, Obs: permchain.NewObs()})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-ops-addr: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Printf("ops plane on http://%s (profile-only: pprof + health)\n", srv.Addr())
 	}
 
 	want := map[string]bool{}
@@ -151,6 +198,15 @@ func run() int {
 				failed = true
 			} else {
 				fmt.Printf("wrote %s\n", path)
+			}
+		}
+		if *appendTo != "" {
+			path := strings.ReplaceAll(*appendTo, "<id>", e.id)
+			if err := appendRun(path, e.id, *quick, tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: append %s: %v\n", e.id, path, err)
+				failed = true
+			} else {
+				fmt.Printf("appended to %s\n", path)
 			}
 		}
 		if *metrics != "" && tbl.Metrics != nil {

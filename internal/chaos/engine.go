@@ -308,7 +308,10 @@ func (r *runner) exec(ev Event) {
 	}
 }
 
-func (r *runner) logFault(s string) { r.rep.Faults = append(r.rep.Faults, s) }
+func (r *runner) logFault(s string) {
+	r.rep.Faults = append(r.rep.Faults, s)
+	r.o.Logger("chaos").Warn("fault injected", "event", s)
+}
 
 func (r *runner) fail(s string) {
 	r.failMu.Lock()

@@ -584,6 +584,10 @@ func (r *Replica) onTimeout() {
 	}
 	r.curView++
 	r.cfg.Obs.Inc("hotstuff/new_views")
+	r.cfg.Obs.SetGauge("hotstuff/view", int64(r.curView))
+	r.cfg.Obs.NoteViewChange()
+	r.cfg.Obs.Logger("hotstuff").Warn("new view",
+		"node", int(r.cfg.Self), "view", r.curView)
 	r.timer.Reset(r.cfg.Timeout)
 	nv := newViewMsg{View: r.curView, HighQC: r.highQC}
 	if r.leader(r.curView) == r.cfg.Self {

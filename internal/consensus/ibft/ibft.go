@@ -232,6 +232,7 @@ func (r *Replica) roundState(round uint64) *roundState {
 
 func (r *Replica) startRound(round uint64) {
 	r.round = round
+	r.cfg.Obs.SetGauge("ibft/round", int64(round))
 	r.timer.Reset(r.cfg.Timeout)
 	if r.proposer(r.height, round) != r.cfg.Self {
 		return
@@ -544,6 +545,9 @@ func (r *Replica) onTimeout() {
 
 func (r *Replica) sendRoundChange(round uint64) {
 	r.cfg.Obs.Inc("ibft/round_changes")
+	r.cfg.Obs.NoteViewChange()
+	r.cfg.Obs.Logger("ibft").Warn("round change",
+		"node", int(r.cfg.Self), "height", r.height, "round", round)
 	rc := roundChange{
 		Height: r.height, Round: round,
 		PreparedRound: r.prepRound, PreparedDigest: r.prepDigest, PreparedValue: r.prepValue,

@@ -231,12 +231,16 @@ func (r *Replica) onTimeout() {
 // campaign starts phase 1 with a ballot higher than anything seen.
 func (r *Replica) campaign() {
 	r.cfg.Obs.Inc("paxos/campaigns")
+	r.cfg.Obs.NoteViewChange()
 	r.counter++
 	for makeBallot(r.counter, r.cfg.Self) <= r.promised ||
 		makeBallot(r.counter, r.cfg.Self) <= r.leaderBallot {
 		r.counter++
 	}
 	r.ballot = makeBallot(r.counter, r.cfg.Self)
+	r.cfg.Obs.SetGauge("paxos/ballot", int64(r.ballot))
+	r.cfg.Obs.Logger("paxos").Info("campaign started",
+		"node", int(r.cfg.Self), "ballot", r.ballot)
 	r.setLeading(false)
 	r.promises = map[types.NodeID]promise{}
 	r.proposedDig = map[types.Hash]bool{}

@@ -12,6 +12,7 @@ package pbft
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"permchain/internal/consensus"
@@ -38,6 +39,13 @@ const (
 // quorum of matching checkpoints makes a sequence number stable and lets
 // replicas garbage-collect everything at or below it.
 const checkpointEvery = 128
+
+// healthyViewExecs is how many slots a view must execute before the
+// view-change timeout ladder decays one step: enough that churn-zone
+// views (which execute at most a handful of slots before timing out)
+// never shorten their deadline, small enough that one productive view
+// walks the timeout back toward the configured base.
+const healthyViewExecs = checkpointEvery / 2
 
 type request struct {
 	Digest types.Hash
@@ -155,6 +163,11 @@ type Replica struct {
 	stopOnce sync.Once
 	done     chan struct{}
 
+	// slotGauge mirrors len(slots) after every event so tests and
+	// monitoring can watch retention (checkpoint GC) on a live replica
+	// without racing the event loop.
+	slotGauge atomic.Int64
+
 	// Everything below is owned by the event loop.
 	view         uint64
 	inViewChange bool
@@ -175,6 +188,8 @@ type Replica struct {
 	stableSeq    uint64                                 // highest quorum-stable checkpoint
 	lastNV       uint64                                 // view of the last accepted NewView
 	storedNV     *newView                               // for retransmission to stragglers
+	vcBackoff    uint                                   // timeout-doubling ladder; decays as views prove healthy
+	execsInView  uint64                                 // executions since the last backoff decay; gates the decay
 	timer        *consensus.LoopTimer
 }
 
@@ -234,9 +249,11 @@ func (r *Replica) isPrimary() bool { return r.primary(r.view) == r.cfg.Self }
 func (r *Replica) loop() {
 	defer close(r.done)
 	defer r.timer.Stop()
+	defer func() { r.slotGauge.Store(int64(len(r.slots))) }()
 	gossip := time.NewTicker(r.cfg.Timeout * 4)
 	defer gossip.Stop()
 	for {
+		r.slotGauge.Store(int64(len(r.slots)))
 		select {
 		case <-r.stopCh:
 			return
@@ -274,7 +291,13 @@ func (r *Replica) onRequest(req request) {
 		return
 	}
 	r.pending[req.Digest] = req.Value
-	r.armTimer()
+	// Start the failure-detection timer only if it is not already running
+	// (Castro & Liskov: a backup starts its timer when a request arrives
+	// and the timer is not running; only execution progress restarts it).
+	// A full Reset here would let a steady client stream push the deadline
+	// out forever — under continuous load no replica would ever suspect a
+	// faulty primary and view changes would starve.
+	r.ensureTimer()
 	if r.isPrimary() && !r.inViewChange {
 		r.propose(req.Digest, req.Value)
 	}
@@ -298,14 +321,39 @@ func (r *Replica) onCheckpoint(from types.NodeID, ck checkpoint) {
 		r.ckptVotes[ck.Seq] = m
 	}
 	m[from] = ck.Hist
+	// Count the strongest quorum across all recorded histories, not just
+	// the arriving vote's. A replica whose own history bookkeeping drifted
+	// (diverging null-slot/re-proposal layouts across view changes) would
+	// otherwise sit on a full 2f+1 peer quorum forever: its own boundary
+	// vote — the last arrival while it lags — only ever counts itself.
+	best := ck.Hist
 	count := 0
 	for _, h := range m {
-		if h == ck.Hist {
-			count++
+		c := 0
+		for _, h2 := range m {
+			if h2 == h {
+				c++
+			}
+		}
+		if c > count {
+			best, count = h, c
 		}
 	}
 	if count < r.cfg.ByzQuorum() || ck.Seq <= r.stableSeq || ck.Seq > r.lastExec {
 		return
+	}
+	r.cfg.Obs.Logger("pbft").Debug("checkpoint stable",
+		"node", int(r.cfg.Self), "seq", ck.Seq, "last_exec", r.lastExec)
+	// Adopt the quorum's history when stabilizing exactly at our own
+	// execution point: 2f+1 replicas proved this prefix digest, so a
+	// drifted local mirror is the wrong one, and keeping it would poison
+	// every later checkpoint vote we cast (textbook PBFT replaces local
+	// state with the stable checkpoint's for the same reason).
+	if ck.Seq == r.lastExec && r.histDigest != best {
+		r.cfg.Obs.Logger("pbft").Warn("checkpoint history drift healed",
+			"node", int(r.cfg.Self), "seq", ck.Seq,
+			"local", r.histDigest.Hex()[:12], "quorum", best.Hex()[:12])
+		r.histDigest = best
 	}
 	r.stableSeq = ck.Seq
 	// Reclaim everything more than one window below the stable point;
@@ -336,8 +384,10 @@ func (r *Replica) onCheckpoint(from types.NodeID, ck checkpoint) {
 }
 
 // SlotCount reports retained protocol slots — a memory metric for tests
-// and monitoring. Safe only when the replica is stopped or quiescent.
-func (r *Replica) SlotCount() int { return len(r.slots) }
+// and monitoring. It reads an atomically published mirror, so it is safe
+// to call while the replica is running; the value trails the event loop
+// by at most one event.
+func (r *Replica) SlotCount() int { return int(r.slotGauge.Load()) }
 
 // gapFetch asks peers for the decision of the first unexecuted slot when
 // higher slots are already committed locally — proof the gap slot was
@@ -345,7 +395,21 @@ func (r *Replica) SlotCount() int { return len(r.slots) }
 func (r *Replica) gapFetch() bool {
 	gap := r.lastExec + 1
 	if s, ok := r.slots[gap]; ok && s.committed {
-		return false // value fetch already in flight via onCommit
+		if s.hasPP {
+			// Value present; execution just hasn't been driven yet.
+			r.executeReady()
+			return false
+		}
+		// Committed by quorum but the value is still missing. onCommit
+		// sent a one-shot fetch, but peers answer only for slots they
+		// have committed themselves — if that fetch raced ahead of them
+		// it fell on deaf ears, and without a retry the replica wedges
+		// here forever while the rest of the cluster moves on (and
+		// eventually garbage-collects the slot past recovery). Re-ask on
+		// every timeout until someone can vouch for the value.
+		r.cfg.Obs.Inc("pbft/fetches")
+		r.ep.Multicast(r.cfg.Nodes, msgFetch, fetch{Seq: gap})
+		return true
 	}
 	// Strong evidence: a higher slot committed locally, so the gap is
 	// decided somewhere. But even without it, asking costs n messages
@@ -568,7 +632,10 @@ func (r *Replica) acceptPrePrepare(from types.NodeID, pp prePrepare) {
 	s.digest = pp.Digest
 	s.value = pp.Value
 	r.cfg.Obs.Mark(pp.Digest, pp.Seq, obs.PhasePropose)
-	r.armTimer()
+	// Accepting a pre-prepare is work arrival, not execution progress: a
+	// live primary streaming proposals must not keep resetting the timer
+	// while execution is wedged behind an earlier un-prepared slot.
+	r.ensureTimer()
 
 	p := vote{
 		View: pp.View, Seq: pp.Seq, Digest: pp.Digest,
@@ -629,16 +696,19 @@ func (r *Replica) onCommit(from types.NodeID, v vote) {
 
 // executeReady delivers committed slots in sequence order.
 func (r *Replica) executeReady() {
+	executed := false
 	for {
 		s, ok := r.slots[r.lastExec+1]
 		if !ok || !s.committed || s.executed {
 			break
 		}
+		executed = true
 		if !s.hasPP && !s.digest.IsZero() {
 			break // committed by quorum but value still in flight (fetch)
 		}
 		s.executed = true
 		r.lastExec++
+		r.execsInView++
 		delete(r.pending, s.digest)
 		delete(r.fetchVotes, r.lastExec)
 		r.histDigest = types.HashConcat(r.histDigest[:], s.digest[:])
@@ -662,21 +732,80 @@ func (r *Replica) executeReady() {
 			}
 		}
 	}
-	r.armTimer()
-}
-
-// armTimer starts the failure-detection timer when there is outstanding
-// work and stops it when fully caught up.
-func (r *Replica) armTimer() {
-	outstanding := len(r.pending) > 0
-	for seq, s := range r.slots {
-		if seq > r.lastExec && s.hasPP && !s.executed {
-			outstanding = true
-			break
+	// Only actual execution progress restarts the failure-detection
+	// deadline. executeReady also runs on every commit-quorum event with
+	// the gap slot still blocking — a stream of commits on later slots
+	// must not keep pushing the deadline out while lastExec is stuck.
+	//
+	// The backoff ladder decays one step per healthyViewExecs executed
+	// slots rather than resetting on any progress: a view that drains a
+	// large batch has proven its primary live and can afford a shorter
+	// deadline, while churn-zone views (a handful of executions before
+	// the next timeout) never decay, which is what prevents a deep
+	// backlog from livelocking in 150ms view changes. A full drain
+	// clears the ladder outright.
+	for r.execsInView >= healthyViewExecs {
+		r.execsInView -= healthyViewExecs
+		if r.vcBackoff > 0 {
+			r.vcBackoff--
 		}
 	}
-	if outstanding {
-		r.timer.Reset(r.cfg.Timeout)
+	if executed {
+		if !r.outstanding() {
+			r.vcBackoff = 0
+		}
+		r.armTimer()
+	} else {
+		r.ensureTimer()
+	}
+}
+
+// outstanding reports whether work is queued that has not yet executed —
+// pending requests or accepted-but-unexecuted slots.
+func (r *Replica) outstanding() bool {
+	if len(r.pending) > 0 {
+		return true
+	}
+	for seq, s := range r.slots {
+		if seq > r.lastExec && s.hasPP && !s.executed {
+			return true
+		}
+	}
+	return false
+}
+
+// viewTimeout is the current failure-detection timeout: the configured
+// base, doubled for every consecutive view change that produced no
+// execution progress (Castro & Liskov §4.5.2). Without the backoff a
+// large backlog livelocks: no 150ms view lives long enough to re-propose
+// and prepare a slot, so the cluster burns forever in view changes. The
+// shift is capped so a long outage cannot push recovery out indefinitely.
+func (r *Replica) viewTimeout() time.Duration {
+	shift := r.vcBackoff
+	if shift > 5 {
+		shift = 5
+	}
+	return r.cfg.Timeout << shift
+}
+
+// armTimer restarts the failure-detection timer when there is outstanding
+// work and stops it when fully caught up. Used on progress paths
+// (execution advanced, new view entered).
+func (r *Replica) armTimer() {
+	if r.outstanding() {
+		r.timer.Reset(r.viewTimeout())
+	} else {
+		r.timer.Stop()
+	}
+}
+
+// ensureTimer is armTimer without the deadline push-out: it arms the
+// timer only when it is not already running. Used on work-arrival paths
+// (request received, pre-prepare accepted) so a steady stream of arrivals
+// cannot postpone failure detection forever.
+func (r *Replica) ensureTimer() {
+	if r.outstanding() {
+		r.timer.Ensure(r.viewTimeout())
 	} else {
 		r.timer.Stop()
 	}
@@ -689,7 +818,7 @@ func (r *Replica) onTimeout() {
 	// dragging everyone through another view.
 	if !r.fetchTried && r.gapFetch() {
 		r.fetchTried = true
-		r.timer.Reset(r.cfg.Timeout)
+		r.timer.Reset(r.viewTimeout())
 		return
 	}
 	r.fetchTried = false
@@ -700,7 +829,7 @@ func (r *Replica) onTimeout() {
 	if r.inViewChange && r.lastVC != nil && !r.vcResent {
 		r.vcResent = true
 		r.ep.Multicast(r.cfg.Nodes, msgViewChange, *r.lastVC)
-		r.timer.Reset(r.cfg.Timeout * 2)
+		r.timer.Reset(r.viewTimeout() * 2)
 		return
 	}
 	r.startViewChange(r.view + 1)
@@ -712,9 +841,20 @@ func (r *Replica) startViewChange(newV uint64) {
 	if newV <= r.view && r.inViewChange {
 		return
 	}
+	// Climb the timeout ladder on every view change. Resetting on mere
+	// progress would re-enter the churn zone while a deep backlog is
+	// still draining — each view change grows more expensive as prepared
+	// certificates accumulate, so the ladder only decays once a view
+	// demonstrably drains work (see executeReady).
+	r.vcBackoff++
+	r.execsInView = 0
 	r.view = newV
 	r.inViewChange = true
 	r.cfg.Obs.Inc("pbft/view_changes")
+	r.cfg.Obs.SetGauge("pbft/view", int64(newV))
+	r.cfg.Obs.NoteViewChange()
+	r.cfg.Obs.Logger("pbft").Warn("view change started",
+		"node", int(r.cfg.Self), "view", newV, "last_exec", r.lastExec)
 	var certs []preparedCert
 	for seq, s := range r.slots {
 		if seq <= r.lastExec {
@@ -736,7 +876,7 @@ func (r *Replica) startViewChange(newV uint64) {
 	r.ep.Multicast(r.cfg.Nodes, msgViewChange, vc)
 	r.onViewChange(r.cfg.Self, &vc)
 	// If the next primary is also faulty, time out again into view+1.
-	r.timer.Reset(r.cfg.Timeout * 2)
+	r.timer.Reset(r.viewTimeout() * 2)
 }
 
 func (r *Replica) onViewChange(from types.NodeID, vc *viewChange) {
@@ -812,6 +952,9 @@ func (r *Replica) onNewView(from types.NodeID, nv newView) {
 	r.view = nv.NewView
 	r.inViewChange = false
 	r.proposed = map[types.Hash]bool{}
+	r.cfg.Obs.SetGauge("pbft/view", int64(nv.NewView))
+	r.cfg.Obs.Logger("pbft").Info("entered new view",
+		"node", int(r.cfg.Self), "view", nv.NewView, "certs", len(nv.Certs))
 
 	covered := map[uint64]bool{}
 	for _, c := range nv.Certs {

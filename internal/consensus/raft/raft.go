@@ -247,14 +247,19 @@ func (r *Replica) becomeFollower(term uint64) {
 	r.isLeader.Store(false)
 	r.term = term
 	r.votedFor = -1
+	r.cfg.Obs.SetGauge("raft/term", int64(term))
 	r.resetElectionTimer()
 }
 
 func (r *Replica) becomeCandidate() {
 	r.cfg.Obs.Inc("raft/elections")
+	r.cfg.Obs.NoteViewChange()
 	r.role = candidate
 	r.isLeader.Store(false)
 	r.term++
+	r.cfg.Obs.SetGauge("raft/term", int64(r.term))
+	r.cfg.Obs.Logger("raft").Warn("election started",
+		"node", int(r.cfg.Self), "term", r.term)
 	r.votedFor = r.cfg.Self
 	r.leaderID = -1
 	r.votes = map[types.NodeID]bool{r.cfg.Self: true}
@@ -268,6 +273,8 @@ func (r *Replica) becomeCandidate() {
 
 func (r *Replica) becomeLeader() {
 	r.cfg.Obs.Inc("raft/leader_changes")
+	r.cfg.Obs.Logger("raft").Info("became leader",
+		"node", int(r.cfg.Self), "term", r.term)
 	r.role = leader
 	r.isLeader.Store(true)
 	r.leaderID = r.cfg.Self

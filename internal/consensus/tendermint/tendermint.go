@@ -285,8 +285,12 @@ func (r *Replica) roundState(round uint64) *roundState {
 func (r *Replica) startRound(round uint64) {
 	if round > 0 {
 		r.cfg.Obs.Inc("tendermint/extra_rounds")
+		r.cfg.Obs.NoteViewChange()
+		r.cfg.Obs.Logger("tendermint").Warn("extra round",
+			"node", int(r.cfg.Self), "height", r.height, "round", round)
 	}
 	r.round = round
+	r.cfg.Obs.SetGauge("tendermint/round", int64(round))
 	r.step = stepPropose
 	r.timer.Reset(r.cfg.Timeout)
 	if r.proposer(r.height, round) != r.cfg.Self {

@@ -11,10 +11,11 @@ import (
 // count, so after Reset the channel can only ever carry the fresh arm's
 // tick.
 type LoopTimer struct {
-	mu  sync.Mutex
-	c   chan struct{}
-	gen int
-	t   *time.Timer
+	mu    sync.Mutex
+	c     chan struct{}
+	gen   int
+	armed bool
+	t     *time.Timer
 }
 
 // NewLoopTimer returns a stopped timer.
@@ -31,6 +32,7 @@ func (lt *LoopTimer) Reset(d time.Duration) {
 	lt.mu.Lock()
 	lt.gen++
 	gen := lt.gen
+	lt.armed = true
 	if lt.t != nil {
 		lt.t.Stop()
 	}
@@ -48,6 +50,7 @@ func (lt *LoopTimer) Reset(d time.Duration) {
 		if gen != lt.gen {
 			return // superseded by a later Reset/Stop
 		}
+		lt.armed = false
 		select {
 		case lt.c <- struct{}{}:
 		default:
@@ -55,11 +58,31 @@ func (lt *LoopTimer) Reset(d time.Duration) {
 	})
 }
 
+// Ensure arms the timer to fire after d only when it is not already
+// counting down and no tick is pending. Unlike Reset it never pushes an
+// existing deadline out — callers reacting to a stream of arriving work
+// use it so that steady traffic cannot indefinitely postpone the fire.
+func (lt *LoopTimer) Ensure(d time.Duration) {
+	if lt.Armed() {
+		return
+	}
+	lt.Reset(d)
+}
+
+// Armed reports whether the timer is counting down or holds an
+// undelivered tick.
+func (lt *LoopTimer) Armed() bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.armed || len(lt.c) > 0
+}
+
 // Stop disarms the timer and discards any pending tick.
 func (lt *LoopTimer) Stop() {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	lt.gen++
+	lt.armed = false
 	if lt.t != nil {
 		lt.t.Stop()
 	}

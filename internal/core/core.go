@@ -333,6 +333,15 @@ func build(cfg Config, resume bool) (*Chain, error) {
 	if cfg.Obs != nil && cfg.Obs.Reg != nil {
 		cfg.Net.SetRegistry(cfg.Obs.Reg)
 	}
+	if cfg.Obs != nil {
+		// An Obs without a health tracker gets the default one, so any
+		// instrumented chain can answer /healthz; callers that want custom
+		// thresholds attach their own obs.NewHealth first.
+		if cfg.Obs.Health == nil {
+			cfg.Obs.Health = obs.NewHealth(obs.HealthConfig{})
+		}
+		cfg.Net.SetLogger(cfg.Obs.Logger("network"))
+	}
 	c := &Chain{
 		cfg: cfg, net: cfg.Net,
 		cw:       newCommitWaiter(cfg.Nodes),
@@ -589,6 +598,7 @@ func (c *Chain) Start() {
 	} else {
 		go c.flushLoop()
 	}
+	c.registerHealthChecks()
 }
 
 // Stop shuts the chain down cleanly: the pipeline drains every decided
@@ -695,7 +705,7 @@ func (c *Chain) submit(tx *types.Transaction, withReceipt bool) (*Receipt, error
 		// pooled/inflight digest consumes no slot; its receipt attaches
 		// to the pending commit (exactly-once handoff).
 		var r *Receipt
-		_, err := c.pool.Admit(tx, func(bool) {
+		dup, err := c.pool.Admit(tx, func(bool) {
 			if withReceipt {
 				r = c.receipts.register(tx)
 				c.cfg.Obs.Inc("core/receipts_issued")
@@ -711,6 +721,12 @@ func (c *Chain) submit(tx *types.Transaction, withReceipt bool) (*Receipt, error
 			}
 			return nil, err
 		}
+		if !dup {
+			// Duplicates attach to the pending commit and settle with it;
+			// counting them would leave the health tracker's pending
+			// estimate permanently above zero.
+			c.cfg.Obs.NoteSubmit()
+		}
 		return r, nil
 	}
 	var r *Receipt
@@ -720,6 +736,7 @@ func (c *Chain) submit(tx *types.Transaction, withReceipt bool) (*Receipt, error
 		r = c.receipts.register(tx)
 		c.cfg.Obs.Inc("core/receipts_issued")
 	}
+	c.cfg.Obs.NoteSubmit()
 	c.mu.Lock()
 	c.batch = append(c.batch, tx)
 	full := len(c.batch) >= c.cfg.BlockSize

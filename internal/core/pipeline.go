@@ -190,6 +190,8 @@ func (c *Chain) applyDecision(n *Node, seq uint64, txs []*types.Transaction) per
 	// suffices since the span tracer is cluster-wide and
 	// earliest-mark-wins would otherwise record the fastest replica.
 	if n.ID == 0 {
+		c.cfg.Obs.NoteCommit(height, len(txs))
+		c.cfg.Obs.Add("core/committed_txs", int64(len(txs)))
 		for _, tx := range txs {
 			c.cfg.Obs.MarkLatency("core/submit_to_apply", tx.Hash(), seq, obs.PhaseSubmit, obs.PhaseApply)
 		}

@@ -265,6 +265,10 @@ func (p *Pool) Admit(tx *types.Transaction, onDecided func(dup bool)) (dup bool,
 		retry := p.retryAfterLocked()
 		p.mu.Unlock()
 		o.Inc("mempool/rejected_full")
+		// Debug, not Warn: sheds are by design high-volume under
+		// overload, and the counter above is the operational signal.
+		o.Logger("mempool").Debug("capacity shed",
+			"client", int(tx.Client), "retry_after", retry)
 		return false, &RejectError{Cause: ErrMempoolFull, RetryAfter: retry}
 	}
 	if p.perClient[tx.Client] >= p.quotaLocked(now) {
@@ -272,6 +276,8 @@ func (p *Pool) Admit(tx *types.Transaction, onDecided func(dup bool)) (dup bool,
 		retry := p.retryAfterLocked()
 		p.mu.Unlock()
 		o.Inc("mempool/rejected_quota")
+		o.Logger("mempool").Debug("quota shed",
+			"client", int(tx.Client), "retry_after", retry)
 		return false, &RejectError{Cause: ErrClientQuota, RetryAfter: retry}
 	}
 

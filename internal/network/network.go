@@ -13,6 +13,7 @@ package network
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -133,6 +134,9 @@ type Network struct {
 	// (drop causes as counters, plus delivery-latency and per-link
 	// queue-depth histograms). Guarded by mu like everything else.
 	reg *obs.Registry
+	// log receives structured fault-injection events (crash, partition,
+	// heal); defaults to a discard logger. Guarded by mu.
+	log *slog.Logger
 	// logical counts network events (sends + deliveries) monotonically;
 	// obs.ClockFunc(net.LogicalNow) turns it into a deterministic span
 	// clock for chaos and determinism tests.
@@ -182,6 +186,7 @@ func New(opts ...Option) *Network {
 		groups:    map[types.NodeID]int{},
 		crashed:   map[types.NodeID]bool{},
 		rng:       rand.New(rand.NewSource(1)),
+		log:       obs.DiscardLogger(),
 	}
 	n.stats.ByType = map[string]int64{}
 	for _, o := range opts {
@@ -268,6 +273,7 @@ func (n *Network) Partition(groups ...[]types.NodeID) {
 			n.groups[id] = gi + 1
 		}
 	}
+	n.log.Warn("partition applied", "groups", len(groups))
 }
 
 // Heal removes all partitions.
@@ -275,6 +281,7 @@ func (n *Network) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.groups = map[types.NodeID]int{}
+	n.log.Info("partition healed")
 }
 
 // SetDropRate replaces the random-loss probability at runtime; the chaos
@@ -293,6 +300,7 @@ func (n *Network) Crash(id types.NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.crashed[id] = true
+	n.log.Warn("node crashed", "node", int(id))
 }
 
 // Restore unmutes a crashed node. In-flight messages sent while the node
@@ -301,6 +309,7 @@ func (n *Network) Restore(id types.NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.crashed, id)
+	n.log.Info("node restored", "node", int(id))
 }
 
 // IsCrashed reports whether id is currently muted by Crash.
@@ -336,6 +345,17 @@ func (n *Network) SetRegistry(reg *obs.Registry) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.reg = reg
+}
+
+// SetLogger attaches a structured logger for fault-injection events
+// (crash, restore, partition, heal). The field is only read under the
+// network lock; a nil-logger network logs nowhere.
+func (n *Network) SetLogger(l *slog.Logger) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l != nil {
+		n.log = l
+	}
 }
 
 // LogicalNow returns the network's logical clock: the count of send and

@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// The health model folds the signals the rest of the system already
+// produces — commit progress, view-change churn, pipeline backlog,
+// mempool occupancy, store errors — into a three-state verdict with
+// per-check reasons. It is deliberately cluster-scoped: in this
+// in-process design every replica shares one *Obs, so one Health tracks
+// the whole cluster, which is also the unit the ops server reports on.
+//
+// The readiness split follows the usual Kubernetes convention: /healthz
+// (liveness) fails only on Unhealthy, /readyz (readiness) requires full
+// Healthy, so a degraded node is taken out of rotation before it falls
+// over but is not restarted for shedding load.
+
+// HealthStatus is the three-state verdict of one check or of the whole
+// report: the maximum severity across checks.
+type HealthStatus int
+
+// The verdict ladder. Ordering matters: a report's overall status is the
+// numeric max of its checks.
+const (
+	Healthy HealthStatus = iota
+	Degraded
+	Unhealthy
+)
+
+// String names the status.
+func (s HealthStatus) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Unhealthy:
+		return "unhealthy"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the status as its lowercase name.
+func (s HealthStatus) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// HealthCheck is one named verdict with its reason.
+type HealthCheck struct {
+	Name   string       `json:"name"`
+	Status HealthStatus `json:"status"`
+	Reason string       `json:"reason"`
+}
+
+// HealthReport is the full evaluation: overall status (max severity) plus
+// every check, in a stable order (built-ins first, then registered checks
+// in registration order).
+type HealthReport struct {
+	Status HealthStatus  `json:"status"`
+	Checks []HealthCheck `json:"checks"`
+}
+
+// Check returns the named check from the report, if present.
+func (r HealthReport) Check(name string) (HealthCheck, bool) {
+	for _, c := range r.Checks {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return HealthCheck{}, false
+}
+
+// HealthConfig tunes the built-in checks. Zero fields take defaults.
+type HealthConfig struct {
+	// Cadence is the expected commit interval while work is pending. A
+	// chain with pending submissions that has not committed for
+	// Cadence*StallDegraded (default 3) is degraded, for
+	// Cadence*StallUnhealthy (default 10) unhealthy. Default 1s.
+	Cadence time.Duration
+	// StallDegraded / StallUnhealthy are the stall multipliers.
+	StallDegraded, StallUnhealthy int
+	// ChurnWindow is the sliding window for view-change churn (default
+	// 10s); ChurnDegraded / ChurnUnhealthy are the view changes within it
+	// that trip each level (defaults 3 and 10).
+	ChurnWindow                   time.Duration
+	ChurnDegraded, ChurnUnhealthy int
+	// Clock supplies the current time (wall clock when nil); tests
+	// inject a manual source to drive the stall checks deterministically.
+	Clock func() time.Time
+}
+
+func (c HealthConfig) defaulted() HealthConfig {
+	if c.Cadence <= 0 {
+		c.Cadence = time.Second
+	}
+	if c.StallDegraded <= 0 {
+		c.StallDegraded = 3
+	}
+	if c.StallUnhealthy <= 0 {
+		c.StallUnhealthy = 10
+	}
+	if c.ChurnWindow <= 0 {
+		c.ChurnWindow = 10 * time.Second
+	}
+	if c.ChurnDegraded <= 0 {
+		c.ChurnDegraded = 3
+	}
+	if c.ChurnUnhealthy <= 0 {
+		c.ChurnUnhealthy = 10
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Health tracks liveness signals and evaluates them on demand. All
+// methods are safe for concurrent use and nil-safe, so instrumented code
+// can call them unconditionally (mirroring the *Obs convention).
+type Health struct {
+	cfg HealthConfig
+
+	mu         sync.Mutex
+	pending    int64     // submitted but not yet committed (estimate)
+	stallSince time.Time // zero when no pending work; else when the current stall window began
+	lastCommit time.Time
+	lastHeight uint64
+	vcTimes    []time.Time // view-change timestamps within ChurnWindow
+	storeErrs  int64
+	storeErr   string // first error, sticky
+
+	checks []HealthCheck // registration order
+	fns    map[string]func() HealthCheck
+}
+
+// NewHealth builds a tracker from cfg (zero value is fine).
+func NewHealth(cfg HealthConfig) *Health {
+	return &Health{cfg: cfg.defaulted(), fns: make(map[string]func() HealthCheck)}
+}
+
+// NoteSubmit records one submitted transaction: pending work exists, so
+// the consensus-liveness stall clock is running.
+func (h *Health) NoteSubmit() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.pending++
+	if h.stallSince.IsZero() {
+		h.stallSince = h.cfg.Clock()
+	}
+	h.mu.Unlock()
+}
+
+// NoteCommit records a committed block: txs transactions settled at
+// height. Progress resets the stall clock.
+func (h *Health) NoteCommit(height uint64, txs int) {
+	if h == nil {
+		return
+	}
+	now := h.cfg.Clock()
+	h.mu.Lock()
+	h.lastCommit = now
+	if height > h.lastHeight {
+		h.lastHeight = height
+	}
+	h.pending -= int64(txs)
+	if h.pending <= 0 {
+		h.pending = 0
+		h.stallSince = time.Time{}
+	} else {
+		h.stallSince = now
+	}
+	h.mu.Unlock()
+}
+
+// NoteViewChange records one view change / leader election / round
+// change — the churn signal.
+func (h *Health) NoteViewChange() {
+	if h == nil {
+		return
+	}
+	now := h.cfg.Clock()
+	h.mu.Lock()
+	h.vcTimes = append(h.vcTimes, now)
+	h.trimChurnLocked(now)
+	h.mu.Unlock()
+}
+
+// trimChurnLocked drops view changes older than the churn window.
+func (h *Health) trimChurnLocked(now time.Time) {
+	cut := now.Add(-h.cfg.ChurnWindow)
+	i := 0
+	for i < len(h.vcTimes) && h.vcTimes[i].Before(cut) {
+		i++
+	}
+	if i > 0 {
+		h.vcTimes = append(h.vcTimes[:0], h.vcTimes[i:]...)
+	}
+}
+
+// NoteStoreError records a storage-layer failure (fsync error, snapshot
+// write error, detected corruption). Sticky: durability is compromised
+// until an operator intervenes, so the check never self-clears.
+func (h *Health) NoteStoreError(err error) {
+	if h == nil || err == nil {
+		return
+	}
+	h.mu.Lock()
+	h.storeErrs++
+	if h.storeErr == "" {
+		h.storeErr = err.Error()
+	}
+	h.mu.Unlock()
+}
+
+// RegisterCheck attaches a named custom check evaluated on every Report.
+// Re-registering a name replaces the function. The wiring layer uses
+// this for signals only it can see: apply-queue backlog, mempool
+// occupancy.
+func (h *Health) RegisterCheck(name string, fn func() HealthCheck) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if _, seen := h.fns[name]; !seen {
+		h.checks = append(h.checks, HealthCheck{Name: name})
+	}
+	h.fns[name] = fn
+	h.mu.Unlock()
+}
+
+// LastCommit returns the last commit's time and height (zero before the
+// first commit).
+func (h *Health) LastCommit() (time.Time, uint64) {
+	if h == nil {
+		return time.Time{}, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastCommit, h.lastHeight
+}
+
+// Report evaluates every check now.
+func (h *Health) Report() HealthReport {
+	if h == nil {
+		return HealthReport{Status: Healthy}
+	}
+	now := h.cfg.Clock()
+	h.mu.Lock()
+	checks := []HealthCheck{h.livenessLocked(now), h.churnLocked(now), h.storeLocked()}
+	order := make([]string, 0, len(h.checks))
+	for _, c := range h.checks {
+		order = append(order, c.Name)
+	}
+	fns := make([]func() HealthCheck, 0, len(order))
+	for _, name := range order {
+		fns = append(fns, h.fns[name])
+	}
+	h.mu.Unlock()
+	// Registered checks run outside the lock: they read other components
+	// (pool stats, channel depths) and must not hold h.mu while doing so.
+	for i, fn := range fns {
+		if fn == nil {
+			continue
+		}
+		c := fn()
+		c.Name = order[i]
+		checks = append(checks, c)
+	}
+	rep := HealthReport{Checks: checks}
+	for _, c := range checks {
+		if c.Status > rep.Status {
+			rep.Status = c.Status
+		}
+	}
+	return rep
+}
+
+// livenessLocked is the consensus-liveness check: pending work with no
+// commit progress for too long means ordering has stalled.
+func (h *Health) livenessLocked(now time.Time) HealthCheck {
+	c := HealthCheck{Name: "consensus_liveness", Status: Healthy}
+	if h.stallSince.IsZero() {
+		if h.lastCommit.IsZero() {
+			c.Reason = "idle, no commits yet"
+		} else {
+			c.Reason = "idle at height " + utoa(h.lastHeight)
+		}
+		return c
+	}
+	stall := now.Sub(h.stallSince)
+	switch {
+	case stall >= time.Duration(h.cfg.StallUnhealthy)*h.cfg.Cadence:
+		c.Status = Unhealthy
+	case stall >= time.Duration(h.cfg.StallDegraded)*h.cfg.Cadence:
+		c.Status = Degraded
+	}
+	if c.Status == Healthy {
+		c.Reason = "committing, height " + utoa(h.lastHeight)
+	} else {
+		c.Reason = utoa(uint64(h.pending)) + " pending, no commit for " + stall.Round(time.Millisecond).String()
+	}
+	return c
+}
+
+// churnLocked is the view-change storm check.
+func (h *Health) churnLocked(now time.Time) HealthCheck {
+	h.trimChurnLocked(now)
+	n := len(h.vcTimes)
+	c := HealthCheck{Name: "view_churn", Status: Healthy,
+		Reason: utoa(uint64(n)) + " view changes in " + h.cfg.ChurnWindow.String()}
+	switch {
+	case n >= h.cfg.ChurnUnhealthy:
+		c.Status = Unhealthy
+	case n >= h.cfg.ChurnDegraded:
+		c.Status = Degraded
+	}
+	return c
+}
+
+// storeLocked is the durability check.
+func (h *Health) storeLocked() HealthCheck {
+	c := HealthCheck{Name: "store", Status: Healthy, Reason: "no storage errors"}
+	if h.storeErrs > 0 {
+		c.Status = Unhealthy
+		c.Reason = utoa(uint64(h.storeErrs)) + " storage errors, first: " + h.storeErr
+	}
+	return c
+}
+
+// utoa is strconv.FormatUint without the import weight in call sites.
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualNow builds a settable clock for driving the stall checks.
+type manualNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (m *manualNow) now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+func (m *manualNow) advance(d time.Duration) {
+	m.mu.Lock()
+	m.t = m.t.Add(d)
+	m.mu.Unlock()
+}
+
+func newTestHealth() (*Health, *manualNow) {
+	clk := &manualNow{t: time.Unix(1000, 0)}
+	h := NewHealth(HealthConfig{
+		Cadence:       100 * time.Millisecond,
+		StallDegraded: 3, StallUnhealthy: 10,
+		ChurnWindow:   time.Second,
+		ChurnDegraded: 3, ChurnUnhealthy: 10,
+		Clock: clk.now,
+	})
+	return h, clk
+}
+
+// TestHealthTriggers drives every degraded/unhealthy trigger of the
+// built-in and registered checks through the table the ops endpoints
+// rely on.
+func TestHealthTriggers(t *testing.T) {
+	cases := []struct {
+		name  string
+		drive func(h *Health, clk *manualNow)
+		check string
+		want  HealthStatus
+	}{
+		{
+			name:  "fresh tracker is healthy",
+			drive: func(h *Health, clk *manualNow) {},
+			check: "consensus_liveness",
+			want:  Healthy,
+		},
+		{
+			name: "idle chain stays healthy however long",
+			drive: func(h *Health, clk *manualNow) {
+				h.NoteSubmit()
+				h.NoteCommit(1, 1)
+				clk.advance(time.Hour)
+			},
+			check: "consensus_liveness",
+			want:  Healthy,
+		},
+		{
+			name: "stalled commits degrade",
+			drive: func(h *Health, clk *manualNow) {
+				h.NoteSubmit()
+				clk.advance(350 * time.Millisecond) // > 3x cadence
+			},
+			check: "consensus_liveness",
+			want:  Degraded,
+		},
+		{
+			name: "long stall is unhealthy",
+			drive: func(h *Health, clk *manualNow) {
+				h.NoteSubmit()
+				clk.advance(1100 * time.Millisecond) // > 10x cadence
+			},
+			check: "consensus_liveness",
+			want:  Unhealthy,
+		},
+		{
+			name: "commit progress recovers a stall",
+			drive: func(h *Health, clk *manualNow) {
+				h.NoteSubmit()
+				clk.advance(1100 * time.Millisecond)
+				h.NoteCommit(1, 1)
+			},
+			check: "consensus_liveness",
+			want:  Healthy,
+		},
+		{
+			name: "partial progress restarts the stall clock",
+			drive: func(h *Health, clk *manualNow) {
+				h.NoteSubmit()
+				h.NoteSubmit()
+				clk.advance(1100 * time.Millisecond)
+				h.NoteCommit(1, 1) // one of two pending commits
+			},
+			check: "consensus_liveness",
+			want:  Healthy, // stall clock restarted at the commit
+		},
+		{
+			name: "view-change storm degrades",
+			drive: func(h *Health, clk *manualNow) {
+				for i := 0; i < 3; i++ {
+					h.NoteViewChange()
+				}
+			},
+			check: "view_churn",
+			want:  Degraded,
+		},
+		{
+			name: "heavy churn is unhealthy",
+			drive: func(h *Health, clk *manualNow) {
+				for i := 0; i < 10; i++ {
+					h.NoteViewChange()
+				}
+			},
+			check: "view_churn",
+			want:  Unhealthy,
+		},
+		{
+			name: "churn outside the window is forgotten",
+			drive: func(h *Health, clk *manualNow) {
+				for i := 0; i < 10; i++ {
+					h.NoteViewChange()
+				}
+				clk.advance(2 * time.Second)
+			},
+			check: "view_churn",
+			want:  Healthy,
+		},
+		{
+			name: "store errors are unhealthy and sticky",
+			drive: func(h *Health, clk *manualNow) {
+				h.NoteStoreError(errors.New("fsync: input/output error"))
+				clk.advance(time.Hour)
+			},
+			check: "store",
+			want:  Unhealthy,
+		},
+		{
+			name: "full apply queue via registered check",
+			drive: func(h *Health, clk *manualNow) {
+				h.RegisterCheck("pipeline", func() HealthCheck {
+					return HealthCheck{Status: Degraded, Reason: "apply queue 64/64"}
+				})
+			},
+			check: "pipeline",
+			want:  Degraded,
+		},
+		{
+			name: "mempool at capacity via registered check",
+			drive: func(h *Health, clk *manualNow) {
+				h.RegisterCheck("mempool", func() HealthCheck {
+					return HealthCheck{Status: Unhealthy, Reason: "occupancy 4096/4096"}
+				})
+			},
+			check: "mempool",
+			want:  Unhealthy,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, clk := newTestHealth()
+			tc.drive(h, clk)
+			rep := h.Report()
+			c, ok := rep.Check(tc.check)
+			if !ok {
+				t.Fatalf("report has no %q check: %+v", tc.check, rep)
+			}
+			if c.Status != tc.want {
+				t.Fatalf("%s = %v (%s), want %v", tc.check, c.Status, c.Reason, tc.want)
+			}
+			if c.Reason == "" {
+				t.Fatalf("%s has no reason", tc.check)
+			}
+			// The overall verdict is the max severity across checks.
+			for _, other := range rep.Checks {
+				if other.Status > rep.Status {
+					t.Fatalf("overall %v below check %s=%v", rep.Status, other.Name, other.Status)
+				}
+			}
+			if rep.Status < tc.want {
+				t.Fatalf("overall %v did not absorb %s=%v", rep.Status, tc.check, tc.want)
+			}
+		})
+	}
+}
+
+// TestHealthNilSafety: a nil tracker absorbs every signal and reports
+// healthy, matching the *Obs convention.
+func TestHealthNilSafety(t *testing.T) {
+	var h *Health
+	h.NoteSubmit()
+	h.NoteCommit(1, 1)
+	h.NoteViewChange()
+	h.NoteStoreError(errors.New("x"))
+	h.RegisterCheck("c", nil)
+	if rep := h.Report(); rep.Status != Healthy {
+		t.Fatalf("nil health reports %v", rep.Status)
+	}
+	var o *Obs
+	o.NoteSubmit()
+	o.NoteCommit(1, 1)
+	o.NoteViewChange()
+	o.NoteStoreError(errors.New("x"))
+	if o.Logger("x") == nil {
+		t.Fatal("nil obs must still hand out a logger")
+	}
+}
+
+// TestHealthStatusJSON pins the wire rendering /healthz serves.
+func TestHealthStatusJSON(t *testing.T) {
+	for s, want := range map[HealthStatus]string{
+		Healthy: `"healthy"`, Degraded: `"degraded"`, Unhealthy: `"unhealthy"`,
+	} {
+		b, err := s.MarshalJSON()
+		if err != nil || string(b) != want {
+			t.Fatalf("MarshalJSON(%v) = %s, %v; want %s", s, b, err, want)
+		}
+	}
+}

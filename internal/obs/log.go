@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Structured logging. Every component (consensus, network, store,
+// mempool, chaos, core) gets a per-component *slog.Logger from its *Obs,
+// carrying a "component" attribute plus whatever identity the component
+// adds (node, height, view, tx digest). The same nil-safety convention
+// as metrics applies: an Obs without a handler hands out a discard
+// logger, so instrumented code logs unconditionally with no branching
+// and tests stay quiet by default.
+//
+// LogRing is a bounded in-memory slog.Handler that keeps the most recent
+// events; the ops server exposes it at /logs, which is what turns chaos
+// runs into a queryable event stream instead of scrollback.
+
+// discardHandler drops everything (slog.DiscardHandler arrived only in
+// go 1.24).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// discardLogger is the shared no-op logger handed out by nil receivers.
+var discardLogger = slog.New(discardHandler{})
+
+// DiscardLogger returns the shared no-op logger — the safe default for
+// components that keep their own *slog.Logger field.
+func DiscardLogger() *slog.Logger { return discardLogger }
+
+// SetLogHandler installs the base structured-log handler; component
+// loggers derive from it. Call before Start/wiring (it is not
+// synchronized against concurrent Logger calls).
+func (o *Obs) SetLogHandler(h slog.Handler) {
+	if o == nil || h == nil {
+		return
+	}
+	o.Log = slog.New(h)
+}
+
+// Logger returns the named component's logger: the base logger with a
+// "component" attribute, or a discard logger when no handler is
+// installed. Always non-nil.
+func (o *Obs) Logger(component string) *slog.Logger {
+	if o == nil || o.Log == nil {
+		return discardLogger
+	}
+	return o.Log.With("component", component)
+}
+
+// TeeHandler fans a record out to every handler (for example a human
+// text handler on stderr plus a LogRing for /logs).
+func TeeHandler(hs ...slog.Handler) slog.Handler { return teeHandler(hs) }
+
+type teeHandler []slog.Handler
+
+func (t teeHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	for _, h := range t {
+		if h.Enabled(ctx, l) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t teeHandler) Handle(ctx context.Context, r slog.Record) error {
+	var first error
+	for _, h := range t {
+		if h.Enabled(ctx, r.Level) {
+			if err := h.Handle(ctx, r.Clone()); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (t teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := make(teeHandler, len(t))
+	for i, h := range t {
+		out[i] = h.WithAttrs(attrs)
+	}
+	return out
+}
+
+func (t teeHandler) WithGroup(name string) slog.Handler {
+	out := make(teeHandler, len(t))
+	for i, h := range t {
+		out[i] = h.WithGroup(name)
+	}
+	return out
+}
+
+// LogEvent is one captured record, flattened for JSON.
+type LogEvent struct {
+	Time  time.Time         `json:"time"`
+	Level string            `json:"level"`
+	Msg   string            `json:"msg"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// LogRing keeps the most recent log events in a fixed-size ring.
+type LogRing struct {
+	mu    sync.Mutex
+	buf   []LogEvent
+	next  int
+	count int
+	level slog.Level
+}
+
+// NewLogRing builds a ring holding up to capacity events (default 512)
+// at or above level.
+func NewLogRing(capacity int, level slog.Level) *LogRing {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &LogRing{buf: make([]LogEvent, capacity), level: level}
+}
+
+// Recent returns up to limit events, newest first (all when limit <= 0).
+func (r *LogRing) Recent(limit int) []LogEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.count
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]LogEvent, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)*2) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Len returns how many events the ring currently holds.
+func (r *LogRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count > len(r.buf) {
+		return len(r.buf)
+	}
+	return r.count
+}
+
+// Handler returns the ring's slog.Handler.
+func (r *LogRing) Handler() slog.Handler { return &ringHandler{ring: r} }
+
+// ringHandler adapts a LogRing to slog.Handler, accumulating WithAttrs
+// prefixes the way structured handlers must.
+type ringHandler struct {
+	ring  *LogRing
+	attrs []slog.Attr
+	group string
+}
+
+func (h *ringHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.ring.level }
+
+func (h *ringHandler) Handle(_ context.Context, rec slog.Record) error {
+	ev := LogEvent{Time: rec.Time, Level: rec.Level.String(), Msg: rec.Message,
+		Attrs: make(map[string]string, rec.NumAttrs()+len(h.attrs))}
+	key := func(k string) string {
+		if h.group != "" {
+			return h.group + "." + k
+		}
+		return k
+	}
+	for _, a := range h.attrs {
+		ev.Attrs[key(a.Key)] = a.Value.String()
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		ev.Attrs[key(a.Key)] = a.Value.String()
+		return true
+	})
+	r := h.ring
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	r.count++
+	r.mu.Unlock()
+	return nil
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := *h
+	out.attrs = append(append([]slog.Attr{}, h.attrs...), attrs...)
+	return &out
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	out := *h
+	if out.group != "" {
+		out.group += "." + name
+	} else {
+		out.group = name
+	}
+	return &out
+}

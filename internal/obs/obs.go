@@ -17,16 +17,28 @@
 package obs
 
 import (
+	"log/slog"
 	"time"
 
 	"permchain/internal/types"
 )
 
-// Obs bundles a metrics Registry with a lifecycle Tracer. Components that
-// want instrumentation carry an *Obs; both fields may independently be nil.
+// Obs bundles a metrics Registry with a lifecycle Tracer, and optionally
+// a Health tracker and a structured-log base Logger. Components that want
+// instrumentation carry an *Obs; every field may independently be nil —
+// all forwarding methods below are no-ops on what is missing.
 type Obs struct {
 	Reg    *Registry
 	Tracer *Tracer
+	// Health, when set, receives liveness signals (commits, view
+	// changes, store errors) from the layers sharing this Obs; the ops
+	// server's /healthz and /readyz evaluate it. core attaches a default
+	// tracker when building a chain with an Obs that has none.
+	Health *Health
+	// Log is the base structured logger; use Logger(component) to derive
+	// per-component loggers (never Log directly — it may be nil).
+	// Install with SetLogHandler.
+	Log *slog.Logger
 }
 
 // New returns an Obs with a fresh Registry and a wall-clock Tracer.
@@ -111,4 +123,37 @@ func (o *Obs) MarkLatency(name string, digest types.Hash, seq uint64, from, to P
 	if start, ok := o.Tracer.PhaseAt(digest, from); ok && o.Reg != nil && now >= start {
 		o.Reg.Histogram(name).Observe(now - start)
 	}
+}
+
+// NoteSubmit forwards a submission signal to the health tracker.
+func (o *Obs) NoteSubmit() {
+	if o == nil {
+		return
+	}
+	o.Health.NoteSubmit()
+}
+
+// NoteCommit forwards a commit-progress signal to the health tracker.
+func (o *Obs) NoteCommit(height uint64, txs int) {
+	if o == nil {
+		return
+	}
+	o.Health.NoteCommit(height, txs)
+}
+
+// NoteViewChange forwards a view-change/election/round-change churn
+// signal to the health tracker.
+func (o *Obs) NoteViewChange() {
+	if o == nil {
+		return
+	}
+	o.Health.NoteViewChange()
+}
+
+// NoteStoreError forwards a storage failure to the health tracker.
+func (o *Obs) NoteStoreError(err error) {
+	if o == nil {
+		return
+	}
+	o.Health.NoteStoreError(err)
 }

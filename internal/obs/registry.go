@@ -332,9 +332,39 @@ func promName(name string) string {
 	return string(b)
 }
 
+// PromName exposes the exposition-format name sanitization for callers
+// (the ops server) that render derived families — rates, windowed
+// summaries — next to what WritePrometheus emits.
+func PromName(name string) string { return promName(name) }
+
+// ContentTypeProm is the Content-Type HTTP servers must send with the
+// Prometheus text exposition format (version 0.0.4 is the text format's
+// version, not ours).
+const ContentTypeProm = "text/plain; version=0.0.4"
+
+// promHelp renders the # HELP line for a metric: the original registry
+// name (pre-sanitization) doubles as the help text, escaped per the
+// exposition format (backslash and newline).
+func promHelp(sanitized, original string) string {
+	esc := make([]byte, 0, len(original))
+	for i := 0; i < len(original); i++ {
+		switch original[i] {
+		case '\\':
+			esc = append(esc, '\\', '\\')
+		case '\n':
+			esc = append(esc, '\\', 'n')
+		default:
+			esc = append(esc, original[i])
+		}
+	}
+	return "# HELP " + sanitized + " permchain metric " + string(esc) + "\n"
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format. Histograms are rendered as summaries (quantile-labelled gauges
-// plus _sum/_count), which matches how we extract percentiles.
+// format (each family gets its # HELP and # TYPE lines; serve it with
+// Content-Type ContentTypeProm). Histograms are rendered as summaries
+// (quantile-labelled values plus _sum/_count), which matches how we
+// extract percentiles.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	var names []string
 	for k := range s.Counters {
@@ -343,7 +373,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		n := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s# TYPE %s counter\n%s %d\n", promHelp(n, k), n, n, s.Counters[k]); err != nil {
 			return err
 		}
 	}
@@ -354,7 +384,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		n := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s# TYPE %s gauge\n%s %d\n", promHelp(n, k), n, n, s.Gauges[k]); err != nil {
 			return err
 		}
 	}
@@ -367,8 +397,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		n := promName(k)
 		hs := s.Histograms[k]
 		if _, err := fmt.Fprintf(w,
-			"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
-			n, n, hs.P50, n, hs.P95, n, hs.P99, n, hs.Sum, n, hs.Count); err != nil {
+			"%s# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+			promHelp(n, k), n, n, hs.P50, n, hs.P95, n, hs.P99, n, hs.Sum, n, hs.Count); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"testing"
+
+	"permchain/internal/types"
+)
+
+func digestOf(i int) types.Hash { return types.HashConcat([]byte(fmt.Sprintf("tx-%d", i))) }
+
+// TestTracerRecent: completed spans land in the bounded ring, newest
+// first, and only completion (first apply mark) enrolls them.
+func TestTracerRecent(t *testing.T) {
+	clk := &ManualClock{}
+	tr := NewTracer(clk)
+	tr.SetRecentCapacity(4)
+
+	// An incomplete span (no apply) never shows up.
+	tr.MarkAt(digestOf(999), 1, PhaseSubmit, 10)
+	if got := tr.Recent(0); len(got) != 0 {
+		t.Fatalf("incomplete span enrolled: %+v", got)
+	}
+
+	for i := 0; i < 6; i++ {
+		d := digestOf(i)
+		tr.MarkAt(d, uint64(i+1), PhaseSubmit, int64(i*100))
+		tr.MarkAt(d, uint64(i+1), PhaseCommit, int64(i*100+50))
+		tr.MarkAt(d, uint64(i+1), PhaseApply, int64(i*100+60))
+		// A second apply mark must not enroll the span twice.
+		tr.MarkAt(d, uint64(i+1), PhaseApply, int64(i*100+70))
+	}
+
+	all := tr.Recent(0)
+	if len(all) != 4 {
+		t.Fatalf("ring holds %d spans, want capacity 4", len(all))
+	}
+	if all[0].Digest != digestOf(5) || all[3].Digest != digestOf(2) {
+		t.Fatalf("ring order wrong: newest %x oldest %x", all[0].Digest[:4], all[3].Digest[:4])
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[0].Digest != digestOf(5) {
+		t.Fatalf("Recent(2) = %d spans, newest %x", len(got), got[0].Digest[:4])
+	}
+	for _, s := range all {
+		if !s.Has(PhaseSubmit) || !s.Has(PhaseApply) {
+			t.Fatalf("ring span missing phases: %+v", s)
+		}
+	}
+
+	tr.Reset()
+	if got := tr.Recent(0); len(got) != 0 {
+		t.Fatalf("Reset kept %d ring spans", len(got))
+	}
+}
+
+// TestLogRing: the slog handler keeps the newest events with flattened
+// attributes, respecting WithAttrs prefixes.
+func TestLogRing(t *testing.T) {
+	ring := NewLogRing(3, slog.LevelInfo)
+	o := &Obs{}
+	o.SetLogHandler(ring.Handler())
+	log := o.Logger("consensus")
+
+	log.Debug("dropped: below level")
+	for i := 0; i < 5; i++ {
+		log.Info("view change", "view", i, "node", 2)
+	}
+	if ring.Len() != 3 {
+		t.Fatalf("ring holds %d, want 3", ring.Len())
+	}
+	evs := ring.Recent(0)
+	if evs[0].Msg != "view change" || evs[0].Attrs["view"] != "4" {
+		t.Fatalf("newest event = %+v", evs[0])
+	}
+	if evs[0].Attrs["component"] != "consensus" {
+		t.Fatalf("component attr lost: %+v", evs[0].Attrs)
+	}
+	if evs[2].Attrs["view"] != "2" {
+		t.Fatalf("oldest retained = %+v", evs[2])
+	}
+	if got := ring.Recent(1); len(got) != 1 || got[0].Attrs["view"] != "4" {
+		t.Fatalf("Recent(1) = %+v", got)
+	}
+}
+
+// TestTeeHandler: records fan out to every enabled handler.
+func TestTeeHandler(t *testing.T) {
+	a := NewLogRing(8, slog.LevelInfo)
+	b := NewLogRing(8, slog.LevelWarn)
+	log := slog.New(TeeHandler(a.Handler(), b.Handler()))
+	log.Info("info only")
+	log.Warn("both")
+	if a.Len() != 2 || b.Len() != 1 {
+		t.Fatalf("tee delivered a=%d b=%d, want 2 and 1", a.Len(), b.Len())
+	}
+}

@@ -111,14 +111,59 @@ type Tracer struct {
 	clock Clock
 	mu    sync.Mutex
 	spans map[types.Hash]*Span
+
+	// recent is a bounded ring of completed spans — spans that reached
+	// PhaseApply — in completion order, so a live system can serve "the
+	// last N transaction lifecycles" without walking the whole span map.
+	recent     []Span
+	recentNext int
+	recentN    int
 }
+
+// defaultRecentSpans bounds the completed-span ring.
+const defaultRecentSpans = 256
 
 // NewTracer returns a tracer stamping from clk (WallClock{} if nil).
 func NewTracer(clk Clock) *Tracer {
 	if clk == nil {
 		clk = WallClock{}
 	}
-	return &Tracer{clock: clk, spans: make(map[types.Hash]*Span)}
+	return &Tracer{clock: clk, spans: make(map[types.Hash]*Span),
+		recent: make([]Span, defaultRecentSpans)}
+}
+
+// SetRecentCapacity resizes the completed-span ring (dropping its
+// current contents). Capacity <= 0 restores the default.
+func (t *Tracer) SetRecentCapacity(n int) {
+	if n <= 0 {
+		n = defaultRecentSpans
+	}
+	t.mu.Lock()
+	t.recent = make([]Span, n)
+	t.recentNext, t.recentN = 0, 0
+	t.mu.Unlock()
+}
+
+// Recent returns up to limit completed spans, most recently completed
+// first (all retained ones when limit <= 0). A span completes when its
+// apply phase is first marked; later marks on other phases refine the
+// map copy but not the ring entry.
+func (t *Tracer) Recent(limit int) []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.recentN
+	if n > len(t.recent) {
+		n = len(t.recent)
+	}
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (t.recentNext - 1 - i + 2*len(t.recent)) % len(t.recent)
+		out = append(out, t.recent[idx])
+	}
+	return out
 }
 
 // Now returns the tracer's current clock reading.
@@ -148,9 +193,15 @@ func (t *Tracer) MarkAt(digest types.Hash, seq uint64, ph Phase, ts int64) {
 	if s.Seq == 0 && seq != 0 {
 		s.Seq = seq
 	}
+	completed := ph == PhaseApply && !s.Seen[PhaseApply]
 	if !s.Seen[ph] || ts < s.At[ph] {
 		s.At[ph] = ts
 		s.Seen[ph] = true
+	}
+	if completed && len(t.recent) > 0 {
+		t.recent[t.recentNext] = *s
+		t.recentNext = (t.recentNext + 1) % len(t.recent)
+		t.recentN++
 	}
 	t.mu.Unlock()
 }
@@ -198,10 +249,15 @@ func (t *Tracer) Len() int {
 	return len(t.spans)
 }
 
-// Reset drops all assembled spans (the clock is untouched).
+// Reset drops all assembled spans and the completed-span ring (the
+// clock is untouched).
 func (t *Tracer) Reset() {
 	t.mu.Lock()
 	t.spans = make(map[types.Hash]*Span)
+	for i := range t.recent {
+		t.recent[i] = Span{}
+	}
+	t.recentNext, t.recentN = 0, 0
 	t.mu.Unlock()
 }
 

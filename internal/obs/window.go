@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Rate windows. Lifetime aggregates hide exactly what an operator (or a
+// soak experiment) needs to see: whether the system is keeping up *right
+// now*. The seven-system comparison methodology (arXiv 2311.15433) makes
+// the same point for benchmarks — report continuously sampled,
+// time-windowed measurements, not end-of-run averages. The pieces here:
+//
+//   - Registry.Sample captures full instrument state (including raw
+//     histogram buckets, which HistogramSnapshot deliberately does not
+//     expose);
+//   - Registry.Delta subtracts a previous Sample, yielding a Snapshot
+//     whose counters and histograms cover only the window between the
+//     two samples — windowed p99 comes from the bucket-count diff;
+//   - WindowSampler runs Delta on a timer and keeps a bounded ring of
+//     recent windows, which is what /metrics and /metrics.json serve.
+
+// HistState is the full internal state of one histogram: the raw bucket
+// counts a windowed quantile needs.
+type HistState struct {
+	Buckets [histBuckets]int64
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+}
+
+// state copies the histogram's full internal state.
+func (h *Histogram) state() HistState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistState{Buckets: h.buckets, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// Sample is a full-state capture of a registry at one instant — the
+// "prev" operand of Delta. Unlike Snapshot it keeps raw buckets, so two
+// Samples can be subtracted without losing quantile information.
+type Sample struct {
+	At       time.Time
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistState
+}
+
+// Sample captures the current full state of every instrument.
+func (r *Registry) Sample() Sample {
+	s := Sample{At: time.Now()}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	s.Counters = make(map[string]int64, len(counters))
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	s.Gauges = make(map[string]int64, len(gauges))
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	s.Hists = make(map[string]HistState, len(hists))
+	for k, v := range hists {
+		s.Hists[k] = v.state()
+	}
+	return s
+}
+
+// Delta takes a fresh Sample and returns the windowed Snapshot covering
+// (prev, now]: counters are increments, histograms are re-derived from
+// bucket-count diffs (quantiles over only the window's observations),
+// gauges are current values (a gauge has no meaningful delta). The
+// returned Sample is the new "prev" for the next window. A zero prev
+// (no capture yet) yields the lifetime snapshot, making the first
+// window self-initializing.
+func (r *Registry) Delta(prev Sample) (Snapshot, Sample) {
+	cur := r.Sample()
+	win := Snapshot{
+		Counters:   make(map[string]int64, len(cur.Counters)),
+		Gauges:     make(map[string]int64, len(cur.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(cur.Hists)),
+	}
+	for k, v := range cur.Counters {
+		d := v - prev.Counters[k]
+		if d < 0 {
+			d = 0 // a restarted registry; treat as fresh
+		}
+		win.Counters[k] = d
+	}
+	for k, v := range cur.Gauges {
+		win.Gauges[k] = v
+	}
+	for k, hs := range cur.Hists {
+		win.Histograms[k] = diffHist(hs, prev.Hists[k])
+	}
+	return win, cur
+}
+
+// diffHist derives the windowed summary from two bucket states. Min and
+// max are approximated from the window's occupied bucket bounds clamped
+// to the lifetime min/max — within the histogram's 2x bucket resolution,
+// which is the same guarantee lifetime quantiles give.
+func diffHist(cur, prev HistState) HistogramSnapshot {
+	var d HistState
+	d.Count = cur.Count - prev.Count
+	d.Sum = cur.Sum - prev.Sum
+	if d.Count <= 0 {
+		return HistogramSnapshot{}
+	}
+	lo, hi := -1, -1
+	for i := 0; i < histBuckets; i++ {
+		d.Buckets[i] = cur.Buckets[i] - prev.Buckets[i]
+		if d.Buckets[i] > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	// Bucket lower/upper bounds for the occupied window range.
+	min := int64(0)
+	if lo > 0 {
+		min = BucketUpper(lo-1) + 1
+	}
+	if min < cur.Min {
+		min = cur.Min
+	}
+	max := BucketUpper(hi)
+	if max > cur.Max {
+		max = cur.Max
+	}
+	h := Histogram{buckets: d.Buckets, count: d.Count, sum: d.Sum, min: min, max: max}
+	return HistogramSnapshot{
+		Count: d.Count,
+		Sum:   d.Sum,
+		Min:   min,
+		Mean:  d.Sum / d.Count,
+		P50:   h.quantileLocked(0.50),
+		P95:   h.quantileLocked(0.95),
+		P99:   h.quantileLocked(0.99),
+		Max:   max,
+	}
+}
+
+// Window is one sampled interval: the windowed snapshot plus its bounds.
+type Window struct {
+	Start   time.Time     `json:"start"`
+	End     time.Time     `json:"end"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Snap    Snapshot      `json:"snapshot"`
+}
+
+// Rate returns the named counter's per-second rate over this window.
+func (w Window) Rate(counter string) float64 {
+	if w.Elapsed <= 0 {
+		return 0
+	}
+	return float64(w.Snap.Counters[counter]) / w.Elapsed.Seconds()
+}
+
+// Rates returns every non-zero counter's per-second rate over this
+// window.
+func (w Window) Rates() map[string]float64 {
+	out := make(map[string]float64)
+	if w.Elapsed <= 0 {
+		return out
+	}
+	for k, v := range w.Snap.Counters {
+		if v != 0 {
+			out[k] = float64(v) / w.Elapsed.Seconds()
+		}
+	}
+	return out
+}
+
+// WindowSampler periodically takes registry deltas on a background
+// goroutine, keeping a bounded ring of recent windows. One sampler per
+// ops server; Stop before discarding.
+type WindowSampler struct {
+	reg      *Registry
+	interval time.Duration
+	keep     int
+
+	mu      sync.Mutex
+	prev    Sample
+	ring    []Window
+	started bool
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWindowSampler builds a sampler over reg. interval defaults to 1s,
+// keep (ring size) to 60 windows.
+func NewWindowSampler(reg *Registry, interval time.Duration, keep int) *WindowSampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if keep <= 0 {
+		keep = 60
+	}
+	return &WindowSampler{
+		reg: reg, interval: interval, keep: keep,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// Interval returns the sampling interval.
+func (s *WindowSampler) Interval() time.Duration { return s.interval }
+
+// Start launches the sampling loop. Idempotent; a stopped sampler stays
+// stopped.
+func (s *WindowSampler) Start() {
+	s.mu.Lock()
+	if s.started || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.prev = s.reg.Sample()
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.Tick()
+			}
+		}
+	}()
+}
+
+// Tick takes one delta right now — the loop's body, exported so tests
+// (and callers that prefer their own scheduling) can drive windows
+// deterministically.
+func (s *WindowSampler) Tick() {
+	s.mu.Lock()
+	prev := s.prev
+	s.mu.Unlock()
+	snap, cur := s.reg.Delta(prev)
+	w := Window{Start: prev.At, End: cur.At, Elapsed: cur.At.Sub(prev.At), Snap: snap}
+	s.mu.Lock()
+	s.prev = cur
+	s.ring = append(s.ring, w)
+	if len(s.ring) > s.keep {
+		s.ring = s.ring[len(s.ring)-s.keep:]
+	}
+	s.mu.Unlock()
+}
+
+// Stop terminates the loop. Idempotent; safe even if Start never ran.
+func (s *WindowSampler) Stop() {
+	s.mu.Lock()
+	started := s.started
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.started = false
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+}
+
+// Last returns the most recent window, if any exists yet.
+func (s *WindowSampler) Last() (Window, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) == 0 {
+		return Window{}, false
+	}
+	return s.ring[len(s.ring)-1], true
+}
+
+// Windows returns up to limit recent windows, oldest first (all of them
+// when limit <= 0).
+func (s *WindowSampler) Windows(limit int) []Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.ring)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Window, n)
+	copy(out, s.ring[len(s.ring)-n:])
+	return out
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryDelta: counters and histogram quantiles cover only the
+// window between two samples, not the lifetime.
+func TestRegistryDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("txs").Add(100)
+	for i := 0; i < 100; i++ {
+		r.Histogram("lat").Observe(1000) // lifetime so far: all fast
+	}
+	r.Gauge("depth").Set(7)
+
+	_, prev := r.Delta(Sample{}) // self-initializing first window
+	r.Counter("txs").Add(10)
+	for i := 0; i < 10; i++ {
+		r.Histogram("lat").Observe(1 << 20) // this window: all slow (~1ms)
+	}
+	r.Gauge("depth").Set(3)
+	win, next := r.Delta(prev)
+
+	if got := win.Counters["txs"]; got != 10 {
+		t.Fatalf("windowed counter = %d, want 10 (lifetime is 110)", got)
+	}
+	if got := win.Gauges["depth"]; got != 3 {
+		t.Fatalf("windowed gauge = %d, want current value 3", got)
+	}
+	hs := win.Histograms["lat"]
+	if hs.Count != 10 {
+		t.Fatalf("windowed hist count = %d, want 10 (lifetime is 110)", hs.Count)
+	}
+	// Every sample in this window was ~2^20ns; the lifetime p50 would be
+	// 1023ns (100 of 110 samples are 1000ns). Windowed p50 must see only
+	// the slow window.
+	if hs.P50 < 1<<19 {
+		t.Fatalf("windowed p50 = %d, still dominated by lifetime samples", hs.P50)
+	}
+	if hs.Min < 1000 || hs.Max > 1<<21 {
+		t.Fatalf("windowed min/max [%d, %d] out of bucket bounds", hs.Min, hs.Max)
+	}
+
+	// An empty window yields zeroes, not stale lifetime values.
+	win2, _ := r.Delta(next)
+	if win2.Counters["txs"] != 0 || win2.Histograms["lat"].Count != 0 {
+		t.Fatalf("idle window not empty: %+v", win2)
+	}
+}
+
+// TestWindowRate pins the rate computation /status reports.
+func TestWindowRate(t *testing.T) {
+	w := Window{Elapsed: 2 * time.Second, Snap: Snapshot{Counters: map[string]int64{"txs": 100}}}
+	if got := w.Rate("txs"); got != 50 {
+		t.Fatalf("Rate = %v, want 50", got)
+	}
+	if got := w.Rates()["txs"]; got != 50 {
+		t.Fatalf("Rates = %v, want 50", got)
+	}
+	if got := (Window{}).Rate("txs"); got != 0 {
+		t.Fatalf("zero-window Rate = %v", got)
+	}
+}
+
+// TestWindowSampler drives the sampler with explicit ticks (the loop's
+// own body) so the windows are deterministic.
+func TestWindowSampler(t *testing.T) {
+	r := NewRegistry()
+	s := NewWindowSampler(r, time.Hour /* ticker never fires */, 3)
+	s.Start()
+	defer s.Stop()
+
+	if _, ok := s.Last(); ok {
+		t.Fatal("sampler has a window before any tick")
+	}
+	for i := 1; i <= 5; i++ {
+		r.Counter("txs").Add(int64(i))
+		s.Tick()
+	}
+	if got := len(s.Windows(0)); got != 3 {
+		t.Fatalf("ring holds %d windows, want 3 (bounded)", got)
+	}
+	last, ok := s.Last()
+	if !ok || last.Snap.Counters["txs"] != 5 {
+		t.Fatalf("last window = %+v, want the 5-increment window", last.Snap.Counters)
+	}
+	ws := s.Windows(2)
+	if len(ws) != 2 || ws[1].Snap.Counters["txs"] != 5 || ws[0].Snap.Counters["txs"] != 4 {
+		t.Fatalf("Windows(2) = %+v, want the 4- then 5-increment windows", ws)
+	}
+	s.Stop() // idempotent
+	s.Stop()
+}
+
+// TestWritePrometheusGolden pins the full exposition output: HELP/TYPE
+// lines, '/'-name sanitization, summary rendering — the format the
+// /metrics endpoint serves and CI curls.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pbft/view_changes").Add(3)
+	r.Gauge("core/apply_queue_depth").Set(5)
+	h := r.Histogram("core/execute")
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# HELP pbft_view_changes permchain metric pbft/view_changes
+# TYPE pbft_view_changes counter
+pbft_view_changes 3
+# HELP core_apply_queue_depth permchain metric core/apply_queue_depth
+# TYPE core_apply_queue_depth gauge
+core_apply_queue_depth 5
+# HELP core_execute permchain metric core/execute
+# TYPE core_execute summary
+core_execute{quantile="0.5"} 1000
+core_execute{quantile="0.95"} 1000
+core_execute{quantile="0.99"} 1000
+core_execute_sum 10000
+core_execute_count 10
+`
+	if b.String() != golden {
+		t.Fatalf("exposition drifted from the golden format:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+	if ContentTypeProm != "text/plain; version=0.0.4" {
+		t.Fatalf("ContentTypeProm = %q", ContentTypeProm)
+	}
+}
+
+// TestPromNameSanitization covers the byte classes the exposition format
+// forbids in metric names.
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"store/fsync_latency": "store_fsync_latency",
+		"a-b.c d":             "a_b_c_d",
+		"9lives":              "_9lives",
+		"ok_name:sub":         "ok_name:sub",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

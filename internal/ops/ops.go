@@ -1,0 +1,318 @@
+// Package ops is the live operations plane: one HTTP server per node (or
+// per in-process cluster, which is the same thing here — every replica
+// shares one *obs.Obs) exposing what a running chain is doing right now.
+//
+//	/metrics       Prometheus text format: lifetime instruments plus
+//	               windowed <name>_rate gauges and <name>_window
+//	               summaries derived from the background rate sampler
+//	/metrics.json  the same, structured: lifetime snapshot + last window
+//	/healthz       liveness — 503 only when the health model says
+//	               Unhealthy (restart-worthy)
+//	/readyz        readiness — 503 unless fully Healthy (degraded nodes
+//	               leave rotation before they fall over)
+//	/status        chain position: height, state hash, per-protocol
+//	               view/round gauges, per-node watermarks, mempool and
+//	               network summaries
+//	/traces        the most recent completed transaction lifecycles
+//	/logs          the most recent structured log events (when a LogRing
+//	               is attached)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// The server deliberately reads everything live at request time — there
+// is no cached status to go stale while the chain wedges.
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"permchain/internal/core"
+	"permchain/internal/obs"
+)
+
+// Config shapes an ops server.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9464". ":0" picks a
+	// free port (the chosen address is available via Server.Addr).
+	Addr string
+	// Chain is the running chain the server reports on. Optional: without
+	// it /status returns 404 but metrics, health, traces, logs and pprof
+	// still serve — the profile-only mode permbench uses.
+	Chain *core.Chain
+	// Obs supplies the registry, tracer, health tracker and loggers.
+	// Defaults to Chain.Obs() when nil.
+	Obs *obs.Obs
+	// Window is the rate-sampling interval (default 1s); WindowKeep
+	// bounds the retained ring of windows (default 60).
+	Window     time.Duration
+	WindowKeep int
+	// LogRing, when set, backs /logs.
+	LogRing *obs.LogRing
+}
+
+// Server is a running ops endpoint. Close it when the chain stops.
+type Server struct {
+	cfg     Config
+	o       *obs.Obs
+	sampler *obs.WindowSampler
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
+}
+
+// Serve binds cfg.Addr, starts the rate sampler, and serves the ops
+// endpoints on a background goroutine.
+func Serve(cfg Config) (*Server, error) {
+	o := cfg.Obs
+	if o == nil && cfg.Chain != nil {
+		o = cfg.Chain.Obs()
+	}
+	s := &Server{cfg: cfg, o: o, started: time.Now()}
+	if o != nil && o.Reg != nil {
+		s.sampler = obs.NewWindowSampler(o.Reg, cfg.Window, cfg.WindowKeep)
+		s.sampler.Start()
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		if s.sampler != nil {
+			s.sampler.Stop()
+		}
+		return nil, fmt.Errorf("ops: listen %s: %w", cfg.Addr, err)
+	}
+	s.ln = ln
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/logs", s.handleLogs)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	if o != nil {
+		o.Logger("ops").Info("ops server listening", "addr", s.Addr())
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Sampler returns the background rate sampler (nil without a registry).
+func (s *Server) Sampler() *obs.WindowSampler { return s.sampler }
+
+// Close stops the sampler and shuts the listener down.
+func (s *Server) Close() error {
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) health() *obs.Health {
+	if s.o == nil {
+		return nil
+	}
+	return s.o.Health
+}
+
+// handleMetrics serves the Prometheus text format: the lifetime snapshot
+// first, then the windowed families — a <name>_rate gauge (per-second
+// over the last sampled window) for every counter that moved, and a
+// <name>_window summary re-deriving quantiles from only the window's
+// observations. Operators therefore read current throughput and current
+// tail latency, not lifetime averages.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.o == nil || s.o.Reg == nil {
+		http.Error(w, "no metrics registry attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentTypeProm)
+	snap := s.o.Reg.Snapshot()
+	if err := snap.WritePrometheus(w); err != nil {
+		return
+	}
+	if s.sampler == nil {
+		return
+	}
+	win, ok := s.sampler.Last()
+	if !ok || win.Elapsed <= 0 {
+		return
+	}
+	sec := win.Elapsed.Seconds()
+	names := make([]string, 0, len(win.Snap.Counters))
+	for k, v := range win.Snap.Counters {
+		if v != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := obs.PromName(k) + "_rate"
+		fmt.Fprintf(w, "# HELP %s per-second rate of %s over the last %v window\n# TYPE %s gauge\n%s %g\n",
+			n, obs.PromName(k), s.sampler.Interval(), n, n, float64(win.Snap.Counters[k])/sec)
+	}
+	names = names[:0]
+	for k, hs := range win.Snap.Histograms {
+		if hs.Count != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		hs := win.Snap.Histograms[k]
+		n := obs.PromName(k) + "_window"
+		fmt.Fprintf(w,
+			"# HELP %s %s over the last %v window\n# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, obs.PromName(k), s.sampler.Interval(), n, n, hs.P50, n, hs.P95, n, hs.P99, n, hs.Sum, n, hs.Count)
+	}
+}
+
+// metricsJSON is the /metrics.json document.
+type metricsJSON struct {
+	Lifetime obs.Snapshot `json:"lifetime"`
+	Window   *windowJSON  `json:"window,omitempty"`
+	Windows  int          `json:"windows_kept"`
+}
+
+type windowJSON struct {
+	Start   time.Time          `json:"start"`
+	End     time.Time          `json:"end"`
+	Elapsed time.Duration      `json:"elapsed_ns"`
+	Rates   map[string]float64 `json:"rates,omitempty"`
+	Snap    obs.Snapshot       `json:"snapshot"`
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	if s.o == nil || s.o.Reg == nil {
+		http.Error(w, "no metrics registry attached", http.StatusNotFound)
+		return
+	}
+	doc := metricsJSON{Lifetime: s.o.Reg.Snapshot()}
+	if s.sampler != nil {
+		doc.Windows = len(s.sampler.Windows(0))
+		if win, ok := s.sampler.Last(); ok {
+			doc.Window = &windowJSON{Start: win.Start, End: win.End,
+				Elapsed: win.Elapsed, Rates: win.Rates(), Snap: win.Snap}
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleHealthz is liveness: only an Unhealthy verdict — stalled
+// consensus past the unhealthy multiplier, a view-change storm, a
+// storage error — returns 503. Degraded stays 200 here so orchestrators
+// shed load (readyz) without restart-looping a node that is merely slow.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rep := s.health().Report()
+	code := http.StatusOK
+	if rep.Status == obs.Unhealthy {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rep)
+}
+
+// handleReadyz is readiness: anything short of fully Healthy returns 503.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rep := s.health().Report()
+	code := http.StatusOK
+	if rep.Status != obs.Healthy {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rep)
+}
+
+// statusDoc wraps core.Status with the server's own vitals.
+type statusDoc struct {
+	core.Status
+	Health obs.HealthStatus `json:"health"`
+	Uptime time.Duration    `json:"uptime_ns"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Chain == nil {
+		http.Error(w, "no chain attached", http.StatusNotFound)
+		return
+	}
+	doc := statusDoc{
+		Status: s.cfg.Chain.Status(),
+		Health: s.health().Report().Status,
+		Uptime: time.Since(s.started),
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// traceJSON flattens a span for JSON: hex digest plus phase->timestamp.
+type traceJSON struct {
+	Digest string           `json:"digest"`
+	Seq    uint64           `json:"seq,omitempty"`
+	Phases map[string]int64 `json:"phases"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.o == nil || s.o.Tracer == nil {
+		http.Error(w, "no tracer attached", http.StatusNotFound)
+		return
+	}
+	limit := queryInt(r, "limit", 50)
+	spans := s.o.Tracer.Recent(limit)
+	out := make([]traceJSON, 0, len(spans))
+	for i := range spans {
+		sp := &spans[i]
+		t := traceJSON{Digest: sp.Digest.Hex(), Seq: sp.Seq,
+			Phases: make(map[string]int64)}
+		for _, ph := range obs.Phases() {
+			if sp.Has(ph) {
+				t.Phases[ph.String()] = sp.At[ph]
+			}
+		}
+		out = append(out, t)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.LogRing == nil {
+		http.Error(w, "no log ring attached", http.StatusNotFound)
+		return
+	}
+	limit := queryInt(r, "limit", 100)
+	writeJSON(w, http.StatusOK, s.cfg.LogRing.Recent(limit))
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

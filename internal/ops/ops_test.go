@@ -1,0 +1,265 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"permchain/internal/core"
+	"permchain/internal/mempool"
+	"permchain/internal/obs"
+	"permchain/internal/types"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func mkTx(i int) *types.Transaction {
+	return &types.Transaction{
+		ID:     fmt.Sprintf("ops-tx-%d", i),
+		Client: types.NodeID(i % 3),
+		Ops:    []types.Op{{Code: types.OpPut, Key: fmt.Sprintf("k%d", i%17), Value: []byte(fmt.Sprintf("v%d", i))}},
+	}
+}
+
+// TestEndpointsUnderLoad drives a live chain while hammering every
+// endpoint concurrently — the acceptance shape: all endpoints answer,
+// with the right content types, while blocks commit under them.
+func TestEndpointsUnderLoad(t *testing.T) {
+	o := obs.New()
+	ring := obs.NewLogRing(128, slog.LevelDebug)
+	o.SetLogHandler(ring.Handler())
+	c, err := core.New(core.Config{
+		Nodes: 4, Protocol: core.PBFT, BlockSize: 8,
+		FlushEvery: 5 * time.Millisecond, Obs: o,
+		Mempool: &mempool.Config{Capacity: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	srv, err := Serve(Config{Addr: "127.0.0.1:0", Chain: c,
+		Window: 20 * time.Millisecond, LogRing: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Submit(mkTx(i))
+			if i%50 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Health endpoints may legitimately answer 503 while the cluster is
+	// being hammered (view churn, backlog); the contract under load is
+	// that every endpoint answers with well-formed output, not that the
+	// cluster stays green.
+	paths := []struct {
+		path     string
+		wantType string
+		may503   bool
+	}{
+		{"/metrics", obs.ContentTypeProm, false},
+		{"/metrics.json", "application/json", false},
+		{"/healthz", "application/json", true},
+		{"/readyz", "application/json", true},
+		{"/status", "application/json", false},
+		{"/traces?limit=10", "application/json", false},
+		{"/logs?limit=10", "application/json", false},
+		{"/debug/pprof/cmdline", "", false},
+	}
+	for round := 0; round < 5; round++ {
+		for _, p := range paths {
+			code, body, ctype := get(t, srv.URL()+p.path)
+			if code != http.StatusOK && !(p.may503 && code == http.StatusServiceUnavailable) {
+				t.Fatalf("%s: status %d, body %.200s", p.path, code, body)
+			}
+			if p.wantType != "" && !strings.HasPrefix(ctype, p.wantType) {
+				t.Fatalf("%s: content-type %q, want prefix %q", p.path, ctype, p.wantType)
+			}
+			if strings.HasPrefix(p.wantType, "application/json") && !json.Valid([]byte(body)) {
+				t.Fatalf("%s: malformed JSON: %.200s", p.path, body)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if !c.AwaitTxs(1, 5*time.Second) {
+		t.Fatal("no transactions committed under load")
+	}
+
+	// The committed chain must show in /status and in /metrics.
+	code, body, _ := get(t, srv.URL()+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status: %d", code)
+	}
+	var st struct {
+		Protocol string `json:"protocol"`
+		Height   uint64 `json:"height"`
+		Health   string `json:"health"`
+		Nodes    []struct {
+			ID int `json:"id"`
+		} `json:"nodes"`
+		Mempool *struct {
+			Admitted int64 `json:"Admitted"`
+		} `json:"mempool"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status JSON: %v", err)
+	}
+	if st.Protocol != "pbft" || len(st.Nodes) != 4 || st.Height == 0 {
+		t.Fatalf("unexpected status: %+v", st)
+	}
+	if st.Mempool == nil || st.Mempool.Admitted == 0 {
+		t.Fatalf("status missing mempool stats: %+v", st.Mempool)
+	}
+
+	_, metrics, _ := get(t, srv.URL()+"/metrics")
+	if !strings.Contains(metrics, "# TYPE core_committed_txs counter") {
+		t.Fatalf("metrics missing committed counter:\n%.500s", metrics)
+	}
+
+	// /traces serves completed lifecycles with hex digests.
+	_, traces, _ := get(t, srv.URL()+"/traces?limit=5")
+	var spans []struct {
+		Digest string           `json:"digest"`
+		Phases map[string]int64 `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(traces), &spans); err != nil {
+		t.Fatalf("/traces JSON: %v", err)
+	}
+	if len(spans) == 0 || spans[0].Digest == "" || len(spans[0].Phases) == 0 {
+		t.Fatalf("no usable spans in /traces: %s", traces)
+	}
+
+	// /logs serves the structured events the components emitted.
+	_, logsBody, _ := get(t, srv.URL()+"/logs")
+	var events []obs.LogEvent
+	if err := json.Unmarshal([]byte(logsBody), &events); err != nil {
+		t.Fatalf("/logs JSON: %v", err)
+	}
+}
+
+// TestWindowedRates pins the windowed-vs-lifetime distinction: /metrics
+// reports <name>_rate from the last sampled window, not from lifetime
+// totals, and /metrics.json carries both sections separately.
+func TestWindowedRates(t *testing.T) {
+	o := obs.New()
+	srv, err := Serve(Config{Addr: "127.0.0.1:0", Obs: o, Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	o.Add("bench/ops", 100)
+	time.Sleep(2 * time.Millisecond) // non-zero window elapsed
+	srv.Sampler().Tick()             // window 1: 100
+	o.Add("bench/ops", 5)
+	time.Sleep(2 * time.Millisecond)
+	srv.Sampler().Tick() // window 2: 5
+
+	_, body, ctype := get(t, srv.URL()+"/metrics.json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("content-type %q", ctype)
+	}
+	var doc struct {
+		Lifetime struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"lifetime"`
+		Window struct {
+			Rates map[string]float64 `json:"rates"`
+			Snap  struct {
+				Counters map[string]int64 `json:"counters"`
+			} `json:"snapshot"`
+		} `json:"window"`
+		Windows int `json:"windows_kept"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if doc.Lifetime.Counters["bench/ops"] != 105 {
+		t.Fatalf("lifetime = %d, want 105", doc.Lifetime.Counters["bench/ops"])
+	}
+	if doc.Window.Snap.Counters["bench/ops"] != 5 {
+		t.Fatalf("window = %d, want 5 (windowed, not lifetime)", doc.Window.Snap.Counters["bench/ops"])
+	}
+	if doc.Window.Rates["bench/ops"] <= 0 {
+		t.Fatalf("window rate missing: %v", doc.Window.Rates)
+	}
+	if doc.Windows != 2 {
+		t.Fatalf("windows_kept = %d, want 2", doc.Windows)
+	}
+
+	_, text, _ := get(t, srv.URL()+"/metrics")
+	if !strings.Contains(text, "bench_ops 105") {
+		t.Fatalf("lifetime line missing:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE bench_ops_rate gauge") {
+		t.Fatalf("windowed rate family missing:\n%s", text)
+	}
+	// The rate line must reflect the 5-count window, not the 105 lifetime:
+	// with an elapsed of a few ms the lifetime-rate would be tens of
+	// thousands; assert the numerator by reconstructing it.
+	win, ok := srv.Sampler().Last()
+	if !ok {
+		t.Fatal("no last window")
+	}
+	want := fmt.Sprintf("bench_ops_rate %g", float64(5)/win.Elapsed.Seconds())
+	if !strings.Contains(text, want) {
+		t.Fatalf("rate line %q missing:\n%s", want, text)
+	}
+}
+
+// TestServeWithoutChain is the permbench profile-only mode: metrics,
+// health and pprof answer; /status and /logs 404 cleanly.
+func TestServeWithoutChain(t *testing.T) {
+	o := obs.New()
+	srv, err := Serve(Config{Addr: "127.0.0.1:0", Obs: o, Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _, _ := get(t, srv.URL()+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz: %d", code)
+	}
+	if code, _, _ := get(t, srv.URL()+"/status"); code != http.StatusNotFound {
+		t.Fatalf("/status without chain: %d, want 404", code)
+	}
+	if code, _, _ := get(t, srv.URL()+"/logs"); code != http.StatusNotFound {
+		t.Fatalf("/logs without ring: %d, want 404", code)
+	}
+}

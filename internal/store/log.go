@@ -98,6 +98,8 @@ func OpenLog(dir string, cfg Config) (*Log, error) {
 				return nil, terr
 			}
 			cfg.Obs.Inc("store/torn_truncations")
+			cfg.Obs.Logger("store").Warn("torn tail truncated",
+				"segment", filepath.Base(seg.path), "offset", good)
 		} else if err != nil {
 			if err == errTornTail {
 				// A non-final segment was sealed by a rotation; an invalid
@@ -105,6 +107,9 @@ func OpenLog(dir string, cfg Config) (*Log, error) {
 				err = fmt.Errorf("%w: segment %s: invalid record at offset %d in sealed segment",
 					ErrCorrupt, filepath.Base(seg.path), good)
 			}
+			cfg.Obs.NoteStoreError(err)
+			cfg.Obs.Logger("store").Error("segment scan failed",
+				"segment", filepath.Base(seg.path), "err", err)
 			return nil, err
 		}
 		next += uint64(n)

@@ -98,6 +98,9 @@ func (s *Store) snapWorker(a *asyncSnap) {
 		if err != nil {
 			a.err = err
 			s.cfg.Obs.Inc("store/snapshot_errors")
+			s.cfg.Obs.NoteStoreError(err)
+			s.cfg.Obs.Logger("store").Error("async snapshot write failed",
+				"height", req.height, "err", err)
 		} else {
 			s.cfg.Obs.Inc("store/snapshots_async")
 		}

@@ -36,10 +36,13 @@
 package permchain
 
 import (
+	"log/slog"
+
 	"permchain/internal/arch"
 	"permchain/internal/core"
 	"permchain/internal/mempool"
 	"permchain/internal/obs"
+	"permchain/internal/ops"
 	"permchain/internal/store"
 	"permchain/internal/types"
 )
@@ -93,6 +96,46 @@ type (
 	// histogram, as returned by Chain.Metrics. Its WriteJSON and
 	// WritePrometheus methods render it for export.
 	MetricsSnapshot = obs.Snapshot
+)
+
+// Ops plane, re-exported: the live HTTP view of a running chain and the
+// health model behind its /healthz and /readyz endpoints.
+type (
+	// OpsConfig shapes an ops server; pass it to ServeOps with the running
+	// Chain to expose /metrics, /healthz, /readyz, /status, /traces,
+	// /logs, and /debug/pprof over HTTP.
+	OpsConfig = ops.Config
+	// OpsServer is a running ops endpoint. Close it when the chain stops.
+	OpsServer = ops.Server
+	// Health folds liveness, churn, backlog and storage signals into a
+	// three-state verdict with per-check reasons. Chains build one
+	// automatically when Config.Obs is set; tune it by assigning
+	// NewHealth(HealthConfig{...}) to Obs.Health before NewChain.
+	Health = obs.Health
+	// HealthConfig tunes the health model's thresholds and cadence.
+	HealthConfig = obs.HealthConfig
+	// HealthReport is one evaluated verdict with its per-check reasons.
+	HealthReport = obs.HealthReport
+	// HealthCheck is a single named signal inside a HealthReport.
+	HealthCheck = obs.HealthCheck
+	// HealthStatus is the three-state verdict.
+	HealthStatus = obs.HealthStatus
+	// LogRing is a bounded in-memory sink for the structured log stream;
+	// attach its Handler via Obs.SetLogHandler and serve it at /logs by
+	// setting OpsConfig.LogRing.
+	LogRing = obs.LogRing
+)
+
+// Health verdicts.
+const (
+	// Healthy: every check passes; /readyz answers 200.
+	Healthy = obs.Healthy
+	// Degraded: the node works but is losing ground (stalled commits,
+	// view churn, deep backlogs); /readyz answers 503, /healthz 200.
+	Degraded = obs.Degraded
+	// Unhealthy: restart-worthy (storage errors, hard stalls); both
+	// /healthz and /readyz answer 503.
+	Unhealthy = obs.Unhealthy
 )
 
 // Transaction model, re-exported.
@@ -176,6 +219,20 @@ func IsReject(err error) bool { return mempool.IsReject(err) }
 // lifecycle tracer) to assign to Config.Obs; harvest it with
 // Chain.Metrics once the workload has run.
 func NewObs() *Obs { return obs.New() }
+
+// NewHealth builds a health tracker with the given thresholds; assign it
+// to an Obs's Health field before NewChain to override the defaults.
+func NewHealth(cfg HealthConfig) *Health { return obs.NewHealth(cfg) }
+
+// ServeOps starts the HTTP ops plane for a running chain (or, with only
+// an Obs, the profile-only mode permbench uses).
+func ServeOps(cfg OpsConfig) (*OpsServer, error) { return ops.Serve(cfg) }
+
+// NewLogRing returns a bounded sink retaining the most recent structured
+// log events at or above level.
+func NewLogRing(capacity int, level slog.Level) *LogRing {
+	return obs.NewLogRing(capacity, level)
+}
 
 // NewChain assembles a chain from the config. Call Start before
 // submitting and Stop when done.

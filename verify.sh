@@ -4,10 +4,11 @@
 # every commit. The chaos matrix (chaoscheck_test.go) and all protocol
 # recovery tests are part of the suite, so a green run covers the §2.2
 # safety/liveness assertions too. The race detector is mandatory for
-# changes touching internal/consensus, internal/network, internal/chaos
-# or internal/mempool — everything there is multi-goroutine by
-# construction (the mempool's capacity/dedup invariants are specifically
-# asserted under concurrent submitters).
+# changes touching internal/consensus, internal/network, internal/chaos,
+# internal/mempool or internal/ops — everything there is multi-goroutine
+# by construction (the mempool's capacity/dedup invariants are asserted
+# under concurrent submitters; the ops server is hammered concurrently
+# with a committing cluster).
 set -eu
 
 cd "$(dirname "$0")"
