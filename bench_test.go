@@ -110,3 +110,10 @@ func BenchmarkE12_Pipeline(b *testing.B) {
 func BenchmarkE13_WorldState(b *testing.B) {
 	runExperiment(b, func() (*bench.Table, error) { return bench.E13WorldState(true) })
 }
+
+// BenchmarkE15_QuorumScaling regenerates the vote-aggregation scaling
+// comparison: msgs/commit and latency for counted vs aggregated BFT vote
+// phases as the cluster grows toward 64 replicas.
+func BenchmarkE15_QuorumScaling(b *testing.B) {
+	runExperiment(b, func() (*bench.Table, error) { return bench.E15QuorumScaling(true) })
+}

@@ -3,10 +3,17 @@
 //
 // Usage:
 //
-//	chainctl [-nodes 4] [-protocol pbft] [-arch oxii] [-metrics json|prom]
+//	chainctl [-nodes 4 | -n 4] [-protocol pbft] [-arch oxii]
+//	         [-aggregate] [-batch-votes] [-metrics json|prom]
 //	         [-store DIR] [-fsync always|interval|off] [-snap-every N]
 //	         [-mempool-cap N] [-ops-addr HOST:PORT] [-log LEVEL]
 //	chainctl -ops-addr HOST:PORT status
+//
+// -n is shorthand for -nodes and overrides it — convenient when scripting
+// cluster-size sweeps. -aggregate switches the BFT vote phases (PBFT,
+// HotStuff) to Schnorr quorum certificates; -batch-votes coalesces
+// outbound vote traffic per destination. Both surface their counters under
+// vote_agg in /status and `chainctl status`.
 //
 // -metrics dumps the chain's full metrics snapshot (consensus phase
 // latencies, network counters, engine stage timings) in the chosen format
@@ -90,10 +97,12 @@ func statusCmd(addr string) int {
 	var st struct {
 		Protocol   string           `json:"protocol"`
 		Arch       string           `json:"arch"`
+		Cluster    int              `json:"cluster"`
 		Height     uint64           `json:"height"`
 		StateHash  string           `json:"state_hash"`
 		LastCommit time.Time        `json:"last_commit"`
 		Views      map[string]int64 `json:"views"`
+		VoteAgg    map[string]int64 `json:"vote_agg"`
 		Nodes      []struct {
 			ID            int    `json:"id"`
 			Height        uint64 `json:"height"`
@@ -114,7 +123,8 @@ func statusCmd(addr string) int {
 		fmt.Fprintf(os.Stderr, "GET %s/status: %v\n", base, err)
 		return 1
 	}
-	fmt.Printf("%s/%s at height %d, state %.16s…\n", st.Protocol, st.Arch, st.Height, st.StateHash)
+	fmt.Printf("%s/%s, %d replicas, at height %d, state %.16s…\n",
+		st.Protocol, st.Arch, st.Cluster, st.Height, st.StateHash)
 	if !st.LastCommit.IsZero() {
 		fmt.Printf("last commit %s ago\n", time.Since(st.LastCommit).Round(time.Millisecond))
 	}
@@ -126,6 +136,16 @@ func statusCmd(addr string) int {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Printf("%s: %d\n", k, st.Views[k])
+		}
+	}
+	if len(st.VoteAgg) > 0 {
+		keys := make([]string, 0, len(st.VoteAgg))
+		for k := range st.VoteAgg {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%s: %d\n", k, st.VoteAgg[k])
 		}
 	}
 	for _, n := range st.Nodes {
@@ -196,6 +216,9 @@ func archFromName(s string) (permchain.Architecture, error) {
 
 func main() {
 	nodes := flag.Int("nodes", 4, "replica count")
+	nShort := flag.Int("n", 0, "shorthand for -nodes; overrides it when set")
+	aggregate := flag.Bool("aggregate", false, "aggregate BFT votes into Schnorr quorum certificates (pbft, hotstuff)")
+	batchVotes := flag.Bool("batch-votes", false, "coalesce outbound vote traffic per destination")
 	protoName := flag.String("protocol", "pbft", "pbft|raft|paxos|tendermint|hotstuff|ibft")
 	archName := flag.String("arch", "oxii", "ox|oxii|xov")
 	metrics := flag.String("metrics", "", "dump the metrics snapshot on exit: json or prom")
@@ -206,6 +229,9 @@ func main() {
 	opsAddr := flag.String("ops-addr", "", "serve the HTTP ops plane on this address (or, with the status subcommand, the address to query)")
 	logLevel := flag.String("log", "", "emit structured logs to stderr: debug|info|warn|error")
 	flag.Parse()
+	if *nShort > 0 {
+		*nodes = *nShort
+	}
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
 		fmt.Fprintf(os.Stderr, "-metrics must be json or prom, got %q\n", *metrics)
 		os.Exit(2)
@@ -245,7 +271,8 @@ func main() {
 	cfg := permchain.Config{
 		Nodes: *nodes, Protocol: proto, Arch: arch,
 		BlockSize: 1, Timeout: 500 * time.Millisecond,
-		Obs: o,
+		Obs:            o,
+		AggregateVotes: *aggregate, BatchVotes: *batchVotes,
 	}
 	if *mempoolCap > 0 {
 		cfg.Mempool = &permchain.MempoolConfig{Capacity: *mempoolCap}

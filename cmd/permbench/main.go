@@ -1,4 +1,4 @@
-// Command permbench runs the paper-reproduction experiments (E1–E14 in
+// Command permbench runs the paper-reproduction experiments (E1–E15 in
 // DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -172,6 +172,7 @@ func run() int {
 		{"E12", func() (*bench.Table, error) { return bench.E12Pipeline(*quick) }},
 		{"E13", func() (*bench.Table, error) { return bench.E13WorldState(*quick) }},
 		{"E14", func() (*bench.Table, error) { return bench.E14Overload(*quick) }},
+		{"E15", func() (*bench.Table, error) { return bench.E15QuorumScaling(*quick) }},
 	}
 
 	failed := false

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -230,6 +231,57 @@ func TestE14Quick(t *testing.T) {
 	// 1 ramp row + 4 overload arms.
 	if len(tbl.Rows) != 5 {
 		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	t.Log("\n" + tbl.String())
+}
+
+// TestE15Quick pins the quorum-certificate subsystem's headline numbers:
+// aggregated PBFT must pay strictly fewer messages per commit than counted
+// PBFT once the cluster is large (n=32), and a 64-replica HotStuff cluster
+// with real Schnorr shares must reach committed height.
+func TestE15Quick(t *testing.T) {
+	tbl, err := E15QuorumScaling(true)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	// 2 protocols × 2 modes × 2 cluster sizes + the signed 64-replica arm.
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	msgsPer := func(proto, mode string, n string) float64 {
+		t.Helper()
+		for _, row := range tbl.Rows {
+			if row[0] == proto && row[1] == mode && row[2] == n {
+				v, err := strconv.ParseFloat(row[5], 64)
+				if err != nil {
+					t.Fatalf("row %v: msgs/commit %q: %v", row, row[5], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no row for %s/%s n=%s\n%s", proto, mode, n, tbl)
+		return 0
+	}
+	counted := msgsPer("pbft", "counted", "32")
+	aggregated := msgsPer("pbft", "aggregated", "32")
+	if aggregated >= counted {
+		t.Fatalf("aggregated PBFT at n=32 pays %.1f msgs/commit, counted pays %.1f — aggregation must be strictly cheaper\n%s",
+			aggregated, counted, tbl)
+	}
+	found := false
+	for _, row := range tbl.Rows {
+		if row[0] == "hotstuff" && row[1] == "aggregated" && row[2] == "64" {
+			found = true
+			if row[3] != "schnorr" {
+				t.Fatalf("64-replica hotstuff arm ran without real shares: %v", row)
+			}
+			if row[4] != "3/3" {
+				t.Fatalf("64-replica hotstuff arm decided %s, want 3/3\n%s", row[4], tbl)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no 64-replica aggregated hotstuff arm\n%s", tbl)
 	}
 	t.Log("\n" + tbl.String())
 }

@@ -15,6 +15,7 @@ import (
 	"permchain/internal/crypto"
 	"permchain/internal/network"
 	"permchain/internal/obs"
+	"permchain/internal/quorumcert"
 	"permchain/internal/types"
 )
 
@@ -71,6 +72,36 @@ type Config struct {
 	// (network.Attest enforces this in simulation), which is what lets the
 	// committee shrink below 3f+1.
 	ByzQuorumOverride int
+	// AggregateVotes switches the BFT vote phases (PBFT prepare/commit,
+	// HotStuff votes) from counted per-replica signatures to Schnorr quorum
+	// certificates (internal/quorumcert): replicas send partial signatures
+	// to the leader/primary, which broadcasts one constant-size cert per
+	// phase. Off by default; counted voting (QuorumTracker, per-signature
+	// QCs) remains the fallback path.
+	AggregateVotes bool
+	// VoteKeys optionally shares one Schnorr key set across all replicas of
+	// a cluster in aggregate mode (saves re-deriving n keypairs per
+	// replica); nil lets each replica derive the deterministic set itself.
+	// Ignored unless AggregateVotes is set.
+	VoteKeys *quorumcert.Keys
+	// BatchVotes coalesces outbound vote/partial traffic per destination
+	// through a network.VoteBatcher: one envelope per peer per flush
+	// instead of one message per vote.
+	BatchVotes bool
+}
+
+// VoteKeySet returns the Schnorr key material for aggregate mode: the
+// shared VoteKeys when provided, otherwise a freshly derived deterministic
+// set. Under DisableSig it returns nil — certificates degrade to counted
+// signer bitmaps, mirroring SignPart/VerifyPart.
+func (c Config) VoteKeySet() *quorumcert.Keys {
+	if c.DisableSig {
+		return nil
+	}
+	if c.VoteKeys != nil {
+		return c.VoteKeys
+	}
+	return quorumcert.NewKeys()
 }
 
 // Defaulted returns cfg with zero fields replaced by defaults.
@@ -138,32 +169,58 @@ func U64(v uint64) []byte {
 	}
 }
 
-// QuorumTracker counts distinct voters per (seq, digest) slot key.
+// QuorumTracker counts distinct voters per slot key (e.g. "(view, seq)"),
+// split by the digest each voter endorsed. A voter's first vote at a key
+// pins it: a second vote from the same voter for a different digest is
+// equivocation and is rejected rather than counted toward a second quorum,
+// so one Byzantine voter can never contribute to two conflicting quorums at
+// the same key.
 type QuorumTracker struct {
-	votes map[string]map[types.NodeID]bool
+	votes  map[string]map[types.NodeID]types.Hash
+	counts map[string]map[types.Hash]int
 }
 
 // NewQuorumTracker creates an empty tracker.
 func NewQuorumTracker() *QuorumTracker {
-	return &QuorumTracker{votes: map[string]map[types.NodeID]bool{}}
+	return &QuorumTracker{
+		votes:  map[string]map[types.NodeID]types.Hash{},
+		counts: map[string]map[types.Hash]int{},
+	}
 }
 
-// Add records a vote and returns the number of distinct voters for key.
-func (q *QuorumTracker) Add(key string, voter types.NodeID) int {
+// Add records voter's vote for digest at key and returns the number of
+// distinct voters for (key, digest) afterward. Duplicate votes are no-ops;
+// an equivocating vote (same voter, same key, different digest) is rejected
+// — the first vote stands and the count for the new digest is unchanged.
+func (q *QuorumTracker) Add(key string, voter types.NodeID, digest types.Hash) int {
 	m, ok := q.votes[key]
 	if !ok {
-		m = map[types.NodeID]bool{}
+		m = map[types.NodeID]types.Hash{}
 		q.votes[key] = m
 	}
-	m[voter] = true
-	return len(m)
+	if _, voted := m[voter]; voted {
+		return q.counts[key][digest] // duplicate or equivocation: first vote wins
+	}
+	m[voter] = digest
+	c, ok := q.counts[key]
+	if !ok {
+		c = map[types.Hash]int{}
+		q.counts[key] = c
+	}
+	c[digest]++
+	return c[digest]
 }
 
-// Count returns the number of distinct voters recorded for key.
-func (q *QuorumTracker) Count(key string) int { return len(q.votes[key]) }
+// Count returns the number of distinct voters recorded for digest at key.
+func (q *QuorumTracker) Count(key string, digest types.Hash) int {
+	return q.counts[key][digest]
+}
 
 // Forget discards all state for key.
-func (q *QuorumTracker) Forget(key string) { delete(q.votes, key) }
+func (q *QuorumTracker) Forget(key string) {
+	delete(q.votes, key)
+	delete(q.counts, key)
+}
 
 // WaitDecisions collects n decisions from ch or fails after timeout,
 // returning what arrived. Shared by protocol tests and benchmarks.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"permchain/internal/crypto"
+	"permchain/internal/quorumcert"
 	"permchain/internal/types"
 )
 
@@ -81,22 +82,127 @@ func TestU64(t *testing.T) {
 }
 
 func TestQuorumTracker(t *testing.T) {
+	d := types.HashBytes([]byte("a"))
 	q := NewQuorumTracker()
-	if q.Add("k", 1) != 1 {
+	if q.Add("k", 1, d) != 1 {
 		t.Fatal("first vote != 1")
 	}
-	if q.Add("k", 1) != 1 {
+	if q.Add("k", 1, d) != 1 {
 		t.Fatal("duplicate voter counted twice")
 	}
-	if q.Add("k", 2) != 2 {
+	if q.Add("k", 2, d) != 2 {
 		t.Fatal("second voter != 2")
 	}
-	if q.Count("k") != 2 || q.Count("other") != 0 {
+	if q.Count("k", d) != 2 || q.Count("other", d) != 0 {
 		t.Fatal("Count wrong")
 	}
 	q.Forget("k")
-	if q.Count("k") != 0 {
+	if q.Count("k", d) != 0 {
 		t.Fatal("Forget did not clear")
+	}
+}
+
+// TestQuorumTrackerEquivocation is the regression test for the equivocation
+// hole: a voter's second vote at the same key with a different digest used
+// to count toward a second quorum. The first vote must win and the
+// conflicting digest's count must not advance.
+func TestQuorumTrackerEquivocation(t *testing.T) {
+	da := types.HashBytes([]byte("a"))
+	db := types.HashBytes([]byte("b"))
+	q := NewQuorumTracker()
+	if q.Add("7:1", 1, da) != 1 {
+		t.Fatal("first vote != 1")
+	}
+	// Equivocating vote: same voter, same key, different digest.
+	if got := q.Add("7:1", 1, db); got != 0 {
+		t.Fatalf("equivocating vote counted: count for b = %d, want 0", got)
+	}
+	if q.Count("7:1", da) != 1 || q.Count("7:1", db) != 0 {
+		t.Fatalf("counts after equivocation: a=%d b=%d, want 1/0",
+			q.Count("7:1", da), q.Count("7:1", db))
+	}
+	// Honest voters for b still accumulate independently.
+	if q.Add("7:1", 2, db) != 1 || q.Add("7:1", 3, db) != 2 {
+		t.Fatal("honest votes for the second digest mis-counted")
+	}
+	// The equivocator still can't join b's quorum later.
+	if got := q.Add("7:1", 1, db); got != 2 {
+		t.Fatalf("late equivocation advanced the count: %d", got)
+	}
+	// A different key is a fresh slate.
+	if q.Add("8:1", 1, db) != 1 {
+		t.Fatal("same voter at a new key rejected")
+	}
+}
+
+func TestVoteKeySet(t *testing.T) {
+	cfg := Config{Nodes: []types.NodeID{0, 1, 2, 3}, AggregateVotes: true}
+	k := cfg.VoteKeySet()
+	if k == nil {
+		t.Fatal("VoteKeySet returned nil in signed mode")
+	}
+	// Shared key set is passed through.
+	shared := quorumcert.NewKeys()
+	cfg.VoteKeys = shared
+	if cfg.VoteKeySet() != shared {
+		t.Fatal("shared VoteKeys not used")
+	}
+	// DisableSig degrades to unsigned certificates.
+	cfg.DisableSig = true
+	if cfg.VoteKeySet() != nil {
+		t.Fatal("VoteKeySet not nil under DisableSig")
+	}
+}
+
+// TestByzQuorumOverrideAggregationThreshold pins the satellite requirement:
+// the quorum override must flow into the certificate's required-signer
+// count. A cert with 2f+1 signers passes the default threshold but fails
+// once the override demands more.
+func TestByzQuorumOverrideAggregationThreshold(t *testing.T) {
+	nodes := []types.NodeID{0, 1, 2, 3}
+	keys := quorumcert.NewKeys()
+	st := quorumcert.Statement{Domain: "test/prep", View: 1, Seq: 1, Digest: types.HashBytes([]byte("v"))}
+
+	base := Config{Nodes: nodes, AggregateVotes: true, VoteKeys: keys}
+	agg := quorumcert.NewAggregator(keys, nodes, base.ByzQuorum(), st)
+	for _, id := range nodes[:base.ByzQuorum()] {
+		if _, err := agg.Add(keys.Sign(id, st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cert, err := agg.Cert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Verify(keys, nodes, base.ByzQuorum()); err != nil {
+		t.Fatalf("cert rejected at default quorum: %v", err)
+	}
+
+	// Override raises the bar to all four signers: the 3-signer cert must
+	// no longer satisfy the cluster's threshold.
+	strict := Config{Nodes: nodes, AggregateVotes: true, VoteKeys: keys, ByzQuorumOverride: 4}
+	if strict.ByzQuorum() != 4 {
+		t.Fatalf("override quorum = %d", strict.ByzQuorum())
+	}
+	if err := cert.Verify(keys, nodes, strict.ByzQuorum()); err == nil {
+		t.Fatal("3-signer cert accepted at overridden threshold 4")
+	}
+	// An aggregator built from the overridden config withholds the cert
+	// until the raised threshold is met.
+	agg2 := quorumcert.NewAggregator(keys, nodes, strict.ByzQuorum(), st)
+	for _, id := range nodes[:3] {
+		if _, err := agg2.Add(keys.Sign(id, st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := agg2.Cert(); err == nil {
+		t.Fatal("aggregator emitted a cert below the overridden threshold")
+	}
+	if _, err := agg2.Add(keys.Sign(nodes[3], st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg2.Cert(); err != nil {
+		t.Fatalf("cert withheld at overridden threshold: %v", err)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"permchain/internal/consensus"
 	"permchain/internal/network"
 	"permchain/internal/obs"
+	"permchain/internal/quorumcert"
 	"permchain/internal/types"
 )
 
@@ -36,11 +37,15 @@ type request struct {
 }
 
 // qc is a quorum certificate: 2f+1 replica votes on one block at one view.
+// In counted mode it carries one signature per signer; in aggregate mode
+// (consensus.Config.AggregateVotes) Agg holds a constant-size Schnorr
+// certificate instead and Signers/Sigs stay empty.
 type qc struct {
 	View    uint64
 	Block   types.Hash
 	Signers []types.NodeID
 	Sigs    [][]byte
+	Agg     *quorumcert.QuorumCert
 }
 
 // block is one node in the HotStuff block tree.
@@ -69,6 +74,9 @@ type voteMsg struct {
 	View  uint64
 	Block types.Hash
 	Sig   []byte
+	// Part replaces Sig in aggregate mode: the Schnorr signature share the
+	// next leader folds into a QuorumCert.
+	Part quorumcert.Partial
 }
 
 type newViewMsg struct {
@@ -120,6 +128,15 @@ type Replica struct {
 	fetching   map[types.Hash]bool // ancestor fetches in flight
 	tip        types.Hash          // most recently accepted proposal, for re-running chain rules
 	timer      *consensus.LoopTimer
+
+	// Aggregate-vote mode (cfg.AggregateVotes): voteKeys is the cluster's
+	// Schnorr key set (nil under DisableSig — certs carry bitmaps only),
+	// aggs holds this replica's in-progress aggregations as next leader,
+	// and batcher (cfg.BatchVotes) coalesces outbound votes per peer.
+	aggMode  bool
+	voteKeys *quorumcert.Keys
+	aggs     map[types.Hash]*quorumcert.Aggregator
+	batcher  *network.VoteBatcher
 }
 
 // New creates a HotStuff replica. Call Start to launch it.
@@ -149,7 +166,22 @@ func New(cfg consensus.Config) *Replica {
 	r.highQC = qc{View: 0, Block: gh}
 	r.lockedQC = r.highQC
 	r.lastExec = gh
+	if cfg.AggregateVotes {
+		r.aggMode = true
+		r.voteKeys = cfg.VoteKeySet()
+		r.aggs = map[types.Hash]*quorumcert.Aggregator{}
+	}
+	if cfg.BatchVotes {
+		r.batcher = network.NewVoteBatcher(r.ep, network.VoteBatcherConfig{Obs: cfg.Obs})
+	}
 	return r
+}
+
+// voteStatement is what an aggregate-mode vote signs: the vote phase plus
+// the (view, block-hash) coordinates. HotStuff has no per-slot sequence
+// dimension, so Seq stays zero.
+func (r *Replica) voteStatement(view uint64, bh types.Hash) quorumcert.Statement {
+	return quorumcert.Statement{Domain: msgVote, View: view, Digest: bh}
 }
 
 // ID implements consensus.Replica.
@@ -183,6 +215,9 @@ func (r *Replica) leader(view uint64) types.NodeID {
 func (r *Replica) loop() {
 	defer close(r.done)
 	defer r.timer.Stop()
+	if r.batcher != nil {
+		defer r.batcher.Stop()
+	}
 	for {
 		select {
 		case <-r.stopCh:
@@ -274,6 +309,10 @@ func (r *Replica) onMessage(m network.Message) {
 		return // not part of this replica group
 	}
 	switch m.Type {
+	case network.MsgVoteBatch:
+		for _, inner := range network.Unbatch(m) {
+			r.onMessage(inner)
+		}
 	case msgRequest:
 		req, ok := m.Payload.(request)
 		if !ok {
@@ -295,7 +334,10 @@ func (r *Replica) onMessage(m network.Message) {
 		if !ok {
 			return
 		}
-		if !r.cfg.VerifyPart(m.From, v.Sig, []byte(msgVote), consensus.U64(v.View), v.Block[:]) {
+		// In aggregate mode the Schnorr partial authenticates the vote
+		// (checked by the aggregator); counted mode checks the ed25519
+		// message signature here.
+		if !r.aggMode && !r.cfg.VerifyPart(m.From, v.Sig, []byte(msgVote), consensus.U64(v.View), v.Block[:]) {
 			return
 		}
 		r.onVote(m.From, v)
@@ -366,10 +408,24 @@ func (r *Replica) onFetchReply(fr fetchReply) {
 }
 
 // verifyQC checks a certificate's signatures and quorum size. The genesis
-// QC (view 0) is axiomatic.
+// QC (view 0) is axiomatic. An aggregate certificate verifies in one group
+// equation against the bitmap's combined public key; the counted path below
+// stays as the fallback (a cluster not running in aggregate mode rejects
+// aggregate QCs outright — its quorum evidence is per-signer signatures).
 func (r *Replica) verifyQC(c qc) bool {
 	if c.View == 0 {
 		return c.Block == r.genesis
+	}
+	if c.Agg != nil {
+		if !r.aggMode || c.Agg.Statement != r.voteStatement(c.View, c.Block) {
+			return false
+		}
+		if err := c.Agg.Verify(r.voteKeys, r.cfg.Nodes, r.cfg.ByzQuorum()); err != nil {
+			r.cfg.Obs.Inc("quorumcert/cert_verify_failures")
+			return false
+		}
+		r.cfg.Obs.Inc("quorumcert/certs_verified")
+		return true
 	}
 	if len(c.Signers) < r.cfg.ByzQuorum() || len(c.Signers) != len(c.Sigs) {
 		return false
@@ -429,14 +485,19 @@ func (r *Replica) onProposal(from types.NodeID, p proposalMsg) {
 		r.curView = b.View + 1
 		r.timer.Reset(r.cfg.Timeout)
 	}
-	v := voteMsg{
-		View: b.View, Block: bh,
-		Sig: r.cfg.SignPart([]byte(msgVote), consensus.U64(b.View), bh[:]),
+	v := voteMsg{View: b.View, Block: bh}
+	if r.aggMode {
+		v.Part = r.voteKeys.Sign(r.cfg.Self, r.voteStatement(b.View, bh))
+	} else {
+		v.Sig = r.cfg.SignPart([]byte(msgVote), consensus.U64(b.View), bh[:])
 	}
 	next := r.leader(b.View + 1)
-	if next == r.cfg.Self {
+	switch {
+	case next == r.cfg.Self:
 		r.onVote(r.cfg.Self, v)
-	} else {
+	case r.batcher != nil:
+		r.batcher.Enqueue(next, msgVote, v)
+	default:
 		r.ep.Send(next, msgVote, v)
 	}
 }
@@ -527,6 +588,10 @@ func (r *Replica) onVote(from types.NodeID, v voteMsg) {
 	if r.leader(v.View+1) != r.cfg.Self {
 		return
 	}
+	if r.aggMode {
+		r.onVoteAggregate(from, v)
+		return
+	}
 	m, ok := r.votes[v.Block]
 	if !ok {
 		m = map[types.NodeID][]byte{}
@@ -546,6 +611,40 @@ func (r *Replica) onVote(from types.NodeID, v voteMsg) {
 		c.Sigs = append(c.Sigs, sig)
 	}
 	r.updateHighQC(c)
+	if r.curView < v.View+1 {
+		r.curView = v.View + 1
+	}
+	r.propose()
+}
+
+// onVoteAggregate folds one vote's signature share into the per-block
+// aggregator and, at exactly the quorum threshold, broadcasts the next
+// proposal justified by the resulting constant-size certificate.
+func (r *Replica) onVoteAggregate(from types.NodeID, v voteMsg) {
+	if v.Part.Signer != from {
+		return // a replica may only contribute its own share
+	}
+	agg := r.aggs[v.Block]
+	if agg == nil || agg.Statement().View != v.View {
+		agg = quorumcert.NewAggregator(r.voteKeys, r.cfg.Nodes, r.cfg.ByzQuorum(),
+			r.voteStatement(v.View, v.Block))
+		r.aggs[v.Block] = agg
+	}
+	n, err := agg.Add(v.Part)
+	if err != nil {
+		r.cfg.Obs.Inc("quorumcert/partials_rejected")
+		return
+	}
+	r.cfg.Obs.Inc("quorumcert/partials")
+	if n != r.cfg.ByzQuorum() {
+		return
+	}
+	cert, err := agg.Cert()
+	if err != nil {
+		return
+	}
+	r.cfg.Obs.Inc("quorumcert/certs_built")
+	r.updateHighQC(qc{View: v.View, Block: v.Block, Agg: cert})
 	if r.curView < v.View+1 {
 		r.curView = v.View + 1
 	}

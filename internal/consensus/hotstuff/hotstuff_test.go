@@ -8,6 +8,7 @@ import (
 	"permchain/internal/consensus"
 	"permchain/internal/crypto"
 	"permchain/internal/network"
+	"permchain/internal/quorumcert"
 	"permchain/internal/types"
 )
 
@@ -274,5 +275,132 @@ func TestCrashRecoveryCatchUp(t *testing.T) {
 			t.Fatalf("restarted replica decision %d = (seq %d, %v), want (seq %d, %v)",
 				j, dec.Seq, dec.Digest, ref[j].Seq, ref[j].Digest)
 		}
+	}
+}
+
+// aggCluster builds a cluster in aggregate-vote mode: real Schnorr partials
+// folded into constant-size QCs, one shared key set across replicas.
+func aggCluster(t *testing.T, n int, batch bool) (*network.Network, []*Replica) {
+	t.Helper()
+	net := network.New()
+	keys := crypto.NewKeyring(n)
+	vkeys := quorumcert.NewKeys()
+	nodes := make([]types.NodeID, n)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout:        150 * time.Millisecond,
+			AggregateVotes: true, VoteKeys: vkeys, BatchVotes: batch,
+		})
+	}
+	for _, r := range reps {
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	return net, reps
+}
+
+func TestAggregatedCommits(t *testing.T) {
+	_, reps := aggCluster(t, 4, false)
+	const k = 8
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%4].Submit(v, d)
+	}
+	var ref []consensus.Decision
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 15*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d committed %d/%d in aggregate mode", i, len(ds), k)
+		}
+		if ref == nil {
+			ref = ds
+			continue
+		}
+		for j := range ds {
+			if ds[j].Digest != ref[j].Digest {
+				t.Fatalf("replica %d position %d digest mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestAggregatedWithBatchingCommits(t *testing.T) {
+	_, reps := aggCluster(t, 5, true)
+	const k = 6
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[0].Submit(v, d)
+	}
+	for i, r := range reps {
+		ds := consensus.WaitDecisions(r.Decisions(), k, 15*time.Second)
+		if len(ds) != k {
+			t.Fatalf("replica %d committed %d/%d with batched votes", i, len(ds), k)
+		}
+	}
+}
+
+func TestAggregatedQCVerification(t *testing.T) {
+	net := network.New()
+	keys := crypto.NewKeyring(4)
+	vkeys := quorumcert.NewKeys()
+	nodes := []types.NodeID{0, 1, 2, 3}
+	r := New(consensus.Config{Self: 0, Nodes: nodes, Net: net, Keys: keys,
+		AggregateVotes: true, VoteKeys: vkeys})
+	defer close(r.done)
+
+	bh := types.HashBytes([]byte("block"))
+	st := r.voteStatement(3, bh)
+	agg := quorumcert.NewAggregator(vkeys, nodes, 3, st)
+	for _, id := range nodes[:3] {
+		if _, err := agg.Add(vkeys.Sign(id, st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cert, err := agg.Cert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := qc{View: 3, Block: bh, Agg: cert}
+	if !r.verifyQC(good) {
+		t.Fatal("valid aggregate QC rejected")
+	}
+	// View transplant: statement no longer matches the QC coordinates.
+	wrongView := good
+	wrongView.View = 4
+	if r.verifyQC(wrongView) {
+		t.Fatal("view-transplanted aggregate QC accepted")
+	}
+	// Block transplant.
+	wrongBlock := good
+	wrongBlock.Block = types.HashBytes([]byte("other"))
+	if r.verifyQC(wrongBlock) {
+		t.Fatal("block-transplanted aggregate QC accepted")
+	}
+	// Inflated bitmap breaks the aggregate equation.
+	inflated := *cert
+	inflated.Bitmap = append([]uint64(nil), cert.Bitmap...)
+	inflated.Bitmap[0] |= 1 << 3
+	if r.verifyQC(qc{View: 3, Block: bh, Agg: &inflated}) {
+		t.Fatal("bitmap-inflated aggregate QC accepted")
+	}
+	// A counted-mode replica rejects aggregate QCs: its quorum evidence is
+	// per-signer signatures.
+	counted := New(consensus.Config{Self: 1, Nodes: nodes, Net: net, Keys: keys})
+	defer close(counted.done)
+	if counted.verifyQC(good) {
+		t.Fatal("counted-mode replica accepted an aggregate QC")
+	}
+	// Genesis stays axiomatic in aggregate mode.
+	if !r.verifyQC(qc{View: 0, Block: r.genesis}) {
+		t.Fatal("genesis QC rejected in aggregate mode")
 	}
 }

@@ -10,7 +10,7 @@
 package pbft
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +18,7 @@ import (
 	"permchain/internal/consensus"
 	"permchain/internal/network"
 	"permchain/internal/obs"
+	"permchain/internal/quorumcert"
 	"permchain/internal/types"
 )
 
@@ -33,6 +34,15 @@ const (
 	msgFetchReply = "pbft/fetchreply"
 	msgCheckpoint = "pbft/checkpoint"
 	msgStatus     = "pbft/status"
+
+	// Aggregate-vote mode (consensus.Config.AggregateVotes): replicas send
+	// Schnorr signature shares to the primary instead of multicasting
+	// prepare/commit votes, and the primary relays one constant-size
+	// certificate per phase — ~5n messages per slot instead of ~2n².
+	msgPrepPartial = "pbft/preppartial"
+	msgCommPartial = "pbft/commitpartial"
+	msgPrepCert    = "pbft/prepcert"
+	msgCommCert    = "pbft/commitcert"
 )
 
 // checkpointEvery is how many executed slots between checkpoints; a
@@ -65,6 +75,27 @@ type vote struct { // prepare or commit
 	Seq    uint64
 	Digest types.Hash
 	Sig    []byte
+}
+
+// partialMsg carries one replica's Schnorr signature share on a phase
+// statement to the primary (aggregate mode). The share itself authenticates
+// the message: a garbled or transplanted partial fails aggregator
+// verification.
+type partialMsg struct {
+	View   uint64
+	Seq    uint64
+	Digest types.Hash
+	Part   quorumcert.Partial
+}
+
+// certMsg is the primary's broadcast of an aggregated phase certificate.
+// It carries no value: a replica that missed the pre-prepare adopts the
+// digest and recovers the value over the existing fetch path.
+type certMsg struct {
+	View   uint64
+	Seq    uint64
+	Digest types.Hash
+	Cert   quorumcert.QuorumCert
 }
 
 // preparedCert certifies that a (seq, digest, value) gathered a prepare
@@ -118,38 +149,51 @@ type checkpoint struct {
 	Sig  []byte
 }
 
-// slot is the per-sequence-number state.
+// slot is the per-sequence-number state. Counted-mode prepare/commit votes
+// go through QuorumTracker keyed by view, which pins each voter to its
+// first digest per view — an equivocating replica cannot count toward two
+// conflicting quorums at the same (view, seq).
 type slot struct {
 	digest     types.Hash
 	value      any
 	hasPP      bool
 	ppView     uint64
-	prepares   map[string]map[types.NodeID]bool // key view:digest
-	commits    map[string]map[types.NodeID]bool
+	prepares   *consensus.QuorumTracker
+	commits    *consensus.QuorumTracker
 	sentCommit bool
 	committed  bool
 	executed   bool
+
+	// Aggregate-vote mode state. prepAgg/commAgg collect shares on the
+	// primary; sentPrepCert/sentCommCert make each cert broadcast one-shot;
+	// prepared marks a verified prepare certificate on a replica (it feeds
+	// the view-change prepared-certificate collection, exactly like a
+	// counted prepare quorum).
+	prepAgg      *quorumcert.Aggregator
+	commAgg      *quorumcert.Aggregator
+	sentPrepCert bool
+	sentCommCert bool
+	prepared     bool
 }
 
 func newSlot() *slot {
 	return &slot{
-		prepares: map[string]map[types.NodeID]bool{},
-		commits:  map[string]map[types.NodeID]bool{},
+		prepares: consensus.NewQuorumTracker(),
+		commits:  consensus.NewQuorumTracker(),
 	}
 }
 
-func voteKey(view uint64, d types.Hash) string {
-	return fmt.Sprintf("%d:%s", view, d.Hex())
-}
+// viewKey keys QuorumTracker state by view; the tracker separates digests
+// itself (and rejects per-voter equivocation across them).
+func viewKey(view uint64) string { return strconv.FormatUint(view, 10) }
 
-func addVote(m map[string]map[types.NodeID]bool, key string, from types.NodeID) int {
-	s, ok := m[key]
-	if !ok {
-		s = map[types.NodeID]bool{}
-		m[key] = s
-	}
-	s[from] = true
-	return len(s)
+// resetAggPhase clears per-view aggregate-vote state when a slot is re-run
+// in a new view; the statement's view changes, so stale shares and
+// certificates cannot satisfy the new view's phases.
+func (s *slot) resetAggPhase() {
+	s.prepAgg, s.commAgg = nil, nil
+	s.sentPrepCert, s.sentCommCert = false, false
+	s.prepared = false
 }
 
 // Replica is one PBFT node.
@@ -191,6 +235,14 @@ type Replica struct {
 	vcBackoff    uint                                   // timeout-doubling ladder; decays as views prove healthy
 	execsInView  uint64                                 // executions since the last backoff decay; gates the decay
 	timer        *consensus.LoopTimer
+
+	// Aggregate-vote mode (cfg.AggregateVotes): voteKeys is the cluster's
+	// Schnorr key set (nil under DisableSig — certificates degrade to
+	// counted bitmaps); batcher (cfg.BatchVotes) coalesces outbound votes
+	// and shares per destination.
+	aggMode  bool
+	voteKeys *quorumcert.Keys
+	batcher  *network.VoteBatcher
 }
 
 // New creates a PBFT replica. Call Start to launch it.
@@ -213,7 +265,24 @@ func New(cfg consensus.Config) *Replica {
 		ckptVotes:   map[uint64]map[types.NodeID]types.Hash{},
 		timer:       consensus.NewLoopTimer(),
 	}
+	if cfg.AggregateVotes {
+		r.aggMode = true
+		r.voteKeys = cfg.VoteKeySet()
+	}
+	if cfg.BatchVotes {
+		r.batcher = network.NewVoteBatcher(r.ep, network.VoteBatcherConfig{Obs: cfg.Obs})
+	}
 	return r
+}
+
+// prepStatement / commStatement are what aggregate-mode shares sign: the
+// phase domain plus the (view, seq, digest) coordinates.
+func prepStatement(view, seq uint64, d types.Hash) quorumcert.Statement {
+	return quorumcert.Statement{Domain: msgPrepare, View: view, Seq: seq, Digest: d}
+}
+
+func commStatement(view, seq uint64, d types.Hash) quorumcert.Statement {
+	return quorumcert.Statement{Domain: msgCommit, View: view, Seq: seq, Digest: d}
 }
 
 // ID implements consensus.Replica.
@@ -249,6 +318,9 @@ func (r *Replica) isPrimary() bool { return r.primary(r.view) == r.cfg.Self }
 func (r *Replica) loop() {
 	defer close(r.done)
 	defer r.timer.Stop()
+	if r.batcher != nil {
+		defer r.batcher.Stop()
+	}
 	defer func() { r.slotGauge.Store(int64(len(r.slots))) }()
 	gossip := time.NewTicker(r.cfg.Timeout * 4)
 	defer gossip.Stop()
@@ -506,12 +578,40 @@ func (r *Replica) onMessage(m network.Message) {
 		return // not part of this replica group
 	}
 	switch m.Type {
+	case network.MsgVoteBatch:
+		for _, inner := range network.Unbatch(m) {
+			r.onMessage(inner)
+		}
 	case msgRequest:
 		req, ok := m.Payload.(request)
 		if !ok {
 			return
 		}
 		r.onRequest(req)
+	case msgPrepPartial:
+		pm, ok := m.Payload.(partialMsg)
+		if !ok {
+			return
+		}
+		r.onPrepPartial(m.From, pm)
+	case msgCommPartial:
+		pm, ok := m.Payload.(partialMsg)
+		if !ok {
+			return
+		}
+		r.onCommPartial(m.From, pm)
+	case msgPrepCert:
+		cm, ok := m.Payload.(certMsg)
+		if !ok {
+			return
+		}
+		r.onPrepCert(m.From, cm)
+	case msgCommCert:
+		cm, ok := m.Payload.(certMsg)
+		if !ok {
+			return
+		}
+		r.onCommCert(m.From, cm)
 	case msgPrePrepare:
 		pp, ok := m.Payload.(prePrepare)
 		if !ok {
@@ -637,12 +737,192 @@ func (r *Replica) acceptPrePrepare(from types.NodeID, pp prePrepare) {
 	// while execution is wedged behind an earlier un-prepared slot.
 	r.ensureTimer()
 
+	if r.aggMode {
+		r.sendPartial(msgPrepPartial, pp.View, pp.Seq, pp.Digest)
+		return
+	}
 	p := vote{
 		View: pp.View, Seq: pp.Seq, Digest: pp.Digest,
 		Sig: r.cfg.SignPart([]byte(msgPrepare), consensus.U64(pp.View), consensus.U64(pp.Seq), pp.Digest[:]),
 	}
-	r.ep.Multicast(r.cfg.Nodes, msgPrepare, p)
+	r.castVote(msgPrepare, p)
 	r.onPrepare(r.cfg.Self, p)
+}
+
+// castVote multicasts a counted-mode vote, through the batcher when vote
+// batching is enabled.
+func (r *Replica) castVote(typ string, v vote) {
+	if r.batcher != nil {
+		r.batcher.Multicast(r.cfg.Nodes, typ, v)
+		return
+	}
+	r.ep.Multicast(r.cfg.Nodes, typ, v)
+}
+
+// sendPartial signs the phase statement and routes the share to the
+// current primary (directly on the primary itself, batched when enabled).
+func (r *Replica) sendPartial(typ string, view, seq uint64, d types.Hash) {
+	st := prepStatement(view, seq, d)
+	if typ == msgCommPartial {
+		st = commStatement(view, seq, d)
+	}
+	pm := partialMsg{View: view, Seq: seq, Digest: d, Part: r.voteKeys.Sign(r.cfg.Self, st)}
+	primary := r.primary(view)
+	switch {
+	case primary == r.cfg.Self && typ == msgPrepPartial:
+		r.onPrepPartial(r.cfg.Self, pm)
+	case primary == r.cfg.Self:
+		r.onCommPartial(r.cfg.Self, pm)
+	case r.batcher != nil:
+		r.batcher.Enqueue(primary, typ, pm)
+	default:
+		r.ep.Send(primary, typ, pm)
+	}
+}
+
+// onPrepPartial runs on the primary: it folds prepare shares for a slot it
+// pre-prepared and, at exactly the quorum threshold, broadcasts the
+// prepare certificate.
+func (r *Replica) onPrepPartial(from types.NodeID, pm partialMsg) {
+	if !r.aggMode || pm.Part.Signer != from {
+		return
+	}
+	if r.inViewChange || pm.View != r.view || !r.isPrimary() {
+		return
+	}
+	s := r.slot(pm.Seq)
+	if s.executed || s.sentPrepCert || !s.hasPP || s.ppView != pm.View || s.digest != pm.Digest {
+		return
+	}
+	st := prepStatement(pm.View, pm.Seq, pm.Digest)
+	if s.prepAgg == nil || s.prepAgg.Statement() != st {
+		s.prepAgg = quorumcert.NewAggregator(r.voteKeys, r.cfg.Nodes, r.cfg.ByzQuorum(), st)
+	}
+	n, err := s.prepAgg.Add(pm.Part)
+	if err != nil {
+		r.cfg.Obs.Inc("quorumcert/partials_rejected")
+		return
+	}
+	r.cfg.Obs.Inc("quorumcert/partials")
+	if n != r.cfg.ByzQuorum() {
+		return
+	}
+	cert, err := s.prepAgg.Cert()
+	if err != nil {
+		return
+	}
+	s.sentPrepCert = true
+	r.cfg.Obs.Inc("quorumcert/certs_built")
+	cm := certMsg{View: pm.View, Seq: pm.Seq, Digest: pm.Digest, Cert: *cert}
+	r.ep.Multicast(r.cfg.Nodes, msgPrepCert, cm)
+	r.onPrepCert(r.cfg.Self, cm)
+}
+
+// onPrepCert marks a slot prepared once the primary's aggregate prepare
+// certificate verifies, then contributes a commit share. The prepared flag
+// is this mode's equivalent of a counted prepare quorum: startViewChange
+// folds such slots into the prepared certificates the next view preserves.
+func (r *Replica) onPrepCert(from types.NodeID, cm certMsg) {
+	if !r.aggMode || from != r.primary(cm.View) {
+		return
+	}
+	if r.inViewChange || cm.View != r.view {
+		return
+	}
+	s := r.slot(cm.Seq)
+	if s.executed || s.prepared {
+		return
+	}
+	// The prepare phase is view-local and needs the pre-prepared value: a
+	// replica that missed the pre-prepare stays silent here and recovers
+	// through the commit certificate + fetch path instead.
+	if !s.hasPP || s.ppView != cm.View || s.digest != cm.Digest {
+		return
+	}
+	if cm.Cert.Statement != prepStatement(cm.View, cm.Seq, cm.Digest) {
+		return
+	}
+	if err := cm.Cert.Verify(r.voteKeys, r.cfg.Nodes, r.cfg.ByzQuorum()); err != nil {
+		r.cfg.Obs.Inc("quorumcert/cert_verify_failures")
+		return
+	}
+	r.cfg.Obs.Inc("quorumcert/certs_verified")
+	s.prepared = true
+	r.cfg.Obs.Mark(cm.Digest, cm.Seq, obs.PhasePrepare)
+	r.sendPartial(msgCommPartial, cm.View, cm.Seq, cm.Digest)
+}
+
+// onCommPartial runs on the primary: commit shares fold into the commit
+// certificate, whose broadcast decides the slot on every replica.
+func (r *Replica) onCommPartial(from types.NodeID, pm partialMsg) {
+	if !r.aggMode || pm.Part.Signer != from {
+		return
+	}
+	if r.inViewChange || pm.View != r.view || !r.isPrimary() {
+		return
+	}
+	s := r.slot(pm.Seq)
+	if s.executed || s.sentCommCert || !s.hasPP || s.ppView != pm.View || s.digest != pm.Digest {
+		return
+	}
+	st := commStatement(pm.View, pm.Seq, pm.Digest)
+	if s.commAgg == nil || s.commAgg.Statement() != st {
+		s.commAgg = quorumcert.NewAggregator(r.voteKeys, r.cfg.Nodes, r.cfg.ByzQuorum(), st)
+	}
+	n, err := s.commAgg.Add(pm.Part)
+	if err != nil {
+		r.cfg.Obs.Inc("quorumcert/partials_rejected")
+		return
+	}
+	r.cfg.Obs.Inc("quorumcert/partials")
+	if n != r.cfg.ByzQuorum() {
+		return
+	}
+	cert, err := s.commAgg.Cert()
+	if err != nil {
+		return
+	}
+	s.sentCommCert = true
+	r.cfg.Obs.Inc("quorumcert/certs_built")
+	cm := certMsg{View: pm.View, Seq: pm.Seq, Digest: pm.Digest, Cert: *cert}
+	r.ep.Multicast(r.cfg.Nodes, msgCommCert, cm)
+	r.onCommCert(r.cfg.Self, cm)
+}
+
+// onCommCert finalizes a slot from the aggregate commit certificate. Like
+// counted commit quorums, it is accepted regardless of the local view —
+// the certificate proves the slot decided globally, which is the laggard
+// recovery path; only provenance (the certificate view's primary) and the
+// certificate itself are checked.
+func (r *Replica) onCommCert(from types.NodeID, cm certMsg) {
+	if !r.aggMode || from != r.primary(cm.View) {
+		return
+	}
+	s := r.slot(cm.Seq)
+	if s.executed || s.committed {
+		return
+	}
+	if cm.Cert.Statement != commStatement(cm.View, cm.Seq, cm.Digest) {
+		return
+	}
+	if err := cm.Cert.Verify(r.voteKeys, r.cfg.Nodes, r.cfg.ByzQuorum()); err != nil {
+		r.cfg.Obs.Inc("quorumcert/cert_verify_failures")
+		return
+	}
+	r.cfg.Obs.Inc("quorumcert/certs_verified")
+	s.committed = true
+	r.cfg.Obs.MarkLatency("pbft/commit_latency", cm.Digest, cm.Seq, obs.PhasePropose, obs.PhaseCommit)
+	if !s.hasPP || s.digest != cm.Digest {
+		// The certificate proves the digest; the value is still missing.
+		// Adopt the digest and recover the value over the fetch path.
+		s.digest = cm.Digest
+		s.hasPP = false
+		s.value = nil
+		r.cfg.Obs.Inc("pbft/fetches")
+		r.ep.Multicast(r.cfg.Nodes, msgFetch, fetch{Seq: cm.Seq})
+		return
+	}
+	r.executeReady()
 }
 
 func (r *Replica) onPrepare(from types.NodeID, v vote) {
@@ -650,7 +930,7 @@ func (r *Replica) onPrepare(from types.NodeID, v vote) {
 		return
 	}
 	s := r.slot(v.Seq)
-	n := addVote(s.prepares, voteKey(v.View, v.Digest), from)
+	n := s.prepares.Add(viewKey(v.View), from, v.Digest)
 	if !s.hasPP || s.ppView != v.View || s.digest != v.Digest {
 		return
 	}
@@ -661,7 +941,7 @@ func (r *Replica) onPrepare(from types.NodeID, v vote) {
 			View: v.View, Seq: v.Seq, Digest: v.Digest,
 			Sig: r.cfg.SignPart([]byte(msgCommit), consensus.U64(v.View), consensus.U64(v.Seq), v.Digest[:]),
 		}
-		r.ep.Multicast(r.cfg.Nodes, msgCommit, c)
+		r.castVote(msgCommit, c)
 		r.onCommit(r.cfg.Self, c)
 	}
 }
@@ -675,7 +955,7 @@ func (r *Replica) onCommit(from types.NodeID, v vote) {
 	if s.executed || s.committed {
 		return
 	}
-	n := addVote(s.commits, voteKey(v.View, v.Digest), from)
+	n := s.commits.Add(viewKey(v.View), from, v.Digest)
 	if n < r.cfg.ByzQuorum() {
 		return
 	}
@@ -860,7 +1140,7 @@ func (r *Replica) startViewChange(newV uint64) {
 		if seq <= r.lastExec {
 			continue
 		}
-		if s.hasPP && len(s.prepares[voteKey(s.ppView, s.digest)]) >= r.cfg.ByzQuorum() {
+		if s.hasPP && (s.prepares.Count(viewKey(s.ppView), s.digest) >= r.cfg.ByzQuorum() || s.prepared) {
 			certs = append(certs, preparedCert{Seq: seq, Digest: s.digest, Value: s.value})
 		}
 	}
@@ -978,6 +1258,7 @@ func (r *Replica) onNewView(from types.NodeID, nv newView) {
 		if s, ok := r.slots[c.Seq]; ok {
 			s.hasPP = false
 			s.sentCommit = false
+			s.resetAggPhase()
 		}
 		reissue(prePrepare{View: nv.NewView, Seq: c.Seq, Digest: c.Digest, Value: c.Value})
 		r.proposed[c.Digest] = true
@@ -992,6 +1273,7 @@ func (r *Replica) onNewView(from types.NodeID, nv newView) {
 			}
 			s.hasPP = false
 			s.sentCommit = false
+			s.resetAggPhase()
 		}
 		reissue(prePrepare{View: nv.NewView, Seq: seq, Digest: types.ZeroHash, Value: nil})
 	}

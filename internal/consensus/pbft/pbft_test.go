@@ -11,6 +11,7 @@ import (
 	"permchain/internal/crypto"
 	"permchain/internal/network"
 	"permchain/internal/obs"
+	"permchain/internal/quorumcert"
 	"permchain/internal/types"
 )
 
@@ -445,4 +446,165 @@ func TestPartitionDuringViewChange(t *testing.T) {
 		t.Fatalf("healed primary caught up %d/%d decisions", len(all[0]), k+1)
 	}
 	checkAgreement(t, all)
+}
+
+// aggCluster builds a cluster running aggregate-vote mode: one shared
+// Schnorr key set, certificates relayed by the primary, optional vote
+// batching.
+func aggCluster(t *testing.T, n int, batch bool) (*network.Network, []*Replica) {
+	t.Helper()
+	net := network.New()
+	keys := crypto.NewKeyring(n)
+	voteKeys := quorumcert.NewKeys()
+	nodes := make([]types.NodeID, n)
+	for i := range nodes {
+		nodes[i] = types.NodeID(i)
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout: 150 * time.Millisecond,
+			AggregateVotes: true, VoteKeys: voteKeys, BatchVotes: batch,
+		})
+	}
+	for _, r := range reps {
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	return net, reps
+}
+
+func TestAggregatedNormalOperation(t *testing.T) {
+	_, reps := aggCluster(t, 4, false)
+	const k = 12
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%4].Submit(v, d)
+	}
+	all := make([][]consensus.Decision, 4)
+	for i, r := range reps {
+		all[i] = consensus.WaitDecisions(r.Decisions(), k, 10*time.Second)
+		if len(all[i]) != k {
+			t.Fatalf("replica %d decided %d/%d in aggregate mode", i, len(all[i]), k)
+		}
+		for j, d := range all[i] {
+			if d.Seq != uint64(j+1) {
+				t.Fatalf("replica %d decision %d has seq %d", i, j, d.Seq)
+			}
+		}
+	}
+	checkAgreement(t, all)
+}
+
+func TestAggregatedWithBatchingCommits(t *testing.T) {
+	_, reps := aggCluster(t, 7, true)
+	const k = 8
+	for i := 0; i < k; i++ {
+		v, d := val(i)
+		reps[i%7].Submit(v, d)
+	}
+	all := make([][]consensus.Decision, 7)
+	for i, r := range reps {
+		all[i] = consensus.WaitDecisions(r.Decisions(), k, 10*time.Second)
+		if len(all[i]) != k {
+			t.Fatalf("replica %d decided %d/%d with batching", i, len(all[i]), k)
+		}
+	}
+	checkAgreement(t, all)
+}
+
+// TestAggregatedFewerMessages pins the point of the subsystem: per decision,
+// certificate relay costs fewer messages than all-to-all counted voting.
+func TestAggregatedFewerMessages(t *testing.T) {
+	const n, k = 7, 10
+	run := func(agg bool) int64 {
+		var net *network.Network
+		var reps []*Replica
+		if agg {
+			net, reps = aggCluster(t, n, false)
+		} else {
+			net, reps = cluster(t, n)
+		}
+		// Warm up one decision so timers and gossip settle, then measure.
+		v, d := val(10000)
+		reps[0].Submit(v, d)
+		for _, r := range reps {
+			if len(consensus.WaitDecisions(r.Decisions(), 1, 5*time.Second)) != 1 {
+				t.Fatal("warm-up decision missing")
+			}
+		}
+		net.ResetStats()
+		for i := 0; i < k; i++ {
+			v, d := val(i)
+			reps[0].Submit(v, d)
+		}
+		for _, r := range reps {
+			if got := consensus.WaitDecisions(r.Decisions(), k, 10*time.Second); len(got) != k {
+				t.Fatalf("decided %d/%d (agg=%v)", len(got), k, agg)
+			}
+		}
+		return net.StatsSnapshot().Sent
+	}
+	counted := run(false)
+	aggregated := run(true)
+	if aggregated >= counted {
+		t.Fatalf("aggregate mode sent %d messages, counted mode %d — expected fewer", aggregated, counted)
+	}
+	t.Logf("n=%d k=%d: counted=%d aggregated=%d msgs", n, k, counted, aggregated)
+}
+
+// TestAggregatedViewChange kills the view-0 primary under aggregate mode:
+// the cluster must still rotate views and decide, proving the prepared flag
+// feeds view-change certificate collection.
+func TestAggregatedViewChange(t *testing.T) {
+	_, reps := aggCluster(t, 4, false)
+	reps[0].Stop()
+	for i := 0; i < 5; i++ {
+		v, d := val(i)
+		reps[1].Submit(v, d)
+	}
+	all := make([][]consensus.Decision, 0, 3)
+	for _, r := range reps[1:] {
+		ds := consensus.WaitDecisions(r.Decisions(), 5, 10*time.Second)
+		if len(ds) != 5 {
+			t.Fatalf("replica %v decided %d/5 after primary crash in aggregate mode", r.ID(), len(ds))
+		}
+		all = append(all, ds)
+	}
+	checkAgreement(t, all)
+}
+
+// TestAggregatedUnsignedMode runs aggregate mode under DisableSig:
+// certificates degrade to signer bitmaps but the flow is unchanged.
+func TestAggregatedUnsignedMode(t *testing.T) {
+	net := network.New()
+	nodes := []types.NodeID{0, 1, 2, 3}
+	keys := crypto.NewKeyring(4)
+	reps := make([]*Replica, 4)
+	for i := range reps {
+		reps[i] = New(consensus.Config{
+			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
+			Timeout: 150 * time.Millisecond, DisableSig: true, AggregateVotes: true,
+		})
+	}
+	for _, r := range reps {
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	v, d := val(1)
+	reps[0].Submit(v, d)
+	for i, r := range reps {
+		if got := consensus.WaitDecisions(r.Decisions(), 1, 5*time.Second); len(got) != 1 {
+			t.Fatalf("replica %d decided %d/1 in unsigned aggregate mode", i, len(got))
+		}
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"permchain/internal/mempool"
 	"permchain/internal/network"
 	"permchain/internal/obs"
+	"permchain/internal/quorumcert"
 	"permchain/internal/statedb"
 	"permchain/internal/store"
 	"permchain/internal/types"
@@ -121,6 +122,16 @@ type Config struct {
 	Workers int
 	// DisableSig turns off consensus message signatures.
 	DisableSig bool
+	// AggregateVotes switches the BFT vote phases to Schnorr quorum
+	// certificates (internal/quorumcert): replicas send signature shares to
+	// the leader/primary, which broadcasts one constant-size certificate per
+	// phase instead of all-to-all counted votes. One Schnorr key set is
+	// shared by every replica of the chain. Honored by PBFT and HotStuff;
+	// other protocols ignore it.
+	AggregateVotes bool
+	// BatchVotes coalesces outbound vote traffic per destination through a
+	// network.VoteBatcher (one envelope per peer per flush).
+	BatchVotes bool
 	// Net optionally supplies a transport (latency/loss injection).
 	Net *network.Network
 	// Stakes configures Tendermint voting power (optional).
@@ -362,11 +373,19 @@ func build(cfg Config, resume bool) (*Chain, error) {
 		}
 		c.pool = mempool.New(mcfg)
 	}
+	// Aggregate mode shares one Schnorr key set across the cluster rather
+	// than letting each replica re-derive the deterministic set itself.
+	var voteKeys *quorumcert.Keys
+	if cfg.AggregateVotes && !cfg.DisableSig {
+		voteKeys = quorumcert.NewKeys()
+	}
 	for i := range ids {
 		ccfg := consensus.Config{
 			Self: ids[i], Nodes: ids, Net: cfg.Net, Keys: keys,
 			Timeout: cfg.Timeout, DisableSig: cfg.DisableSig,
 			Obs: cfg.Obs,
+			AggregateVotes: cfg.AggregateVotes, VoteKeys: voteKeys,
+			BatchVotes: cfg.BatchVotes,
 		}
 		var rep consensus.Replica
 		switch cfg.Protocol {

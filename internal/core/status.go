@@ -32,14 +32,19 @@ type NetworkStatus struct {
 // /status endpoint (and `chainctl status`) renders. Everything in it is
 // cheap to gather: watermarks, gauges, and counter reads, no scans.
 type Status struct {
-	Protocol   string    `json:"protocol"`
-	Arch       string    `json:"arch"`
+	Protocol string `json:"protocol"`
+	Arch     string `json:"arch"`
+	// Cluster is the replica count — the n that sizes quorums.
+	Cluster    int       `json:"cluster"`
 	Height     uint64    `json:"height"`
 	StateHash  string    `json:"state_hash"`
 	LastCommit time.Time `json:"last_commit,omitempty"`
 	// Views holds the protocol's progress gauges (pbft/view, raft/term,
 	// tendermint/round, ...) filtered to the running protocol.
-	Views   map[string]int64 `json:"views,omitempty"`
+	Views map[string]int64 `json:"views,omitempty"`
+	// VoteAgg holds the vote-aggregation counters (quorumcert/* and
+	// votebatch/*) when the chain runs with AggregateVotes or BatchVotes.
+	VoteAgg map[string]int64 `json:"vote_agg,omitempty"`
 	Nodes   []NodeStatus     `json:"nodes"`
 	Mempool *mempool.Stats   `json:"mempool,omitempty"`
 	Network NetworkStatus    `json:"network"`
@@ -65,6 +70,7 @@ func (c *Chain) Status() Status {
 	s := Status{
 		Protocol:  c.cfg.Protocol.String(),
 		Arch:      c.cfg.Arch.String(),
+		Cluster:   c.cfg.Nodes,
 		Height:    ref.chain.Height(),
 		StateHash: ref.Store().StateHash().Hex(),
 	}
@@ -72,13 +78,22 @@ func (c *Chain) Status() Status {
 		s.LastCommit, _ = h.LastCommit()
 	}
 	if c.cfg.Obs != nil && c.cfg.Obs.Reg != nil {
+		snap := c.cfg.Obs.Reg.Snapshot()
 		prefix := s.Protocol + "/"
-		for name, v := range c.cfg.Obs.Reg.Snapshot().Gauges {
+		for name, v := range snap.Gauges {
 			if strings.HasPrefix(name, prefix) {
 				if s.Views == nil {
 					s.Views = make(map[string]int64)
 				}
 				s.Views[name] = v
+			}
+		}
+		for name, v := range snap.Counters {
+			if strings.HasPrefix(name, "quorumcert/") || strings.HasPrefix(name, "votebatch/") {
+				if s.VoteAgg == nil {
+					s.VoteAgg = make(map[string]int64)
+				}
+				s.VoteAgg[name] = v
 			}
 		}
 	}

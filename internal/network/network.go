@@ -130,6 +130,9 @@ type Network struct {
 	crashed   map[types.NodeID]bool
 	stats     Stats
 	closed    bool
+	// inboxDepth is the buffer depth for newly joined endpoints
+	// (defaultInboxDepth unless WithInboxDepth overrides it).
+	inboxDepth int
 	// reg mirrors the traffic counters into an obs registry when set
 	// (drop causes as counters, plus delivery-latency and per-link
 	// queue-depth histograms). Guarded by mu like everything else.
@@ -173,20 +176,34 @@ func WithRegistry(reg *obs.Registry) Option {
 	return func(n *Network) { n.reg = reg }
 }
 
-// inboxDepth is sized so slow consumers in tests don't spuriously drop;
-// overflow still counts as network loss rather than blocking the sender.
-const inboxDepth = 65536
+// defaultInboxDepth is sized so slow consumers in tests don't spuriously
+// drop; overflow still counts as network loss rather than blocking the
+// sender.
+const defaultInboxDepth = 65536
+
+// WithInboxDepth overrides the per-endpoint inbox buffer depth. Large
+// clusters (n=64–128) use a smaller depth: the default costs O(n · depth)
+// memory across endpoints, which dominates the simulation's footprint at
+// scale. Values < 1 keep the default.
+func WithInboxDepth(depth int) Option {
+	return func(n *Network) {
+		if depth >= 1 {
+			n.inboxDepth = depth
+		}
+	}
+}
 
 // New creates a network with no endpoints.
 func New(opts ...Option) *Network {
 	n := &Network{
-		endpoints: map[types.NodeID]*Endpoint{},
-		filters:   map[types.NodeID]Filter{},
-		attested:  map[types.NodeID]bool{},
-		groups:    map[types.NodeID]int{},
-		crashed:   map[types.NodeID]bool{},
-		rng:       rand.New(rand.NewSource(1)),
-		log:       obs.DiscardLogger(),
+		endpoints:  map[types.NodeID]*Endpoint{},
+		filters:    map[types.NodeID]Filter{},
+		attested:   map[types.NodeID]bool{},
+		inboxDepth: defaultInboxDepth,
+		groups:     map[types.NodeID]int{},
+		crashed:    map[types.NodeID]bool{},
+		rng:        rand.New(rand.NewSource(1)),
+		log:        obs.DiscardLogger(),
 	}
 	n.stats.ByType = map[string]int64{}
 	for _, o := range opts {
@@ -203,7 +220,7 @@ func (n *Network) Join(id types.NodeID) *Endpoint {
 	if e, ok := n.endpoints[id]; ok {
 		return e
 	}
-	e := &Endpoint{id: id, inbox: make(chan Message, inboxDepth), net: n}
+	e := &Endpoint{id: id, inbox: make(chan Message, n.inboxDepth), net: n}
 	n.endpoints[id] = e
 	return e
 }
@@ -327,7 +344,7 @@ func (n *Network) IsCrashed(id types.NodeID) bool {
 func (n *Network) Rejoin(id types.NodeID) *Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	e := &Endpoint{id: id, inbox: make(chan Message, inboxDepth), net: n}
+	e := &Endpoint{id: id, inbox: make(chan Message, n.inboxDepth), net: n}
 	n.endpoints[id] = e
 	return e
 }

@@ -1,0 +1,186 @@
+package network
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"permchain/internal/obs"
+	"permchain/internal/types"
+)
+
+func drain(t *testing.T, ep *Endpoint, d time.Duration) []Message {
+	t.Helper()
+	var out []Message
+	deadline := time.After(d)
+	for {
+		select {
+		case m := <-ep.Inbox():
+			out = append(out, m)
+		case <-deadline:
+			return out
+		}
+	}
+}
+
+func TestVoteBatcherSizeFlush(t *testing.T) {
+	net := New()
+	a, c := net.Join(1), net.Join(2)
+	b := NewVoteBatcher(a, VoteBatcherConfig{MaxBatch: 3, MaxDelay: time.Hour})
+	defer b.Stop()
+	for i := 0; i < 3; i++ {
+		b.Enqueue(2, "test/vote", i)
+	}
+	select {
+	case m := <-c.Inbox():
+		inner := Unbatch(m)
+		if len(inner) != 3 {
+			t.Fatalf("batch carried %d items, want 3", len(inner))
+		}
+		for i, im := range inner {
+			if im.From != 1 || im.To != 2 || im.Type != "test/vote" || im.Payload.(int) != i {
+				t.Fatalf("item %d = %+v", i, im)
+			}
+		}
+	case <-time.After(time.Second):
+		t.Fatal("size-triggered flush never arrived")
+	}
+	// Exactly one envelope on the wire.
+	if got := net.StatsSnapshot().Sent; got != 1 {
+		t.Fatalf("sent %d messages, want 1 envelope", got)
+	}
+}
+
+func TestVoteBatcherDeadlineFlush(t *testing.T) {
+	net := New()
+	a, c := net.Join(1), net.Join(2)
+	b := NewVoteBatcher(a, VoteBatcherConfig{MaxBatch: 100, MaxDelay: 10 * time.Millisecond})
+	defer b.Stop()
+	b.Enqueue(2, "test/vote", "x")
+	b.Enqueue(2, "test/vote", "y")
+	select {
+	case m := <-c.Inbox():
+		if inner := Unbatch(m); len(inner) != 2 {
+			t.Fatalf("deadline batch carried %d items, want 2", len(inner))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("deadline flush never arrived")
+	}
+}
+
+func TestVoteBatcherPerDestination(t *testing.T) {
+	net := New()
+	a := net.Join(1)
+	peers := []*Endpoint{net.Join(2), net.Join(3), net.Join(4)}
+	b := NewVoteBatcher(a, VoteBatcherConfig{MaxBatch: 100, MaxDelay: 5 * time.Millisecond})
+	defer b.Stop()
+	b.Multicast([]types.NodeID{1, 2, 3, 4}, "test/vote", "v")
+	for _, p := range peers {
+		msgs := drain(t, p, 100*time.Millisecond)
+		if len(msgs) != 1 {
+			t.Fatalf("peer %d got %d envelopes, want 1", p.ID(), len(msgs))
+		}
+		inner := Unbatch(msgs[0])
+		if len(inner) != 1 || inner[0].Payload.(string) != "v" {
+			t.Fatalf("peer %d inner = %+v", p.ID(), inner)
+		}
+	}
+	// Multicast skipped self: 3 envelopes total.
+	if got := net.StatsSnapshot().Sent; got != 3 {
+		t.Fatalf("sent %d envelopes, want 3", got)
+	}
+}
+
+func TestVoteBatcherStopFlushesAndPassesThrough(t *testing.T) {
+	net := New()
+	a, c := net.Join(1), net.Join(2)
+	b := NewVoteBatcher(a, VoteBatcherConfig{MaxBatch: 100, MaxDelay: time.Hour})
+	b.Enqueue(2, "test/vote", "pending")
+	b.Stop()
+	msgs := drain(t, c, 50*time.Millisecond)
+	if len(msgs) != 1 || len(Unbatch(msgs[0])) != 1 {
+		t.Fatalf("Stop did not flush the pending vote: %+v", msgs)
+	}
+	// Post-stop enqueues degrade to direct sends.
+	b.Enqueue(2, "test/vote", "late")
+	msgs = drain(t, c, 50*time.Millisecond)
+	if len(msgs) != 1 || msgs[0].Type != "test/vote" || msgs[0].Payload.(string) != "late" {
+		t.Fatalf("post-Stop enqueue not passed through: %+v", msgs)
+	}
+}
+
+func TestVoteBatcherMetrics(t *testing.T) {
+	net := New()
+	a := net.Join(1)
+	net.Join(2)
+	o := obs.New()
+	b := NewVoteBatcher(a, VoteBatcherConfig{MaxBatch: 2, MaxDelay: 5 * time.Millisecond, Obs: o})
+	defer b.Stop()
+	b.Enqueue(2, "test/vote", 1)
+	b.Enqueue(2, "test/vote", 2) // full flush
+	b.Enqueue(2, "test/vote", 3) // deadline flush
+	time.Sleep(50 * time.Millisecond)
+	snap := o.Reg.Snapshot()
+	if snap.Counters["votebatch/batches"] != 2 {
+		t.Fatalf("batches = %d, want 2", snap.Counters["votebatch/batches"])
+	}
+	if snap.Counters["votebatch/items"] != 3 {
+		t.Fatalf("items = %d, want 3", snap.Counters["votebatch/items"])
+	}
+	if snap.Counters["votebatch/flush_full"] != 1 || snap.Counters["votebatch/flush_deadline"] != 1 {
+		t.Fatalf("flush counters = full:%d deadline:%d, want 1/1",
+			snap.Counters["votebatch/flush_full"], snap.Counters["votebatch/flush_deadline"])
+	}
+}
+
+// TestVoteBatcherConcurrent hammers Enqueue from several goroutines while
+// deadline flushes race; run under -race this pins the locking discipline.
+func TestVoteBatcherConcurrent(t *testing.T) {
+	net := New()
+	a, c := net.Join(1), net.Join(2)
+	b := NewVoteBatcher(a, VoteBatcherConfig{MaxBatch: 8, MaxDelay: time.Millisecond})
+	var wg sync.WaitGroup
+	const senders, per = 4, 200
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Enqueue(2, "test/vote", i)
+			}
+		}()
+	}
+	wg.Wait()
+	b.Stop()
+	total := 0
+	for _, m := range drain(t, c, 100*time.Millisecond) {
+		total += len(Unbatch(m))
+	}
+	if total != senders*per {
+		t.Fatalf("delivered %d votes, want %d", total, senders*per)
+	}
+}
+
+func TestUnbatchNonBatch(t *testing.T) {
+	if got := Unbatch(Message{Type: "other", Payload: 1}); got != nil {
+		t.Fatalf("Unbatch on non-batch = %+v, want nil", got)
+	}
+	if got := Unbatch(Message{Type: MsgVoteBatch, Payload: "garbage"}); got != nil {
+		t.Fatalf("Unbatch on malformed payload = %+v, want nil", got)
+	}
+}
+
+func TestWithInboxDepth(t *testing.T) {
+	net := New(WithInboxDepth(8))
+	e := net.Join(1)
+	if cap(e.inbox) != 8 {
+		t.Fatalf("inbox depth = %d, want 8", cap(e.inbox))
+	}
+	// Rejoin honours the override too.
+	if e2 := net.Rejoin(1); cap(e2.inbox) != 8 {
+		t.Fatalf("rejoin inbox depth = %d, want 8", cap(e2.inbox))
+	}
+	if d := New(); cap(d.Join(1).inbox) != defaultInboxDepth {
+		t.Fatal("default inbox depth changed")
+	}
+}

@@ -1,0 +1,295 @@
+package quorumcert
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"permchain/internal/types"
+)
+
+func members(n int) []types.NodeID {
+	ids := make([]types.NodeID, n)
+	for i := range ids {
+		ids[i] = types.NodeID(i)
+	}
+	return ids
+}
+
+func stmt() Statement {
+	return Statement{Domain: "test/vote", View: 3, Seq: 7, Digest: types.HashBytes([]byte("block"))}
+}
+
+func TestPartialSignVerify(t *testing.T) {
+	k := NewKeys()
+	st := stmt()
+	p := k.Sign(2, st)
+	if !k.VerifyPartial(p, st) {
+		t.Fatal("valid partial rejected")
+	}
+	// Wrong statement.
+	other := st
+	other.View++
+	if k.VerifyPartial(p, other) {
+		t.Fatal("partial accepted for a different statement")
+	}
+	// Claiming a different signer must fail: the partial binds identity.
+	forged := p
+	forged.Signer = 3
+	if k.VerifyPartial(forged, st) {
+		t.Fatal("partial accepted under a different signer identity")
+	}
+	// Tampered scalar.
+	bad := p
+	bad.S = new(big.Int).Add(p.S, big.NewInt(1))
+	if k.VerifyPartial(bad, st) {
+		t.Fatal("tampered partial accepted")
+	}
+	// Malformed: nil components, out-of-range scalar.
+	if k.VerifyPartial(Partial{Signer: 2}, st) {
+		t.Fatal("nil-component partial accepted")
+	}
+}
+
+func TestKeysDeterministic(t *testing.T) {
+	a, b := NewKeys(), NewKeys()
+	for _, id := range members(5) {
+		if a.Public(id).Cmp(b.Public(id)) != 0 {
+			t.Fatalf("independently derived keys disagree for node %d", id)
+		}
+	}
+	// Cross-instance: a partial signed by one key set verifies under another.
+	st := stmt()
+	if !b.VerifyPartial(a.Sign(1, st), st) {
+		t.Fatal("partial from an independently derived key set rejected")
+	}
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	k := NewKeys()
+	ids := members(7)
+	st := stmt()
+	agg := NewAggregator(k, ids, 5, st)
+	for i := 0; i < 5; i++ {
+		n, err := agg.Add(k.Sign(ids[i], st))
+		if err != nil {
+			t.Fatalf("add partial %d: %v", i, err)
+		}
+		if n != i+1 {
+			t.Fatalf("count after %d adds = %d", i+1, n)
+		}
+	}
+	if !agg.Complete() {
+		t.Fatal("aggregator not complete at threshold")
+	}
+	cert, err := agg.Cert()
+	if err != nil {
+		t.Fatalf("cert: %v", err)
+	}
+	if cert.SignerCount() != 5 {
+		t.Fatalf("cert signer count = %d, want 5", cert.SignerCount())
+	}
+	if got := cert.Signers(ids); len(got) != 5 || got[0] != ids[0] || got[4] != ids[4] {
+		t.Fatalf("cert signers = %v", got)
+	}
+	if err := cert.Verify(k, ids, 5); err != nil {
+		t.Fatalf("valid cert rejected: %v", err)
+	}
+	// An independently derived key set verifies the same cert.
+	if err := cert.Verify(NewKeys(), ids, 5); err != nil {
+		t.Fatalf("cert rejected by fresh key set: %v", err)
+	}
+}
+
+func TestAggregatorRejections(t *testing.T) {
+	k := NewKeys()
+	ids := members(4)
+	st := stmt()
+	agg := NewAggregator(k, ids, 3, st)
+
+	if _, err := agg.Add(k.Sign(99, st)); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("non-member partial: err = %v, want ErrNotMember", err)
+	}
+	if _, err := agg.Add(k.Sign(ids[0], st)); err != nil {
+		t.Fatalf("first add: %v", err)
+	}
+	if _, err := agg.Add(k.Sign(ids[0], st)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate partial: err = %v, want ErrDuplicate", err)
+	}
+	// Wrong statement: valid signature on a different statement.
+	other := st
+	other.Digest = types.HashBytes([]byte("other"))
+	if _, err := agg.Add(k.Sign(ids[1], other)); !errors.Is(err, ErrBadPartial) {
+		t.Fatalf("wrong-statement partial: err = %v, want ErrBadPartial", err)
+	}
+	// Malformed: nil signature components.
+	if _, err := agg.Add(Partial{Signer: ids[1]}); !errors.Is(err, ErrBadPartial) {
+		t.Fatalf("malformed partial: err = %v, want ErrBadPartial", err)
+	}
+	// Garbage scalar.
+	p := k.Sign(ids[1], st)
+	p.S = big.NewInt(12345)
+	if _, err := agg.Add(p); !errors.Is(err, ErrBadPartial) {
+		t.Fatalf("garbage partial: err = %v, want ErrBadPartial", err)
+	}
+	// Rejections must not have advanced the count.
+	if agg.Count() != 1 {
+		t.Fatalf("count after rejections = %d, want 1", agg.Count())
+	}
+	// Below threshold: no cert.
+	if _, err := agg.Cert(); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("sub-quorum cert: err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestCertRejections(t *testing.T) {
+	k := NewKeys()
+	ids := members(7)
+	st := stmt()
+	agg := NewAggregator(k, ids, 5, st)
+	for i := 0; i < 5; i++ {
+		if _, err := agg.Add(k.Sign(ids[i], st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cert, err := agg.Cert()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Higher threshold (the ByzQuorumOverride flow): same cert, stricter bar.
+	if err := cert.Verify(k, ids, 6); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("cert at higher threshold: err = %v, want ErrNoQuorum", err)
+	}
+	// Inflated bitmap: claiming a signer who never signed breaks the equation.
+	tampered := *cert
+	tampered.Bitmap = append([]uint64(nil), cert.Bitmap...)
+	tampered.Bitmap[0] |= 1 << 5
+	if err := tampered.Verify(k, ids, 5); !errors.Is(err, ErrBadCert) {
+		t.Fatalf("inflated bitmap: err = %v, want ErrBadCert", err)
+	}
+	// Stray bit beyond the membership.
+	stray := *cert
+	stray.Bitmap = append([]uint64(nil), cert.Bitmap...)
+	stray.Bitmap[0] |= 1 << 63
+	if err := stray.Verify(k, ids, 5); !errors.Is(err, ErrBadCert) {
+		t.Fatalf("stray bitmap bit: err = %v, want ErrBadCert", err)
+	}
+	// Wrong bitmap width for the membership.
+	wide := *cert
+	wide.Bitmap = append(append([]uint64(nil), cert.Bitmap...), 0)
+	if err := wide.Verify(k, ids, 5); !errors.Is(err, ErrBadCert) {
+		t.Fatalf("wrong bitmap width: err = %v, want ErrBadCert", err)
+	}
+	// Tampered aggregate scalar.
+	badS := *cert
+	badS.S = new(big.Int).Add(cert.S, big.NewInt(1))
+	if err := badS.Verify(k, ids, 5); !errors.Is(err, ErrBadCert) {
+		t.Fatalf("tampered S: err = %v, want ErrBadCert", err)
+	}
+	// Nil aggregate in signed mode.
+	nilAgg := *cert
+	nilAgg.R, nilAgg.S = nil, nil
+	if err := nilAgg.Verify(k, ids, 5); !errors.Is(err, ErrBadCert) {
+		t.Fatalf("nil aggregate: err = %v, want ErrBadCert", err)
+	}
+	// Statement substitution: cert for one statement must not verify as
+	// another (Verify recomputes the challenge from cert.Statement, so a
+	// relabelled copy fails the equation).
+	relabel := *cert
+	relabel.Statement.View++
+	if err := relabel.Verify(k, ids, 5); !errors.Is(err, ErrBadCert) {
+		t.Fatalf("relabelled statement: err = %v, want ErrBadCert", err)
+	}
+}
+
+func TestUnsignedMode(t *testing.T) {
+	ids := members(4)
+	st := stmt()
+	var k *Keys // nil: DisableSig analogue
+	agg := NewAggregator(k, ids, 3, st)
+	for i := 0; i < 3; i++ {
+		if _, err := agg.Add(k.Sign(ids[i], st)); err != nil {
+			t.Fatalf("unsigned add: %v", err)
+		}
+	}
+	// Membership and duplicate checks still apply without signatures.
+	if _, err := agg.Add(Partial{Signer: ids[0]}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("unsigned duplicate: err = %v, want ErrDuplicate", err)
+	}
+	if _, err := agg.Add(Partial{Signer: 42}); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("unsigned non-member: err = %v, want ErrNotMember", err)
+	}
+	cert, err := agg.Cert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.R != nil || cert.S != nil {
+		t.Fatal("unsigned cert carries aggregate signature components")
+	}
+	if err := cert.Verify(nil, ids, 3); err != nil {
+		t.Fatalf("unsigned cert rejected: %v", err)
+	}
+	if err := cert.Verify(nil, ids, 4); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("unsigned cert at higher threshold: err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestStatementEncodingUnambiguous(t *testing.T) {
+	base := stmt()
+	variants := []Statement{
+		{Domain: base.Domain + "x", View: base.View, Seq: base.Seq, Digest: base.Digest},
+		{Domain: base.Domain, View: base.View + 1, Seq: base.Seq, Digest: base.Digest},
+		{Domain: base.Domain, View: base.View, Seq: base.Seq + 1, Digest: base.Digest},
+		{Domain: base.Domain, View: base.View, Seq: base.Seq, Digest: types.HashBytes([]byte("other"))},
+	}
+	seen := map[string]bool{string(base.Bytes()): true}
+	for i, v := range variants {
+		enc := string(v.Bytes())
+		if seen[enc] {
+			t.Fatalf("variant %d collides with a prior encoding", i)
+		}
+		seen[enc] = true
+	}
+	// The domain length prefix prevents boundary ambiguity between the
+	// domain and the fixed-width fields.
+	a := Statement{Domain: "ab", View: 0x63 /* 'c' */}
+	b := Statement{Domain: "abc", View: 0}
+	if string(a.Bytes()) == string(b.Bytes()) {
+		t.Fatal("domain/view boundary ambiguity")
+	}
+}
+
+func TestLargeClusterBitmap(t *testing.T) {
+	// 128 members spans two bitmap words; exercise the word boundary.
+	k := NewKeys()
+	ids := members(128)
+	st := stmt()
+	threshold := 86 // 2f+1 at n=128
+	agg := NewAggregator(k, ids, threshold, st)
+	// Sign with a spread that covers both words, including bit 63 and 64.
+	for i := 0; i < threshold; i++ {
+		id := ids[(i*3)%128]
+		if _, err := agg.Add(k.Sign(id, st)); errors.Is(err, ErrDuplicate) {
+			// The stride revisits slots; top up from the tail instead.
+			continue
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 127; agg.Count() < threshold; i-- {
+		if _, err := agg.Add(k.Sign(ids[i], st)); err != nil && !errors.Is(err, ErrDuplicate) {
+			t.Fatal(err)
+		}
+	}
+	cert, err := agg.Cert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Verify(k, ids, threshold); err != nil {
+		t.Fatalf("128-member cert rejected: %v", err)
+	}
+	if len(cert.Bitmap) != 2 {
+		t.Fatalf("bitmap words = %d, want 2", len(cert.Bitmap))
+	}
+}

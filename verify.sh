@@ -5,10 +5,11 @@
 # recovery tests are part of the suite, so a green run covers the §2.2
 # safety/liveness assertions too. The race detector is mandatory for
 # changes touching internal/consensus, internal/network, internal/chaos,
-# internal/mempool or internal/ops — everything there is multi-goroutine
-# by construction (the mempool's capacity/dedup invariants are asserted
-# under concurrent submitters; the ops server is hammered concurrently
-# with a committing cluster).
+# internal/mempool, internal/quorumcert or internal/ops — everything there
+# is multi-goroutine by construction (the mempool's capacity/dedup
+# invariants are asserted under concurrent submitters; the ops server is
+# hammered concurrently with a committing cluster; quorumcert key
+# provisioning is lazy under a shared lock).
 set -eu
 
 cd "$(dirname "$0")"
