@@ -117,3 +117,10 @@ func BenchmarkE13_WorldState(b *testing.B) {
 func BenchmarkE15_QuorumScaling(b *testing.B) {
 	runExperiment(b, func() (*bench.Table, error) { return bench.E15QuorumScaling(true) })
 }
+
+// BenchmarkE16_HorizontalScaling regenerates the sharded capstone:
+// aggregate throughput vs shard count × cross-shard ratio on the unified
+// Shards API, plus the crash-recovery atomicity audit.
+func BenchmarkE16_HorizontalScaling(b *testing.B) {
+	runExperiment(b, func() (*bench.Table, error) { return bench.E16HorizontalScaling(true) })
+}

@@ -7,7 +7,16 @@
 //	         [-aggregate] [-batch-votes] [-metrics json|prom]
 //	         [-store DIR] [-fsync always|interval|off] [-snap-every N]
 //	         [-mempool-cap N] [-ops-addr HOST:PORT] [-log LEVEL]
+//	chainctl -shards 4 [-cross-protocol sharper] [-nodes 4] [-store DIR]
 //	chainctl -ops-addr HOST:PORT status
+//
+// -shards starts a sharded deployment instead of a single chain: N
+// shards, each a full -nodes-replica chain, with deterministic key
+// placement ("s<shard>/..."-prefixed keys pin their shard, others hash)
+// and durable cross-shard two-phase commit. -cross-protocol selects the
+// coordination strategy (sharper|ahl|saguaro|resilientdb). With -store,
+// each shard persists under its own subdirectory and an existing tree is
+// recovered, finishing in-doubt cross-shard transactions from the WAL.
 //
 // -n is shorthand for -nodes and overrides it — convenient when scripting
 // cluster-size sweeps. -aggregate switches the BFT vote phases (PBFT,
@@ -51,6 +60,12 @@
 //	metrics                    print the current metrics snapshot (JSON)
 //	mempool                    print admission-pool stats (needs -mempool-cap)
 //	quit
+//
+// In sharded mode (-shards) the same data commands apply — a
+// transaction whose keys span shards runs 2PC and reports its per-shard
+// commit heights — plus `shard <key>` (print a key's home shard),
+// `locks` (live 2PL lock count) and `verify` audits cross-shard
+// atomicity over every shard's ledger.
 package main
 
 import (
@@ -214,6 +229,139 @@ func archFromName(s string) (permchain.Architecture, error) {
 	return 0, fmt.Errorf("unknown architecture %q", s)
 }
 
+// runSharded drives the stdin REPL against a sharded deployment: the
+// same data commands, with cross-shard transactions running durable 2PC
+// and reporting per-shard commit heights.
+func runSharded(cfg permchain.Config) int {
+	var (
+		sc  *permchain.ShardedChain
+		err error
+	)
+	if cfg.Store != nil {
+		sc, err = permchain.OpenShardedChain(cfg)
+	} else {
+		sc, err = permchain.NewShardedChain(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	sc.Start()
+	defer sc.Stop()
+	fmt.Printf("sharded chain up: %d shards × %d nodes, %s cross-shard protocol\n",
+		sc.NumShards(), cfg.Nodes, sc.Protocol().Name())
+	fmt.Println(`keys prefixed "s<shard>/" pin their shard; others hash`)
+
+	txSeq := 0
+	submit := func(ops ...permchain.Op) {
+		txSeq++
+		id := fmt.Sprintf("cli-%d", txSeq)
+		r, err := sc.SubmitAsync(permchain.NewTransaction(id, ops...))
+		if err == nil {
+			err = r.Wait(30 * time.Second)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("committed %s, per-shard heights %v\n", id, r.Heights())
+	}
+	shardOf := func(key string) permchain.ShardID { return sc.Placement().ShardOf(key) }
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			return 0
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return 0
+		case "add":
+			if len(fields) != 3 {
+				fmt.Println("usage: add <key> <delta>")
+				continue
+			}
+			d, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				fmt.Println("bad delta:", err)
+				continue
+			}
+			submit(permchain.Add(fields[1], d))
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			submit(permchain.Put(fields[1], []byte(strings.Join(fields[2:], " "))))
+		case "transfer":
+			if len(fields) != 4 {
+				fmt.Println("usage: transfer <from> <to> <amount>")
+				continue
+			}
+			amt, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				fmt.Println("bad amount:", err)
+				continue
+			}
+			if shardOf(fields[1]) != shardOf(fields[2]) {
+				// A single Transfer op cannot span shards; move value as a
+				// debit/credit pair coordinated by 2PC instead.
+				submit(permchain.Add(fields[1], -amt), permchain.Add(fields[2], amt))
+				continue
+			}
+			submit(permchain.Transfer(fields[1], fields[2], amt))
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			home := shardOf(fields[1])
+			v, ver, ok := sc.Shard(home).Node(0).Store().Get(fields[1])
+			if !ok {
+				fmt.Printf("(not set; home shard %v)\n", home)
+				continue
+			}
+			fmt.Printf("%s (version %v, shard %v)\n", v, ver, home)
+		case "shard":
+			if len(fields) != 2 {
+				fmt.Println("usage: shard <key>")
+				continue
+			}
+			fmt.Printf("%s places on shard %v\n", fields[1], shardOf(fields[1]))
+		case "height":
+			for i := 0; i < sc.NumShards(); i++ {
+				ch := sc.Shard(permchain.ShardID(i))
+				fmt.Printf("shard %d: height %d, %d txs\n", i, ch.Node(0).Chain().Height(), ch.Node(0).ProcessedTxs())
+			}
+		case "locks":
+			fmt.Printf("%d live 2PL locks\n", sc.LockCount())
+		case "verify":
+			ok := true
+			for i := 0; i < sc.NumShards(); i++ {
+				if err := sc.Shard(permchain.ShardID(i)).VerifyReplication(); err != nil {
+					fmt.Printf("shard %d VIOLATION: %v\n", i, err)
+					ok = false
+				}
+			}
+			if err := sc.VerifyCrossShardAtomicity(); err != nil {
+				fmt.Println("cross-shard VIOLATION:", err)
+				ok = false
+			}
+			if ok {
+				fmt.Printf("replication holds on all %d shards; cross-shard atomicity audit clean (%d commits, %d aborts)\n",
+					sc.NumShards(), sc.CrossCommitted(), sc.Aborted())
+			}
+		default:
+			fmt.Println("commands: add put transfer get shard height locks verify quit")
+		}
+	}
+}
+
 func main() {
 	nodes := flag.Int("nodes", 4, "replica count")
 	nShort := flag.Int("n", 0, "shorthand for -nodes; overrides it when set")
@@ -226,6 +374,8 @@ func main() {
 	fsyncName := flag.String("fsync", "always", "durability policy for -store: always|interval|off")
 	snapEvery := flag.Uint64("snap-every", 16, "write a state snapshot every N blocks (0 disables; needs -store)")
 	mempoolCap := flag.Int("mempool-cap", 0, "route submissions through the bounded admission layer with this capacity (0 disables)")
+	shards := flag.Int("shards", 0, "run a sharded deployment with this many shards (0 = single chain)")
+	crossProto := flag.String("cross-protocol", "sharper", "cross-shard strategy for -shards: sharper|ahl|saguaro|resilientdb")
 	opsAddr := flag.String("ops-addr", "", "serve the HTTP ops plane on this address (or, with the status subcommand, the address to query)")
 	logLevel := flag.String("log", "", "emit structured logs to stderr: debug|info|warn|error")
 	flag.Parse()
@@ -276,6 +426,20 @@ func main() {
 	}
 	if *mempoolCap > 0 {
 		cfg.Mempool = &permchain.MempoolConfig{Capacity: *mempoolCap}
+	}
+	if *shards > 0 {
+		cfg.Obs = nil // per-shard chains would contend on one registry
+		cfg.BlockSize = 4
+		cfg.Sharding = &permchain.ShardingConfig{Shards: *shards, Protocol: *crossProto}
+		if *storeDir != "" {
+			fsync, err := store.ParseFsyncPolicy(*fsyncName)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cfg.Store = &permchain.StoreConfig{Dir: *storeDir, Fsync: fsync, SnapshotEvery: *snapEvery}
+		}
+		os.Exit(runSharded(cfg))
 	}
 	var chain *permchain.Chain
 	if *storeDir != "" {
@@ -341,7 +505,7 @@ func main() {
 		chain.Flush()
 		// Wait for every node, not just node 0, so a `verify` right after
 		// a commit cannot observe replicas mid-apply.
-		if !chain.AwaitAllNodesTxs(before+1, 10*time.Second) {
+		if !chain.Await(permchain.AwaitSpec{Txs: before + 1, Timeout: 10 * time.Second}) {
 			fmt.Println("timed out waiting for commit")
 			return
 		}

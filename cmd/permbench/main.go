@@ -1,4 +1,4 @@
-// Command permbench runs the paper-reproduction experiments (E1–E15 in
+// Command permbench runs the paper-reproduction experiments (E1–E16 in
 // DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -173,6 +173,7 @@ func run() int {
 		{"E13", func() (*bench.Table, error) { return bench.E13WorldState(*quick) }},
 		{"E14", func() (*bench.Table, error) { return bench.E14Overload(*quick) }},
 		{"E15", func() (*bench.Table, error) { return bench.E15QuorumScaling(*quick) }},
+		{"E16", func() (*bench.Table, error) { return bench.E16HorizontalScaling(*quick) }},
 	}
 
 	failed := false

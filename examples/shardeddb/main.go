@@ -1,10 +1,12 @@
-// A sharded ledger database on SharPer (§2.1.2 + §2.3.4 of the
-// tutorial): four Byzantine fault-tolerant clusters each maintain one
-// shard of a bank's accounts. Intra-shard transfers settle with one
-// cluster-local consensus round; cross-shard transfers run the flattened
-// cross-shard consensus among only the involved clusters — no global
-// coordinator, and non-overlapping cross-shard transfers proceed in
-// parallel.
+// A sharded ledger database on the unified Shards API (§2.1.2 + §2.3.4
+// of the tutorial): four shards, each a full 4-node Byzantine
+// fault-tolerant chain, hold one partition of a bank's accounts.
+// Deterministic placement routes each key to its shard; intra-shard
+// transfers settle with one shard-local consensus round; cross-shard
+// transfers run durable two-phase commit whose prepare/commit decisions
+// are ordered through each participant shard's own consensus — no
+// global coordinator under the default flattened (SharPer) protocol,
+// and non-overlapping cross-shard transfers proceed in parallel.
 //
 //	go run ./examples/shardeddb
 package main
@@ -15,63 +17,65 @@ import (
 	"sync"
 	"time"
 
-	"permchain/internal/network"
-	"permchain/internal/sharding/cluster"
-	"permchain/internal/sharding/sharper"
+	"permchain"
 	"permchain/internal/types"
 	"permchain/internal/workload"
 )
 
 func main() {
-	alloc := cluster.NewAllocator(network.New())
-	sys := sharper.New(alloc, sharper.Options{Shards: 4, Timeout: 15 * time.Second})
-	defer sys.Stop()
-	fmt.Println("SharPer up: 4 shards × 4-node BFT clusters, no reference committee")
-
-	// Open 8 accounts, two per shard, with 1000 each.
-	type account struct {
-		shard types.ShardID
-		key   string
+	sc, err := permchain.NewShardedChain(permchain.Config{
+		Nodes:      4,
+		DisableSig: true,
+		Sharding: &permchain.ShardingConfig{
+			Shards:   4,
+			Protocol: "sharper",
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	var accounts []account
+	sc.Start()
+	defer sc.Stop()
+	fmt.Println("ShardedChain up: 4 shards × 4-node BFT chains, flattened cross-shard protocol")
+
+	submit := func(tx *permchain.Transaction) *permchain.ShardReceipt {
+		r, err := sc.SubmitAsync(tx)
+		if err == nil {
+			err = r.Wait(30 * time.Second)
+		}
+		if err != nil {
+			log.Fatalf("%s: %v", tx.ID, err)
+		}
+		return r
+	}
+
+	// Open 8 accounts, two per shard, with 1000 each. Keys carry the
+	// "s<shard>/" placement prefix, so each lands on its home shard.
+	var accounts []string
 	for s := types.ShardID(0); s < 4; s++ {
 		for i := 0; i < 2; i++ {
-			accounts = append(accounts, account{shard: s, key: workload.ShardKey(s, i)})
+			accounts = append(accounts, workload.ShardKey(s, i))
 		}
 	}
-	for i, a := range accounts {
-		tx := &types.Transaction{
-			ID: fmt.Sprintf("open-%d", i), Kind: types.TxInternal, Shards: []types.ShardID{a.shard},
-			Ops: []types.Op{{Code: types.OpAdd, Key: a.key, Delta: 1000}},
-		}
-		if err := sys.SubmitIntra(tx); err != nil {
-			log.Fatal(err)
-		}
+	for i, key := range accounts {
+		submit(permchain.NewTransaction(fmt.Sprintf("open-%d", i), permchain.Add(key, 1000)))
 	}
 	fmt.Println("opened 8 accounts (2 per shard) with 1000 each")
 
-	// Intra-shard transfer: single cluster, one consensus round.
-	intra := &types.Transaction{
-		ID: "intra-1", Kind: types.TxInternal, Shards: []types.ShardID{0},
-		Ops: []types.Op{{Code: types.OpTransfer,
-			Key: workload.ShardKey(0, 0), Key2: workload.ShardKey(0, 1), Delta: 200}},
-	}
+	// Intra-shard transfer: one shard, one consensus round.
 	start := time.Now()
-	if err := sys.SubmitIntra(intra); err != nil {
-		log.Fatal(err)
-	}
+	submit(permchain.NewTransaction("intra-1",
+		permchain.Transfer(workload.ShardKey(0, 0), workload.ShardKey(0, 1), 200)))
 	fmt.Printf("intra-shard transfer committed in %v\n", time.Since(start).Round(time.Microsecond))
 
 	// Cross-shard transfers between non-overlapping shard pairs run in
-	// parallel — SharPer's headline property.
-	cross := func(id string, a, b types.ShardID, amt int64) *types.Transaction {
-		return &types.Transaction{
-			ID: id, Kind: types.TxCross, Shards: []types.ShardID{a, b},
-			Ops: []types.Op{
-				{Code: types.OpAdd, Key: workload.ShardKey(a, 0), Delta: -amt},
-				{Code: types.OpAdd, Key: workload.ShardKey(b, 0), Delta: amt},
-			},
-		}
+	// parallel — the flattened protocol's headline property. Each one's
+	// receipt settles only when both participant shards have durably
+	// committed their slice.
+	cross := func(id string, a, b types.ShardID, amt int64) *permchain.Transaction {
+		return permchain.NewTransaction(id,
+			permchain.Add(workload.ShardKey(a, 0), -amt),
+			permchain.Add(workload.ShardKey(b, 0), amt))
 	}
 	start = time.Now()
 	var wg sync.WaitGroup
@@ -79,9 +83,8 @@ func main() {
 		wg.Add(1)
 		go func(i int, a, b types.ShardID) {
 			defer wg.Done()
-			if err := sys.SubmitCross(cross(fmt.Sprintf("cross-%d", i), a, b, 50)); err != nil {
-				log.Fatal(err)
-			}
+			r := submit(cross(fmt.Sprintf("cross-%d", i), a, b, 50))
+			fmt.Printf("  cross-%d settled with per-shard heights %v\n", i, r.Heights())
 		}(i, pair[0], pair[1])
 	}
 	wg.Wait()
@@ -92,7 +95,7 @@ func main() {
 	total := int64(0)
 	fmt.Println("\nbalances by shard:")
 	for s := types.ShardID(0); s < 4; s++ {
-		st := sys.Shards()[s].Store()
+		st := sc.Shard(s).Node(0).Store()
 		b0 := st.GetInt(workload.ShardKey(s, 0))
 		b1 := st.GetInt(workload.ShardKey(s, 1))
 		total += b0 + b1
@@ -105,7 +108,7 @@ func main() {
 
 	// Storage is partitioned, not replicated: each shard only stores its
 	// own keys.
-	fmt.Printf("total keys stored across all clusters: %d (8 accounts, no replication blow-up)\n",
-		sys.TotalStorage())
-	fmt.Printf("cross-shard aborts so far: %d\n", sys.Aborted())
+	fmt.Printf("total keys stored across all shards: %d (8 accounts, no replication blow-up)\n",
+		sc.TotalStorage())
+	fmt.Printf("cross-shard commits: %d, aborts: %d\n", sc.CrossCommitted(), sc.Aborted())
 }

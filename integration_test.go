@@ -44,7 +44,7 @@ func TestProtocolArchitectureMatrix(t *testing.T) {
 					}
 				}
 				chain.Flush()
-				if !chain.AwaitAllNodesTxs(k, 30*time.Second) {
+				if !chain.Await(AwaitSpec{Txs: k, Timeout: 30 * time.Second}) {
 					t.Fatalf("stalled at %d/%d", chain.Node(0).ProcessedTxs(), k)
 				}
 				if err := chain.VerifyReplication(); err != nil {
@@ -83,7 +83,7 @@ func TestChainSurvivesFollowerCrash(t *testing.T) {
 		}
 	}
 	chain.Flush()
-	if !chain.AwaitAllNodesTxs(4, 15*time.Second) {
+	if !chain.Await(AwaitSpec{Txs: 4, Timeout: 15 * time.Second}) {
 		t.Fatal("pre-crash txs stalled")
 	}
 
@@ -96,7 +96,7 @@ func TestChainSurvivesFollowerCrash(t *testing.T) {
 	}
 	chain.Flush()
 	// Node 0 (still connected) must process all 8.
-	if !chain.AwaitTxs(8, 20*time.Second) {
+	if !chain.Await(AwaitSpec{Nodes: []int{0}, Txs: 8, Timeout: 20 * time.Second}) {
 		t.Fatalf("survivors stalled at %d/8", chain.Node(0).ProcessedTxs())
 	}
 	if got := chain.Node(0).Store().GetInt("k"); got != 8 {
@@ -104,7 +104,7 @@ func TestChainSurvivesFollowerCrash(t *testing.T) {
 	}
 	// Survivors 0,1,2 agree.
 	for i := 1; i <= 2; i++ {
-		if !chain.AwaitAllNodesTxsSubset([]int{0, i}, 8, 20*time.Second) {
+		if !chain.Await(AwaitSpec{Nodes: []int{0, i}, Txs: 8, Timeout: 20 * time.Second}) {
 			t.Fatalf("node %d lagging", i)
 		}
 		if !chain.Node(0).Chain().EqualTo(chain.Node(i).Chain()) {
@@ -114,7 +114,7 @@ func TestChainSurvivesFollowerCrash(t *testing.T) {
 
 	// Heal: the cut node catches up via PBFT state transfer.
 	net.Heal()
-	if !chain.AwaitAllNodesTxs(8, 30*time.Second) {
+	if !chain.Await(AwaitSpec{Txs: 8, Timeout: 30 * time.Second}) {
 		t.Fatalf("node 3 never caught up: %d/8", chain.Node(3).ProcessedTxs())
 	}
 	if err := chain.VerifyReplication(); err != nil {
@@ -154,7 +154,7 @@ func TestChainSurvivesLeaderCrash(t *testing.T) {
 	net.Partition([]types.NodeID{0})
 
 	// The survivors (1,2,3) must decide all 6 via view change.
-	if !chain.AwaitAllNodesTxsSubset([]int{1, 2, 3}, 6, 30*time.Second) {
+	if !chain.Await(AwaitSpec{Nodes: []int{1, 2, 3}, Txs: 6, Timeout: 30 * time.Second}) {
 		t.Fatalf("survivors stalled: n1=%d n2=%d n3=%d of 6",
 			chain.Node(1).ProcessedTxs(), chain.Node(2).ProcessedTxs(), chain.Node(3).ProcessedTxs())
 	}

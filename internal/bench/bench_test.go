@@ -285,3 +285,39 @@ func TestE15Quick(t *testing.T) {
 	}
 	t.Log("\n" + tbl.String())
 }
+
+// TestE16Quick is the tier-1 gate on the sharded capstone: aggregate
+// throughput must strictly increase from 1 to 4 shards at 0% cross-shard
+// traffic, and the safety arm (participant crash mid-2PC, recovery from
+// WAL decision records) must hold the all-or-nothing invariant with zero
+// subset commits and zero lost locks — E16HorizontalScaling returns an
+// error otherwise.
+func TestE16Quick(t *testing.T) {
+	tbl, err := E16HorizontalScaling(true)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	// (1 + 2×2) scaling rows + 1 safety row.
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	tpsAt := func(shards string) float64 {
+		t.Helper()
+		for _, row := range tbl.Rows {
+			if row[0] == "scaling" && row[1] == shards && row[2] == "0%" {
+				v, err := strconv.ParseFloat(row[3], 64)
+				if err != nil {
+					t.Fatalf("row %v: tps %q: %v", row, row[3], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no 0%% scaling row for %s shards\n%s", shards, tbl)
+		return 0
+	}
+	t1, t2, t4 := tpsAt("1"), tpsAt("2"), tpsAt("4")
+	if !(t4 > t2 && t2 > t1) {
+		t.Fatalf("aggregate tps not strictly increasing with shards at 0%% cross: 1→%.1f 2→%.1f 4→%.1f\n%s", t1, t2, t4, tbl)
+	}
+	t.Log("\n" + tbl.String())
+}

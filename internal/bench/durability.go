@@ -140,7 +140,7 @@ func runDurable(cfg core.Config, txs, blockSize int) (time.Duration, uint64, err
 		}
 	}
 	c.Flush()
-	if !c.AwaitAllNodesTxs(txs, 60*time.Second) {
+	if !c.Await(core.AwaitSpec{Txs: txs, Timeout: 60 * time.Second}) {
 		return 0, 0, fmt.Errorf("cluster processed %d/%d", c.Node(0).ProcessedTxs(), txs)
 	}
 	elapsed := time.Since(start)

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"permchain/internal/core"
+	"permchain/internal/sharding/shardcore"
+	"permchain/internal/sharding/sharper"
+	"permchain/internal/store"
+	"permchain/internal/types"
+	"permchain/internal/workload"
+)
+
+// E16HorizontalScaling is the capstone experiment of the unified Shards
+// API: one deployment shape (per-shard 4-node chains under the flattened
+// protocol), swept over shard count × cross-shard ratio, plus a
+// deterministic safety arm that crashes one participant mid-2PC and
+// audits atomicity across recovery.
+//
+// Two claims are measured:
+//
+//  1. weak scaling — offered load grows with the deployment (fixed
+//     transactions per shard), so aggregate throughput at 0% cross-shard
+//     traffic must grow near-linearly with shards: intra-shard
+//     transactions never coordinate. Shard committees carry a modeled
+//     LAN link latency so commit rounds are latency-bound and shards'
+//     waits overlap, as they would across real machines. Cross-shard
+//     ratio then erodes the gain: every spanning transaction pays lock +
+//     prepare + decide rounds in each participant.
+//
+//  2. all-or-nothing under crash — a participant shard is killed after
+//     its PREPARE is durable but before any outcome lands; the spanning
+//     receipt must stay pending (no subset commit), the lock must
+//     survive to recovery, and RecoverShard must finish the transaction
+//     from the WAL decision records. VerifyCrossShardAtomicity then
+//     audits every shard's ledger for commit/abort disagreements.
+func E16HorizontalScaling(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "E16",
+		Title:   "horizontal scaling: aggregate tps vs shard count × cross-shard ratio, with crash-recovery atomicity audit",
+		Claim:   "intra-shard capacity scales near-linearly with shards; cross-shard coordination taxes it in proportion to the spanning ratio; a participant crash mid-2PC never yields a subset commit or a lost lock",
+		Columns: []string{"arm", "shards", "cross %", "tps", "committed", "aborted", "keys", "locks leaked", "audit"},
+	}
+
+	shardCounts := []int{1, 2, 4}
+	crossFracs := []float64{0, 0.10}
+	txPerShard, keysPerShard := 400, 4096
+	latency := 500 * time.Microsecond
+	if !quick {
+		shardCounts = []int{1, 2, 4, 8}
+		crossFracs = []float64{0, 0.05, 0.20}
+		txPerShard, keysPerShard = 2000, 16384 // 8 shards × 16384 = 131k keys
+	}
+	if raceEnabled {
+		// Race instrumentation costs ~10× CPU; keep the sweep in the
+		// latency-bound regime it models instead of going compute-bound.
+		latency *= 4
+	}
+
+	for _, shards := range shardCounts {
+		for _, cf := range crossFracs {
+			if shards == 1 && cf > 0 {
+				continue // a single shard has no cross-shard traffic
+			}
+			cfg := shardedConfig(shards, "sharper")
+			cfg.Sharding.IntraShardLatency = latency
+			s, err := shardcore.New(cfg, sharper.New())
+			if err != nil {
+				return nil, err
+			}
+			s.Start()
+			gen := workload.New(16)
+			txs := gen.Sharded(workload.ShardedConfig{
+				Txs: txPerShard * shards, Shards: shards,
+				KeysPerShard: keysPerShard, CrossFraction: cf,
+			})
+			dur, committed, aborted := driveSharded(s, txs, 8*shards)
+			leaked := s.LockCount()
+			audit := "ok"
+			if err := s.VerifyCrossShardAtomicity(); err != nil {
+				audit = err.Error()
+			}
+			t.AddRow("scaling", shards, fmt.Sprintf("%.0f%%", cf*100),
+				tps(committed, dur), committed, aborted, shards*keysPerShard, leaked, audit)
+			s.Stop()
+			if audit != "ok" {
+				return t, fmt.Errorf("E16: atomicity audit failed at %d shards, %.0f%% cross: %s", shards, cf*100, audit)
+			}
+			if leaked != 0 {
+				return t, fmt.Errorf("E16: %d locks leaked at %d shards, %.0f%% cross", leaked, shards, cf*100)
+			}
+		}
+	}
+
+	if err := e16SafetyArm(t, quick); err != nil {
+		return t, err
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("weak scaling: %d txs per shard over %d keys/shard, 8 client workers per shard; committee link latency %v so commit rounds are latency-bound and shards overlap", txPerShard, keysPerShard, latency),
+		"safety arm: participant killed after durable PREPARE, before any outcome; receipt must stay pending until RecoverShard resolves the in-doubt transaction from its WAL decision records")
+	return t, nil
+}
+
+// e16SafetyArm runs the deterministic crash-recovery check: no
+// cross-shard transaction may commit on a strict subset of its
+// participants, even when one participant dies mid-2PC and is recovered
+// from its WAL.
+func e16SafetyArm(t *Table, quick bool) error {
+	dir, err := os.MkdirTemp("", "permchain-e16-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := shardedConfig(2, "sharper")
+	cfg.Sharding.CrossTimeout = 10 * time.Second
+	cfg.Store = &store.Config{Dir: dir, SnapshotEvery: 16}
+	s, err := shardcore.New(cfg, sharper.New())
+	if err != nil {
+		return err
+	}
+	s.Start()
+	defer s.Stop()
+
+	// Background cross-shard traffic, one victim transaction. The hook
+	// kills shard 1 the moment the victim's PREPAREs are all durable.
+	var once sync.Once
+	s.AfterPrepare = func(txID string) {
+		if txID == "e16-victim" {
+			once.Do(func() { s.CrashShard(1) })
+		}
+	}
+	warm := 8
+	if !quick {
+		warm = 64
+	}
+	for i := 0; i < warm; i++ {
+		r, err := s.SubmitAsync(&types.Transaction{ID: fmt.Sprintf("e16-warm-%d", i), Ops: []types.Op{
+			{Code: types.OpAdd, Key: workload.ShardKey(0, i), Delta: -1},
+			{Code: types.OpAdd, Key: workload.ShardKey(1, i), Delta: 1},
+		}})
+		if err != nil {
+			return err
+		}
+		if err := r.Wait(30 * time.Second); err != nil {
+			return fmt.Errorf("E16 warmup tx %d: %w", i, err)
+		}
+	}
+	r, err := s.SubmitAsync(&types.Transaction{ID: "e16-victim", Ops: []types.Op{
+		{Code: types.OpAdd, Key: workload.ShardKey(0, 999), Delta: -5},
+		{Code: types.OpAdd, Key: workload.ShardKey(1, 999), Delta: 5},
+	}})
+	if err != nil {
+		return err
+	}
+	// The receipt must NOT settle while shard 1 is down — settling now
+	// would be a subset commit.
+	if err := r.Wait(2 * time.Second); err != core.ErrAwaitTimeout {
+		return fmt.Errorf("E16: victim settled with a dead participant: %v (status %v)", err, r.Status())
+	}
+	if s.LockCount() == 0 {
+		return fmt.Errorf("E16: in-doubt transaction lost its locks before recovery")
+	}
+	if err := s.RecoverShard(1); err != nil {
+		return fmt.Errorf("E16: recovery: %w", err)
+	}
+	if err := r.Wait(30 * time.Second); err != nil {
+		return fmt.Errorf("E16: victim after recovery: %w", err)
+	}
+	leaked := s.LockCount()
+	audit := "ok"
+	if err := s.VerifyCrossShardAtomicity(); err != nil {
+		audit = err.Error()
+	}
+	t.AddRow("safety (crash mid-2PC)", 2, "100%", "-", warm+1, 0, 2, leaked, audit)
+	if audit != "ok" {
+		return fmt.Errorf("E16: post-recovery audit: %s", audit)
+	}
+	if leaked != 0 {
+		return fmt.Errorf("E16: %d locks leaked after recovery", leaked)
+	}
+	if got := s.Shard(1).Node(0).Store().GetInt(workload.ShardKey(1, 999)); got != 5 {
+		return fmt.Errorf("E16: recovered shard applied %d, want 5", got)
+	}
+	return nil
+}

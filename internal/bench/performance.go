@@ -47,7 +47,7 @@ func E1Figure1(txs int) (*Table, error) {
 		}
 	}
 	chain.Flush()
-	if !chain.AwaitAllNodesTxs(txs, 60*time.Second) {
+	if !chain.Await(core.AwaitSpec{Txs: txs, Timeout: 60 * time.Second}) {
 		return nil, fmt.Errorf("E1: nodes stalled at %d/%d txs", chain.Node(0).ProcessedTxs(), txs)
 	}
 	repErr := chain.VerifyReplication()

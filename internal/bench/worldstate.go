@@ -42,9 +42,9 @@ func E13WorldState(quick bool) (*Table, error) {
 	workers := []int{1, 2, 4, 8}
 
 	tbl := &Table{
-		ID:    "E13",
-		Title: "world state: incremental bucket-tree hashing and lock-striped execution scaling",
-		Claim: "removing store-wide serialization lets parallel executors scale with workers, and dirty-bucket hashing makes state commitment O(writes) instead of O(state)",
+		ID:      "E13",
+		Title:   "world state: incremental bucket-tree hashing and lock-striped execution scaling",
+		Claim:   "removing store-wide serialization lets parallel executors scale with workers, and dirty-bucket hashing makes state commitment O(writes) instead of O(state)",
 		Columns: []string{"phase", "config", "workers", "ops", "elapsed", "tps", "lock-waits"},
 	}
 

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"permchain/internal/consensus"
 	"permchain/internal/ledger"
 	"permchain/internal/network"
 	"permchain/internal/sharding/cluster"
@@ -150,7 +151,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		id := types.EnterpriseID(i)
 		n.ents[id] = &Enterprise{
 			ID:      id,
-			cluster: alloc.NewCluster(types.ShardID(i), cluster.Options{Size: cfg.ClusterSize, Timeout: cfg.Timeout / 4, DisableSig: cfg.DisableSig}),
+			cluster: alloc.NewCluster(types.ShardID(i), cluster.Options{Size: cfg.ClusterSize, Consensus: consensus.Config{Timeout: cfg.Timeout / 4, DisableSig: cfg.DisableSig}}),
 			dag:     ledger.NewDAG(),
 			store:   statedb.New(),
 		}
@@ -163,7 +164,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.Mode == Flattened {
 		globalSize = cfg.Enterprises
 	}
-	n.global = alloc.NewCluster(types.ShardID(0), cluster.Options{Size: globalSize, Timeout: cfg.Timeout / 4, DisableSig: cfg.DisableSig})
+	n.global = alloc.NewCluster(types.ShardID(0), cluster.Options{Size: globalSize, Consensus: consensus.Config{Timeout: cfg.Timeout / 4, DisableSig: cfg.DisableSig}})
 	go n.drainCross()
 	return n, nil
 }

@@ -464,7 +464,7 @@ func aggCluster(t *testing.T, n int, batch bool) (*network.Network, []*Replica) 
 	for i := range reps {
 		reps[i] = New(consensus.Config{
 			Self: types.NodeID(i), Nodes: nodes, Net: net, Keys: keys,
-			Timeout: 150 * time.Millisecond,
+			Timeout:        150 * time.Millisecond,
 			AggregateVotes: true, VoteKeys: voteKeys, BatchVotes: batch,
 		})
 	}

@@ -145,29 +145,3 @@ func (c *Chain) AwaitErr(spec AwaitSpec) error {
 	}
 	return ErrAwaitTimeout
 }
-
-// AwaitTxs blocks until node 0 has processed n transactions.
-//
-// Deprecated: use Await; kept as a wrapper so existing call sites
-// compile unchanged.
-func (c *Chain) AwaitTxs(n int, timeout time.Duration) bool {
-	return c.Await(AwaitSpec{Nodes: []int{0}, Txs: n, Timeout: timeout})
-}
-
-// AwaitAllNodesTxs blocks until every node has processed n transactions.
-//
-// Deprecated: use Await; kept as a wrapper so existing call sites
-// compile unchanged.
-func (c *Chain) AwaitAllNodesTxs(n int, timeout time.Duration) bool {
-	return c.Await(AwaitSpec{Txs: n, Timeout: timeout})
-}
-
-// AwaitAllNodesTxsSubset blocks until each of the listed nodes has
-// processed n transactions — for fault tests where some nodes are
-// partitioned away and only the survivors can make progress.
-//
-// Deprecated: use Await; kept as a wrapper so existing call sites
-// compile unchanged.
-func (c *Chain) AwaitAllNodesTxsSubset(nodes []int, n int, timeout time.Duration) bool {
-	return c.Await(AwaitSpec{Nodes: nodes, Txs: n, Timeout: timeout})
-}

@@ -159,6 +159,14 @@ type Config struct {
 	// state snapshots. New requires the directory to hold no blocks; use
 	// OpenChain to recover a crashed chain from disk.
 	Store *store.Config
+	// Sharding partitions the deployment horizontally: when non-nil, the
+	// configuration describes a fleet of shard chains (each one a full
+	// durable pipelined chain shaped by the rest of this Config) joined by
+	// cross-shard two-phase commit. A sharded config must be built with
+	// the sharded constructors (permchain.NewShardedChain /
+	// shardcore.New); New and OpenChain reject it so a single chain can
+	// never silently ignore the shard topology.
+	Sharding *ShardingConfig
 	// Mempool attaches the bounded admission layer in front of the
 	// commit pipeline: submissions are deduplicated by digest, capped by
 	// a hard capacity and per-client fair-share quotas (typed rejections
@@ -168,6 +176,38 @@ type Config struct {
 	// from FlushEvery, Obs from Config.Obs. Nil keeps the direct
 	// unbounded submit path.
 	Mempool *mempool.Config
+}
+
+// ShardingConfig nests the shard topology inside Config — one Config
+// shape for single and sharded chains, instead of a parallel Options
+// struct. The strategy names map to the §2.3.4 protocol implementations
+// under internal/sharding.
+type ShardingConfig struct {
+	// Shards is the data-shard count (default 2).
+	Shards int
+	// Protocol names the cross-shard coordination strategy: "sharper"
+	// (default; flattened consensus among the involved shards), "ahl"
+	// (2PC through a dedicated reference chain), "saguaro" (2PC through a
+	// tree-LCA coordinator shard), or "resilientdb" (single-ledger full
+	// replication, no cross-shard concept).
+	Protocol string
+	// Fanout shapes the saguaro coordination tree (default 2).
+	Fanout int
+	// CrossTimeout bounds each cross-shard phase: lock acquisition and
+	// every per-shard durable ordering round (default 10s).
+	CrossTimeout time.Duration
+	// LockTTL bounds how long an orphaned 2PL lock outlives its holder
+	// before the lease lapses (default 2×CrossTimeout). In-doubt recovery
+	// re-asserts leases for transactions it replays from the WAL, so
+	// expiry only releases locks no one will resolve.
+	LockTTL time.Duration
+	// IntraShardLatency models each shard committee's internal link
+	// latency (LAN-class); zero means instant in-process links.
+	IntraShardLatency time.Duration
+	// InterShardDelay models WAN latency for one message between two
+	// shards; the reference chain (AHL) is addressed as shard id =
+	// Shards. Nil means co-located shards.
+	InterShardDelay func(a, b types.ShardID) time.Duration
 }
 
 // engine abstracts the per-node processing pipeline. process returns the
@@ -321,6 +361,9 @@ func OpenChain(cfg Config) (*Chain, error) {
 }
 
 func build(cfg Config, resume bool) (*Chain, error) {
+	if cfg.Sharding != nil {
+		return nil, errors.New("core: Config.Sharding is set; build the deployment with the sharded constructors (permchain.NewShardedChain)")
+	}
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 4
 	}
@@ -383,7 +426,7 @@ func build(cfg Config, resume bool) (*Chain, error) {
 		ccfg := consensus.Config{
 			Self: ids[i], Nodes: ids, Net: cfg.Net, Keys: keys,
 			Timeout: cfg.Timeout, DisableSig: cfg.DisableSig,
-			Obs: cfg.Obs,
+			Obs:            cfg.Obs,
 			AggregateVotes: cfg.AggregateVotes, VoteKeys: voteKeys,
 			BatchVotes: cfg.BatchVotes,
 		}

@@ -43,7 +43,7 @@ func TestFigure1FiveNodeReplication(t *testing.T) {
 		}
 	}
 	c.Flush()
-	if !c.AwaitAllNodesTxs(k, 20*time.Second) {
+	if !c.Await(AwaitSpec{Txs: k, Timeout: 20 * time.Second}) {
 		t.Fatalf("nodes processed %d/%d", c.Node(0).ProcessedTxs(), k)
 	}
 	if err := c.VerifyReplication(); err != nil {
@@ -69,7 +69,7 @@ func TestAllProtocolsProduceIdenticalLedgers(t *testing.T) {
 				}
 			}
 			c.Flush()
-			if !c.AwaitAllNodesTxs(k, 30*time.Second) {
+			if !c.Await(AwaitSpec{Txs: k, Timeout: 30 * time.Second}) {
 				t.Fatalf("%v: processed %d/%d", p, c.Node(0).ProcessedTxs(), k)
 			}
 			if err := c.VerifyReplication(); err != nil {
@@ -93,7 +93,7 @@ func TestAllArchitecturesAgreeOnUncontended(t *testing.T) {
 			}
 		}
 		c.Flush()
-		if !c.AwaitAllNodesTxs(k, 20*time.Second) {
+		if !c.Await(AwaitSpec{Txs: k, Timeout: 20 * time.Second}) {
 			t.Fatalf("%v: processed %d/%d", a, c.Node(0).ProcessedTxs(), k)
 		}
 		if err := c.VerifyReplication(); err != nil {
@@ -139,7 +139,7 @@ func TestXOVAbortsUnderContentionOXIIDoesNot(t *testing.T) {
 		}
 	}
 	oxii.Flush()
-	if !oxii.AwaitTxs(k, 20*time.Second) {
+	if !oxii.Await(AwaitSpec{Nodes: []int{0}, Txs: k, Timeout: 20 * time.Second}) {
 		t.Fatal("oxii stalled")
 	}
 	if st := oxii.Node(0).Stats(); st.Aborted != 0 || st.Committed != k {
@@ -156,7 +156,7 @@ func TestXOVAbortsUnderContentionOXIIDoesNot(t *testing.T) {
 		}
 	}
 	xovC.Flush()
-	if !xovC.AwaitTxs(k, 20*time.Second) {
+	if !xovC.Await(AwaitSpec{Nodes: []int{0}, Txs: k, Timeout: 20 * time.Second}) {
 		t.Fatal("xov stalled")
 	}
 	st := xovC.Node(0).Stats()
@@ -181,7 +181,7 @@ func TestWorkloadIntegration(t *testing.T) {
 		}
 	}
 	c.Flush()
-	if !c.AwaitAllNodesTxs(64, 20*time.Second) {
+	if !c.Await(AwaitSpec{Txs: 64, Timeout: 20 * time.Second}) {
 		t.Fatal("stalled")
 	}
 	if err := c.VerifyReplication(); err != nil {
@@ -217,7 +217,7 @@ func TestProvenanceHistory(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.Flush()
-		if !c.AwaitTxs(i, 10*time.Second) {
+		if !c.Await(AwaitSpec{Nodes: []int{0}, Txs: i, Timeout: 10 * time.Second}) {
 			t.Fatalf("tx %d stalled", i)
 		}
 	}
@@ -259,7 +259,7 @@ func TestDurableRestartRecoversLedgerAndState(t *testing.T) {
 		}
 	}
 	c.Flush()
-	if !c.AwaitAllNodesTxs(k, 20*time.Second) {
+	if !c.Await(AwaitSpec{Txs: k, Timeout: 20 * time.Second}) {
 		t.Fatalf("processed %d/%d", c.Node(0).ProcessedTxs(), k)
 	}
 	wantHeight := c.Node(0).Chain().Height()
@@ -307,7 +307,7 @@ func TestDurableRestartRecoversLedgerAndState(t *testing.T) {
 		}
 	}
 	re.Flush()
-	if !re.AwaitAllNodesTxs(k2, 20*time.Second) {
+	if !re.Await(AwaitSpec{Txs: k2, Timeout: 20 * time.Second}) {
 		t.Fatalf("post-restart processed %d/%d", re.Node(0).ProcessedTxs(), k2)
 	}
 	if err := re.VerifyReplication(); err != nil {
@@ -340,7 +340,7 @@ func TestNewRefusesExistingDurableState(t *testing.T) {
 		}
 	}
 	c.Flush()
-	if !c.AwaitAllNodesTxs(4, 20*time.Second) {
+	if !c.Await(AwaitSpec{Txs: 4, Timeout: 20 * time.Second}) {
 		t.Fatal("no progress")
 	}
 	c.Stop()
@@ -387,7 +387,7 @@ func TestOpenChainCatchesUpLaggingNode(t *testing.T) {
 		}
 	}
 	c.Flush()
-	if !c.AwaitAllNodesTxs(k, 20*time.Second) {
+	if !c.Await(AwaitSpec{Txs: k, Timeout: 20 * time.Second}) {
 		t.Fatal("no progress")
 	}
 	wantState := c.Node(0).Store().StateHash()

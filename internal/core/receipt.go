@@ -28,10 +28,12 @@ type Receipt struct {
 	done chan struct{}
 	once sync.Once
 
-	mu     sync.Mutex
-	height uint64
-	status arch.TxStatus
-	err    error
+	mu      sync.Mutex
+	height  uint64
+	status  arch.TxStatus
+	err     error
+	settled bool
+	hooks   []func(*Receipt)
 }
 
 func newReceipt(tx *types.Transaction) *Receipt {
@@ -117,13 +119,35 @@ func (e *awaitTimeoutError) Is(target error) bool {
 }
 func (e *awaitTimeoutError) Unwrap() error { return e.cause }
 
+// OnSettle registers fn to run once the receipt settles; if it already
+// has, fn runs inline. Hooks run on the settling goroutine (the commit
+// pipeline's persister, for durable chains) and must not block — the
+// sharded facade uses them to fold per-shard receipts into one spanning
+// receipt without a waiting goroutine per shard.
+func (r *Receipt) OnSettle(fn func(*Receipt)) {
+	r.mu.Lock()
+	if r.settled {
+		r.mu.Unlock()
+		fn(r)
+		return
+	}
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
 func (r *Receipt) resolve(height uint64, status arch.TxStatus) {
 	r.once.Do(func() {
 		r.mu.Lock()
 		r.height = height
 		r.status = status
+		r.settled = true
+		hooks := r.hooks
+		r.hooks = nil
 		r.mu.Unlock()
 		close(r.done)
+		for _, fn := range hooks {
+			fn(r)
+		}
 	})
 }
 
@@ -132,8 +156,14 @@ func (r *Receipt) fail(err error) {
 		r.mu.Lock()
 		r.status = arch.TxFailed
 		r.err = err
+		r.settled = true
+		hooks := r.hooks
+		r.hooks = nil
 		r.mu.Unlock()
 		close(r.done)
+		for _, fn := range hooks {
+			fn(r)
+		}
 	})
 }
 

@@ -118,7 +118,7 @@ func TestEndpointsUnderLoad(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
-	if !c.AwaitTxs(1, 5*time.Second) {
+	if !c.Await(core.AwaitSpec{Nodes: []int{0}, Txs: 1, Timeout: 5 * time.Second}) {
 		t.Fatal("no transactions committed under load")
 	}
 

@@ -57,7 +57,7 @@ func TestReadyzFlipsAcrossPartition(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if !c.AwaitTxs(4, 10*time.Second) {
+	if !c.Await(core.AwaitSpec{Nodes: []int{0}, Txs: 4, Timeout: 10 * time.Second}) {
 		t.Fatal("initial batch did not commit")
 	}
 	if code := readyz(); code != http.StatusOK {

@@ -1,294 +1,55 @@
-// Package ahl implements the coordinator-based sharding of AHL ("Towards
-// Scaling Blockchain Systems via Sharding", Dang et al., SIGMOD'19) as
-// presented in §2.3.4: the ledger is partitioned across committees whose
-// nodes run on trusted hardware — attestation prevents equivocation, so a
-// committee needs only 2f+1 nodes instead of 3f+1 — and cross-shard
-// transactions are coordinated *centrally* by a dedicated reference
-// committee running classic two-phase commit with two-phase locking.
-//
-// Phase count per cross-shard transaction (the cost the tutorial's
-// Discussion highlights): one consensus round at the reference committee
-// to admit the transaction, one per involved shard to prepare (+lock),
-// one at the reference committee to decide, and one per involved shard to
-// commit — 2k+2 cluster-consensus rounds for k involved shards, vs
-// SharPer's k parallel rounds.
+// Package ahl implements AHL-style sharding (Dang et al., SIGMOD 2019)
+// as a shardcore strategy, following §2.3.4: every cross-shard
+// transaction is coordinated by a dedicated *reference committee* — a
+// BFT committee of its own that holds no data shard — which runs
+// two-phase commit on top of the shards' own consensus. In shardcore
+// terms the BEGIN and DECIDE records are ordered through the reference
+// committee's chain (shard id == NumShards), so the commit verdict is
+// itself Byzantine fault tolerant, while each participant's PREPARE
+// and COMMIT records go through that shard's consensus. The price is
+// two extra wide-area round trips to the reference committee on every
+// cross-shard transaction; the win is that data shards never talk to
+// each other.
 package ahl
 
 import (
-	"errors"
-	"fmt"
-	"strings"
-	"sync"
 	"time"
 
-	"permchain/internal/sharding/cluster"
+	"permchain/internal/sharding/shardcore"
 	"permchain/internal/types"
 )
 
-// phase markers ordered inside clusters.
-type beginMsg struct{ TxID string }
-type prepareMsg struct{ TxID string }
-type decideMsg struct {
-	TxID   string
-	Commit bool
-}
-type commitMsg struct {
-	TxID   string
-	Commit bool
+// Strategy is the reference-committee protocol. The zero value is
+// ready to use.
+type Strategy struct {
+	// DelayFn models WAN latency between committees; the reference
+	// committee is addressed as shard id == NumShards. Nil means
+	// co-located.
+	DelayFn func(a, b types.ShardID) time.Duration
 }
 
-// System is an AHL deployment: shard committees plus the reference
-// committee.
-type System struct {
-	shards []*cluster.Cluster
-	ref    *cluster.Cluster
+// New returns the reference-committee strategy.
+func New() Strategy { return Strategy{} }
 
-	mu      sync.Mutex
-	heights map[types.ShardID]uint64
+// Name identifies the strategy.
+func (Strategy) Name() string { return "ahl" }
 
-	timeout time.Duration
-	delay   func(a, b types.ShardID) time.Duration
+// Replicated reports partitioned operation.
+func (Strategy) Replicated() bool { return false }
 
-	// Aborted counts cross-shard transactions aborted by lock conflicts.
-	aborted int
+// NeedsReference reports that the deployment provisions a reference
+// committee chain.
+func (Strategy) NeedsReference() bool { return true }
+
+// Coordinator routes every decision through the reference committee.
+func (Strategy) Coordinator(parts []types.ShardID, shards int) shardcore.Coord {
+	return shardcore.Coord{Shard: types.ShardID(shards), Reference: true}
 }
 
-// Options configures the deployment.
-type Options struct {
-	// Shards is the number of data shards.
-	Shards int
-	// CommitteeSize is each committee's node count; with Attested true the
-	// default is 3 (2f+1, f=1), otherwise 4 (3f+1).
-	CommitteeSize int
-	// Attested enables the trusted-hardware committee-size reduction.
-	Attested bool
-	// Timeout bounds each consensus round.
-	Timeout    time.Duration
-	DisableSig bool
-	// InterClusterDelay models the WAN latency of one message between two
-	// clusters; the reference committee is cluster id = Shards. Nil means
-	// co-located clusters. Cross-shard 2PC pays it on every
-	// coordinator↔shard crossing, which is exactly the phase-count cost
-	// §2.3.4 attributes to centralized coordination.
-	InterClusterDelay func(a, b types.ShardID) time.Duration
-}
-
-// New creates an AHL system over the allocator's network. The reference
-// committee gets shard id = Shards (one past the data shards).
-func New(alloc *cluster.Allocator, opts Options) *System {
-	if opts.CommitteeSize <= 0 {
-		if opts.Attested {
-			opts.CommitteeSize = 3
-		} else {
-			opts.CommitteeSize = 4
-		}
+// Delay returns the configured inter-committee latency.
+func (s Strategy) Delay(a, b types.ShardID) time.Duration {
+	if s.DelayFn == nil {
+		return 0
 	}
-	if opts.Timeout == 0 {
-		opts.Timeout = 10 * time.Second
-	}
-	copts := cluster.Options{Size: opts.CommitteeSize, Attested: opts.Attested, DisableSig: opts.DisableSig}
-	s := &System{heights: map[types.ShardID]uint64{}, timeout: opts.Timeout, delay: opts.InterClusterDelay}
-	for i := 0; i < opts.Shards; i++ {
-		s.shards = append(s.shards, alloc.NewCluster(types.ShardID(i), copts))
-	}
-	s.ref = alloc.NewCluster(types.ShardID(opts.Shards), copts)
-	return s
-}
-
-// Stop shuts the system down.
-func (s *System) Stop() {
-	for _, c := range s.shards {
-		c.Stop()
-	}
-	s.ref.Stop()
-}
-
-// Shards returns the data-shard clusters.
-func (s *System) Shards() []*cluster.Cluster { return s.shards }
-
-// Aborted returns the number of lock-conflict aborts so far.
-func (s *System) Aborted() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.aborted
-}
-
-func digestFor(kind, txID string) types.Hash {
-	return types.HashConcat([]byte(kind), []byte(txID))
-}
-
-// hop sleeps for one inter-cluster message crossing.
-func (s *System) hop(a, b types.ShardID) {
-	if s.delay == nil || a == b {
-		return
-	}
-	if d := s.delay(a, b); d > 0 {
-		time.Sleep(d)
-	}
-}
-
-// refID is the reference committee's cluster id.
-func (s *System) refID() types.ShardID { return types.ShardID(len(s.shards)) }
-
-// OpsForShard filters a transaction's operations to those touching the
-// given shard's keyspace (keys prefixed "s<id>/", per workload.ShardKey).
-func OpsForShard(tx *types.Transaction, id types.ShardID) []types.Op {
-	prefix := fmt.Sprintf("s%d/", id)
-	var out []types.Op
-	for _, op := range tx.Ops {
-		if strings.HasPrefix(op.Key, prefix) {
-			out = append(out, op)
-		}
-	}
-	return out
-}
-
-// KeysForShard filters a transaction's touched keys to one shard.
-func KeysForShard(tx *types.Transaction, id types.ShardID) []string {
-	prefix := fmt.Sprintf("s%d/", id)
-	var out []string
-	for _, k := range tx.TouchedKeys() {
-		if strings.HasPrefix(k, prefix) {
-			out = append(out, k)
-		}
-	}
-	return out
-}
-
-// System errors.
-var (
-	ErrAborted  = errors.New("ahl: cross-shard transaction aborted (lock conflict)")
-	ErrBadShard = errors.New("ahl: transaction names an unknown shard")
-)
-
-func (s *System) nextVersion(id types.ShardID) types.Version {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.heights[id]++
-	return types.Version{Block: s.heights[id]}
-}
-
-// SubmitIntra orders and executes an intra-shard transaction on its home
-// committee — one consensus round, no coordination.
-func (s *System) SubmitIntra(tx *types.Transaction) error {
-	if len(tx.Shards) != 1 {
-		return fmt.Errorf("ahl: intra-shard transaction must name one shard, got %v", tx.Shards)
-	}
-	home := tx.Shards[0]
-	if int(home) >= len(s.shards) {
-		return ErrBadShard
-	}
-	c := s.shards[home]
-	if _, err := c.OrderSync(tx, tx.Hash(), s.timeout); err != nil {
-		return err
-	}
-	res := c.Store().Execute(s.nextVersion(home), tx.Ops)
-	return res.Err
-}
-
-// SubmitCross runs the reference-committee 2PC for a cross-shard
-// transaction. On lock conflict it aborts cleanly (caller may retry).
-func (s *System) SubmitCross(tx *types.Transaction) error {
-	for _, sh := range tx.Shards {
-		if int(sh) >= len(s.shards) {
-			return ErrBadShard
-		}
-	}
-	// Round 1: the reference committee admits and orders the transaction,
-	// fixing the global cross-shard order.
-	if _, err := s.ref.OrderSync(beginMsg{TxID: tx.ID}, digestFor("begin", tx.ID), s.timeout); err != nil {
-		return err
-	}
-
-	// Round 2 (parallel): each involved shard orders a prepare and
-	// acquires 2PL locks.
-	type voteRes struct {
-		shard types.ShardID
-		ok    bool
-		err   error
-	}
-	votes := make(chan voteRes, len(tx.Shards))
-	for _, sh := range tx.Shards {
-		go func(sh types.ShardID) {
-			s.hop(s.refID(), sh) // RC → shard: prepare message
-			c := s.shards[sh]
-			if _, err := c.OrderSync(prepareMsg{TxID: tx.ID}, digestFor("prep/"+sh.String(), tx.ID), s.timeout); err != nil {
-				votes <- voteRes{shard: sh, err: err}
-				return
-			}
-			err := c.TryLock(tx.ID, KeysForShard(tx, sh))
-			s.hop(sh, s.refID()) // shard → RC: vote
-			votes <- voteRes{shard: sh, ok: err == nil}
-		}(sh)
-	}
-	commit := true
-	var firstErr error
-	for range tx.Shards {
-		v := <-votes
-		if v.err != nil && firstErr == nil {
-			firstErr = v.err
-		}
-		if !v.ok {
-			commit = false
-		}
-	}
-	if firstErr != nil {
-		s.releaseAll(tx)
-		return firstErr
-	}
-
-	// Round 3: the reference committee orders the global decision.
-	if _, err := s.ref.OrderSync(decideMsg{TxID: tx.ID, Commit: commit}, digestFor("decide", tx.ID), s.timeout); err != nil {
-		s.releaseAll(tx)
-		return err
-	}
-
-	// Round 4 (parallel): involved shards order the outcome, apply on
-	// commit, and release locks.
-	var wg sync.WaitGroup
-	errs := make([]error, len(tx.Shards))
-	for i, sh := range tx.Shards {
-		wg.Add(1)
-		go func(i int, sh types.ShardID) {
-			defer wg.Done()
-			s.hop(s.refID(), sh) // RC → shard: commit/abort message
-			c := s.shards[sh]
-			_, err := c.OrderSync(commitMsg{TxID: tx.ID, Commit: commit}, digestFor("commit/"+sh.String(), tx.ID), s.timeout)
-			if err == nil && commit {
-				res := c.Store().Execute(s.nextVersion(sh), OpsForShard(tx, sh))
-				err = res.Err
-			}
-			c.Unlock(tx.ID)
-			errs[i] = err
-		}(i, sh)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	if !commit {
-		s.mu.Lock()
-		s.aborted++
-		s.mu.Unlock()
-		return ErrAborted
-	}
-	return nil
-}
-
-func (s *System) releaseAll(tx *types.Transaction) {
-	for _, sh := range tx.Shards {
-		s.shards[sh].Unlock(tx.ID)
-	}
-}
-
-// TotalStorage sums live keys across shards — with a partitioned ledger
-// this stays ≈ the key count, not shards × keys.
-func (s *System) TotalStorage() int {
-	total := 0
-	for _, c := range s.shards {
-		total += c.Store().Len()
-	}
-	return total
+	return s.DelayFn(a, b)
 }

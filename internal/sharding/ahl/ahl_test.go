@@ -1,173 +1,27 @@
-package ahl
+package ahl_test
 
 import (
-	"errors"
-	"fmt"
-	"sync"
 	"testing"
-	"time"
 
-	"permchain/internal/network"
-	"permchain/internal/sharding/cluster"
+	"permchain/internal/core"
+	"permchain/internal/sharding/ahl"
+	"permchain/internal/sharding/shardcore"
+	"permchain/internal/sharding/shardtest"
 	"permchain/internal/types"
-	"permchain/internal/workload"
 )
 
-func newSystem(t *testing.T, shards int, attested bool) *System {
-	t.Helper()
-	alloc := cluster.NewAllocator(network.New())
-	s := New(alloc, Options{Shards: shards, Attested: attested, Timeout: 15 * time.Second})
-	t.Cleanup(s.Stop)
-	return s
+func TestConformance(t *testing.T) {
+	shardtest.RunConformance(t, "ahl", func(core.ShardingConfig) shardcore.CrossShardProtocol {
+		return ahl.New()
+	})
 }
 
-func intraTx(id string, shard types.ShardID, key int, d int64) *types.Transaction {
-	return &types.Transaction{
-		ID: id, Kind: types.TxInternal, Shards: []types.ShardID{shard},
-		Ops: []types.Op{{Code: types.OpAdd, Key: workload.ShardKey(shard, key), Delta: d}},
+func TestCoordinatorIsReferenceCommittee(t *testing.T) {
+	c := ahl.New().Coordinator([]types.ShardID{0, 2}, 4)
+	if !c.Reference || c.Flattened {
+		t.Fatalf("ahl coordinator = %+v, want reference committee", c)
 	}
-}
-
-func crossTx(id string, a, b types.ShardID, key int) *types.Transaction {
-	return &types.Transaction{
-		ID: id, Kind: types.TxCross, Shards: []types.ShardID{a, b},
-		Ops: []types.Op{
-			{Code: types.OpAdd, Key: workload.ShardKey(a, key), Delta: -1},
-			{Code: types.OpAdd, Key: workload.ShardKey(b, key), Delta: 1},
-		},
-	}
-}
-
-func TestIntraShard(t *testing.T) {
-	s := newSystem(t, 2, true)
-	if err := s.SubmitIntra(intraTx("t1", 0, 1, 5)); err != nil {
-		t.Fatal(err)
-	}
-	if got := s.Shards()[0].Store().GetInt(workload.ShardKey(0, 1)); got != 5 {
-		t.Fatalf("value %d", got)
-	}
-	// Shard 1 stores nothing: the ledger is partitioned.
-	if s.Shards()[1].Store().Len() != 0 {
-		t.Fatal("intra-shard write leaked to another shard")
-	}
-}
-
-func TestCrossShard2PC(t *testing.T) {
-	s := newSystem(t, 3, true)
-	if err := s.SubmitCross(crossTx("x1", 0, 2, 7)); err != nil {
-		t.Fatal(err)
-	}
-	if got := s.Shards()[0].Store().GetInt(workload.ShardKey(0, 7)); got != -1 {
-		t.Fatalf("shard 0 value %d", got)
-	}
-	if got := s.Shards()[2].Store().GetInt(workload.ShardKey(2, 7)); got != 1 {
-		t.Fatalf("shard 2 value %d", got)
-	}
-	// Uninvolved shard untouched.
-	if s.Shards()[1].Store().Len() != 0 {
-		t.Fatal("cross-shard tx touched an uninvolved shard")
-	}
-	// All locks released.
-	for i, c := range s.Shards() {
-		if c.LockCount() != 0 {
-			t.Fatalf("shard %d still holds %d locks", i, c.LockCount())
-		}
-	}
-}
-
-func TestConcurrentNonOverlappingCross(t *testing.T) {
-	s := newSystem(t, 4, true)
-	var wg sync.WaitGroup
-	errs := make([]error, 8)
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			a := types.ShardID(i % 4)
-			b := types.ShardID((i + 1) % 4)
-			errs[i] = s.SubmitCross(crossTx(fmt.Sprintf("x%d", i), a, b, 100+i))
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			t.Fatalf("tx %d: %v", i, err)
-		}
-	}
-	for i, c := range s.Shards() {
-		if c.LockCount() != 0 {
-			t.Fatalf("shard %d leaked locks", i)
-		}
-	}
-}
-
-func TestLockConflictAborts(t *testing.T) {
-	s := newSystem(t, 2, true)
-	// Pre-acquire a lock directly to force the conflict deterministically.
-	if err := s.Shards()[0].TryLock("intruder", []string{workload.ShardKey(0, 5)}); err != nil {
-		t.Fatal(err)
-	}
-	err := s.SubmitCross(crossTx("x", 0, 1, 5))
-	if !errors.Is(err, ErrAborted) {
-		t.Fatalf("err = %v, want ErrAborted", err)
-	}
-	if s.Aborted() != 1 {
-		t.Fatalf("aborted count %d", s.Aborted())
-	}
-	// The victim's locks are all released (no partial locks on shard 1).
-	if s.Shards()[1].LockCount() != 0 {
-		t.Fatal("aborted tx leaked locks on shard 1")
-	}
-	// Neither shard applied anything.
-	if s.Shards()[0].Store().Len() != 0 || s.Shards()[1].Store().Len() != 0 {
-		t.Fatal("aborted tx applied writes")
-	}
-	// After the intruder releases, a retry commits.
-	s.Shards()[0].Unlock("intruder")
-	if err := s.SubmitCross(crossTx("x-retry", 0, 1, 5)); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestBadShardRejected(t *testing.T) {
-	s := newSystem(t, 2, true)
-	if err := s.SubmitIntra(intraTx("t", 7, 0, 1)); !errors.Is(err, ErrBadShard) {
-		t.Fatalf("err = %v", err)
-	}
-	if err := s.SubmitCross(crossTx("x", 0, 9, 1)); !errors.Is(err, ErrBadShard) {
-		t.Fatalf("err = %v", err)
-	}
-	multi := intraTx("m", 0, 0, 1)
-	multi.Shards = []types.ShardID{0, 1}
-	if err := s.SubmitIntra(multi); err == nil {
-		t.Fatal("multi-shard intra accepted")
-	}
-}
-
-func TestAttestedCommitteesAreSmaller(t *testing.T) {
-	allocA := cluster.NewAllocator(network.New())
-	attested := New(allocA, Options{Shards: 2, Attested: true})
-	defer attested.Stop()
-	allocB := cluster.NewAllocator(network.New())
-	plain := New(allocB, Options{Shards: 2, Attested: false})
-	defer plain.Stop()
-	if attested.Shards()[0].Size() >= plain.Shards()[0].Size() {
-		t.Fatalf("attested committee %d not smaller than plain %d",
-			attested.Shards()[0].Size(), plain.Shards()[0].Size())
-	}
-}
-
-func TestOpsAndKeysForShard(t *testing.T) {
-	tx := crossTx("x", 1, 3, 9)
-	ops1 := OpsForShard(tx, 1)
-	if len(ops1) != 1 || ops1[0].Key != workload.ShardKey(1, 9) {
-		t.Fatalf("ops for shard 1: %v", ops1)
-	}
-	if len(OpsForShard(tx, 2)) != 0 {
-		t.Fatal("uninvolved shard got ops")
-	}
-	keys3 := KeysForShard(tx, 3)
-	if len(keys3) != 1 || keys3[0] != workload.ShardKey(3, 9) {
-		t.Fatalf("keys for shard 3: %v", keys3)
+	if c.Shard != 4 {
+		t.Fatalf("reference chain id = %d, want NumShards (4)", c.Shard)
 	}
 }

@@ -16,6 +16,8 @@ import (
 	"permchain/internal/consensus/pbft"
 	"permchain/internal/crypto"
 	"permchain/internal/network"
+	"permchain/internal/quorumcert"
+	"permchain/internal/sharding/locktable"
 	"permchain/internal/statedb"
 	"permchain/internal/types"
 )
@@ -31,7 +33,7 @@ type Cluster struct {
 	mu      sync.Mutex
 	waiters map[types.Hash][]chan consensus.Decision
 	ordered []consensus.Decision
-	locks   map[string]string // key → holding transaction id
+	locks   *locktable.Table
 	subCh   chan consensus.Decision
 
 	stopCh   chan struct{}
@@ -39,7 +41,12 @@ type Cluster struct {
 	done     chan struct{}
 }
 
-// Options configures a cluster.
+// Options configures a cluster. Consensus-level knobs are not
+// duplicated here: they nest under Consensus, the same consensus.Config
+// shape core chains use, so a committee and a chain are tuned with one
+// vocabulary (Timeout, DisableSig, AggregateVotes, BatchVotes, Obs).
+// Self, Nodes, Net, Keys and ByzQuorumOverride are owned by the cluster
+// and overwritten per replica.
 type Options struct {
 	// Size is the replica count (default 4 = 3f+1 with f=1).
 	Size int
@@ -47,10 +54,14 @@ type Options struct {
 	// non-equivocating on the transport and the quorum drops to
 	// ⌈(Size+1)/2⌉ (f+1 of 2f+1), AHL's committee-size reduction.
 	Attested bool
-	// Timeout is the intra-cluster view-change timeout.
-	Timeout time.Duration
-	// DisableSig turns off message signatures (benchmarks).
-	DisableSig bool
+	// LockTTL bounds how long a 2PL lock outlives its holder — the
+	// coordinator that crashed between prepare and decide no longer
+	// leaks its locks forever; the lease lapses once nothing refreshes
+	// it (in-doubt recovery refreshes the transactions it will
+	// resolve). Default 1 minute; negative disables expiry.
+	LockTTL time.Duration
+	// Consensus is the per-replica protocol template.
+	Consensus consensus.Config
 }
 
 // New creates and starts a cluster. Node ids are allocated from baseNode
@@ -59,8 +70,15 @@ func New(id types.ShardID, baseNode types.NodeID, net *network.Network, keys *cr
 	if opts.Size <= 0 {
 		opts.Size = 4
 	}
-	if opts.Timeout == 0 {
-		opts.Timeout = 500 * time.Millisecond
+	if opts.Consensus.Timeout == 0 {
+		opts.Consensus.Timeout = 500 * time.Millisecond
+	}
+	ttl := opts.LockTTL
+	switch {
+	case ttl == 0:
+		ttl = time.Minute
+	case ttl < 0:
+		ttl = 0 // locktable: no expiry
 	}
 	nodes := make([]types.NodeID, opts.Size)
 	for i := range nodes {
@@ -76,20 +94,26 @@ func New(id types.ShardID, baseNode types.NodeID, net *network.Network, keys *cr
 		Nodes:   nodes,
 		store:   statedb.New(),
 		waiters: map[types.Hash][]chan consensus.Decision{},
-		locks:   map[string]string{},
+		locks:   locktable.New(ttl),
 		stopCh:  make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	quorumOverride := 0
+	cc := opts.Consensus
+	cc.Nodes, cc.Net, cc.Keys = nodes, net, keys
 	if opts.Attested {
-		quorumOverride = opts.Size/2 + 1
+		cc.ByzQuorumOverride = opts.Size/2 + 1
+	} else {
+		cc.ByzQuorumOverride = 0
+	}
+	// Mirror core.build: one Schnorr key set shared by every replica in
+	// aggregate mode, instead of n re-derivations.
+	if cc.AggregateVotes && !cc.DisableSig && cc.VoteKeys == nil {
+		cc.VoteKeys = quorumcert.NewKeys()
 	}
 	for i := range nodes {
-		r := pbft.New(consensus.Config{
-			Self: nodes[i], Nodes: nodes, Net: net, Keys: keys,
-			Timeout: opts.Timeout, DisableSig: opts.DisableSig,
-			ByzQuorumOverride: quorumOverride,
-		})
+		rc := cc
+		rc.Self = nodes[i]
+		r := pbft.New(rc)
 		r.Start()
 		c.replicas = append(c.replicas, r)
 	}
@@ -199,42 +223,31 @@ func (c *Cluster) Ordered() []consensus.Decision {
 	return out
 }
 
-// Lock errors.
-var ErrLocked = errors.New("cluster: key locked by another transaction")
+// ErrLocked reports a 2PL conflict (alias of the lock table's error so
+// existing errors.Is checks keep working).
+var ErrLocked = locktable.ErrLocked
 
 // TryLock acquires 2PL locks on every key for txID. All-or-nothing: on
-// conflict nothing is held. Re-acquiring own locks is a no-op.
+// conflict nothing is held. Re-acquiring own locks refreshes their
+// lease.
 func (c *Cluster) TryLock(txID string, keys []string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, k := range keys {
-		if holder, ok := c.locks[k]; ok && holder != txID {
-			return fmt.Errorf("%w: %s held by %s", ErrLocked, k, holder)
-		}
-	}
-	for _, k := range keys {
-		c.locks[k] = txID
-	}
-	return nil
+	return c.locks.TryLock(txID, keys)
 }
+
+// RefreshLocks extends txID's lock lease — what in-doubt recovery calls
+// for every transaction it is about to resolve, so the TTL only ever
+// reaps locks no one will come back for.
+func (c *Cluster) RefreshLocks(txID string) { c.locks.Refresh(txID) }
 
 // Unlock releases every lock txID holds.
-func (c *Cluster) Unlock(txID string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k, holder := range c.locks {
-		if holder == txID {
-			delete(c.locks, k)
-		}
-	}
-}
+func (c *Cluster) Unlock(txID string) { c.locks.Unlock(txID) }
 
-// LockCount returns the number of held locks (tests/metrics).
-func (c *Cluster) LockCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.locks)
-}
+// LockCount returns the number of live (unexpired) locks.
+func (c *Cluster) LockCount() int { return c.locks.Count() }
+
+// LockTable exposes the underlying lease table (tests use its clock
+// injection to pin TTL behaviour).
+func (c *Cluster) LockTable() *locktable.Table { return c.locks }
 
 // Allocator hands out disjoint node-id ranges to clusters sharing one
 // network and keyring.

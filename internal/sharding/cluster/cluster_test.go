@@ -6,13 +6,14 @@ import (
 	"testing"
 	"time"
 
+	"permchain/internal/consensus"
 	"permchain/internal/network"
 	"permchain/internal/types"
 )
 
 func TestOrderSyncDecides(t *testing.T) {
 	alloc := NewAllocator(network.New())
-	c := alloc.NewCluster(0, Options{Timeout: 300 * time.Millisecond})
+	c := alloc.NewCluster(0, Options{Consensus: consensus.Config{Timeout: 300 * time.Millisecond}})
 	defer c.Stop()
 	for i := 0; i < 5; i++ {
 		v := fmt.Sprintf("v%d", i)
@@ -37,7 +38,7 @@ func TestOrderSyncDecides(t *testing.T) {
 
 func TestSubscribeStreamsDecisions(t *testing.T) {
 	alloc := NewAllocator(network.New())
-	c := alloc.NewCluster(0, Options{Timeout: 300 * time.Millisecond})
+	c := alloc.NewCluster(0, Options{Consensus: consensus.Config{Timeout: 300 * time.Millisecond}})
 	defer c.Stop()
 	sub := c.Subscribe()
 	c.SubmitAsync("a", types.HashBytes([]byte("a")))
@@ -53,8 +54,8 @@ func TestSubscribeStreamsDecisions(t *testing.T) {
 
 func TestMultipleClustersIndependent(t *testing.T) {
 	alloc := NewAllocator(network.New())
-	c0 := alloc.NewCluster(0, Options{Timeout: 300 * time.Millisecond})
-	c1 := alloc.NewCluster(1, Options{Timeout: 300 * time.Millisecond})
+	c0 := alloc.NewCluster(0, Options{Consensus: consensus.Config{Timeout: 300 * time.Millisecond}})
+	c1 := alloc.NewCluster(1, Options{Consensus: consensus.Config{Timeout: 300 * time.Millisecond}})
 	defer c0.Stop()
 	defer c1.Stop()
 	// Same value to both: each decides independently.
@@ -85,7 +86,7 @@ func TestAttestedClusterSmallCommittee(t *testing.T) {
 	// network refuses Byzantine filters on its nodes.
 	net := network.New()
 	alloc := NewAllocator(net)
-	c := alloc.NewCluster(0, Options{Size: 3, Attested: true, Timeout: 300 * time.Millisecond})
+	c := alloc.NewCluster(0, Options{Size: 3, Attested: true, Consensus: consensus.Config{Timeout: 300 * time.Millisecond}})
 	defer c.Stop()
 	if _, err := c.OrderSync("v", types.HashBytes([]byte("v")), 5*time.Second); err != nil {
 		t.Fatal(err)
@@ -101,7 +102,7 @@ func TestAttestedClusterSmallCommittee(t *testing.T) {
 func TestAttestedToleratesOneCrash(t *testing.T) {
 	// 2f+1 = 3 nodes, f = 1: quorum f+1 = 2 must survive one crash.
 	alloc := NewAllocator(network.New())
-	c := alloc.NewCluster(0, Options{Size: 3, Attested: true, Timeout: 200 * time.Millisecond})
+	c := alloc.NewCluster(0, Options{Size: 3, Attested: true, Consensus: consensus.Config{Timeout: 200 * time.Millisecond}})
 	defer c.Stop()
 	// Crash one replica by partitioning it away.
 	alloc.Network().Partition([]types.NodeID{c.Nodes[2]})
@@ -112,7 +113,7 @@ func TestAttestedToleratesOneCrash(t *testing.T) {
 
 func TestLocks(t *testing.T) {
 	alloc := NewAllocator(network.New())
-	c := alloc.NewCluster(0, Options{Timeout: 300 * time.Millisecond})
+	c := alloc.NewCluster(0, Options{Consensus: consensus.Config{Timeout: 300 * time.Millisecond}})
 	defer c.Stop()
 	if err := c.TryLock("t1", []string{"a", "b"}); err != nil {
 		t.Fatal(err)
@@ -142,7 +143,7 @@ func TestLocks(t *testing.T) {
 
 func TestOrderSyncTimeout(t *testing.T) {
 	alloc := NewAllocator(network.New())
-	c := alloc.NewCluster(0, Options{Timeout: 10 * time.Second})
+	c := alloc.NewCluster(0, Options{Consensus: consensus.Config{Timeout: 10 * time.Second}})
 	defer c.Stop()
 	// Partition the whole cluster into singletons: no quorum, no decision.
 	var groups [][]types.NodeID
@@ -170,5 +171,60 @@ func TestLatencyByCluster(t *testing.T) {
 	}
 	if f(c0.Nodes[0], c1.Nodes[0]) != 10*time.Millisecond {
 		t.Fatal("inter latency wrong")
+	}
+}
+
+// TestCoordinatorCrashLockLeaseExpires is the regression test for the
+// lock-table leak: a coordinator that locked keys during PREPARE and
+// then crashed before DECIDE used to pin those keys forever. With the
+// lease table, the TTL reaps them once nothing refreshes the holder —
+// while a holder that IS being resolved (recovery refreshes it) keeps
+// its locks.
+func TestCoordinatorCrashLockLeaseExpires(t *testing.T) {
+	alloc := NewAllocator(network.New())
+	c := alloc.NewCluster(0, Options{LockTTL: time.Minute,
+		Consensus: consensus.Config{Timeout: 300 * time.Millisecond}})
+	defer c.Stop()
+
+	now := time.Unix(1000, 0)
+	c.LockTable().SetClock(func() time.Time { return now })
+
+	// The "coordinator" prepares: locks taken, then it crashes — no
+	// Unlock, no Refresh, ever.
+	if err := c.TryLock("crashed-coord", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	// A resolved-in-doubt holder keeps refreshing.
+	if err := c.TryLock("recovering", []string{"z"}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(40 * time.Second)
+	c.RefreshLocks("recovering")
+	now = now.Add(40 * time.Second) // crashed-coord's lease lapsed; recovering's did not
+	if got := c.LockCount(); got != 1 {
+		t.Fatalf("live locks = %d, want 1 (orphaned lease must lapse)", got)
+	}
+	if err := c.TryLock("t2", []string{"x", "y"}); err != nil {
+		t.Fatalf("keys of crashed coordinator still unavailable: %v", err)
+	}
+	if err := c.TryLock("t3", []string{"z"}); err == nil {
+		t.Fatal("refreshed holder lost its lock")
+	}
+}
+
+// TestAggregateVotePassthrough pins the satellite wiring: a cluster
+// built with AggregateVotes+BatchVotes in its consensus template still
+// decides (the PBFT vote phases run on Schnorr quorum certificates).
+func TestAggregateVotePassthrough(t *testing.T) {
+	alloc := NewAllocator(network.New())
+	c := alloc.NewCluster(0, Options{Consensus: consensus.Config{
+		Timeout: 300 * time.Millisecond, AggregateVotes: true, BatchVotes: true,
+	}})
+	defer c.Stop()
+	for i := 0; i < 3; i++ {
+		v := fmt.Sprintf("qc%d", i)
+		if _, err := c.OrderSync(v, types.HashBytes([]byte(v)), 10*time.Second); err != nil {
+			t.Fatalf("aggregate-vote cluster did not decide: %v", err)
+		}
 	}
 }

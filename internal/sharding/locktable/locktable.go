@@ -1,0 +1,234 @@
+// Package locktable provides the two-phase-locking table the cross-shard
+// protocols of §2.3.4 hold between prepare and commit. One table guards
+// one shard's keyspace; a transaction acquires all the keys it touches on
+// that shard atomically (all-or-nothing, so a waiter never holds a
+// partial set), and cross-shard engines acquire tables in ascending shard
+// order — the total order that makes blocking acquisition deadlock-free.
+//
+// Every grant carries a lease: a holder that dies between prepare and
+// decide (the coordinator-crash case) stops refreshing, its lease lapses,
+// and the keys become grantable again instead of leaking forever. The
+// in-doubt recovery path re-asserts leases for transactions it replays
+// from the WAL, so expiry only ever releases locks nobody will resolve.
+package locktable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Lock errors.
+var (
+	// ErrLocked reports a non-blocking acquisition conflict.
+	ErrLocked = errors.New("locktable: key locked by another transaction")
+	// ErrTimeout reports that a blocking acquisition ran out of time.
+	ErrTimeout = errors.New("locktable: lock acquisition timed out")
+)
+
+type holder struct {
+	tx string
+	// expires is the lease deadline; zero means the lease never lapses
+	// (tables built with ttl <= 0).
+	expires time.Time
+}
+
+// Table is one shard's lock table.
+type Table struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	held map[string]holder
+	ttl  time.Duration
+	// now is the clock, swappable by tests to force lease expiry without
+	// sleeping.
+	now func() time.Time
+}
+
+// New builds a table whose grants expire ttl after acquisition (or after
+// the last Refresh). ttl <= 0 disables expiry.
+func New(ttl time.Duration) *Table {
+	t := &Table{held: map[string]holder{}, ttl: ttl, now: time.Now}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// SetClock replaces the lease clock (tests).
+func (t *Table) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+func (t *Table) lease() time.Time {
+	if t.ttl <= 0 {
+		return time.Time{}
+	}
+	return t.now().Add(t.ttl)
+}
+
+// sweepLocked evicts lapsed leases; callers hold t.mu. It reports whether
+// anything was evicted so acquisition loops can re-broadcast.
+func (t *Table) sweepLocked() bool {
+	if t.ttl <= 0 {
+		return false
+	}
+	now := t.now()
+	evicted := false
+	for k, h := range t.held {
+		if !h.expires.IsZero() && now.After(h.expires) {
+			delete(t.held, k)
+			evicted = true
+		}
+	}
+	return evicted
+}
+
+// grantableLocked reports whether every key is free or already held by tx.
+func (t *Table) grantableLocked(tx string, keys []string) (string, bool) {
+	for _, k := range keys {
+		if h, ok := t.held[k]; ok && h.tx != tx {
+			return k, false
+		}
+	}
+	return "", true
+}
+
+func (t *Table) takeLocked(tx string, keys []string) {
+	exp := t.lease()
+	for _, k := range keys {
+		t.held[k] = holder{tx: tx, expires: exp}
+	}
+}
+
+// TryLock acquires every key for tx, all-or-nothing and without blocking:
+// on conflict nothing is taken and ErrLocked names the contended key.
+// Re-acquiring keys tx already holds refreshes their lease.
+func (t *Table) TryLock(tx string, keys []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sweepLocked() {
+		t.cond.Broadcast()
+	}
+	if k, ok := t.grantableLocked(tx, keys); !ok {
+		return fmt.Errorf("%w: %s held by %s", ErrLocked, k, t.held[k].tx)
+	}
+	t.takeLocked(tx, keys)
+	return nil
+}
+
+// Lock blocks until every key can be granted to tx at once, or the
+// timeout elapses. Keys are granted atomically — a waiter holds nothing
+// while it waits — so acquiring tables in a fixed (shard-ascending)
+// order can never deadlock: a transaction blocked on table i holds only
+// tables before i, and whoever holds its keys is blocked only on tables
+// after i.
+func (t *Table) Lock(tx string, keys []string, timeout time.Duration) error {
+	// Sorting is not needed for correctness (grants are atomic) but keeps
+	// conflict reporting deterministic under contention.
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	if _, ok := t.grantableLocked(tx, sorted); ok {
+		t.takeLocked(tx, sorted)
+		return nil
+	}
+	if timeout <= 0 {
+		k, _ := t.grantableLocked(tx, sorted)
+		return fmt.Errorf("%w: %s held by %s", ErrLocked, k, t.held[k].tx)
+	}
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		t.mu.Lock()
+		expired = true
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	})
+	defer timer.Stop()
+	// A lapsing lease produces no Unlock broadcast of its own, so poll the
+	// sweep on a short tick while this waiter exists.
+	if t.ttl > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		tick := time.NewTicker(t.ttl / 4)
+		go func() {
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					t.mu.Lock()
+					if t.sweepLocked() {
+						t.cond.Broadcast()
+					}
+					t.mu.Unlock()
+				}
+			}
+		}()
+	}
+	for {
+		t.cond.Wait()
+		t.sweepLocked()
+		if _, ok := t.grantableLocked(tx, sorted); ok {
+			t.takeLocked(tx, sorted)
+			return nil
+		}
+		if expired {
+			k, _ := t.grantableLocked(tx, sorted)
+			return fmt.Errorf("%w: %s still held by %s", ErrTimeout, k, t.held[k].tx)
+		}
+	}
+}
+
+// Refresh extends the lease on every key tx holds — the in-doubt recovery
+// path re-asserts replayed transactions this way so expiry cannot race
+// their resolution.
+func (t *Table) Refresh(tx string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	exp := t.lease()
+	for k, h := range t.held {
+		if h.tx == tx {
+			t.held[k] = holder{tx: tx, expires: exp}
+		}
+	}
+}
+
+// Unlock releases every key tx holds and wakes waiters.
+func (t *Table) Unlock(tx string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := false
+	for k, h := range t.held {
+		if h.tx == tx {
+			delete(t.held, k)
+			changed = true
+		}
+	}
+	if changed {
+		t.cond.Broadcast()
+	}
+}
+
+// Count returns the number of live (unexpired) locks.
+func (t *Table) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sweepLocked() {
+		t.cond.Broadcast()
+	}
+	return len(t.held)
+}
+
+// Holder returns who holds key, if anyone (tests/metrics).
+func (t *Table) Holder(key string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	h, ok := t.held[key]
+	return h.tx, ok
+}

@@ -1,0 +1,61 @@
+// Package sharding maps cross-shard protocol names to their
+// shardcore strategies — the one place the facade, the benchmarks and
+// the CLI resolve a core.ShardingConfig.Protocol string.
+package sharding
+
+import (
+	"fmt"
+
+	"permchain/internal/core"
+	"permchain/internal/sharding/ahl"
+	"permchain/internal/sharding/resilientdb"
+	"permchain/internal/sharding/saguaro"
+	"permchain/internal/sharding/shardcore"
+	"permchain/internal/sharding/sharper"
+)
+
+// Protocols lists the registered strategy names.
+func Protocols() []string { return []string{"sharper", "ahl", "saguaro", "resilientdb"} }
+
+// Resolve returns the strategy named by cfg.Protocol ("" defaults to
+// sharper, the flattened protocol).
+func Resolve(cfg core.ShardingConfig) (shardcore.CrossShardProtocol, error) {
+	switch cfg.Protocol {
+	case "", "sharper":
+		return sharper.New(), nil
+	case "ahl":
+		return ahl.New(), nil
+	case "saguaro":
+		return saguaro.New(cfg.Fanout), nil
+	case "resilientdb":
+		return resilientdb.New(), nil
+	default:
+		return nil, fmt.Errorf("sharding: unknown cross-shard protocol %q (have %v)", cfg.Protocol, Protocols())
+	}
+}
+
+// NewChain resolves cfg.Sharding.Protocol and builds a fresh sharded
+// deployment.
+func NewChain(cfg core.Config) (*shardcore.Chain, error) {
+	if cfg.Sharding == nil {
+		return nil, fmt.Errorf("sharding: Config.Sharding must be set")
+	}
+	proto, err := Resolve(*cfg.Sharding)
+	if err != nil {
+		return nil, err
+	}
+	return shardcore.New(cfg, proto)
+}
+
+// OpenChain resolves cfg.Sharding.Protocol and recovers a sharded
+// deployment from disk, finishing in-doubt cross-shard transactions.
+func OpenChain(cfg core.Config) (*shardcore.Chain, error) {
+	if cfg.Sharding == nil {
+		return nil, fmt.Errorf("sharding: Config.Sharding must be set")
+	}
+	proto, err := Resolve(*cfg.Sharding)
+	if err != nil {
+		return nil, err
+	}
+	return shardcore.Open(cfg, proto)
+}

@@ -1,178 +1,42 @@
-// Package resilientdb implements the single-ledger scalability technique
-// of ResilientDB/RCC (Gupta et al., VLDB'20) as presented in §2.3.4:
-// nodes are partitioned into topology-aware fault-tolerant clusters to
-// localize consensus traffic, but the entire ledger is replicated on
-// every cluster. Each cluster orders its own incoming transactions
-// concurrently; decided transactions are multicast to all other clusters
-// and every cluster executes every transaction in a deterministic
-// round-robin merge order.
-//
-// There are no intra-/cross-shard transactions here — the trade-off the
-// tutorial draws is exactly that: no cross-shard coordination latency, in
-// exchange for every cluster executing and storing everything.
+// Package resilientdb implements the full-replication baseline of the
+// ResilientDB comparison (Gupta et al., 2020) as a shardcore strategy
+// (§2.3.4): there are no shards in the data sense — every "shard" chain
+// holds the complete ledger and world state, and a single global
+// sequencer orders every transaction onto every chain in the same
+// order. Cross-shard transactions therefore need no locks, no 2PC and
+// no decision records; the cost is storage and execution multiplied by
+// the shard count, which is exactly the trade E6/E16 measure against
+// the partitioned strategies.
 package resilientdb
 
 import (
-	"sync"
 	"time"
 
-	"permchain/internal/sharding/cluster"
+	"permchain/internal/sharding/shardcore"
 	"permchain/internal/types"
 )
 
-// System is a ResilientDB-style deployment.
-type System struct {
-	clusters []*cluster.Cluster
+// Strategy is the full-replication protocol. The zero value is ready
+// to use.
+type Strategy struct{}
 
-	mu       sync.Mutex
-	queues   [][]*types.Transaction
-	executed int
-	height   uint64
+// New returns the full-replication strategy.
+func New() Strategy { return Strategy{} }
 
-	stopCh   chan struct{}
-	stopOnce sync.Once
-	done     chan struct{}
+// Name identifies the strategy.
+func (Strategy) Name() string { return "resilientdb" }
+
+// Replicated reports full-replication mode: the shardcore sequencer
+// replaces all cross-shard machinery.
+func (Strategy) Replicated() bool { return true }
+
+// NeedsReference reports that no reference committee exists.
+func (Strategy) NeedsReference() bool { return false }
+
+// Coordinator is unused in replicated mode.
+func (Strategy) Coordinator(parts []types.ShardID, shards int) shardcore.Coord {
+	return shardcore.Coord{}
 }
 
-// New creates a system of n clusters over the allocator's network.
-func New(alloc *cluster.Allocator, n int, opts cluster.Options) *System {
-	s := &System{
-		queues: make([][]*types.Transaction, n),
-		stopCh: make(chan struct{}),
-		done:   make(chan struct{}),
-	}
-	for i := 0; i < n; i++ {
-		s.clusters = append(s.clusters, alloc.NewCluster(types.ShardID(i), opts))
-	}
-	for i := range s.clusters {
-		go s.drain(i)
-	}
-	go s.merge()
-	return s
-}
-
-// Stop shuts everything down. Idempotent.
-func (s *System) Stop() {
-	s.stopOnce.Do(func() {
-		close(s.stopCh)
-		for _, c := range s.clusters {
-			c.Stop()
-		}
-	})
-	<-s.done
-}
-
-// Clusters returns the cluster handles.
-func (s *System) Clusters() []*cluster.Cluster { return s.clusters }
-
-// Submit hands tx to cluster i's local consensus.
-func (s *System) Submit(i int, tx *types.Transaction) {
-	s.clusters[i].SubmitAsync(tx, tx.Hash())
-}
-
-// drain moves cluster i's decided transactions into its merge queue —
-// the "multicast to other clusters" step of RCC.
-func (s *System) drain(i int) {
-	decs := s.clusters[i].Subscribe()
-	for {
-		select {
-		case <-s.stopCh:
-			return
-		case d := <-decs:
-			tx, ok := d.Value.(*types.Transaction)
-			if !ok {
-				continue
-			}
-			s.mu.Lock()
-			s.queues[i] = append(s.queues[i], tx)
-			s.mu.Unlock()
-		}
-	}
-}
-
-// merge executes transactions in the deterministic round order: one
-// transaction per cluster per round, cluster index ascending. Every
-// cluster executes every transaction (single-ledger replication).
-func (s *System) merge() {
-	defer close(s.done)
-	for {
-		select {
-		case <-s.stopCh:
-			return
-		default:
-		}
-		var round []*types.Transaction
-		s.mu.Lock()
-		for i := range s.queues {
-			if len(s.queues[i]) > 0 {
-				round = append(round, s.queues[i][0])
-				s.queues[i] = s.queues[i][1:]
-			}
-		}
-		s.mu.Unlock()
-		if len(round) == 0 {
-			time.Sleep(200 * time.Microsecond)
-			continue
-		}
-		s.mu.Lock()
-		s.height++
-		for ti, tx := range round {
-			for _, c := range s.clusters {
-				c.Store().Execute(types.Version{Block: s.height, Tx: ti}, tx.Ops)
-			}
-			s.executed++
-		}
-		s.mu.Unlock()
-	}
-}
-
-// ExecutedCount returns how many transactions have been executed
-// (on every cluster).
-func (s *System) ExecutedCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.executed
-}
-
-// AwaitExecuted blocks until n transactions have executed.
-func (s *System) AwaitExecuted(n int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		if s.ExecutedCount() >= n {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
-// StatesAgree reports whether all clusters hold identical state — the
-// single-ledger invariant.
-func (s *System) StatesAgree() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var ref types.Hash
-	for i, c := range s.clusters {
-		h := c.Store().StateHash()
-		if i == 0 {
-			ref = h
-			continue
-		}
-		if h != ref {
-			return false
-		}
-	}
-	return true
-}
-
-// TotalStorage sums the key counts across clusters; with full
-// replication it is clusters × keys, the E4/E6 storage cost.
-func (s *System) TotalStorage() int {
-	total := 0
-	for _, c := range s.clusters {
-		total += c.Store().Len()
-	}
-	return total
-}
+// Delay is unused in replicated mode.
+func (Strategy) Delay(a, b types.ShardID) time.Duration { return 0 }

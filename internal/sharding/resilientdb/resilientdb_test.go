@@ -1,83 +1,16 @@
-package resilientdb
+package resilientdb_test
 
 import (
-	"fmt"
 	"testing"
-	"time"
 
-	"permchain/internal/network"
-	"permchain/internal/sharding/cluster"
-	"permchain/internal/types"
+	"permchain/internal/core"
+	"permchain/internal/sharding/resilientdb"
+	"permchain/internal/sharding/shardcore"
+	"permchain/internal/sharding/shardtest"
 )
 
-func addTx(id, key string, d int64) *types.Transaction {
-	return &types.Transaction{ID: id, Ops: []types.Op{{Code: types.OpAdd, Key: key, Delta: d}}}
-}
-
-func newSystem(t *testing.T, n int) *System {
-	t.Helper()
-	alloc := cluster.NewAllocator(network.New())
-	s := New(alloc, n, cluster.Options{Timeout: 500 * time.Millisecond})
-	t.Cleanup(s.Stop)
-	return s
-}
-
-func TestAllClustersExecuteEverything(t *testing.T) {
-	s := newSystem(t, 3)
-	const k = 12
-	for i := 0; i < k; i++ {
-		s.Submit(i%3, addTx(fmt.Sprintf("t%d", i), fmt.Sprintf("k%d", i), 1))
-	}
-	if !s.AwaitExecuted(k, 20*time.Second) {
-		t.Fatalf("executed %d/%d", s.ExecutedCount(), k)
-	}
-	if !s.StatesAgree() {
-		t.Fatal("cluster states diverged")
-	}
-	// Full replication: every cluster holds every key.
-	for ci, c := range s.Clusters() {
-		if c.Store().Len() != k {
-			t.Fatalf("cluster %d stores %d/%d keys", ci, c.Store().Len(), k)
-		}
-	}
-	if s.TotalStorage() != 3*k {
-		t.Fatalf("total storage %d, want %d (replication factor = clusters)", s.TotalStorage(), 3*k)
-	}
-}
-
-func TestDeterministicMergeOrder(t *testing.T) {
-	// Conflicting increments from different clusters: every cluster must
-	// apply them in the same order; totals agree everywhere.
-	s := newSystem(t, 2)
-	const k = 20
-	for i := 0; i < k; i++ {
-		s.Submit(i%2, addTx(fmt.Sprintf("t%d", i), "ctr", 1))
-	}
-	if !s.AwaitExecuted(k, 20*time.Second) {
-		t.Fatalf("executed %d/%d", s.ExecutedCount(), k)
-	}
-	if !s.StatesAgree() {
-		t.Fatal("states diverged under contention")
-	}
-	if got := s.Clusters()[0].Store().GetInt("ctr"); got != k {
-		t.Fatalf("ctr = %d, want %d", got, k)
-	}
-}
-
-func TestSingleCluster(t *testing.T) {
-	s := newSystem(t, 1)
-	s.Submit(0, addTx("t", "k", 5))
-	if !s.AwaitExecuted(1, 10*time.Second) {
-		t.Fatal("never executed")
-	}
-	if s.Clusters()[0].Store().GetInt("k") != 5 {
-		t.Fatal("value missing")
-	}
-}
-
-func TestStopIdempotent(t *testing.T) {
-	alloc := cluster.NewAllocator(network.New())
-	s := New(alloc, 2, cluster.Options{Timeout: 500 * time.Millisecond})
-	s.Stop()
-	s.Stop()
+func TestConformance(t *testing.T) {
+	shardtest.RunConformance(t, "resilientdb", func(core.ShardingConfig) shardcore.CrossShardProtocol {
+		return resilientdb.New()
+	})
 }

@@ -1,115 +1,81 @@
-// Package saguaro implements the hierarchical sharding of Saguaro (Amiri
-// et al., 2021) as presented in §2.3.4: clusters are organized along the
-// wide-area network hierarchy — edge clusters hold ledger shards, with
-// fog and cloud clusters above them — and each cross-shard transaction is
-// coordinated by the *lowest common ancestor* of the involved edge
-// clusters, the internal cluster with minimum total distance, instead of
-// a fixed root coordinator. Nearby shards therefore pay near-edge
-// latency; only transactions spanning distant subtrees climb toward the
-// root.
+// Package saguaro implements the hierarchical sharding of Saguaro
+// (Amiri et al., 2021) as a shardcore strategy, following §2.3.4:
+// shards sit at the edge of a wide-area hierarchy — edge clusters hold
+// the ledger shards, with fog and cloud layers above them — and each
+// cross-shard transaction is coordinated at the *lowest common
+// ancestor* of the involved edges, not a fixed root. Nearby shards
+// therefore pay near-edge latency; only transactions spanning distant
+// subtrees climb toward the root.
+//
+// The tree is a complete fanout-ary heap over enough levels to hold
+// the deployment's shards as leaves. Internal tree nodes hold no chain
+// of their own; the LCA's coordination rounds are ordered through its
+// representative edge — the lowest-indexed shard in its subtree — while
+// the Delay model charges each edge's tree-hop path to the LCA (where
+// the coordination actually happens), so the topology's latency shape
+// survives the mapping onto shardcore's per-shard chains.
 package saguaro
 
 import (
-	"errors"
-	"fmt"
-	"sync"
 	"time"
 
-	"permchain/internal/sharding/ahl"
-	"permchain/internal/sharding/cluster"
+	"permchain/internal/sharding/shardcore"
 	"permchain/internal/types"
 )
 
-// System is a Saguaro deployment over a complete tree of clusters.
-type System struct {
-	// leaves[i] is edge cluster i, holding shard i.
-	leaves []*cluster.Cluster
-	// internal clusters by tree node index (heap layout: node k's
-	// children are 2k+1, 2k+2; leaves occupy the last level).
-	all     []*cluster.Cluster
-	fanout  int
-	levels  int
-	timeout time.Duration
-
-	mu      sync.Mutex
-	heights map[types.ShardID]uint64
-	aborted int
-	delay   func(a, b int) time.Duration
-}
-
-// Options configures the deployment.
-type Options struct {
-	// Levels is the tree depth (2 = root + edges; 3 adds a fog layer).
-	Levels int
-	// Fanout is each internal cluster's child count (default 2).
+// Strategy is the tree-LCA protocol.
+type Strategy struct {
+	// Fanout is each internal node's child count (default 2).
 	Fanout int
-	// ClusterSize is each cluster's replica count (default 4).
-	ClusterSize int
-	Timeout     time.Duration
-	DisableSig  bool
-	// InterClusterDelay models WAN latency between tree nodes (heap
-	// indices). Cross-shard 2PC pays it on every LCA↔edge crossing; since
-	// the LCA is topologically close to the involved edges, nearby-shard
-	// transactions stay cheap (§2.3.4).
-	InterClusterDelay func(a, b int) time.Duration
+	// HopDelay is the WAN latency of one tree link; Delay charges it
+	// per hop on the LCA path between committees. Zero means
+	// co-located.
+	HopDelay time.Duration
+	// Shards fixes the deployment size Delay models; required only
+	// when HopDelay is set (Coordinator always gets the size per
+	// call).
+	Shards int
 }
 
-// New builds the complete tree. Shard/cluster ids follow heap order, so
-// the root is cluster 0 and the edge clusters are the last level.
-func New(alloc *cluster.Allocator, opts Options) *System {
-	if opts.Levels < 2 {
-		opts.Levels = 2
+// New returns the tree strategy with the given fanout.
+func New(fanout int) Strategy { return Strategy{Fanout: fanout} }
+
+// Name identifies the strategy.
+func (Strategy) Name() string { return "saguaro" }
+
+// Replicated reports partitioned operation.
+func (Strategy) Replicated() bool { return false }
+
+// NeedsReference reports that no reference committee exists — the
+// coordinator is always one of the edges.
+func (Strategy) NeedsReference() bool { return false }
+
+func (s Strategy) fanout() int {
+	if s.Fanout < 2 {
+		return 2
 	}
-	if opts.Fanout < 2 {
-		opts.Fanout = 2
-	}
-	if opts.ClusterSize <= 0 {
-		opts.ClusterSize = 4
-	}
-	if opts.Timeout == 0 {
-		opts.Timeout = 10 * time.Second
-	}
-	s := &System{fanout: opts.Fanout, levels: opts.Levels, timeout: opts.Timeout, heights: map[types.ShardID]uint64{}, delay: opts.InterClusterDelay}
-	total := 0
-	levelSize := 1
-	for l := 0; l < opts.Levels; l++ {
+	return s.Fanout
+}
+
+// tree describes the complete heap that hosts `shards` leaves.
+type tree struct {
+	fanout  int
+	total   int // all heap nodes
+	nLeaves int // capacity of the leaf level (fanout^(levels-1))
+}
+
+func (s Strategy) treeFor(shards int) tree {
+	f := s.fanout()
+	total, levelSize := 0, 1
+	for levelSize < shards {
 		total += levelSize
-		levelSize *= opts.Fanout
+		levelSize *= f
 	}
-	for i := 0; i < total; i++ {
-		s.all = append(s.all, alloc.NewCluster(types.ShardID(i),
-			cluster.Options{Size: opts.ClusterSize, DisableSig: opts.DisableSig}))
-	}
-	// Leaf count is fanout^(levels-1); leaves are the last level.
-	nLeaves := levelSize / opts.Fanout
-	s.leaves = s.all[total-nLeaves:]
-	return s
+	return tree{fanout: f, total: total + levelSize, nLeaves: levelSize}
 }
 
-// Stop shuts every cluster down.
-func (s *System) Stop() {
-	for _, c := range s.all {
-		c.Stop()
-	}
-}
-
-// Leaves returns the edge clusters (one per shard).
-func (s *System) Leaves() []*cluster.Cluster { return s.leaves }
-
-// NumShards returns the shard count.
-func (s *System) NumShards() int { return len(s.leaves) }
-
-// Aborted returns the number of lock-conflict aborts.
-func (s *System) Aborted() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.aborted
-}
-
-// treeIndex converts shard id (0..len(leaves)-1) to heap index.
-func (s *System) treeIndex(shard types.ShardID) int {
-	return len(s.all) - len(s.leaves) + int(shard)
-}
+// index converts a shard id to its heap index on the leaf level.
+func (t tree) index(sh types.ShardID) int { return t.total - t.nLeaves + int(sh) }
 
 func parent(i, fanout int) int { return (i - 1) / fanout }
 
@@ -123,197 +89,111 @@ func depth(i, fanout int) int {
 	return d
 }
 
-// LCA returns the heap index of the lowest common ancestor of the given
-// shards' edge clusters — Saguaro's coordinator choice.
-func (s *System) LCA(shards []types.ShardID) int {
-	if len(shards) == 0 {
-		return 0
+// lca returns the heap index of the lowest common ancestor of two heap
+// nodes.
+func (t tree) lca(a, b int) int {
+	for depth(a, t.fanout) > depth(b, t.fanout) {
+		a = parent(a, t.fanout)
 	}
-	cur := s.treeIndex(shards[0])
-	for _, sh := range shards[1:] {
-		other := s.treeIndex(sh)
-		a, b := cur, other
-		for depth(a, s.fanout) > depth(b, s.fanout) {
-			a = parent(a, s.fanout)
-		}
-		for depth(b, s.fanout) > depth(a, s.fanout) {
-			b = parent(b, s.fanout)
-		}
-		for a != b {
-			a = parent(a, s.fanout)
-			b = parent(b, s.fanout)
-		}
-		cur = a
+	for depth(b, t.fanout) > depth(a, t.fanout) {
+		b = parent(b, t.fanout)
 	}
-	return cur
+	for a != b {
+		a = parent(a, t.fanout)
+		b = parent(b, t.fanout)
+	}
+	return a
 }
 
-// TreeDistance returns the hop count between two heap nodes — used for
-// latency modelling (each hop is one WAN link).
-func (s *System) TreeDistance(a, b int) int {
-	da, db := depth(a, s.fanout), depth(b, s.fanout)
+// distance returns the hop count between two heap nodes — one WAN link
+// per hop.
+func (t tree) distance(a, b int) int {
+	da, db := depth(a, t.fanout), depth(b, t.fanout)
 	dist := 0
 	for da > db {
-		a = parent(a, s.fanout)
+		a = parent(a, t.fanout)
 		da--
 		dist++
 	}
 	for db > da {
-		b = parent(b, s.fanout)
+		b = parent(b, t.fanout)
 		db--
 		dist++
 	}
 	for a != b {
-		a = parent(a, s.fanout)
-		b = parent(b, s.fanout)
+		a = parent(a, t.fanout)
+		b = parent(b, t.fanout)
 		dist += 2
 	}
 	return dist
 }
 
-// hop sleeps for one inter-cluster message crossing between tree nodes.
-func (s *System) hop(a, b int) {
-	if s.delay == nil || a == b {
-		return
+// repLeaf descends first children from a heap node to its lowest leaf.
+func (t tree) repLeaf(i int) types.ShardID {
+	for i < t.total-t.nLeaves {
+		i = i*t.fanout + 1
 	}
-	if d := s.delay(a, b); d > 0 {
-		time.Sleep(d)
-	}
+	return types.ShardID(i - (t.total - t.nLeaves))
 }
 
-// System errors.
-var (
-	ErrAborted  = errors.New("saguaro: cross-shard transaction aborted (lock conflict)")
-	ErrBadShard = errors.New("saguaro: transaction names an unknown shard")
-)
-
-func (s *System) nextVersion(id types.ShardID) types.Version {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.heights[id]++
-	return types.Version{Block: s.heights[id]}
+// LCA returns the heap index of the participants' lowest common
+// ancestor in a deployment of `shards` shards (exported for the
+// topology experiments).
+func (s Strategy) LCA(parts []types.ShardID, shards int) int {
+	t := s.treeFor(shards)
+	if len(parts) == 0 {
+		return 0
+	}
+	cur := t.index(parts[0])
+	for _, sh := range parts[1:] {
+		cur = t.lca(cur, t.index(sh))
+	}
+	return cur
 }
 
-// SubmitIntra orders and executes on the home edge cluster.
-func (s *System) SubmitIntra(tx *types.Transaction) error {
-	if len(tx.Shards) != 1 {
-		return fmt.Errorf("saguaro: intra-shard transaction must name one shard, got %v", tx.Shards)
-	}
-	home := tx.Shards[0]
-	if int(home) >= len(s.leaves) {
-		return ErrBadShard
-	}
-	c := s.leaves[home]
-	if _, err := c.OrderSync(tx, tx.Hash(), s.timeout); err != nil {
-		return err
-	}
-	res := c.Store().Execute(s.nextVersion(home), tx.Ops)
-	return res.Err
+// TreeDistance returns the WAN hop count between two shards' edges.
+func (s Strategy) TreeDistance(a, b types.ShardID, shards int) int {
+	t := s.treeFor(shards)
+	return t.distance(t.index(a), t.index(b))
 }
 
-type coordMsg struct {
-	TxID string
-	Kind string // "admit" | "decide"
+// Coordinator picks the representative edge of the participants' LCA:
+// the lowest-indexed shard in the LCA's subtree. For participants under
+// one fog node that is one of the nearby shards themselves; only
+// distant spans coordinate through (a representative of) the root.
+func (s Strategy) Coordinator(parts []types.ShardID, shards int) shardcore.Coord {
+	t := s.treeFor(shards)
+	lca := t.index(parts[0])
+	for _, sh := range parts[1:] {
+		lca = t.lca(lca, t.index(sh))
+	}
+	rep := t.repLeaf(lca)
+	if int(rep) >= shards {
+		rep = parts[0] // padded leaf slot: fall back to a participant
+	}
+	return shardcore.Coord{Shard: rep}
 }
 
-type shardMsg struct {
-	TxID string
-	Kind string // "prepare" | "commit"
-}
-
-// SubmitCross coordinates a cross-shard transaction through the LCA
-// cluster: admit at LCA, prepare (+lock) at involved edges, decide at
-// LCA, commit at edges. Same phase structure as coordinator-based 2PC but
-// with a topologically close coordinator — the latency win of §2.3.4.
-func (s *System) SubmitCross(tx *types.Transaction) error {
-	for _, sh := range tx.Shards {
-		if int(sh) >= len(s.leaves) {
-			return ErrBadShard
-		}
+// Delay charges HopDelay per tree link from the two edges' LCA down to
+// the destination edge. Coordination rounds run *at* the LCA cluster —
+// in Saguaro the higher-level clusters are composed of nodes drawn from
+// their subtrees, so each involved edge pays only its own path to the
+// LCA, never the full edge-to-edge distance. A same-fog crossing is 1
+// hop; a root-coordinated crossing is 2 — the same as a fixed root
+// committee, which is why Saguaro matches AHL for distant spans and
+// beats it for nearby ones.
+func (s Strategy) Delay(a, b types.ShardID) time.Duration {
+	if s.HopDelay <= 0 || s.Shards <= 0 || a == b {
+		return 0
 	}
-	coordIdx := s.LCA(tx.Shards)
-	coord := s.all[coordIdx]
-
-	if _, err := coord.OrderSync(coordMsg{TxID: tx.ID, Kind: "admit"},
-		types.HashConcat([]byte("sag/admit"), []byte(tx.ID)), s.timeout); err != nil {
-		return err
+	t := s.treeFor(s.Shards)
+	max := types.ShardID(s.Shards - 1)
+	if a > max {
+		a = max
 	}
-
-	type voteRes struct {
-		ok  bool
-		err error
+	if b > max {
+		b = max
 	}
-	votes := make(chan voteRes, len(tx.Shards))
-	for _, sh := range tx.Shards {
-		go func(sh types.ShardID) {
-			s.hop(coordIdx, s.treeIndex(sh)) // LCA → edge: prepare
-			c := s.leaves[sh]
-			if _, err := c.OrderSync(shardMsg{TxID: tx.ID, Kind: "prepare"},
-				types.HashConcat([]byte("sag/prep/"+sh.String()), []byte(tx.ID)), s.timeout); err != nil {
-				votes <- voteRes{err: err}
-				return
-			}
-			err := c.TryLock(tx.ID, ahl.KeysForShard(tx, sh))
-			s.hop(s.treeIndex(sh), coordIdx) // edge → LCA: vote
-			votes <- voteRes{ok: err == nil}
-		}(sh)
-	}
-	commit := true
-	var firstErr error
-	for range tx.Shards {
-		v := <-votes
-		if v.err != nil && firstErr == nil {
-			firstErr = v.err
-		}
-		if !v.ok {
-			commit = false
-		}
-	}
-	release := func() {
-		for _, sh := range tx.Shards {
-			s.leaves[sh].Unlock(tx.ID)
-		}
-	}
-	if firstErr != nil {
-		release()
-		return firstErr
-	}
-
-	if _, err := coord.OrderSync(coordMsg{TxID: tx.ID, Kind: "decide"},
-		types.HashConcat([]byte("sag/decide"), []byte(tx.ID)), s.timeout); err != nil {
-		release()
-		return err
-	}
-
-	var wg sync.WaitGroup
-	errs := make([]error, len(tx.Shards))
-	for i, sh := range tx.Shards {
-		wg.Add(1)
-		go func(i int, sh types.ShardID) {
-			defer wg.Done()
-			s.hop(coordIdx, s.treeIndex(sh)) // LCA → edge: commit/abort
-			c := s.leaves[sh]
-			_, err := c.OrderSync(shardMsg{TxID: tx.ID, Kind: "commit"},
-				types.HashConcat([]byte("sag/commit/"+sh.String()), []byte(tx.ID)), s.timeout)
-			if err == nil && commit {
-				res := c.Store().Execute(s.nextVersion(sh), ahl.OpsForShard(tx, sh))
-				err = res.Err
-			}
-			c.Unlock(tx.ID)
-			errs[i] = err
-		}(i, sh)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	if !commit {
-		s.mu.Lock()
-		s.aborted++
-		s.mu.Unlock()
-		return ErrAborted
-	}
-	return nil
+	ia, ib := t.index(a), t.index(b)
+	return time.Duration(t.distance(t.lca(ia, ib), ib)) * s.HopDelay
 }

@@ -1,144 +1,61 @@
-package saguaro
+package saguaro_test
 
 import (
-	"errors"
 	"testing"
 	"time"
 
-	"permchain/internal/network"
-	"permchain/internal/sharding/cluster"
+	"permchain/internal/core"
+	"permchain/internal/sharding/saguaro"
+	"permchain/internal/sharding/shardcore"
+	"permchain/internal/sharding/shardtest"
 	"permchain/internal/types"
-	"permchain/internal/workload"
 )
 
-func newSystem(t *testing.T, levels, fanout int) *System {
-	t.Helper()
-	alloc := cluster.NewAllocator(network.New())
-	s := New(alloc, Options{Levels: levels, Fanout: fanout, Timeout: 15 * time.Second})
-	t.Cleanup(s.Stop)
-	return s
+func TestConformance(t *testing.T) {
+	shardtest.RunConformance(t, "saguaro", func(cfg core.ShardingConfig) shardcore.CrossShardProtocol {
+		return saguaro.New(cfg.Fanout)
+	})
 }
 
-func crossTx(id string, a, b types.ShardID, key int) *types.Transaction {
-	return &types.Transaction{
-		ID: id, Kind: types.TxCross, Shards: []types.ShardID{a, b},
-		Ops: []types.Op{
-			{Code: types.OpAdd, Key: workload.ShardKey(a, key), Delta: -1},
-			{Code: types.OpAdd, Key: workload.ShardKey(b, key), Delta: 1},
-		},
+// TestLCACoordinator pins the tree math: with fanout 2 and 4 shards the
+// heap is root(0), fog(1,2), edges(3..6); shards 0,1 meet under fog 1
+// (represented by shard 0), while shards 0,3 span the root.
+func TestLCACoordinator(t *testing.T) {
+	s := saguaro.New(2)
+	if lca := s.LCA([]types.ShardID{0, 1}, 4); lca != 1 {
+		t.Fatalf("LCA(0,1) = %d, want fog node 1", lca)
 	}
-}
-
-func TestTreeShape(t *testing.T) {
-	// 3 levels, fanout 2: 1 root + 2 fog + 4 edge = 7 clusters, 4 shards.
-	s := newSystem(t, 3, 2)
-	if s.NumShards() != 4 {
-		t.Fatalf("shards = %d, want 4", s.NumShards())
+	if lca := s.LCA([]types.ShardID{0, 3}, 4); lca != 0 {
+		t.Fatalf("LCA(0,3) = %d, want root 0", lca)
 	}
-	if len(s.all) != 7 {
-		t.Fatalf("clusters = %d, want 7", len(s.all))
+	if c := s.Coordinator([]types.ShardID{2, 3}, 4); c.Shard != 2 {
+		t.Fatalf("coordinator(2,3) = %+v, want representative shard 2", c)
+	}
+	if c := s.Coordinator([]types.ShardID{1, 2}, 4); c.Shard != 0 {
+		t.Fatalf("coordinator(1,2) = %+v, want root's representative shard 0", c)
 	}
 }
 
-func TestLCASelection(t *testing.T) {
-	s := newSystem(t, 3, 2)
-	// Heap layout: root 0; fog 1,2; edges 3,4,5,6 = shards 0,1,2,3.
-	// Shards 0,1 (edges 3,4) share fog 1.
-	if got := s.LCA([]types.ShardID{0, 1}); got != 1 {
-		t.Fatalf("LCA(0,1) = %d, want 1", got)
+// TestTreeDistanceShapesDelay pins the latency model: edge-to-edge
+// distance is the full tree path (siblings two hops, distant subtrees
+// four), but Delay charges only the destination's path from the pair's
+// LCA — coordination runs at the LCA cluster, so a same-fog crossing is
+// one hop and a root-coordinated crossing two, never the full four.
+func TestTreeDistanceShapesDelay(t *testing.T) {
+	s := saguaro.Strategy{Fanout: 2, HopDelay: time.Millisecond, Shards: 4}
+	if d := s.TreeDistance(0, 1, 4); d != 2 {
+		t.Fatalf("distance(0,1) = %d, want 2", d)
 	}
-	// Shards 2,3 (edges 5,6) share fog 2.
-	if got := s.LCA([]types.ShardID{2, 3}); got != 2 {
-		t.Fatalf("LCA(2,3) = %d, want 2", got)
+	if d := s.TreeDistance(0, 3, 4); d != 4 {
+		t.Fatalf("distance(0,3) = %d, want 4", d)
 	}
-	// Shards 0,3 span both subtrees: the root coordinates.
-	if got := s.LCA([]types.ShardID{0, 3}); got != 0 {
-		t.Fatalf("LCA(0,3) = %d, want 0", got)
+	if d := s.Delay(0, 1); d != time.Millisecond {
+		t.Fatalf("delay(0,1) = %v, want 1ms (LCA = shared fog)", d)
 	}
-	// Single shard: its own edge cluster.
-	if got := s.LCA([]types.ShardID{2}); got != 5 {
-		t.Fatalf("LCA(2) = %d, want 5", got)
+	if d := s.Delay(0, 3); d != 2*time.Millisecond {
+		t.Fatalf("delay(0,3) = %v, want 2ms (LCA = root)", d)
 	}
-}
-
-func TestTreeDistance(t *testing.T) {
-	s := newSystem(t, 3, 2)
-	if d := s.TreeDistance(3, 4); d != 2 {
-		t.Fatalf("dist(3,4) = %d, want 2 (via fog)", d)
-	}
-	if d := s.TreeDistance(3, 6); d != 4 {
-		t.Fatalf("dist(3,6) = %d, want 4 (via root)", d)
-	}
-	if d := s.TreeDistance(1, 3); d != 1 {
-		t.Fatalf("dist(1,3) = %d, want 1", d)
-	}
-	if d := s.TreeDistance(5, 5); d != 0 {
-		t.Fatalf("dist(5,5) = %d", d)
-	}
-}
-
-func TestIntraAndCrossCommit(t *testing.T) {
-	s := newSystem(t, 2, 2) // root + 2 edges
-	intra := &types.Transaction{
-		ID: "t1", Kind: types.TxInternal, Shards: []types.ShardID{0},
-		Ops: []types.Op{{Code: types.OpAdd, Key: workload.ShardKey(0, 1), Delta: 4}},
-	}
-	if err := s.SubmitIntra(intra); err != nil {
-		t.Fatal(err)
-	}
-	if got := s.Leaves()[0].Store().GetInt(workload.ShardKey(0, 1)); got != 4 {
-		t.Fatalf("intra value %d", got)
-	}
-	if err := s.SubmitCross(crossTx("x1", 0, 1, 9)); err != nil {
-		t.Fatal(err)
-	}
-	if got := s.Leaves()[1].Store().GetInt(workload.ShardKey(1, 9)); got != 1 {
-		t.Fatalf("cross value %d", got)
-	}
-	for i, c := range s.Leaves() {
-		if c.LockCount() != 0 {
-			t.Fatalf("leaf %d leaked locks", i)
-		}
-	}
-}
-
-func TestNearbyCrossUsesFogNotRoot(t *testing.T) {
-	s := newSystem(t, 3, 2)
-	// Shards 0,1 coordinate at fog cluster 1; the root must see no
-	// coordination traffic for this transaction.
-	rootBefore := s.all[0].OrderedCount()
-	if err := s.SubmitCross(crossTx("x", 0, 1, 3)); err != nil {
-		t.Fatal(err)
-	}
-	if s.all[0].OrderedCount() != rootBefore {
-		t.Fatal("root cluster coordinated a nearby cross-shard tx")
-	}
-	if s.all[1].OrderedCount() < 2 { // admit + decide
-		t.Fatalf("fog cluster ordered %d values, want >= 2", s.all[1].OrderedCount())
-	}
-}
-
-func TestLockConflictAborts(t *testing.T) {
-	s := newSystem(t, 2, 2)
-	if err := s.Leaves()[0].TryLock("intruder", []string{workload.ShardKey(0, 5)}); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.SubmitCross(crossTx("x", 0, 1, 5)); !errors.Is(err, ErrAborted) {
-		t.Fatalf("err = %v", err)
-	}
-	if s.Aborted() != 1 {
-		t.Fatalf("aborted %d", s.Aborted())
-	}
-}
-
-func TestBadShard(t *testing.T) {
-	s := newSystem(t, 2, 2)
-	if err := s.SubmitCross(crossTx("x", 0, 9, 1)); !errors.Is(err, ErrBadShard) {
-		t.Fatalf("err = %v", err)
-	}
-	bad := &types.Transaction{ID: "t", Shards: []types.ShardID{9},
-		Ops: []types.Op{{Code: types.OpAdd, Key: workload.ShardKey(9, 0), Delta: 1}}}
-	if err := s.SubmitIntra(bad); !errors.Is(err, ErrBadShard) {
-		t.Fatalf("err = %v", err)
+	if d := s.Delay(2, 2); d != 0 {
+		t.Fatalf("delay(2,2) = %v, want 0", d)
 	}
 }

@@ -1,0 +1,150 @@
+package shardcore
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"permchain/internal/types"
+)
+
+// Placement is the deterministic key→shard function every layer of the
+// sharded deployment shares: submission routing, lock management, and
+// in-doubt recovery all derive a transaction's participant set from its
+// keys through one Placement, replacing the per-protocol prefix-filter
+// helpers (the old ahl.OpsForShard/KeysForShard).
+//
+// Keys following the "s<id>/" convention (workload.ShardKey) place
+// explicitly on shard id mod Shards; every other key places by FNV-1a
+// hash. Explicit placement keeps benchmark workloads and their storage
+// accounting exact; hashing makes arbitrary client keys (chainctl,
+// examples) spread evenly without naming shards.
+type Placement struct {
+	shards int
+}
+
+// NewPlacement builds a placement over n shards (minimum 1).
+func NewPlacement(n int) Placement {
+	if n < 1 {
+		n = 1
+	}
+	return Placement{shards: n}
+}
+
+// Shards returns the shard count.
+func (p Placement) Shards() int { return p.shards }
+
+// ShardOf places one key.
+func (p Placement) ShardOf(key string) types.ShardID {
+	if id, ok := prefixShard(key); ok {
+		return types.ShardID(id % p.shards)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return types.ShardID(h.Sum64() % uint64(p.shards))
+}
+
+// prefixShard parses the "s<digits>/" convention without allocating.
+func prefixShard(key string) (int, bool) {
+	if len(key) < 3 || key[0] != 's' {
+		return 0, false
+	}
+	slash := strings.IndexByte(key, '/')
+	if slash < 2 {
+		return 0, false
+	}
+	id := 0
+	for _, c := range key[1:slash] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + int(c-'0')
+	}
+	return id, true
+}
+
+// Participants returns the sorted set of shards a transaction touches,
+// derived from its keys — the authoritative participant set, regardless
+// of what tx.Shards claims.
+func (p Placement) Participants(tx *types.Transaction) []types.ShardID {
+	seen := map[types.ShardID]struct{}{}
+	for _, op := range tx.Ops {
+		for _, k := range op.Keys() {
+			seen[p.ShardOf(k)] = struct{}{}
+		}
+	}
+	out := make([]types.ShardID, 0, len(seen))
+	for sh := range seen {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OpsFor returns the transaction's operations whose keys all place on
+// shard id, in payload order. An operation spanning two shards (a
+// cross-shard OpTransfer) belongs to neither slice; Split rejects it.
+func (p Placement) OpsFor(tx *types.Transaction, id types.ShardID) []types.Op {
+	var out []types.Op
+	for _, op := range tx.Ops {
+		if p.opShard(op) == id {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// opShard places a whole operation, or -1 when its keys span shards.
+func (p Placement) opShard(op types.Op) types.ShardID {
+	keys := op.Keys()
+	if len(keys) == 0 {
+		return -1
+	}
+	sh := p.ShardOf(keys[0])
+	for _, k := range keys[1:] {
+		if p.ShardOf(k) != sh {
+			return -1
+		}
+	}
+	return sh
+}
+
+// KeysFor returns the transaction's touched keys that place on shard id,
+// sorted.
+func (p Placement) KeysFor(tx *types.Transaction, id types.ShardID) []string {
+	var out []string
+	for _, k := range tx.TouchedKeys() {
+		if p.ShardOf(k) == id {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Split partitions the transaction's operations per participant shard.
+// It fails on an operation whose own keys span shards (e.g. an
+// OpTransfer between keys placed on different shards): such an operation
+// cannot execute on any single shard — clients express cross-shard moves
+// as paired per-shard OpAdds, the form the 2PC applies atomically.
+func (p Placement) Split(tx *types.Transaction) (map[types.ShardID][]types.Op, error) {
+	out := map[types.ShardID][]types.Op{}
+	for _, op := range tx.Ops {
+		sh := p.opShard(op)
+		if sh < 0 {
+			return nil, &SplitError{TxID: tx.ID, Op: op}
+		}
+		out[sh] = append(out[sh], op)
+	}
+	return out, nil
+}
+
+// SplitError reports an operation whose keys place on different shards.
+type SplitError struct {
+	TxID string
+	Op   types.Op
+}
+
+func (e *SplitError) Error() string {
+	return "shardcore: operation in " + e.TxID + " spans shards (key " + e.Op.Key + " / " + e.Op.Key2 +
+		"); express cross-shard moves as per-shard operations"
+}

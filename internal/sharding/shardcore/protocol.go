@@ -1,0 +1,60 @@
+package shardcore
+
+import (
+	"time"
+
+	"permchain/internal/types"
+)
+
+// Coord names where a cross-shard transaction's 2PC decision is
+// ordered. Exactly one of the three shapes applies:
+//
+//   - Reference: the decision is ordered on a dedicated reference
+//     committee (its own core.Chain, shard id == NumShards) that is not
+//     a data shard — the AHL shape.
+//   - Flattened: there is no coordinator round at all; the decision is
+//     implied by every participant durably ordering its PREPARE record
+//     (commit ⇔ all prepared), and in-doubt recovery applies exactly
+//     that rule — the SharPer shape.
+//   - Otherwise the decision is ordered through participant shard
+//     Shard's own consensus — the Saguaro shape, where the strategy
+//     picks a representative under the tree LCA.
+type Coord struct {
+	Shard     types.ShardID
+	Reference bool
+	Flattened bool
+}
+
+// CrossShardProtocol is the strategy interface the former ahl, sharper,
+// saguaro and resilientdb packages now implement. A strategy does not
+// move bytes: it decides the participant set, where the decision is
+// ordered, and the inter-shard topology cost; the shardcore engine runs
+// the one durable 2PC (or the replicated sequencer) those choices
+// parameterize.
+type CrossShardProtocol interface {
+	// Name identifies the strategy ("ahl", "sharper", "saguaro",
+	// "resilientdb") in metrics, docs, and the registry.
+	Name() string
+
+	// Replicated reports full-replication mode (ResilientDB §6.3):
+	// every shard orders every transaction in one global sequence and
+	// no locks or 2PC records exist. When true the remaining methods
+	// are unused.
+	Replicated() bool
+
+	// NeedsReference reports whether the deployment must provision a
+	// reference committee chain (shard id == shards) for coordination.
+	NeedsReference() bool
+
+	// Coordinator picks where the decision for this (sorted, len>1)
+	// participant set is ordered, given the deployment's shard count.
+	Coordinator(parts []types.ShardID, shards int) Coord
+
+	// Delay returns the simulated one-way network delay between two
+	// committees (shard id == shards addresses the reference
+	// committee), or 0 for co-located ones. The engine charges it on
+	// every cross-committee protocol hop, so topology-aware strategies
+	// (Saguaro's edge/fog/cloud tree) shape latency without owning the
+	// message flow. A nil-safe default of 0 models a flat datacenter.
+	Delay(a, b types.ShardID) time.Duration
+}

@@ -1,0 +1,153 @@
+package shardcore
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"permchain/internal/core"
+	"permchain/internal/types"
+)
+
+// ErrCrossAborted is the spanning receipt's error when the 2PC aborted —
+// a lock conflict, a participant that could not durably prepare, or a
+// timeout — and no shard applied any of the transaction's effects.
+var ErrCrossAborted = errors.New("shardcore: cross-shard transaction aborted")
+
+// Status is a spanning receipt's settled outcome.
+type Status int
+
+const (
+	// Pending means the receipt has not settled.
+	Pending Status = iota
+	// Committed means every participant shard durably committed.
+	Committed
+	// Aborted means the 2PC aborted and no shard applied effects.
+	Aborted
+	// Failed means the submission died without an outcome (shutdown).
+	Failed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	case Failed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Receipt tracks one transaction across every shard it touches. It
+// settles Committed only when each participant shard has durably
+// committed the transaction's effects through its own consensus —
+// Heights then reports the per-shard commit heights — or Aborted/Failed
+// with no effects anywhere. A receipt left pending by a participant
+// crash settles when RecoverShard resolves the in-doubt transaction.
+type Receipt struct {
+	txID string
+	done chan struct{}
+	once sync.Once
+
+	mu        sync.Mutex
+	status    Status
+	err       error
+	heights   map[types.ShardID]uint64
+	remaining int
+}
+
+func newSpanningReceipt(txID string, parts []types.ShardID) *Receipt {
+	return &Receipt{
+		txID:      txID,
+		done:      make(chan struct{}),
+		heights:   make(map[types.ShardID]uint64, len(parts)),
+		remaining: len(parts),
+	}
+}
+
+// TxID returns the transaction's ID.
+func (r *Receipt) TxID() string { return r.txID }
+
+// Done returns the settlement channel, closed exactly once.
+func (r *Receipt) Done() <-chan struct{} { return r.done }
+
+// Status returns the outcome; Pending until Done closes.
+func (r *Receipt) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// Committed reports whether every participant durably committed.
+func (r *Receipt) Committed() bool { return r.Status() == Committed }
+
+// Err returns nil after commit, ErrCrossAborted after abort, or the
+// failure cause.
+func (r *Receipt) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Heights returns a copy of the per-shard durable commit heights;
+// complete once the receipt settles Committed.
+func (r *Receipt) Heights() map[types.ShardID]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[types.ShardID]uint64, len(r.heights))
+	for k, v := range r.heights {
+		out[k] = v
+	}
+	return out
+}
+
+// Wait blocks until the receipt settles or the timeout elapses (a
+// timeout <= 0 waits forever), returning Err — or ErrAwaitTimeout.
+func (r *Receipt) Wait(timeout time.Duration) error {
+	if timeout <= 0 {
+		<-r.done
+		return r.Err()
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-r.done:
+		return r.Err()
+	case <-t.C:
+		return core.ErrAwaitTimeout
+	}
+}
+
+// shardCommitted records shard sh's durable commit at height h; the
+// receipt settles Committed when the last participant reports.
+func (r *Receipt) shardCommitted(sh types.ShardID, h uint64) {
+	settle := false
+	r.mu.Lock()
+	if _, dup := r.heights[sh]; !dup && r.status == Pending {
+		r.heights[sh] = h
+		r.remaining--
+		settle = r.remaining == 0
+	}
+	r.mu.Unlock()
+	if settle {
+		r.settle(Committed, nil)
+	}
+}
+
+func (r *Receipt) abort()         { r.settle(Aborted, ErrCrossAborted) }
+func (r *Receipt) fail(err error) { r.settle(Failed, err) }
+
+func (r *Receipt) settle(status Status, err error) {
+	r.once.Do(func() {
+		r.mu.Lock()
+		r.status = status
+		r.err = err
+		r.mu.Unlock()
+		close(r.done)
+	})
+}

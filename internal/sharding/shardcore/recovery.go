@@ -1,0 +1,373 @@
+package shardcore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"permchain/internal/core"
+	"permchain/internal/store"
+	"permchain/internal/types"
+)
+
+// shardRecords indexes one shard chain's decision records by txID.
+type shardRecords struct {
+	prepare map[string]*store.DecisionRecord
+	outcome map[string]*store.DecisionRecord // PhaseCommit or PhaseAbort
+	decide  map[string]*store.DecisionRecord // coordinator verdicts
+}
+
+// scanRecords replays node 0's ledger for decision records. It works on
+// live and crashed chains alike — the in-memory ledger is what the WAL
+// recovered (or what consensus built), which is exactly the durable
+// truth recovery may rely on.
+func scanRecords(ch *core.Chain) (*shardRecords, error) {
+	r := &shardRecords{
+		prepare: map[string]*store.DecisionRecord{},
+		outcome: map[string]*store.DecisionRecord{},
+		decide:  map[string]*store.DecisionRecord{},
+	}
+	for _, blk := range ch.Node(0).Chain().Blocks() {
+		for _, tx := range blk.Txs {
+			rec, err := store.DecisionFromTx(tx)
+			if err != nil {
+				return nil, fmt.Errorf("block %d tx %s: %w", blk.Header.Height, tx.ID, err)
+			}
+			if rec == nil {
+				continue
+			}
+			switch rec.Phase {
+			case store.PhasePrepare:
+				r.prepare[rec.TxID] = rec
+			case store.PhaseCommit, store.PhaseAbort:
+				r.outcome[rec.TxID] = rec
+			case store.PhaseDecide:
+				r.decide[rec.TxID] = rec
+			}
+		}
+	}
+	return r, nil
+}
+
+// CrashShard kills shard i abruptly — its pipeline stops mid-flight and
+// only what already reached the WAL survives. Pending outcome
+// deliveries to it fail and stay in-doubt until RecoverShard.
+func (s *Chain) CrashShard(i types.ShardID) { s.Shard(i).Crash() }
+
+// RecoverShard replaces shard i with a chain recovered from its WAL and
+// resolves every in-doubt cross-shard transaction found there: locks
+// are re-asserted before resolution (none are lost), outcomes are
+// decided by the resolution rules, and missing outcome transactions —
+// effects included — are ordered through the recovered shard's own
+// consensus. Requires a durable deployment (Config.Store).
+func (s *Chain) RecoverShard(i types.ShardID) error {
+	if s.base.Store == nil {
+		return errors.New("shardcore: RecoverShard requires Config.Store")
+	}
+	if int(i) >= s.scfg.Shards {
+		return errors.New("shardcore: cannot recover the reference committee")
+	}
+	s.Shard(i).Crash() // idempotent; guarantees the WAL is closed
+	ch, err := core.OpenChain(s.shardConfig(i))
+	if err != nil {
+		return fmt.Errorf("recover shard %d: %w", i, err)
+	}
+	ch.Start()
+	if s.proto.Replicated() {
+		s.seqMu.Lock()
+		defer s.seqMu.Unlock()
+		s.mu.Lock()
+		s.shards[i] = ch
+		s.mu.Unlock()
+		if err := s.levelShard(i); err != nil {
+			return err
+		}
+		s.dead[i] = false
+		return nil
+	}
+	s.mu.Lock()
+	s.shards[i] = ch
+	s.mu.Unlock()
+	return s.resolveInDoubt(i)
+}
+
+// resolveInDoubt finds shard i's prepared-but-undecided transactions
+// and finishes them.
+func (s *Chain) resolveInDoubt(i types.ShardID) error {
+	recs, err := scanRecords(s.Shard(i))
+	if err != nil {
+		return err
+	}
+	ids := make([]string, 0, len(recs.prepare))
+	for txID := range recs.prepare {
+		if recs.outcome[txID] == nil {
+			ids = append(ids, txID)
+		}
+	}
+	sort.Strings(ids)
+	for _, txID := range ids {
+		if err := s.resolveTx(i, txID, recs.prepare[txID]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveTx finishes one in-doubt transaction on shard i.
+func (s *Chain) resolveTx(i types.ShardID, txID string, prep *store.DecisionRecord) error {
+	// Re-assert the 2PL lease first — an in-doubt transaction never
+	// loses its locks to TTL expiry while someone is there to resolve
+	// it. Lock is re-entrant for the same holder; a conflict means the
+	// lease already lapsed, and we wait our turn like any other txn.
+	keys := map[string]struct{}{}
+	for _, op := range prep.Ops {
+		for _, k := range op.Keys() {
+			keys[k] = struct{}{}
+		}
+	}
+	ks := make([]string, 0, len(keys))
+	for k := range keys {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	_ = s.locks[i].Lock(txID, ks, s.scfg.CrossTimeout)
+
+	s.imu.Lock()
+	st := s.inflight[txID]
+	s.imu.Unlock()
+	if st != nil {
+		// The coordinator goroutine is live in this process: wait for
+		// its verdict and deliver through the shared claim protocol so
+		// exactly one of us orders the outcome.
+		<-st.decideCh
+		s.deliverOutcome(st, i)
+		s.retire(st)
+		return nil
+	}
+
+	commit, err := s.resolveOutcome(prep)
+	if err != nil {
+		return err
+	}
+	phase, extra := store.PhaseAbort, []types.Op(nil)
+	if commit {
+		phase, extra = store.PhaseCommit, prep.Ops
+	}
+	rec := &store.DecisionRecord{
+		TxID: txID, Phase: phase, Shard: i,
+		Participants: prep.Participants, Commit: commit,
+	}
+	if err := s.orderMarker(i, outcomeTxID(txID, i), rec, extra); err != nil {
+		return fmt.Errorf("resolve %s on shard %d: %w", txID, i, err)
+	}
+	s.locks[i].Unlock(txID)
+	return nil
+}
+
+// resolveOutcome applies the resolution rules for a transaction with no
+// live coordinator, in order:
+//
+//  1. any participant's durable outcome record wins (they never
+//     disagree — all derive from one durable or implied verdict);
+//  2. otherwise the coordinator's durable DECIDE record wins, and with
+//     a coordinator but no DECIDE the transaction is presumed aborted —
+//     no participant can have acted without a durable verdict;
+//  3. flattened protocols have no coordinator: commit if and only if
+//     every participant durably prepared, which is the flattened
+//     commit condition itself.
+func (s *Chain) resolveOutcome(prep *store.DecisionRecord) (bool, error) {
+	coord := s.proto.Coordinator(prep.Participants, s.scfg.Shards)
+	others := make(map[types.ShardID]*shardRecords, len(prep.Participants))
+	for _, sh := range prep.Participants {
+		if sh == prep.Shard {
+			continue
+		}
+		recs, err := scanRecords(s.Shard(sh))
+		if err != nil {
+			return false, err
+		}
+		others[sh] = recs
+		if out := recs.outcome[prep.TxID]; out != nil {
+			return out.Commit, nil
+		}
+	}
+	if !coord.Flattened {
+		recs, err := scanRecords(s.Shard(s.coordChain(coord)))
+		if err != nil {
+			return false, err
+		}
+		if d := recs.decide[prep.TxID]; d != nil {
+			return d.Commit, nil
+		}
+		return false, nil // presumed abort
+	}
+	for _, sh := range prep.Participants {
+		if sh == prep.Shard {
+			continue
+		}
+		if others[sh].prepare[prep.TxID] == nil {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// levelReplicated re-levels every shard after a full-deployment Open.
+func (s *Chain) levelReplicated() error {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	for i := 0; i < s.scfg.Shards; i++ {
+		if err := s.levelShard(types.ShardID(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// levelShard replays onto shard i the transaction suffix it missed,
+// taken from the tallest shard. The single-sequencer discipline makes
+// every shard's transaction sequence a prefix of the tallest one; the
+// prefix is verified, not assumed. Callers hold seqMu.
+func (s *Chain) levelShard(i types.ShardID) error {
+	var tallest []*types.Transaction
+	for j := 0; j < s.scfg.Shards; j++ {
+		if types.ShardID(j) == i || s.dead[j] {
+			continue
+		}
+		if seq := clientTxs(s.Shard(types.ShardID(j))); len(seq) > len(tallest) {
+			tallest = seq
+		}
+	}
+	mine := clientTxs(s.Shard(i))
+	if len(mine) > len(tallest) {
+		return nil // already the tallest
+	}
+	for k, tx := range mine {
+		if tallest[k].ID != tx.ID {
+			return fmt.Errorf("shardcore: shard %d diverged from the replicated sequence at tx %d (%s != %s)",
+				i, k, tx.ID, tallest[k].ID)
+		}
+	}
+	ch := s.Shard(i)
+	for _, tx := range tallest[len(mine):] {
+		r, err := ch.SubmitAsync(tx)
+		if err != nil {
+			return fmt.Errorf("shardcore: releveling shard %d: %w", i, err)
+		}
+		if err := r.Wait(s.scfg.CrossTimeout); err != nil {
+			return fmt.Errorf("shardcore: releveling shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// clientTxs flattens a chain's committed transactions in ledger order.
+func clientTxs(ch *core.Chain) []*types.Transaction {
+	var out []*types.Transaction
+	for _, blk := range ch.Node(0).Chain().Blocks() {
+		out = append(out, blk.Txs...)
+	}
+	return out
+}
+
+// VerifyCrossShardAtomicity is the deployment's deterministic safety
+// audit. For partitioned protocols it replays every shard's ledger and
+// checks, for each cross-shard transaction: no participant committed
+// while another aborted; a committed transaction committed on every
+// participant, not a strict subset; and no transaction is still
+// prepared with no outcome (run it after recovery has quiesced).
+// Replicated deployments are audited by state agreement instead.
+func (s *Chain) VerifyCrossShardAtomicity() error {
+	if s.proto.Replicated() {
+		return s.verifyReplicatedStates()
+	}
+	type fate struct {
+		participants []types.ShardID
+		prepared     map[types.ShardID]bool
+		committed    map[types.ShardID]bool
+		aborted      map[types.ShardID]bool
+	}
+	fates := map[string]*fate{}
+	get := func(rec *store.DecisionRecord) *fate {
+		f := fates[rec.TxID]
+		if f == nil {
+			f = &fate{
+				prepared:  map[types.ShardID]bool{},
+				committed: map[types.ShardID]bool{},
+				aborted:   map[types.ShardID]bool{},
+			}
+			fates[rec.TxID] = f
+		}
+		if len(rec.Participants) > len(f.participants) {
+			f.participants = rec.Participants
+		}
+		return f
+	}
+	for i := 0; i < s.scfg.Shards; i++ {
+		recs, err := scanRecords(s.Shard(types.ShardID(i)))
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs.prepare {
+			get(rec).prepared[types.ShardID(i)] = true
+		}
+		for _, rec := range recs.outcome {
+			if rec.Commit {
+				get(rec).committed[types.ShardID(i)] = true
+			} else {
+				get(rec).aborted[types.ShardID(i)] = true
+			}
+		}
+	}
+	ids := make([]string, 0, len(fates))
+	for id := range fates {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		f := fates[id]
+		if len(f.committed) > 0 && len(f.aborted) > 0 {
+			return fmt.Errorf("shardcore: %s committed on %v but aborted on %v", id, keysOf(f.committed), keysOf(f.aborted))
+		}
+		if len(f.committed) > 0 {
+			for _, sh := range f.participants {
+				if !f.committed[sh] {
+					return fmt.Errorf("shardcore: %s committed on a strict subset %v of participants %v",
+						id, keysOf(f.committed), f.participants)
+				}
+			}
+		}
+		for sh := range f.prepared {
+			if !f.committed[sh] && !f.aborted[sh] {
+				return fmt.Errorf("shardcore: %s still in-doubt on shard %d (prepared, no outcome)", id, sh)
+			}
+		}
+	}
+	return nil
+}
+
+func keysOf(m map[types.ShardID]bool) []types.ShardID {
+	out := make([]types.ShardID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// verifyReplicatedStates checks that every shard's node-0 world state
+// hash agrees — full replication's equivalent of atomicity.
+func (s *Chain) verifyReplicatedStates() error {
+	var want string
+	for i := 0; i < s.scfg.Shards; i++ {
+		h := fmt.Sprintf("%x", s.Shard(types.ShardID(i)).Node(0).Store().StateHash())
+		if i == 0 {
+			want = h
+			continue
+		}
+		if h != want {
+			return fmt.Errorf("shardcore: replicated state divergence: shard %d hash %s != shard 0 hash %s", i, h, want)
+		}
+	}
+	return nil
+}

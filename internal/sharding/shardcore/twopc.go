@@ -1,0 +1,323 @@
+package shardcore
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"permchain/internal/store"
+	"permchain/internal/types"
+)
+
+// Marker transaction IDs, one namespace per 2PC phase. The decision
+// record inside the marker op is authoritative; the IDs just keep the
+// ledgers readable.
+func beginTxID(txID string) string  { return "2pc/begin/" + txID }
+func decideTxID(txID string) string { return "2pc/decide/" + txID }
+func prepareTxID(txID string, sh types.ShardID) string {
+	return "2pc/prep/" + txID + "/" + strconv.Itoa(int(sh))
+}
+func outcomeTxID(txID string, sh types.ShardID) string {
+	return "2pc/out/" + txID + "/" + strconv.Itoa(int(sh))
+}
+
+// Per-shard outcome delivery states: the crossState is the arbitration
+// point between the live coordinator goroutine and in-doubt recovery,
+// so exactly one of them orders the outcome transaction on any shard.
+const (
+	outUnclaimed = iota
+	outClaimed
+	outDurable
+	outFailed
+)
+
+// crossState is one in-flight (or in-doubt) cross-shard transaction.
+type crossState struct {
+	tx    *types.Transaction
+	parts []types.ShardID
+	ops   map[types.ShardID][]types.Op
+	rcpt  *Receipt
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	decided  bool
+	commit   bool
+	decideCh chan struct{} // closed once decided/commit are final
+	outcome  map[types.ShardID]int
+}
+
+func newCrossState(tx *types.Transaction, parts []types.ShardID, ops map[types.ShardID][]types.Op, rcpt *Receipt) *crossState {
+	st := &crossState{
+		tx: tx, parts: parts, ops: ops, rcpt: rcpt,
+		decideCh: make(chan struct{}),
+		outcome:  make(map[types.ShardID]int, len(parts)),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// decide publishes the transaction's fate; idempotent via decideCh.
+func (st *crossState) decide(commit bool) {
+	st.mu.Lock()
+	if !st.decided {
+		st.decided, st.commit = true, commit
+		close(st.decideCh)
+	}
+	st.mu.Unlock()
+}
+
+// claimOutcome returns true when the caller becomes the writer of shard
+// sh's outcome transaction; it blocks while another writer is mid-order
+// and returns false if that writer already made the outcome durable.
+func (st *crossState) claimOutcome(sh types.ShardID) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for st.outcome[sh] == outClaimed {
+		st.cond.Wait()
+	}
+	if st.outcome[sh] == outDurable {
+		return false
+	}
+	st.outcome[sh] = outClaimed
+	return true
+}
+
+func (st *crossState) finishOutcome(sh types.ShardID, durable bool) {
+	st.mu.Lock()
+	if durable {
+		st.outcome[sh] = outDurable
+	} else {
+		st.outcome[sh] = outFailed
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// retired reports whether every participant's outcome is durable, so
+// the inflight entry can be dropped.
+func (st *crossState) retired() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, sh := range st.parts {
+		if st.outcome[sh] != outDurable {
+			return false
+		}
+	}
+	return true
+}
+
+// hop charges the simulated one-way inter-committee delay for a
+// protocol message from committee a to committee b.
+func (s *Chain) hop(a, b types.ShardID) {
+	if a == b {
+		return
+	}
+	var d time.Duration
+	if s.scfg.InterShardDelay != nil {
+		d = s.scfg.InterShardDelay(a, b)
+	} else {
+		d = s.proto.Delay(a, b)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// orderMarker orders one decision record through chain id's consensus
+// and waits for it to become durable (or applied, on a memory-only
+// chain). This is the primitive every 2PC phase is built from: a
+// decision exists exactly when its record is committed in some shard's
+// ledger.
+func (s *Chain) orderMarker(id types.ShardID, txID string, rec *store.DecisionRecord, extra []types.Op) error {
+	ops := make([]types.Op, 0, len(extra)+1)
+	ops = append(ops, extra...)
+	ops = append(ops, store.DecisionMarkerOp(rec))
+	r, err := s.Shard(id).SubmitAsync(&types.Transaction{ID: txID, Ops: ops})
+	if err != nil {
+		return err
+	}
+	return r.Wait(s.scfg.CrossTimeout)
+}
+
+// coordChain returns the committee id where coordinator rounds order:
+// the reference committee for AHL, the strategy's pick otherwise.
+func (s *Chain) coordChain(coord Coord) types.ShardID {
+	if coord.Reference {
+		return types.ShardID(s.scfg.Shards)
+	}
+	return coord.Shard
+}
+
+// runCross drives one cross-shard transaction through the durable 2PC:
+//
+//	BEGIN   (coordinator's consensus; skipped when flattened)
+//	LOCK    (2PL, ascending shard order — deadlock-free by construction)
+//	PREPARE (each participant's consensus; the record carries the
+//	         shard's slice of the transaction so recovery can finish it)
+//	DECIDE  (coordinator's consensus; flattened mode's decision is
+//	         implied by every PREPARE being durable)
+//	OUTCOME (each participant's consensus: effects + COMMIT record in
+//	         one atomic ledger entry, or an ABORT record)
+//
+// Locks release per shard as its outcome becomes durable. A participant
+// that cannot take its outcome (crashed) keeps the transaction inflight
+// and its lock leased; RecoverShard finishes the job.
+func (s *Chain) runCross(st *crossState) {
+	tx, parts := st.tx, st.parts
+	coord := s.proto.Coordinator(parts, s.scfg.Shards)
+	coordID := s.coordChain(coord)
+	if coord.Flattened {
+		coordID = parts[0]
+	}
+
+	// BEGIN: durably announce the participant set on the coordinator.
+	if !coord.Flattened {
+		rec := &store.DecisionRecord{TxID: tx.ID, Phase: store.PhaseBegin, Shard: -1, Participants: parts}
+		if err := s.orderMarker(coordID, beginTxID(tx.ID), rec, nil); err != nil {
+			st.decide(false)
+			s.dropInflight(st)
+			st.rcpt.fail(err)
+			return
+		}
+	}
+
+	// LOCK: ascending shard order, atomic all-or-nothing per table.
+	var locked []types.ShardID
+	for _, sh := range parts {
+		if err := s.locks[sh].Lock(tx.ID, s.place.KeysFor(tx, sh), s.scfg.CrossTimeout); err != nil {
+			for _, l := range locked {
+				s.locks[l].Unlock(tx.ID)
+			}
+			st.decide(false)
+			s.crossAborted.Add(1)
+			s.dropInflight(st)
+			st.rcpt.abort()
+			return
+		}
+		locked = append(locked, sh)
+	}
+
+	// PREPARE: every participant durably orders its slice of the
+	// transaction inside its prepare record, in parallel.
+	var wg sync.WaitGroup
+	var pmu sync.Mutex
+	var prepErr error
+	for _, sh := range parts {
+		wg.Add(1)
+		go func(sh types.ShardID) {
+			defer wg.Done()
+			s.hop(coordID, sh)
+			rec := &store.DecisionRecord{
+				TxID: tx.ID, Phase: store.PhasePrepare, Shard: sh,
+				Participants: parts, Ops: st.ops[sh],
+			}
+			err := s.orderMarker(sh, prepareTxID(tx.ID, sh), rec, nil)
+			s.hop(sh, coordID)
+			if err != nil {
+				pmu.Lock()
+				prepErr = err
+				pmu.Unlock()
+			}
+		}(sh)
+	}
+	wg.Wait()
+	commit := prepErr == nil
+
+	if commit && s.AfterPrepare != nil {
+		s.AfterPrepare(tx.ID)
+	}
+
+	// DECIDE: the verdict is ordered through the coordinator's own
+	// consensus before any participant acts on it; if the verdict
+	// cannot be made durable there is no commit (presumed abort).
+	if !coord.Flattened {
+		rec := &store.DecisionRecord{
+			TxID: tx.ID, Phase: store.PhaseDecide, Shard: -1,
+			Participants: parts, Commit: commit,
+		}
+		if err := s.orderMarker(coordID, decideTxID(tx.ID), rec, nil); err != nil {
+			commit = false
+		}
+	}
+	st.decide(commit)
+	if commit {
+		s.crossCommitted.Add(1)
+	} else {
+		s.crossAborted.Add(1)
+	}
+
+	// OUTCOME: apply effects + record on each participant, in parallel.
+	for _, sh := range parts {
+		wg.Add(1)
+		go func(sh types.ShardID) {
+			defer wg.Done()
+			s.hop(coordID, sh)
+			s.deliverOutcome(st, sh)
+		}(sh)
+	}
+	wg.Wait()
+
+	if !commit {
+		st.rcpt.abort()
+	}
+	s.retire(st)
+}
+
+// deliverOutcome orders shard sh's outcome transaction — COMMIT with
+// the effects, or ABORT — through sh's consensus, then releases sh's
+// locks and advances the spanning receipt. The claim protocol ensures
+// recovery and the live coordinator never both write it.
+func (s *Chain) deliverOutcome(st *crossState, sh types.ShardID) {
+	if !st.claimOutcome(sh) {
+		return // already durable (recovery beat us to it)
+	}
+	commit := st.commit
+	phase, extra := store.PhaseAbort, []types.Op(nil)
+	if commit {
+		phase, extra = store.PhaseCommit, st.ops[sh]
+	}
+	rec := &store.DecisionRecord{
+		TxID: st.tx.ID, Phase: phase, Shard: sh,
+		Participants: st.parts, Commit: commit,
+	}
+	r, err := s.Shard(sh).SubmitAsync(&types.Transaction{
+		ID:  outcomeTxID(st.tx.ID, sh),
+		Ops: append(append([]types.Op(nil), extra...), store.DecisionMarkerOp(rec)),
+	})
+	if err == nil {
+		err = r.Wait(s.scfg.CrossTimeout)
+	}
+	if err != nil {
+		// The shard is down (or too slow): keep the lock leased and
+		// the transaction inflight — in-doubt recovery finishes it.
+		st.finishOutcome(sh, false)
+		return
+	}
+	st.finishOutcome(sh, true)
+	s.locks[sh].Unlock(st.tx.ID)
+	if commit {
+		st.rcpt.shardCommitted(sh, r.Height())
+	}
+}
+
+// retire drops the inflight entry once every participant's outcome is
+// durable. An entry with any undelivered outcome must stay — even for
+// an abort: recovery's flattened all-prepared rule would otherwise
+// commit a transaction whose coordinator decided abort after a slow
+// prepare, and the inflight entry is what lets recovery see that
+// verdict (resolution rule 0).
+func (s *Chain) retire(st *crossState) {
+	if !st.retired() {
+		return
+	}
+	s.dropInflight(st)
+}
+
+// dropInflight removes the entry unconditionally — only safe before
+// PREPARE, when no shard holds any record of the transaction, or once
+// every outcome is durable.
+func (s *Chain) dropInflight(st *crossState) {
+	s.imu.Lock()
+	delete(s.inflight, st.tx.ID)
+	s.imu.Unlock()
+}

@@ -1,0 +1,279 @@
+// Package shardtest is the shared conformance suite every
+// CrossShardProtocol strategy must pass: intra-shard commits, atomic
+// cross-shard commits, deadlock-free conflict handling, lock release on
+// abort, and durable in-doubt recovery across a participant crash. The
+// per-protocol packages invoke it from their tests, so "implements the
+// interface" always means "passes the same behavioural bar".
+package shardtest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"permchain/internal/core"
+	"permchain/internal/sharding/shardcore"
+	"permchain/internal/store"
+	"permchain/internal/types"
+	"permchain/internal/workload"
+)
+
+// baseConfig is the small, fast deployment shape the suite runs on.
+func baseConfig(shards int, protocol string) core.Config {
+	return core.Config{
+		Nodes:      4,
+		BlockSize:  16,
+		FlushEvery: 2 * time.Millisecond,
+		DisableSig: true,
+		Sharding: &core.ShardingConfig{
+			Shards:       shards,
+			Protocol:     protocol,
+			CrossTimeout: 5 * time.Second,
+		},
+	}
+}
+
+func newChain(t *testing.T, cfg core.Config, proto shardcore.CrossShardProtocol) *shardcore.Chain {
+	t.Helper()
+	s, err := shardcore.New(cfg, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func intraTx(id string, shard, key int, delta int64) *types.Transaction {
+	return &types.Transaction{ID: id, Ops: []types.Op{
+		{Code: types.OpAdd, Key: workload.ShardKey(types.ShardID(shard), key), Delta: delta},
+	}}
+}
+
+func crossTx(id string, a, b int, key int, delta int64) *types.Transaction {
+	return &types.Transaction{ID: id, Ops: []types.Op{
+		{Code: types.OpAdd, Key: workload.ShardKey(types.ShardID(a), key), Delta: -delta},
+		{Code: types.OpAdd, Key: workload.ShardKey(types.ShardID(b), key), Delta: delta},
+	}}
+}
+
+// RunConformance runs the behavioural suite for one strategy.
+func RunConformance(t *testing.T, protocol string, mk func(cfg core.ShardingConfig) shardcore.CrossShardProtocol) {
+	cfgOf := func(shards int) (core.Config, shardcore.CrossShardProtocol) {
+		cfg := baseConfig(shards, protocol)
+		return cfg, mk(*cfg.Sharding)
+	}
+
+	t.Run("IntraCommit", func(t *testing.T) {
+		cfg, proto := cfgOf(2)
+		s := newChain(t, cfg, proto)
+		for i := 0; i < 2; i++ {
+			r, err := s.SubmitAsync(intraTx(fmt.Sprintf("intra-%d", i), i, 1, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Wait(10 * time.Second); err != nil {
+				t.Fatalf("intra tx on shard %d: %v", i, err)
+			}
+			if !r.Committed() {
+				t.Fatalf("intra tx on shard %d: status %v", i, r.Status())
+			}
+			// Partitioned protocols settle on the one home shard;
+			// replicated deployments order everything everywhere.
+			want := 1
+			if proto.Replicated() {
+				want = s.NumShards()
+			}
+			if len(r.Heights()) != want {
+				t.Fatalf("intra receipt heights = %v, want %d shard(s)", r.Heights(), want)
+			}
+		}
+		if err := s.VerifyCrossShardAtomicity(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("CrossAtomicCommit", func(t *testing.T) {
+		cfg, proto := cfgOf(3)
+		s := newChain(t, cfg, proto)
+		r, err := s.SubmitAsync(crossTx("xs-1", 0, 2, 7, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Wait(15 * time.Second); err != nil {
+			t.Fatalf("cross tx: %v", err)
+		}
+		if !r.Committed() {
+			t.Fatalf("cross tx status %v", r.Status())
+		}
+		if proto.Replicated() {
+			if err := s.VerifyCrossShardAtomicity(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		h := r.Heights()
+		if len(h) != 2 || h[0] == 0 || h[2] == 0 {
+			t.Fatalf("spanning receipt heights = %v, want both participants", h)
+		}
+		got := s.Shard(0).Node(0).Store().GetInt(workload.ShardKey(0, 7))
+		if got != -10 {
+			t.Fatalf("shard 0 effect = %d, want -10", got)
+		}
+		if got := s.Shard(2).Node(0).Store().GetInt(workload.ShardKey(2, 7)); got != 10 {
+			t.Fatalf("shard 2 effect = %d, want 10", got)
+		}
+		if n := s.LockCount(); n != 0 {
+			t.Fatalf("locks leaked after commit: %d", n)
+		}
+		if err := s.VerifyCrossShardAtomicity(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("CrossConflictNoDeadlock", func(t *testing.T) {
+		cfg, proto := cfgOf(2)
+		s := newChain(t, cfg, proto)
+		// Every transaction touches the same two keys on both shards,
+		// in both orientations — maximal lock overlap. Ordered
+		// acquisition must serialize them without deadlock or abort
+		// storms settling nothing.
+		const n = 16
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				a, b := 0, 1
+				if i%2 == 1 {
+					a, b = 1, 0
+				}
+				r, err := s.SubmitAsync(crossTx(fmt.Sprintf("conflict-%d", i), a, b, 0, 1))
+				if err == nil {
+					err = r.Wait(30 * time.Second)
+				}
+				errs[i] = err
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("tx %d never settled cleanly: %v", i, err)
+			}
+		}
+		if n := s.LockCount(); n != 0 {
+			t.Fatalf("locks leaked after conflicting load: %d", n)
+		}
+		if err := s.VerifyCrossShardAtomicity(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if mk(core.ShardingConfig{}).Replicated() {
+		t.Run("DurableRecovery", func(t *testing.T) { runReplicatedRecovery(t, protocol, mk) })
+		return
+	}
+
+	t.Run("AbortReleasesLocks", func(t *testing.T) {
+		cfg, proto := cfgOf(2)
+		cfg.Sharding.CrossTimeout = 300 * time.Millisecond
+		s := newChain(t, cfg, proto)
+		// A foreign holder pins one participant key, so the 2PC's lock
+		// phase times out and aborts; nothing must leak and no shard
+		// may apply effects.
+		s.LockTable(1).TryLock("intruder", []string{workload.ShardKey(1, 3)})
+		r, err := s.SubmitAsync(crossTx("xs-abort", 0, 1, 3, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Wait(10 * time.Second); err != shardcore.ErrCrossAborted {
+			t.Fatalf("want ErrCrossAborted, got %v (status %v)", err, r.Status())
+		}
+		if s.Aborted() == 0 {
+			t.Fatal("abort not counted")
+		}
+		s.LockTable(1).Unlock("intruder")
+		if n := s.LockCount(); n != 0 {
+			t.Fatalf("locks leaked after abort: %d", n)
+		}
+		if got := s.Shard(0).Node(0).Store().GetInt(workload.ShardKey(0, 3)); got != 0 {
+			t.Fatalf("aborted tx applied effects on shard 0: %d", got)
+		}
+		if err := s.VerifyCrossShardAtomicity(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("DurableRecovery", func(t *testing.T) {
+		cfg, proto := cfgOf(2)
+		cfg.Store = durableStore(t)
+		s := newChain(t, cfg, proto)
+		// Crash participant 1 exactly after every PREPARE is durable:
+		// the outcome cannot land there, the transaction stays
+		// in-doubt, and RecoverShard must finish it from the WAL.
+		var once sync.Once
+		s.AfterPrepare = func(txID string) {
+			once.Do(func() { s.CrashShard(1) })
+		}
+		r, err := s.SubmitAsync(crossTx("xs-indoubt", 0, 1, 9, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The receipt must NOT settle: shard 1's outcome is pending.
+		if err := r.Wait(2 * time.Second); err != core.ErrAwaitTimeout {
+			t.Fatalf("receipt settled before recovery: %v (status %v)", err, r.Status())
+		}
+		if n := s.LockCount(); n == 0 {
+			t.Fatal("in-doubt transaction lost its lock before recovery")
+		}
+		if err := s.RecoverShard(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Wait(15 * time.Second); err != nil {
+			t.Fatalf("receipt after recovery: %v", err)
+		}
+		if !r.Committed() {
+			t.Fatalf("in-doubt tx resolved to %v, want commit", r.Status())
+		}
+		if got := s.Shard(1).Node(0).Store().GetInt(workload.ShardKey(1, 9)); got != 6 {
+			t.Fatalf("recovered shard effect = %d, want 6", got)
+		}
+		if n := s.LockCount(); n != 0 {
+			t.Fatalf("locks leaked after recovery: %d", n)
+		}
+		if err := s.VerifyCrossShardAtomicity(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func runReplicatedRecovery(t *testing.T, protocol string, mk func(cfg core.ShardingConfig) shardcore.CrossShardProtocol) {
+	cfg := baseConfig(2, protocol)
+	cfg.Store = durableStore(t)
+	s := newChain(t, cfg, mk(*cfg.Sharding))
+	for i := 0; i < 8; i++ {
+		if err := s.Submit(intraTx(fmt.Sprintf("rep-%d", i), i%2, i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.CrashShard(1)
+	for i := 8; i < 16; i++ {
+		if err := s.Submit(intraTx(fmt.Sprintf("rep-%d", i), i%2, i, 1)); err != nil {
+			t.Fatalf("submit with crashed replica: %v", err)
+		}
+	}
+	if err := s.RecoverShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyCrossShardAtomicity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// durableStore shapes a per-test WAL directory.
+func durableStore(t *testing.T) *store.Config {
+	t.Helper()
+	return &store.Config{Dir: t.TempDir(), SnapshotEvery: 8}
+}

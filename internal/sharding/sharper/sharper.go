@@ -1,202 +1,51 @@
-// Package sharper implements SharPer's decentralized sharding (Amiri et
-// al., SIGMOD'21) as presented in §2.3.4: each fault-tolerant cluster
-// maintains one shard of the ledger, and cross-shard transactions are
-// ordered by a *flattened* consensus among only the involved clusters —
-// no reference committee, fewer phases than coordinator-based 2PC, and
-// cross-shard transactions over non-overlapping cluster sets proceed in
-// parallel.
-//
-// The flattened instance is modeled at cluster granularity: the involved
-// clusters each run one consensus round on the transaction concurrently
-// (the joint PBFT instance of the paper), acquire 2PL locks, and commit
-// if every cluster locked successfully — k parallel rounds versus AHL's
-// 2k+2 serial-parallel mix.
+// Package sharper implements the flattened cross-shard consensus of
+// SharPer (Amiri et al., SIGMOD 2021) as a shardcore strategy (§2.3.4):
+// there is no dedicated coordinator and no coordinator rounds at all —
+// a cross-shard transaction is decided by the involved shards
+// themselves. In shardcore terms the decision is implied: a
+// transaction commits if and only if every participant durably orders
+// its PREPARE record through its own consensus, and in-doubt recovery
+// applies exactly that rule. Uninvolved shards never see the
+// transaction, which is SharPer's scalability argument over
+// reference-committee designs.
 package sharper
 
 import (
-	"errors"
-	"fmt"
-	"sync"
 	"time"
 
-	"permchain/internal/sharding/ahl"
-	"permchain/internal/sharding/cluster"
+	"permchain/internal/sharding/shardcore"
 	"permchain/internal/types"
 )
 
-// System is a SharPer deployment.
-type System struct {
-	shards  []*cluster.Cluster
-	timeout time.Duration
-
-	mu      sync.Mutex
-	heights map[types.ShardID]uint64
-	aborted int
-	delay   func(a, b types.ShardID) time.Duration
+// Strategy is the flattened protocol. The zero value is ready to use.
+type Strategy struct {
+	// DelayFn models WAN latency between two shards; nil means
+	// co-located.
+	DelayFn func(a, b types.ShardID) time.Duration
 }
 
-// Options configures the deployment.
-type Options struct {
-	Shards      int
-	ClusterSize int // default 4 (3f+1, f=1): deterministic safety, no trusted hardware
-	Timeout     time.Duration
-	DisableSig  bool
-	// InterClusterDelay models WAN latency between clusters. The flattened
-	// instance pays one round trip between the initiating cluster and each
-	// other involved cluster — fewer crossings than 2PC, but sensitive to
-	// the distance between the involved clusters (§2.3.4).
-	InterClusterDelay func(a, b types.ShardID) time.Duration
+// New returns the flattened strategy.
+func New() Strategy { return Strategy{} }
+
+// Name identifies the strategy.
+func (Strategy) Name() string { return "sharper" }
+
+// Replicated reports partitioned operation.
+func (Strategy) Replicated() bool { return false }
+
+// NeedsReference reports that no reference committee exists.
+func (Strategy) NeedsReference() bool { return false }
+
+// Coordinator returns the flattened shape: the lowest involved shard
+// initiates, but no coordinator rounds are ordered anywhere.
+func (Strategy) Coordinator(parts []types.ShardID, shards int) shardcore.Coord {
+	return shardcore.Coord{Shard: parts[0], Flattened: true}
 }
 
-// New creates a SharPer system over the allocator's network.
-func New(alloc *cluster.Allocator, opts Options) *System {
-	if opts.ClusterSize <= 0 {
-		opts.ClusterSize = 4
+// Delay returns the configured inter-shard latency.
+func (s Strategy) Delay(a, b types.ShardID) time.Duration {
+	if s.DelayFn == nil {
+		return 0
 	}
-	if opts.Timeout == 0 {
-		opts.Timeout = 10 * time.Second
-	}
-	s := &System{heights: map[types.ShardID]uint64{}, timeout: opts.Timeout, delay: opts.InterClusterDelay}
-	for i := 0; i < opts.Shards; i++ {
-		s.shards = append(s.shards, alloc.NewCluster(types.ShardID(i),
-			cluster.Options{Size: opts.ClusterSize, DisableSig: opts.DisableSig}))
-	}
-	return s
-}
-
-// Stop shuts the system down.
-func (s *System) Stop() {
-	for _, c := range s.shards {
-		c.Stop()
-	}
-}
-
-// Shards returns the shard clusters.
-func (s *System) Shards() []*cluster.Cluster { return s.shards }
-
-// Aborted returns the number of lock-conflict aborts.
-func (s *System) Aborted() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.aborted
-}
-
-// hop sleeps for one inter-cluster message crossing.
-func (s *System) hop(a, b types.ShardID) {
-	if s.delay == nil || a == b {
-		return
-	}
-	if d := s.delay(a, b); d > 0 {
-		time.Sleep(d)
-	}
-}
-
-// System errors.
-var (
-	ErrAborted  = errors.New("sharper: cross-shard transaction aborted (lock conflict)")
-	ErrBadShard = errors.New("sharper: transaction names an unknown shard")
-)
-
-func (s *System) nextVersion(id types.ShardID) types.Version {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.heights[id]++
-	return types.Version{Block: s.heights[id]}
-}
-
-// SubmitIntra orders and executes an intra-shard transaction on its home
-// cluster.
-func (s *System) SubmitIntra(tx *types.Transaction) error {
-	if len(tx.Shards) != 1 {
-		return fmt.Errorf("sharper: intra-shard transaction must name one shard, got %v", tx.Shards)
-	}
-	home := tx.Shards[0]
-	if int(home) >= len(s.shards) {
-		return ErrBadShard
-	}
-	c := s.shards[home]
-	if _, err := c.OrderSync(tx, tx.Hash(), s.timeout); err != nil {
-		return err
-	}
-	res := c.Store().Execute(s.nextVersion(home), tx.Ops)
-	return res.Err
-}
-
-// SubmitCross runs the flattened cross-shard consensus: every involved
-// cluster orders the transaction concurrently (one joint instance),
-// locks, and applies if all locked. No extra coordinator is involved.
-func (s *System) SubmitCross(tx *types.Transaction) error {
-	for _, sh := range tx.Shards {
-		if int(sh) >= len(s.shards) {
-			return ErrBadShard
-		}
-	}
-	type res struct {
-		shard  types.ShardID
-		locked bool
-		err    error
-	}
-	// The lowest involved shard initiates the joint instance.
-	coord := tx.Shards[0]
-	for _, sh := range tx.Shards {
-		if sh < coord {
-			coord = sh
-		}
-	}
-	results := make(chan res, len(tx.Shards))
-	for _, sh := range tx.Shards {
-		go func(sh types.ShardID) {
-			s.hop(coord, sh) // initiator → involved cluster
-			c := s.shards[sh]
-			if _, err := c.OrderSync(tx, types.HashConcat([]byte("flat/"+sh.String()), []byte(tx.ID)), s.timeout); err != nil {
-				results <- res{shard: sh, err: err}
-				return
-			}
-			err := c.TryLock(tx.ID, ahl.KeysForShard(tx, sh))
-			s.hop(sh, coord) // involved cluster → initiator
-			results <- res{shard: sh, locked: err == nil}
-		}(sh)
-	}
-	allLocked := true
-	var firstErr error
-	for range tx.Shards {
-		r := <-results
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-		if !r.locked {
-			allLocked = false
-		}
-	}
-	defer func() {
-		for _, sh := range tx.Shards {
-			s.shards[sh].Unlock(tx.ID)
-		}
-	}()
-	if firstErr != nil {
-		return firstErr
-	}
-	if !allLocked {
-		s.mu.Lock()
-		s.aborted++
-		s.mu.Unlock()
-		return ErrAborted
-	}
-	// Decision reached by the joint instance: apply each shard's slice.
-	for _, sh := range tx.Shards {
-		c := s.shards[sh]
-		if res := c.Store().Execute(s.nextVersion(sh), ahl.OpsForShard(tx, sh)); res.Err != nil {
-			return res.Err
-		}
-	}
-	return nil
-}
-
-// TotalStorage sums live keys across shards.
-func (s *System) TotalStorage() int {
-	total := 0
-	for _, c := range s.shards {
-		total += c.Store().Len()
-	}
-	return total
+	return s.DelayFn(a, b)
 }

@@ -1,140 +1,27 @@
-package sharper
+package sharper_test
 
 import (
-	"errors"
-	"fmt"
-	"sync"
 	"testing"
-	"time"
 
-	"permchain/internal/network"
-	"permchain/internal/sharding/cluster"
+	"permchain/internal/core"
+	"permchain/internal/sharding/shardcore"
+	"permchain/internal/sharding/shardtest"
+	"permchain/internal/sharding/sharper"
 	"permchain/internal/types"
-	"permchain/internal/workload"
 )
 
-func newSystem(t *testing.T, shards int) *System {
-	t.Helper()
-	alloc := cluster.NewAllocator(network.New())
-	s := New(alloc, Options{Shards: shards, Timeout: 15 * time.Second})
-	t.Cleanup(s.Stop)
-	return s
+func TestConformance(t *testing.T) {
+	shardtest.RunConformance(t, "sharper", func(core.ShardingConfig) shardcore.CrossShardProtocol {
+		return sharper.New()
+	})
 }
 
-func intraTx(id string, shard types.ShardID, key int, d int64) *types.Transaction {
-	return &types.Transaction{
-		ID: id, Kind: types.TxInternal, Shards: []types.ShardID{shard},
-		Ops: []types.Op{{Code: types.OpAdd, Key: workload.ShardKey(shard, key), Delta: d}},
+func TestCoordinatorIsFlattened(t *testing.T) {
+	c := sharper.New().Coordinator([]types.ShardID{1, 3}, 4)
+	if !c.Flattened || c.Reference {
+		t.Fatalf("sharper coordinator = %+v, want flattened", c)
 	}
-}
-
-func crossTx(id string, a, b types.ShardID, key int) *types.Transaction {
-	return &types.Transaction{
-		ID: id, Kind: types.TxCross, Shards: []types.ShardID{a, b},
-		Ops: []types.Op{
-			{Code: types.OpAdd, Key: workload.ShardKey(a, key), Delta: -1},
-			{Code: types.OpAdd, Key: workload.ShardKey(b, key), Delta: 1},
-		},
-	}
-}
-
-func TestIntraAndCross(t *testing.T) {
-	s := newSystem(t, 3)
-	if err := s.SubmitIntra(intraTx("t1", 1, 0, 3)); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.SubmitCross(crossTx("x1", 0, 2, 5)); err != nil {
-		t.Fatal(err)
-	}
-	if got := s.Shards()[1].Store().GetInt(workload.ShardKey(1, 0)); got != 3 {
-		t.Fatalf("intra value %d", got)
-	}
-	if got := s.Shards()[0].Store().GetInt(workload.ShardKey(0, 5)); got != -1 {
-		t.Fatalf("cross value a %d", got)
-	}
-	if got := s.Shards()[2].Store().GetInt(workload.ShardKey(2, 5)); got != 1 {
-		t.Fatalf("cross value b %d", got)
-	}
-	for i, c := range s.Shards() {
-		if c.LockCount() != 0 {
-			t.Fatalf("shard %d leaked locks", i)
-		}
-	}
-}
-
-func TestNoReferenceCommittee(t *testing.T) {
-	// SharPer's defining structural property: exactly Shards clusters, no
-	// extra coordinator cluster.
-	alloc := cluster.NewAllocator(network.New())
-	s := New(alloc, Options{Shards: 3})
-	defer s.Stop()
-	if len(s.Shards()) != 3 {
-		t.Fatalf("clusters = %d, want 3 (no reference committee)", len(s.Shards()))
-	}
-}
-
-func TestParallelNonOverlappingCross(t *testing.T) {
-	s := newSystem(t, 4)
-	var wg sync.WaitGroup
-	errs := make([]error, 6)
-	// Pairs (0,1), (2,3) never overlap; pairs cycle.
-	pairs := [][2]types.ShardID{{0, 1}, {2, 3}, {0, 1}, {2, 3}, {0, 1}, {2, 3}}
-	for i, p := range pairs {
-		wg.Add(1)
-		go func(i int, a, b types.ShardID) {
-			defer wg.Done()
-			errs[i] = s.SubmitCross(crossTx(fmt.Sprintf("x%d", i), a, b, 10+i))
-		}(i, p[0], p[1])
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			t.Fatalf("tx %d: %v", i, err)
-		}
-	}
-}
-
-func TestLockConflictAborts(t *testing.T) {
-	s := newSystem(t, 2)
-	if err := s.Shards()[1].TryLock("intruder", []string{workload.ShardKey(1, 5)}); err != nil {
-		t.Fatal(err)
-	}
-	err := s.SubmitCross(crossTx("x", 0, 1, 5))
-	if !errors.Is(err, ErrAborted) {
-		t.Fatalf("err = %v", err)
-	}
-	if s.Aborted() != 1 {
-		t.Fatalf("aborted %d", s.Aborted())
-	}
-	// Shard 0's lock from the aborted attempt must be released.
-	if s.Shards()[0].LockCount() != 0 {
-		t.Fatal("aborted tx leaked locks")
-	}
-	s.Shards()[1].Unlock("intruder")
-	if err := s.SubmitCross(crossTx("x2", 0, 1, 5)); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestBadShard(t *testing.T) {
-	s := newSystem(t, 2)
-	if err := s.SubmitCross(crossTx("x", 0, 5, 1)); !errors.Is(err, ErrBadShard) {
-		t.Fatalf("err = %v", err)
-	}
-	if err := s.SubmitIntra(intraTx("t", 5, 0, 1)); !errors.Is(err, ErrBadShard) {
-		t.Fatalf("err = %v", err)
-	}
-}
-
-func TestStorageIsPartitioned(t *testing.T) {
-	s := newSystem(t, 2)
-	for i := 0; i < 6; i++ {
-		if err := s.SubmitIntra(intraTx(fmt.Sprintf("t%d", i), types.ShardID(i%2), i, 1)); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// 6 keys total across 2 shards: partitioned, not replicated.
-	if s.TotalStorage() != 6 {
-		t.Fatalf("total storage %d, want 6", s.TotalStorage())
+	if c.Shard != 1 {
+		t.Fatalf("initiator = %d, want lowest participant 1", c.Shard)
 	}
 }

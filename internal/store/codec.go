@@ -22,10 +22,10 @@ var errShort = fmt.Errorf("%w: record truncated", ErrCorrupt)
 
 type encoder struct{ buf []byte }
 
-func (e *encoder) u8(v byte)     { e.buf = append(e.buf, v) }
-func (e *encoder) u32(v uint32)  { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
-func (e *encoder) u64(v uint64)  { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
-func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) u8(v byte)         { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32)      { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64)      { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)       { e.u64(uint64(v)) }
 func (e *encoder) hash(h types.Hash) { e.buf = append(e.buf, h[:]...) }
 func (e *encoder) bytes(b []byte) {
 	e.u32(uint32(len(b)))

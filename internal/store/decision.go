@@ -1,0 +1,170 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+
+	"permchain/internal/types"
+)
+
+// Cross-shard 2PC decision records. Each phase transition of a
+// cross-shard transaction is made durable by ordering a marker
+// transaction through the participant shard's own consensus; the marker
+// carries one of these records, encoded with the store codec, in an
+// OpGet operation's Value (a read op, so the record rides in the block
+// WAL without touching world state). Recovery rebuilds the 2PC state
+// machine for every in-doubt transaction by scanning recovered blocks
+// for these frames.
+
+// DecisionPhase is a 2PC state-machine transition.
+type DecisionPhase uint8
+
+// The record kinds, in protocol order.
+const (
+	// PhaseBegin is the coordinator's admission record: it fixes the
+	// transaction's global cross-shard order (coordinator-based protocols
+	// only; flattened protocols have no coordinator rounds).
+	PhaseBegin DecisionPhase = iota + 1
+	// PhasePrepare is a participant's durable vote: its locks are held and
+	// its slice of the transaction (carried in Ops) can be applied.
+	PhasePrepare
+	// PhaseDecide is the coordinator's durable global verdict.
+	PhaseDecide
+	// PhaseCommit is a participant's durable outcome: the same marker
+	// transaction also carries the shard's data operations, so the
+	// outcome and its effects are one atomic WAL record.
+	PhaseCommit
+	// PhaseAbort is a participant's durable negative outcome.
+	PhaseAbort
+)
+
+// String names the phase.
+func (p DecisionPhase) String() string {
+	switch p {
+	case PhaseBegin:
+		return "begin"
+	case PhasePrepare:
+		return "prepare"
+	case PhaseDecide:
+		return "decide"
+	case PhaseCommit:
+		return "commit"
+	case PhaseAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("DecisionPhase(%d)", uint8(p))
+	}
+}
+
+// DecisionMarkerPrefix prefixes the key of every marker operation, so
+// scans can recognize 2PC frames without decoding every op. The reserved
+// "!" leader keeps the namespace disjoint from client keys.
+const DecisionMarkerPrefix = "!2pc/"
+
+// DecisionRecord is one durable 2PC frame.
+type DecisionRecord struct {
+	// TxID is the client transaction this record belongs to.
+	TxID string
+	// Phase is the state-machine transition being made durable.
+	Phase DecisionPhase
+	// Shard is the recording shard; the coordinator/reference chain
+	// records with Shard = -1.
+	Shard types.ShardID
+	// Participants is the full participant set, so any single shard's
+	// record is enough to audit the all-or-nothing invariant.
+	Participants []types.ShardID
+	// Commit is the verdict on PhaseDecide records.
+	Commit bool
+	// Ops is this shard's slice of the transaction's operations. Carried
+	// on PhasePrepare so recovery can still apply a commit decision whose
+	// outcome marker never landed.
+	Ops []types.Op
+}
+
+// decisionVersion versions the frame layout independently of the block
+// codec.
+const decisionVersion = 1
+
+// EncodeDecision serializes a decision record deterministically.
+func EncodeDecision(r *DecisionRecord) []byte {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.u8(decisionVersion)
+	e.str(r.TxID)
+	e.u8(byte(r.Phase))
+	e.i64(int64(r.Shard))
+	e.u32(uint32(len(r.Participants)))
+	for _, s := range r.Participants {
+		e.i64(int64(s))
+	}
+	if r.Commit {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u32(uint32(len(r.Ops)))
+	for _, op := range r.Ops {
+		e.u8(byte(op.Code))
+		e.str(op.Key)
+		e.str(op.Key2)
+		e.bytes(op.Value)
+		e.i64(op.Delta)
+	}
+	return e.buf
+}
+
+// DecodeDecision parses an EncodeDecision frame.
+func DecodeDecision(rec []byte) (*DecisionRecord, error) {
+	d := &decoder{buf: rec}
+	if v := d.u8(); d.err == nil && v != decisionVersion {
+		return nil, fmt.Errorf("%w: decision frame version %d, want %d", ErrCorrupt, v, decisionVersion)
+	}
+	r := &DecisionRecord{}
+	r.TxID = d.str()
+	r.Phase = DecisionPhase(d.u8())
+	r.Shard = types.ShardID(d.i64())
+	n := d.count(8)
+	for i := 0; i < n && d.err == nil; i++ {
+		r.Participants = append(r.Participants, types.ShardID(d.i64()))
+	}
+	r.Commit = d.u8() == 1
+	n = d.count(8)
+	for i := 0; i < n && d.err == nil; i++ {
+		var op types.Op
+		op.Code = types.OpCode(d.u8())
+		op.Key = d.str()
+		op.Key2 = d.str()
+		op.Value = d.bytes()
+		op.Delta = d.i64()
+		r.Ops = append(r.Ops, op)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(rec) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after decision record", ErrCorrupt, len(rec)-d.off)
+	}
+	return r, nil
+}
+
+// DecisionFromTx extracts the 2PC record carried by a marker operation in
+// tx, if any. Marker operations are OpGet reads on a DecisionMarkerPrefix
+// key whose Value holds the encoded frame.
+func DecisionFromTx(tx *types.Transaction) (*DecisionRecord, error) {
+	for _, op := range tx.Ops {
+		if op.Code == types.OpGet && strings.HasPrefix(op.Key, DecisionMarkerPrefix) && len(op.Value) > 0 {
+			return DecodeDecision(op.Value)
+		}
+	}
+	return nil, nil
+}
+
+// DecisionMarkerOp builds the marker operation embedding rec. As an OpGet
+// it is a state no-op when the block executes, but the frame is part of
+// the block's durable record and Merkle root.
+func DecisionMarkerOp(rec *DecisionRecord) types.Op {
+	return types.Op{
+		Code:  types.OpGet,
+		Key:   DecisionMarkerPrefix + rec.TxID,
+		Value: EncodeDecision(rec),
+	}
+}

@@ -43,6 +43,8 @@ import (
 	"permchain/internal/mempool"
 	"permchain/internal/obs"
 	"permchain/internal/ops"
+	"permchain/internal/sharding"
+	"permchain/internal/sharding/shardcore"
 	"permchain/internal/store"
 	"permchain/internal/types"
 )
@@ -97,6 +99,61 @@ type (
 	// WritePrometheus methods render it for export.
 	MetricsSnapshot = obs.Snapshot
 )
+
+// Sharded deployments (§2.3.4), re-exported. A ShardedChain is built
+// from the same Config as a single chain, with the shard topology nested
+// under Config.Sharding:
+//
+//	sc, err := permchain.NewShardedChain(permchain.Config{
+//		Nodes: 4,
+//		Sharding: &permchain.ShardingConfig{Shards: 4, Protocol: "sharper"},
+//	})
+//	sc.Start()
+//	defer sc.Stop()
+//	r, err := sc.SubmitAsync(permchain.NewTransaction("xfer-1",
+//		permchain.Add("s0/key1", -10), permchain.Add("s1/key1", 10)))
+//	<-r.Done() // settles when every participant shard durably committed
+type (
+	// ShardedChain is a deployment of N shards, each a full Chain with
+	// its own ledger, consensus committee, mempool and durable store. A
+	// deterministic placement maps keys to shards; transactions spanning
+	// shards run durable two-phase commit whose prepare/commit decisions
+	// are ordered through each participant shard's own consensus.
+	ShardedChain = shardcore.Chain
+	// ShardingConfig nests the shard topology inside Config — assigning
+	// one to Config.Sharding selects the sharded deployment shape.
+	ShardingConfig = core.ShardingConfig
+	// ShardReceipt tracks a transaction submitted to a ShardedChain. It
+	// settles committed only when every participant shard has durably
+	// committed its slice (with per-shard heights), aborted when any
+	// participant aborts.
+	ShardReceipt = shardcore.Receipt
+	// ShardStatus is a ShardReceipt's settlement state.
+	ShardStatus = shardcore.Status
+	// CrossShardProtocol is the strategy interface behind
+	// ShardingConfig.Protocol; ShardProtocols lists the built-ins.
+	CrossShardProtocol = shardcore.CrossShardProtocol
+)
+
+// ErrCrossAborted is returned by ShardReceipt.Wait when a cross-shard
+// transaction aborted (lock conflict or coordinator decision) — no shard
+// applied its effects.
+var ErrCrossAborted = shardcore.ErrCrossAborted
+
+// ShardProtocols lists the registered cross-shard strategy names
+// accepted by ShardingConfig.Protocol.
+func ShardProtocols() []string { return sharding.Protocols() }
+
+// NewShardedChain assembles a sharded deployment from the config, which
+// must carry a non-nil Sharding block. Call Start before submitting and
+// Stop when done.
+func NewShardedChain(cfg Config) (*ShardedChain, error) { return sharding.NewChain(cfg) }
+
+// OpenShardedChain recovers a sharded deployment from the durable stores
+// under cfg.Store.Dir (one subdirectory per shard), replaying each
+// shard's WAL and resolving in-doubt cross-shard transactions from their
+// durable decision records.
+func OpenShardedChain(cfg Config) (*ShardedChain, error) { return sharding.OpenChain(cfg) }
 
 // Ops plane, re-exported: the live HTTP view of a running chain and the
 // health model behind its /healthz and /readyz endpoints.

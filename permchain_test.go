@@ -22,14 +22,14 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	chain.Flush()
-	if !chain.AwaitTxs(1, 10*time.Second) {
+	if !chain.Await(AwaitSpec{Nodes: []int{0}, Txs: 1, Timeout: 10 * time.Second}) {
 		t.Fatal("funding stalled")
 	}
 	if err := chain.Submit(NewTransaction("pay", Transfer("alice", "bob", 30))); err != nil {
 		t.Fatal(err)
 	}
 	chain.Flush()
-	if !chain.AwaitAllNodesTxs(2, 10*time.Second) {
+	if !chain.Await(AwaitSpec{Txs: 2, Timeout: 10 * time.Second}) {
 		t.Fatal("payment stalled")
 	}
 	if err := chain.VerifyReplication(); err != nil {
@@ -121,7 +121,7 @@ func TestFacadeAllArchConstants(t *testing.T) {
 			t.Fatal(err)
 		}
 		chain.Flush()
-		if !chain.AwaitTxs(1, 10*time.Second) {
+		if !chain.Await(AwaitSpec{Nodes: []int{0}, Txs: 1, Timeout: 10 * time.Second}) {
 			t.Fatalf("%v stalled", a)
 		}
 		chain.Stop()
