@@ -124,3 +124,10 @@ func BenchmarkE15_QuorumScaling(b *testing.B) {
 func BenchmarkE16_HorizontalScaling(b *testing.B) {
 	runExperiment(b, func() (*bench.Table, error) { return bench.E16HorizontalScaling(true) })
 }
+
+// BenchmarkE17_WireCodec regenerates the zero-copy codec profile: frame
+// cost and allocs/op per payload, serialized bytes/msg per protocol,
+// executor allocation drop, and struct-vs-wire transport throughput.
+func BenchmarkE17_WireCodec(b *testing.B) {
+	runExperiment(b, func() (*bench.Table, error) { return bench.E17WireCodec(true) })
+}

@@ -1,4 +1,4 @@
-// Command permbench runs the paper-reproduction experiments (E1–E16 in
+// Command permbench runs the paper-reproduction experiments (E1–E17 in
 // DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -16,6 +16,7 @@
 //	                               # while the experiments run
 //	permbench -cpuprofile cpu.pprof  # profile the run (go tool pprof cpu.pprof)
 //	permbench -memprofile mem.pprof  # heap profile at exit
+//	permbench -allocprofile mem.pprof # same as -memprofile (allocation sites)
 package main
 
 import (
@@ -76,7 +77,15 @@ func run() int {
 	opsAddr := flag.String("ops-addr", "", "serve the ops plane (pprof, live metrics, health) on this address while experiments run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
+	allocprofile := flag.String("allocprofile", "", "alias for -memprofile: write a heap profile (allocation sites) to this file")
 	flag.Parse()
+	if *allocprofile != "" {
+		if *memprofile != "" && *memprofile != *allocprofile {
+			fmt.Fprintln(os.Stderr, "-allocprofile and -memprofile name different files; pick one")
+			return 2
+		}
+		*memprofile = *allocprofile
+	}
 	if *metrics != "" && *metrics != "json" && *metrics != "prom" {
 		fmt.Fprintf(os.Stderr, "-metrics must be json or prom, got %q\n", *metrics)
 		return 2
@@ -174,6 +183,7 @@ func run() int {
 		{"E14", func() (*bench.Table, error) { return bench.E14Overload(*quick) }},
 		{"E15", func() (*bench.Table, error) { return bench.E15QuorumScaling(*quick) }},
 		{"E16", func() (*bench.Table, error) { return bench.E16HorizontalScaling(*quick) }},
+		{"E17", func() (*bench.Table, error) { return bench.E17WireCodec(*quick) }},
 	}
 
 	failed := false

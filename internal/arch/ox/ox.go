@@ -16,13 +16,17 @@ import (
 	"permchain/internal/types"
 )
 
-// Engine executes ordered blocks sequentially.
+// Engine executes ordered blocks sequentially. ExecuteBlock is not safe
+// for concurrent use — OX is sequential by definition, and the engine
+// keeps one reusable execution scratch instead of allocating read/write
+// maps per transaction.
 type Engine struct {
 	store *statedb.Store
 	// workFactor models per-operation smart-contract cost (SHA-256
 	// compressions per op).
 	workFactor int
 	obs        *obs.Obs
+	scratch    statedb.ExecScratch
 }
 
 // SetObs attaches per-stage timing instrumentation (nil detaches).
@@ -54,8 +58,8 @@ func (e *Engine) ExecuteBlockStatus(b *types.Block) (arch.Stats, []arch.TxStatus
 		for range tx.Ops {
 			arch.SimulateWork(e.workFactor)
 		}
-		res := e.store.Execute(types.Version{Block: b.Header.Height, Tx: i}, tx.Ops)
-		if res.Err != nil {
+		_, _, err := e.store.ExecuteList(types.Version{Block: b.Header.Height, Tx: i}, tx.Ops, &e.scratch)
+		if err != nil {
 			st.Failed++
 			statuses[i] = arch.TxFailed
 			continue

@@ -114,6 +114,8 @@ func (e *Engine) ExecuteWithGraphStatus(b *types.Block, g *arch.DependencyGraph)
 		go func(w int) {
 			defer wg.Done()
 			st := &perWorker[w]
+			sc := statedb.GetScratch()
+			defer statedb.PutScratch(sc)
 			for {
 				select {
 				case i := <-ready:
@@ -121,8 +123,8 @@ func (e *Engine) ExecuteWithGraphStatus(b *types.Block, g *arch.DependencyGraph)
 					for range tx.Ops {
 						arch.SimulateWork(e.workFactor)
 					}
-					res := e.store.Execute(types.Version{Block: b.Header.Height, Tx: i}, tx.Ops)
-					if res.Err != nil {
+					_, _, err := e.store.ExecuteList(types.Version{Block: b.Header.Height, Tx: i}, tx.Ops, sc)
+					if err != nil {
 						st.Failed++
 						statuses[i] = arch.TxFailed
 					} else {

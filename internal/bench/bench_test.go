@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -282,6 +283,36 @@ func TestE15Quick(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no 64-replica aggregated hotstuff arm\n%s", tbl)
+	}
+	t.Log("\n" + tbl.String())
+}
+
+// TestE17Quick is the tier-1 gate on the wire codec and allocation-free
+// hot path. E17WireCodec itself errors when any hard gate fails: a
+// steady-state encode (tx, partial, cert) or decode-into (partial,
+// cert) that allocates, a codec drop or stall in any protocol's
+// wire-mode cluster, a list-path executor that does not at least halve
+// allocs/tx vs the map path, or a wire-transport arm that loses more
+// than noise vs struct-pointer transport.
+func TestE17Quick(t *testing.T) {
+	tbl, err := E17WireCodec(true)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	// 3 frame rows + 6 bytes/msg rows + 1 executor row + 2 pipeline rows.
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d\n%s", len(tbl.Rows), tbl)
+	}
+	var drop float64
+	for _, row := range tbl.Rows {
+		if row[0] == "executor" {
+			if _, err := fmt.Sscanf(row[3], "%fx drop", &drop); err != nil {
+				t.Fatalf("executor row %v: %v", row, err)
+			}
+		}
+	}
+	if drop < 2 {
+		t.Fatalf("executor allocs drop %.1fx, want ≥2x\n%s", drop, tbl)
 	}
 	t.Log("\n" + tbl.String())
 }

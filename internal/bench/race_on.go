@@ -6,5 +6,10 @@ package bench
 // instrumentation costs roughly an order of magnitude of CPU, which can
 // turn latency-bound sweeps (E16) compute-bound on small machines;
 // experiments scale their modeled latencies up so the measured regime
-// survives instrumentation.
+// survives instrumentation. Timing-comparison gates (E12) soften from
+// "strictly faster" to "no collapse" for the same reason: on a small
+// box the serialized race schedule erases the overlap the pipeline
+// exists to exploit, while the mechanism counters still prove the
+// structure. Normal builds — including the CI benchmark steps — keep
+// the strict gates.
 const raceEnabled = true

@@ -1,0 +1,149 @@
+package hotstuff
+
+import (
+	"permchain/internal/quorumcert"
+	"permchain/internal/types"
+	"permchain/internal/wire"
+)
+
+// Frame codecs for every hotstuff message (wire tags 80–95). qc and
+// block never travel alone — they nest inside proposals, new-views and
+// fetch replies via the put/get helpers below.
+var (
+	requestCodec    = wire.Register[request](80, putRequest, getRequest)
+	proposalCodec   = wire.Register[proposalMsg](81, putProposal, getProposal)
+	voteCodec       = wire.Register[voteMsg](82, putVote, getVote)
+	newViewCodec    = wire.Register[newViewMsg](83, putNewView, getNewView)
+	fetchCodec      = wire.Register[fetchMsg](84, putFetch, getFetch)
+	fetchReplyCodec = wire.Register[fetchReply](85, putFetchReply, getFetchReply)
+)
+
+func init() {
+	wire.Intern(msgProposal, msgVote, msgNewView, msgRequest, msgFetch, msgFetchReply)
+}
+
+func putRequest(e *wire.Encoder, m *request) {
+	e.Hash(m.Digest)
+	e.Any(m.Value)
+}
+
+func getRequest(d *wire.Decoder, m *request) {
+	m.Digest = d.Hash()
+	m.Value = d.Any()
+}
+
+func putQC(e *wire.Encoder, q *qc) {
+	e.U64(q.View)
+	e.Hash(q.Block)
+	e.U32(uint32(len(q.Signers)))
+	for _, s := range q.Signers {
+		e.I64(int64(s))
+	}
+	e.U32(uint32(len(q.Sigs)))
+	for _, s := range q.Sigs {
+		e.Bytes(s)
+	}
+	if q.Agg == nil {
+		e.U8(0)
+	} else {
+		e.U8(1)
+		quorumcert.PutCert(e, q.Agg)
+	}
+}
+
+func getQC(d *wire.Decoder, q *qc) {
+	q.View = d.U64()
+	q.Block = d.Hash()
+	n := d.Count(8)
+	q.Signers = q.Signers[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		q.Signers = append(q.Signers, types.NodeID(d.I64()))
+	}
+	if len(q.Signers) == 0 {
+		q.Signers = nil
+	}
+	n = d.Count(4)
+	q.Sigs = q.Sigs[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		q.Sigs = append(q.Sigs, d.Bytes())
+	}
+	if len(q.Sigs) == 0 {
+		q.Sigs = nil
+	}
+	if d.U8() == 0 {
+		q.Agg = nil
+	} else {
+		if q.Agg == nil {
+			q.Agg = &quorumcert.QuorumCert{}
+		}
+		quorumcert.GetCert(d, q.Agg)
+	}
+}
+
+func putBlock(e *wire.Encoder, b *block) {
+	e.U64(b.View)
+	e.Hash(b.Parent)
+	putQC(e, &b.Justify)
+	e.U32(uint32(len(b.Reqs)))
+	for i := range b.Reqs {
+		putRequest(e, &b.Reqs[i])
+	}
+}
+
+func getBlock(d *wire.Decoder, b *block) {
+	b.View = d.U64()
+	b.Parent = d.Hash()
+	getQC(d, &b.Justify)
+	n := d.Count(32)
+	b.Reqs = b.Reqs[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var r request
+		getRequest(d, &r)
+		b.Reqs = append(b.Reqs, r)
+	}
+	if len(b.Reqs) == 0 {
+		b.Reqs = nil
+	}
+}
+
+func putProposal(e *wire.Encoder, m *proposalMsg) {
+	putBlock(e, &m.Block)
+	e.Bytes(m.Sig)
+}
+
+func getProposal(d *wire.Decoder, m *proposalMsg) {
+	getBlock(d, &m.Block)
+	m.Sig = d.AppendBytes(m.Sig)
+}
+
+func putVote(e *wire.Encoder, m *voteMsg) {
+	e.U64(m.View)
+	e.Hash(m.Block)
+	e.Bytes(m.Sig)
+	quorumcert.PutPartial(e, &m.Part)
+}
+
+func getVote(d *wire.Decoder, m *voteMsg) {
+	m.View = d.U64()
+	m.Block = d.Hash()
+	m.Sig = d.AppendBytes(m.Sig)
+	quorumcert.GetPartial(d, &m.Part)
+}
+
+func putNewView(e *wire.Encoder, m *newViewMsg) {
+	e.U64(m.View)
+	putQC(e, &m.HighQC)
+}
+
+func getNewView(d *wire.Decoder, m *newViewMsg) {
+	m.View = d.U64()
+	getQC(d, &m.HighQC)
+}
+
+func putFetch(e *wire.Encoder, m *fetchMsg) { e.Hash(m.Block) }
+
+func getFetch(d *wire.Decoder, m *fetchMsg) { m.Block = d.Hash() }
+
+func putFetchReply(e *wire.Encoder, m *fetchReply) { putBlock(e, &m.Block) }
+
+func getFetchReply(d *wire.Decoder, m *fetchReply) { getBlock(d, &m.Block) }

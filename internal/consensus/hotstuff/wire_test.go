@@ -1,0 +1,99 @@
+package hotstuff
+
+import (
+	"math/big"
+	"reflect"
+	"testing"
+
+	"permchain/internal/quorumcert"
+	"permchain/internal/types"
+	"permchain/internal/wire"
+)
+
+func sampleQC() qc {
+	return qc{
+		View:    2,
+		Block:   types.HashBytes([]byte("b")),
+		Signers: []types.NodeID{0, 1, 2},
+		Sigs:    [][]byte{[]byte("s0"), []byte("s1"), []byte("s2")},
+	}
+}
+
+// TestWireRoundTrip pushes one populated instance of every hotstuff
+// message through the generic frame dispatch.
+func TestWireRoundTrip(t *testing.T) {
+	dig := types.HashBytes([]byte("req"))
+	blk := block{
+		View:    3,
+		Parent:  types.HashBytes([]byte("parent")),
+		Justify: sampleQC(),
+		Reqs:    []request{{Digest: dig, Value: "payload"}},
+	}
+	aggQC := sampleQC()
+	aggQC.Signers, aggQC.Sigs = nil, nil
+	aggQC.Agg = &quorumcert.QuorumCert{
+		Statement: quorumcert.Statement{Domain: msgVote, View: 2, Seq: 0, Digest: aggQC.Block},
+		Bitmap:    []uint64{0b111}, R: big.NewInt(3), S: big.NewInt(4),
+	}
+	msgs := []any{
+		request{Digest: dig, Value: "payload"},
+		proposalMsg{Block: blk, Sig: []byte("p")},
+		voteMsg{View: 3, Block: blk.Parent, Sig: []byte("v"),
+			Part: quorumcert.Partial{Signer: 1, R: big.NewInt(9), S: big.NewInt(10)}},
+		newViewMsg{View: 4, HighQC: aggQC},
+		fetchMsg{Block: blk.Parent},
+		fetchReply{Block: blk},
+	}
+	for _, m := range msgs {
+		e := wire.GetEncoder()
+		if err := wire.EncodeFrame(e, m); err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := wire.DecodeFrame(e.Frame())
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %T:\ngot  %#v\nwant %#v", m, got, m)
+		}
+		wire.PutEncoder(e)
+	}
+}
+
+// TestVoteWireAllocsFree is an acceptance gate: steady-state encode and
+// decode (into a recycled value) of a hotstuff vote — including its
+// aggregate-mode signature share — must not allocate.
+func TestVoteWireAllocsFree(t *testing.T) {
+	v := voteMsg{
+		View:  9,
+		Block: types.HashBytes([]byte("blk")),
+		Sig:   []byte("sig"),
+		Part:  quorumcert.Partial{Signer: 2, R: big.NewInt(1 << 40), S: big.NewInt(1 << 41)},
+	}
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	voteCodec.EncodeFrame(e, &v) // warm the buffer
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Reset()
+		voteCodec.EncodeFrame(e, &v)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state vote encode allocates %.1f/op, want 0", allocs)
+	}
+	frame := append([]byte(nil), e.Frame()...)
+	var scratch voteMsg
+	if err := voteCodec.DecodeFrameInto(frame, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if err := voteCodec.DecodeFrameInto(frame, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state vote decode allocates %.1f/op, want 0", allocs)
+	}
+	if !reflect.DeepEqual(scratch, v) {
+		t.Fatalf("decoded vote diverged: %#v", scratch)
+	}
+}

@@ -1,0 +1,94 @@
+package ibft
+
+import (
+	"permchain/internal/wire"
+)
+
+// Frame codecs for every ibft message (wire tags 96–111).
+var (
+	requestCodec     = wire.Register[request](96, putRequest, getRequest)
+	syncReqCodec     = wire.Register[syncReq](97, putSyncReq, getSyncReq)
+	syncRepCodec     = wire.Register[syncRep](98, putSyncRep, getSyncRep)
+	prePrepareCodec  = wire.Register[prePrepare](99, putPrePrepare, getPrePrepare)
+	voteCodec        = wire.Register[vote](100, putVote, getVote)
+	roundChangeCodec = wire.Register[roundChange](101, putRoundChange, getRoundChange)
+)
+
+func init() {
+	wire.Intern(msgPrePrepare, msgPrepare, msgCommit, msgRoundChange,
+		msgRequest, msgSyncReq, msgSyncRep)
+}
+
+func putRequest(e *wire.Encoder, m *request) {
+	e.Hash(m.Digest)
+	e.Any(m.Value)
+}
+
+func getRequest(d *wire.Decoder, m *request) {
+	m.Digest = d.Hash()
+	m.Value = d.Any()
+}
+
+func putSyncReq(e *wire.Encoder, m *syncReq) { e.U64(m.Height) }
+
+func getSyncReq(d *wire.Decoder, m *syncReq) { m.Height = d.U64() }
+
+func putSyncRep(e *wire.Encoder, m *syncRep) {
+	e.U64(m.Height)
+	e.Hash(m.Digest)
+	e.Any(m.Value)
+}
+
+func getSyncRep(d *wire.Decoder, m *syncRep) {
+	m.Height = d.U64()
+	m.Digest = d.Hash()
+	m.Value = d.Any()
+}
+
+func putPrePrepare(e *wire.Encoder, m *prePrepare) {
+	e.U64(m.Height)
+	e.U64(m.Round)
+	e.Hash(m.Digest)
+	e.Any(m.Value)
+	e.Bytes(m.Sig)
+}
+
+func getPrePrepare(d *wire.Decoder, m *prePrepare) {
+	m.Height = d.U64()
+	m.Round = d.U64()
+	m.Digest = d.Hash()
+	m.Value = d.Any()
+	m.Sig = d.AppendBytes(m.Sig)
+}
+
+func putVote(e *wire.Encoder, m *vote) {
+	e.U64(m.Height)
+	e.U64(m.Round)
+	e.Hash(m.Digest)
+	e.Bytes(m.Sig)
+}
+
+func getVote(d *wire.Decoder, m *vote) {
+	m.Height = d.U64()
+	m.Round = d.U64()
+	m.Digest = d.Hash()
+	m.Sig = d.AppendBytes(m.Sig)
+}
+
+func putRoundChange(e *wire.Encoder, m *roundChange) {
+	e.U64(m.Height)
+	e.U64(m.Round)
+	e.I64(m.PreparedRound)
+	e.Hash(m.PreparedDigest)
+	e.Any(m.PreparedValue)
+	e.Bytes(m.Sig)
+}
+
+func getRoundChange(d *wire.Decoder, m *roundChange) {
+	m.Height = d.U64()
+	m.Round = d.U64()
+	m.PreparedRound = d.I64()
+	m.PreparedDigest = d.Hash()
+	m.PreparedValue = d.Any()
+	m.Sig = d.AppendBytes(m.Sig)
+}

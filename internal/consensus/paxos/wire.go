@@ -1,0 +1,132 @@
+package paxos
+
+import (
+	"sort"
+
+	"permchain/internal/wire"
+)
+
+// Frame codecs for every paxos message (wire tags 128–143). The
+// promise's accepted-value map is serialized in ascending slot order so
+// identical logical content always produces identical bytes.
+var (
+	prepareCodec   = wire.Register[prepare](128, putPrepare, getPrepare)
+	promiseCodec   = wire.Register[promise](129, putPromise, getPromise)
+	acceptCodec    = wire.Register[accept](130, putAccept, getAccept)
+	acceptedCodec  = wire.Register[accepted](131, putAccepted, getAccepted)
+	decideCodec    = wire.Register[decide](132, putDecide, getDecide)
+	heartbeatCodec = wire.Register[heartbeat](133, putHeartbeat, getHeartbeat)
+	syncReqCodec   = wire.Register[syncReq](134, putSyncReq, getSyncReq)
+	forwardCodec   = wire.Register[forward](135, putForward, getForward)
+)
+
+func init() {
+	wire.Intern(msgPrepare, msgPromise, msgAccept, msgAccepted,
+		msgDecide, msgHeartbeat, msgForward, msgSyncReq)
+}
+
+func putPrepare(e *wire.Encoder, m *prepare) { e.U64(m.Ballot) }
+
+func getPrepare(d *wire.Decoder, m *prepare) { m.Ballot = d.U64() }
+
+func putAcceptedVal(e *wire.Encoder, v *acceptedVal) {
+	e.U64(v.Ballot)
+	e.Hash(v.Digest)
+	e.Any(v.Value)
+}
+
+func getAcceptedVal(d *wire.Decoder, v *acceptedVal) {
+	v.Ballot = d.U64()
+	v.Digest = d.Hash()
+	v.Value = d.Any()
+}
+
+func putPromise(e *wire.Encoder, m *promise) {
+	e.U64(m.Ballot)
+	e.U32(uint32(len(m.Accepted)))
+	slots := make([]uint64, 0, len(m.Accepted))
+	for s := range m.Accepted {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, s := range slots {
+		v := m.Accepted[s]
+		e.U64(s)
+		putAcceptedVal(e, &v)
+	}
+}
+
+func getPromise(d *wire.Decoder, m *promise) {
+	m.Ballot = d.U64()
+	n := d.Count(8)
+	m.Accepted = nil
+	if n > 0 && d.Err() == nil {
+		m.Accepted = make(map[uint64]acceptedVal, n)
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		s := d.U64()
+		var v acceptedVal
+		getAcceptedVal(d, &v)
+		m.Accepted[s] = v
+	}
+}
+
+func putAccept(e *wire.Encoder, m *accept) {
+	e.U64(m.Ballot)
+	e.U64(m.Slot)
+	e.Hash(m.Digest)
+	e.Any(m.Value)
+}
+
+func getAccept(d *wire.Decoder, m *accept) {
+	m.Ballot = d.U64()
+	m.Slot = d.U64()
+	m.Digest = d.Hash()
+	m.Value = d.Any()
+}
+
+func putAccepted(e *wire.Encoder, m *accepted) {
+	e.U64(m.Ballot)
+	e.U64(m.Slot)
+}
+
+func getAccepted(d *wire.Decoder, m *accepted) {
+	m.Ballot = d.U64()
+	m.Slot = d.U64()
+}
+
+func putDecide(e *wire.Encoder, m *decide) {
+	e.U64(m.Slot)
+	e.Hash(m.Digest)
+	e.Any(m.Value)
+}
+
+func getDecide(d *wire.Decoder, m *decide) {
+	m.Slot = d.U64()
+	m.Digest = d.Hash()
+	m.Value = d.Any()
+}
+
+func putHeartbeat(e *wire.Encoder, m *heartbeat) {
+	e.U64(m.Ballot)
+	e.U64(m.Applied)
+}
+
+func getHeartbeat(d *wire.Decoder, m *heartbeat) {
+	m.Ballot = d.U64()
+	m.Applied = d.U64()
+}
+
+func putSyncReq(e *wire.Encoder, m *syncReq) { e.U64(m.From) }
+
+func getSyncReq(d *wire.Decoder, m *syncReq) { m.From = d.U64() }
+
+func putForward(e *wire.Encoder, m *forward) {
+	e.Hash(m.Digest)
+	e.Any(m.Value)
+}
+
+func getForward(d *wire.Decoder, m *forward) {
+	m.Digest = d.Hash()
+	m.Value = d.Any()
+}

@@ -1,0 +1,102 @@
+package raft
+
+import (
+	"permchain/internal/wire"
+)
+
+// Frame codecs for every raft message (wire tags 144–159).
+var (
+	requestVoteCodec = wire.Register[requestVote](144, putRequestVote, getRequestVote)
+	voteRespCodec    = wire.Register[voteResp](145, putVoteResp, getVoteResp)
+	appendCodec      = wire.Register[appendEntries](146, putAppendEntries, getAppendEntries)
+	appendRespCodec  = wire.Register[appendResp](147, putAppendResp, getAppendResp)
+	forwardCodec     = wire.Register[forward](148, putForward, getForward)
+)
+
+func init() {
+	wire.Intern(msgRequestVote, msgVoteResp, msgAppend, msgAppendResp, msgForward)
+}
+
+func putRequestVote(e *wire.Encoder, m *requestVote) {
+	e.U64(m.Term)
+	e.U64(m.LastLogIndex)
+	e.U64(m.LastLogTerm)
+}
+
+func getRequestVote(d *wire.Decoder, m *requestVote) {
+	m.Term = d.U64()
+	m.LastLogIndex = d.U64()
+	m.LastLogTerm = d.U64()
+}
+
+func putVoteResp(e *wire.Encoder, m *voteResp) {
+	e.U64(m.Term)
+	e.Bool(m.Granted)
+}
+
+func getVoteResp(d *wire.Decoder, m *voteResp) {
+	m.Term = d.U64()
+	m.Granted = d.Bool()
+}
+
+func putEntry(e *wire.Encoder, v *entry) {
+	e.U64(v.Term)
+	e.Hash(v.Digest)
+	e.Any(v.Value)
+}
+
+func getEntry(d *wire.Decoder, v *entry) {
+	v.Term = d.U64()
+	v.Digest = d.Hash()
+	v.Value = d.Any()
+}
+
+func putAppendEntries(e *wire.Encoder, m *appendEntries) {
+	e.U64(m.Term)
+	e.U64(m.PrevLogIndex)
+	e.U64(m.PrevLogTerm)
+	e.U32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		putEntry(e, &m.Entries[i])
+	}
+	e.U64(m.LeaderCommit)
+}
+
+func getAppendEntries(d *wire.Decoder, m *appendEntries) {
+	m.Term = d.U64()
+	m.PrevLogIndex = d.U64()
+	m.PrevLogTerm = d.U64()
+	n := d.Count(32)
+	m.Entries = m.Entries[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var v entry
+		getEntry(d, &v)
+		m.Entries = append(m.Entries, v)
+	}
+	if len(m.Entries) == 0 {
+		m.Entries = nil
+	}
+	m.LeaderCommit = d.U64()
+}
+
+func putAppendResp(e *wire.Encoder, m *appendResp) {
+	e.U64(m.Term)
+	e.Bool(m.Success)
+	e.U64(m.Match)
+}
+
+func getAppendResp(d *wire.Decoder, m *appendResp) {
+	m.Term = d.U64()
+	m.Success = d.Bool()
+	m.Match = d.U64()
+}
+
+func putForward(e *wire.Encoder, m *forward) {
+	e.Hash(m.Digest)
+	e.Any(m.Value)
+}
+
+func getForward(d *wire.Decoder, m *forward) {
+	m.Digest = d.Hash()
+	m.Value = d.Any()
+}

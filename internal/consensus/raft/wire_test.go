@@ -1,0 +1,38 @@
+package raft
+
+import (
+	"reflect"
+	"testing"
+
+	"permchain/internal/types"
+	"permchain/internal/wire"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	dig := types.HashBytes([]byte("value"))
+	msgs := []any{
+		requestVote{Term: 3, LastLogIndex: 9, LastLogTerm: 2},
+		voteResp{Term: 3, Granted: true},
+		appendEntries{Term: 3, PrevLogIndex: 8, PrevLogTerm: 2,
+			Entries:      []entry{{Term: 3, Digest: dig, Value: "payload"}},
+			LeaderCommit: 7},
+		appendEntries{Term: 3, PrevLogIndex: 8, PrevLogTerm: 2, LeaderCommit: 7}, // heartbeat
+		appendResp{Term: 3, Success: true, Match: 9},
+		appendResp{Term: 3, Success: false, Match: 4},
+		forward{Digest: dig, Value: "payload"},
+	}
+	for _, m := range msgs {
+		e := wire.GetEncoder()
+		if err := wire.EncodeFrame(e, m); err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := wire.DecodeFrame(e.Frame())
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %T:\ngot  %#v\nwant %#v", m, got, m)
+		}
+		wire.PutEncoder(e)
+	}
+}

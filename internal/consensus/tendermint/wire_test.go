@@ -1,0 +1,35 @@
+package tendermint
+
+import (
+	"reflect"
+	"testing"
+
+	"permchain/internal/types"
+	"permchain/internal/wire"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	dig := types.HashBytes([]byte("value"))
+	msgs := []any{
+		proposal{Height: 5, Round: 0, Digest: dig, Value: "payload", Sig: []byte("p")},
+		voteMsg{Height: 5, Round: 0, Digest: dig, Sig: []byte("v")},
+		voteMsg{Height: 5, Round: 1}, // nil vote: zero digest
+		request{Digest: dig, Value: "payload"},
+		syncReq{Height: 5},
+		syncRep{Height: 5, Digest: dig, Value: "payload"},
+	}
+	for _, m := range msgs {
+		e := wire.GetEncoder()
+		if err := wire.EncodeFrame(e, m); err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := wire.DecodeFrame(e.Frame())
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %T:\ngot  %#v\nwant %#v", m, got, m)
+		}
+		wire.PutEncoder(e)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"permchain/internal/statedb"
 	"permchain/internal/store"
 	"permchain/internal/types"
+	"permchain/internal/wire"
 )
 
 // Protocol selects the ordering protocol.
@@ -134,6 +135,14 @@ type Config struct {
 	BatchVotes bool
 	// Net optionally supplies a transport (latency/loss injection).
 	Net *network.Network
+	// WireCodec runs the transport in serialized mode: every consensus
+	// payload is encoded through the shared wire codec on send and
+	// decoded on delivery (network.WithWireCodec), so benchmarks charge
+	// real marshalling cost and per-message bytes are measurable. When
+	// Net is supplied, its mode must agree — a wire-codec node cannot
+	// interoperate with struct-pointer peers, and build fails fast with
+	// ErrWireModeMismatch instead of letting frames silently misdecode.
+	WireCodec bool
 	// Stakes configures Tendermint voting power (optional).
 	Stakes []int64
 	// HistoryLimit retains up to this many historical versions per key on
@@ -326,9 +335,41 @@ type Chain struct {
 	testExecGate chan struct{}
 }
 
+// ErrWireModeMismatch reports a node configured for serialized
+// (wire-codec) transport attached to a network in struct-pointer mode,
+// or vice versa. The two modes cannot interoperate — a struct-pointer
+// payload would reach a wire-mode peer undecodable — so construction
+// fails fast instead of risking silent misdecode. Test with errors.Is.
+var ErrWireModeMismatch = errors.New("core: wire-codec mode mismatch between Config.WireCodec and Config.Net")
+
 // batchMsg is what consensus orders.
 type batchMsg struct {
 	Txs []*types.Transaction
+}
+
+// batchCodec (wire tag 160) carries ordered batch proposals across a
+// wire-mode transport.
+var batchCodec = wire.Register[batchMsg](160, putBatchMsg, getBatchMsg)
+
+func putBatchMsg(e *wire.Encoder, m *batchMsg) {
+	e.U32(uint32(len(m.Txs)))
+	for _, tx := range m.Txs {
+		tx := tx
+		wire.PutTx(e, &tx)
+	}
+}
+
+func getBatchMsg(d *wire.Decoder, m *batchMsg) {
+	n := d.Count(32)
+	m.Txs = m.Txs[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var tx *types.Transaction
+		wire.GetTx(d, &tx)
+		m.Txs = append(m.Txs, tx)
+	}
+	if len(m.Txs) == 0 {
+		m.Txs = nil
+	}
 }
 
 func batchDigest(txs []*types.Transaction) types.Hash {
@@ -377,7 +418,14 @@ func build(cfg Config, resume bool) (*Chain, error) {
 		cfg.ApplyQueue = 64
 	}
 	if cfg.Net == nil {
-		cfg.Net = network.New()
+		if cfg.WireCodec {
+			cfg.Net = network.New(network.WithWireCodec())
+		} else {
+			cfg.Net = network.New()
+		}
+	} else if cfg.Net.WireEnabled() != cfg.WireCodec {
+		return nil, fmt.Errorf("%w: Config.WireCodec=%v but the supplied network's wire mode is %v",
+			ErrWireModeMismatch, cfg.WireCodec, cfg.Net.WireEnabled())
 	}
 	keys := crypto.NewKeyring(cfg.Nodes)
 	ids := make([]types.NodeID, cfg.Nodes)

@@ -21,6 +21,7 @@ import (
 
 	"permchain/internal/obs"
 	"permchain/internal/types"
+	"permchain/internal/wire"
 )
 
 // Message is one network datagram. Payload is a protocol-defined value;
@@ -30,6 +31,24 @@ type Message struct {
 	To      types.NodeID
 	Type    string
 	Payload any
+
+	// In wire-codec mode the payload travels serialized: frame holds
+	// the encoded bytes (owned by enc, a pooled encoder released when
+	// the message is delivered or dropped) and Payload is nil in
+	// flight.
+	frame []byte
+	enc   *wire.Encoder
+}
+
+// releaseFrame returns the pooled encode buffer, if any. Every path
+// that terminates a wire-mode message (drop, close, delivery) must
+// call it exactly once.
+func (m *Message) releaseFrame() {
+	if m.enc != nil {
+		wire.PutEncoder(m.enc)
+		m.enc = nil
+		m.frame = nil
+	}
 }
 
 // Endpoint is a node's attachment to the network.
@@ -37,6 +56,9 @@ type Endpoint struct {
 	id    types.NodeID
 	inbox chan Message
 	net   *Network
+	// depthMetric caches the per-endpoint inbox-depth histogram name so
+	// the delivery hot path does not format it per message.
+	depthMetric string
 }
 
 // ID returns the endpoint's node id.
@@ -86,6 +108,7 @@ const (
 	DropOverflow                   // receiver inbox full
 	DropUnknown                    // destination never joined
 	DropAdmission                  // shed by mempool admission control (via DropExternal)
+	DropCodec                      // wire-mode encode/decode failure
 	dropCauses                     // count; keep last
 )
 
@@ -104,6 +127,8 @@ func (c DropCause) String() string {
 		return "unknown-dest"
 	case DropAdmission:
 		return "admission"
+	case DropCodec:
+		return "codec"
 	}
 	return "?"
 }
@@ -115,6 +140,10 @@ type Stats struct {
 	Dropped   int64             // total losses, all causes
 	ByCause   [dropCauses]int64 // losses broken down by DropCause
 	ByType    map[string]int64
+	// WireBytesOut/In count serialized payload bytes in wire-codec mode
+	// (encoded on transmit / decoded on delivery); zero otherwise.
+	WireBytesOut int64
+	WireBytesIn  int64
 }
 
 // Network is the shared medium. Safe for concurrent use.
@@ -144,6 +173,9 @@ type Network struct {
 	// obs.ClockFunc(net.LogicalNow) turns it into a deterministic span
 	// clock for chaos and determinism tests.
 	logical atomic.Int64
+	// wireMode serializes every payload through the shared wire codec
+	// (WithWireCodec). Set only at construction, read without the lock.
+	wireMode bool
 }
 
 // Option configures a Network.
@@ -174,6 +206,21 @@ func WithSeed(seed int64) Option {
 // and per-link inbox-depth histograms.
 func WithRegistry(reg *obs.Registry) Option {
 	return func(n *Network) { n.reg = reg }
+}
+
+// WithWireCodec switches the network to serialized transport: Send
+// encodes each payload into a pooled frame through the shared wire
+// codec (internal/wire) and delivery decodes it back, so traffic pays —
+// and measures — real marshalling cost and per-message bytes
+// (Stats.WireBytesOut/In, net/wire_bytes_{in,out} counters,
+// net/{encode,decode} histograms). Every payload type crossing a
+// wire-mode network must be registered with the codec; unregistered
+// payloads and corrupt frames are dropped with cause DropCodec. The
+// mode is fixed at construction: all nodes of a cluster share one
+// Network, so there is no half-serialized cluster (core.Config.WireCodec
+// fails fast on a mismatch).
+func WithWireCodec() Option {
+	return func(n *Network) { n.wireMode = true }
 }
 
 // defaultInboxDepth is sized so slow consumers in tests don't spuriously
@@ -212,6 +259,10 @@ func New(opts ...Option) *Network {
 	return n
 }
 
+// WireEnabled reports whether the network runs in serialized
+// wire-codec mode (WithWireCodec).
+func (n *Network) WireEnabled() bool { return n.wireMode }
+
 // Join attaches a node and returns its endpoint. Joining twice returns
 // the existing endpoint.
 func (n *Network) Join(id types.NodeID) *Endpoint {
@@ -220,9 +271,20 @@ func (n *Network) Join(id types.NodeID) *Endpoint {
 	if e, ok := n.endpoints[id]; ok {
 		return e
 	}
-	e := &Endpoint{id: id, inbox: make(chan Message, n.inboxDepth), net: n}
+	e := n.newEndpoint(id)
 	n.endpoints[id] = e
 	return e
+}
+
+// newEndpoint builds an endpoint, pre-formatting its metric names so
+// the delivery path never calls fmt. Caller holds the lock.
+func (n *Network) newEndpoint(id types.NodeID) *Endpoint {
+	return &Endpoint{
+		id:          id,
+		inbox:       make(chan Message, n.inboxDepth),
+		net:         n,
+		depthMetric: fmt.Sprintf("net/inbox_depth/n%d", id),
+	}
 }
 
 // Nodes returns the ids of all attached endpoints.
@@ -344,7 +406,7 @@ func (n *Network) IsCrashed(id types.NodeID) bool {
 func (n *Network) Rejoin(id types.NodeID) *Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	e := &Endpoint{id: id, inbox: make(chan Message, n.inboxDepth), net: n}
+	e := n.newEndpoint(id)
 	n.endpoints[id] = e
 	return e
 }
@@ -457,34 +519,68 @@ func (n *Network) drop(cause DropCause) {
 func (n *Network) transmit(m Message) {
 	sentAt := time.Now()
 	n.logical.Add(1)
+
+	// Wire mode: serialize the payload outside the lock. From here on
+	// the message carries a pooled frame that every terminating path
+	// must release.
+	var encDur time.Duration
+	if n.wireMode {
+		e := wire.GetEncoder()
+		encStart := time.Now()
+		if err := wire.EncodeFrame(e, m.Payload); err != nil {
+			wire.PutEncoder(e)
+			n.mu.Lock()
+			n.stats.Sent++
+			n.stats.ByType[m.Type]++
+			n.drop(DropCodec)
+			n.mu.Unlock()
+			return
+		}
+		encDur = time.Since(encStart)
+		m.enc, m.frame = e, e.Frame()
+		m.Payload = nil
+	}
+
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
+		m.releaseFrame()
 		return
 	}
 	n.stats.Sent++
 	n.stats.ByType[m.Type]++
+	if m.enc != nil {
+		n.stats.WireBytesOut += int64(len(m.frame))
+		if n.reg != nil {
+			n.reg.Counter("net/wire_bytes_out").Add(int64(len(m.frame)))
+			n.reg.Histogram("net/encode").Observe(int64(encDur))
+		}
+	}
 	if n.reg != nil {
 		n.reg.Counter("net/sent").Inc()
 	}
 	if _, ok := n.endpoints[m.To]; !ok {
 		n.drop(DropUnknown)
 		n.mu.Unlock()
+		m.releaseFrame()
 		return
 	}
 	if n.crashed[m.From] || n.crashed[m.To] {
 		n.drop(DropCrash)
 		n.mu.Unlock()
+		m.releaseFrame()
 		return
 	}
 	if n.groups[m.From] != n.groups[m.To] {
 		n.drop(DropPartition)
 		n.mu.Unlock()
+		m.releaseFrame()
 		return
 	}
 	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
 		n.drop(DropRate)
 		n.mu.Unlock()
+		m.releaseFrame()
 		return
 	}
 	var delay time.Duration
@@ -506,6 +602,28 @@ func (n *Network) transmit(m Message) {
 // endpoint pointer.
 func (n *Network) deliver(m Message, sentAt time.Time) {
 	n.logical.Add(1)
+
+	// Wire mode: decode outside the lock and recycle the frame before
+	// the payload reaches the endpoint — decoded values never alias the
+	// pooled buffer, so this is safe. A frame that fails to decode is a
+	// transport loss (DropCodec), never a silent misdelivery.
+	var decDur time.Duration
+	var wireBytes int64
+	if m.enc != nil {
+		decStart := time.Now()
+		v, err := wire.DecodeFrame(m.frame)
+		decDur = time.Since(decStart)
+		wireBytes = int64(len(m.frame))
+		m.releaseFrame()
+		if err != nil {
+			n.mu.Lock()
+			n.drop(DropCodec)
+			n.mu.Unlock()
+			return
+		}
+		m.Payload = v
+	}
+
 	n.mu.Lock()
 	dst, ok := n.endpoints[m.To]
 	if !ok {
@@ -521,10 +639,17 @@ func (n *Network) deliver(m Message, sentAt time.Time) {
 	select {
 	case dst.inbox <- m:
 		n.stats.Delivered++
+		if wireBytes > 0 {
+			n.stats.WireBytesIn += wireBytes
+		}
 		if n.reg != nil {
 			n.reg.Counter("net/delivered").Inc()
 			n.reg.Histogram("net/delivery_latency").Observe(int64(time.Since(sentAt)))
-			n.reg.Histogram(fmt.Sprintf("net/inbox_depth/n%d", m.To)).Observe(int64(len(dst.inbox)))
+			n.reg.Histogram(dst.depthMetric).Observe(int64(len(dst.inbox)))
+			if wireBytes > 0 {
+				n.reg.Counter("net/wire_bytes_in").Add(wireBytes)
+				n.reg.Histogram("net/decode").Observe(int64(decDur))
+			}
 		}
 	default:
 		n.drop(DropOverflow)

@@ -65,6 +65,15 @@ func NewVoteBatcher(ep *Endpoint, cfg VoteBatcherConfig) *VoteBatcher {
 	return &VoteBatcher{ep: ep, cfg: cfg, queues: make(map[types.NodeID][]BatchItem)}
 }
 
+// batchSlicePool recycles batch item slices between flushes. Only a
+// wire-mode batcher may use it: serialized transport copies the items
+// into a frame synchronously inside Send, while struct-pointer
+// transport hands the live slice to the receiver, which retains it.
+var batchSlicePool = sync.Pool{New: func() any {
+	s := make([]BatchItem, 0, 32)
+	return &s
+}}
+
 // Enqueue queues one vote for to. The queue flushes immediately at MaxBatch
 // votes, or when the MaxDelay deadline (armed by the first queued vote)
 // fires. After Stop, votes pass through unbatched so nothing is lost.
@@ -75,7 +84,11 @@ func (b *VoteBatcher) Enqueue(to types.NodeID, typ string, payload any) {
 		b.ep.Send(to, typ, payload)
 		return
 	}
-	q := append(b.queues[to], BatchItem{Type: typ, Payload: payload})
+	q := b.queues[to]
+	if q == nil && b.ep.net.wireMode {
+		q = *batchSlicePool.Get().(*[]BatchItem)
+	}
+	q = append(q, BatchItem{Type: typ, Payload: payload})
 	if len(q) >= b.cfg.MaxBatch {
 		delete(b.queues, to)
 		b.mu.Unlock()
@@ -138,6 +151,13 @@ func (b *VoteBatcher) flushAll(cause string) {
 // emit sends one batch envelope and records its metrics.
 func (b *VoteBatcher) emit(to types.NodeID, items []BatchItem, cause string) {
 	b.ep.Send(to, MsgVoteBatch, VoteBatch{Items: items})
+	if b.ep.net.wireMode {
+		// Send serialized the batch synchronously; nothing downstream
+		// holds the slice, so it can back the next flush.
+		clear(items)
+		s := items[:0]
+		batchSlicePool.Put(&s)
+	}
 	o := b.cfg.Obs
 	o.Inc("votebatch/batches")
 	o.Add("votebatch/items", int64(len(items)))

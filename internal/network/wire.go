@@ -1,0 +1,33 @@
+package network
+
+import (
+	"permchain/internal/wire"
+)
+
+// voteBatchCodec (wire tag 48) carries coalesced vote envelopes. Item
+// types are protocol constants (interned by their owning packages), so
+// batch decode shares those strings instead of copying them.
+var voteBatchCodec = wire.Register[VoteBatch](48, putVoteBatch, getVoteBatch)
+
+func init() {
+	wire.Intern(MsgVoteBatch)
+}
+
+func putVoteBatch(e *wire.Encoder, vb *VoteBatch) {
+	e.U32(uint32(len(vb.Items)))
+	for i := range vb.Items {
+		e.Str(vb.Items[i].Type)
+		e.Any(vb.Items[i].Payload)
+	}
+}
+
+func getVoteBatch(d *wire.Decoder, vb *VoteBatch) {
+	n := d.Count(4)
+	vb.Items = vb.Items[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		vb.Items = append(vb.Items, BatchItem{Type: d.StrShared(), Payload: d.Any()})
+	}
+	if len(vb.Items) == 0 {
+		vb.Items = nil
+	}
+}

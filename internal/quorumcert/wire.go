@@ -1,0 +1,68 @@
+package quorumcert
+
+import (
+	"permchain/internal/types"
+	"permchain/internal/wire"
+)
+
+// Frame codecs for certificate types (wire tags 32–47). Partials and
+// certs also nest inside consensus messages (pbft partial/cert
+// broadcasts, hotstuff aggregate QCs), which call the exported
+// Put/Get helpers directly.
+var (
+	// PartialCodec (tag 32) carries one signer's Schnorr share.
+	PartialCodec = wire.Register[Partial](32, PutPartial, GetPartial)
+	// CertCodec (tag 33) carries an aggregated quorum certificate.
+	CertCodec = wire.Register[QuorumCert](33, PutCert, GetCert)
+)
+
+// PutPartial appends a signature share.
+func PutPartial(e *wire.Encoder, p *Partial) {
+	e.I64(int64(p.Signer))
+	e.BigInt(p.R)
+	e.BigInt(p.S)
+}
+
+// GetPartial reads a signature share, reusing p's big.Int storage when
+// present (the allocation-free decode path).
+func GetPartial(d *wire.Decoder, p *Partial) {
+	p.Signer = types.NodeID(d.I64())
+	p.R = d.BigInt(p.R)
+	p.S = d.BigInt(p.S)
+}
+
+// PutCert appends a full quorum certificate: statement (interned
+// domain, fixed-width scalars), signer bitmap, aggregate scalars.
+func PutCert(e *wire.Encoder, q *QuorumCert) {
+	e.Str(q.Statement.Domain)
+	e.U64(q.Statement.View)
+	e.U64(q.Statement.Seq)
+	e.Hash(q.Statement.Digest)
+	e.U32(uint32(len(q.Bitmap)))
+	for _, w := range q.Bitmap {
+		e.U64(w)
+	}
+	e.BigInt(q.R)
+	e.BigInt(q.S)
+}
+
+// GetCert reads a quorum certificate, reusing q's bitmap capacity and
+// big.Int storage. Domains decode through the intern table, so a cert
+// whose domain is a registered protocol constant decodes without
+// allocating.
+func GetCert(d *wire.Decoder, q *QuorumCert) {
+	q.Statement.Domain = d.StrShared()
+	q.Statement.View = d.U64()
+	q.Statement.Seq = d.U64()
+	q.Statement.Digest = d.Hash()
+	n := d.Count(8)
+	q.Bitmap = q.Bitmap[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		q.Bitmap = append(q.Bitmap, d.U64())
+	}
+	if len(q.Bitmap) == 0 {
+		q.Bitmap = nil
+	}
+	q.R = d.BigInt(q.R)
+	q.S = d.BigInt(q.S)
+}

@@ -1,0 +1,88 @@
+package quorumcert
+
+import (
+	"math/big"
+	"reflect"
+	"testing"
+
+	"permchain/internal/types"
+	"permchain/internal/wire"
+)
+
+func sampleCert() QuorumCert {
+	return QuorumCert{
+		Statement: Statement{Domain: "pbft/prepare", View: 3, Seq: 17, Digest: types.HashBytes([]byte("v"))},
+		Bitmap:    []uint64{0b1011},
+		R:         big.NewInt(12345),
+		S:         new(big.Int).Lsh(big.NewInt(99), 64),
+	}
+}
+
+func TestCertRoundTrip(t *testing.T) {
+	q := sampleCert()
+	e := &wire.Encoder{}
+	CertCodec.EncodeFrame(e, &q)
+	var got QuorumCert
+	if err := CertCodec.DecodeFrameInto(e.Frame(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, q) {
+		t.Fatalf("cert round trip:\ngot  %#v\nwant %#v", got, q)
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	p := Partial{Signer: 2, R: big.NewInt(7), S: big.NewInt(8)}
+	e := &wire.Encoder{}
+	PartialCodec.EncodeFrame(e, &p)
+	var got Partial
+	if err := PartialCodec.DecodeFrameInto(e.Frame(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Signer != p.Signer || got.R.Cmp(p.R) != 0 || got.S.Cmp(p.S) != 0 {
+		t.Fatalf("partial round trip: got %#v", got)
+	}
+	// Unsigned-mode partials have nil scalars.
+	p = Partial{Signer: 5}
+	e.Reset()
+	PartialCodec.EncodeFrame(e, &p)
+	got = Partial{}
+	if err := PartialCodec.DecodeFrameInto(e.Frame(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.R != nil || got.S != nil {
+		t.Fatalf("nil scalars did not survive: %#v", got)
+	}
+}
+
+// TestCertWireAllocsFree is an acceptance gate: steady-state encode and
+// decode (into a recycled cert) of a quorum-certificate frame must not
+// allocate. The statement domain must be interned (the consensus
+// packages intern their phase constants at init).
+func TestCertWireAllocsFree(t *testing.T) {
+	q := sampleCert()
+	wire.Intern(q.Statement.Domain)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	CertCodec.EncodeFrame(e, &q) // warm the buffer
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Reset()
+		CertCodec.EncodeFrame(e, &q)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cert encode allocates %.1f/op, want 0", allocs)
+	}
+	frame := append([]byte(nil), e.Frame()...)
+	var scratch QuorumCert
+	if err := CertCodec.DecodeFrameInto(frame, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if err := CertCodec.DecodeFrameInto(frame, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cert decode allocates %.1f/op, want 0", allocs)
+	}
+}

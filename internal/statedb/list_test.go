@@ -1,0 +1,285 @@
+package statedb
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"permchain/internal/types"
+)
+
+// TestAtoi64MatchesDecodeInt pins the hand-rolled parser to the exact
+// "DecodeInt, errors read as 0" semantics of the map path.
+func TestAtoi64MatchesDecodeInt(t *testing.T) {
+	cases := []string{
+		"", "0", "1", "-1", "+1", "42", "-42", "007",
+		"9223372036854775807", "9223372036854775808",
+		"-9223372036854775808", "-9223372036854775809",
+		"18446744073709551616123", "abc", "1a", "a1", "+", "-", "1.5",
+		" 1", "1 ", "--1", "+-1", "1_000",
+	}
+	for _, c := range cases {
+		want := int64(0)
+		if n, err := DecodeInt([]byte(c)); err == nil {
+			want = n
+		}
+		got, ok := atoi64([]byte(c))
+		if !ok {
+			got = 0
+		}
+		if got != want {
+			t.Errorf("atoi64(%q) = %d, DecodeInt semantics give %d", c, got, want)
+		}
+	}
+}
+
+// randOps builds a random payload over a small key pool, occasionally
+// including failing transfers, assertions, and unknown opcodes.
+func randOps(rng *rand.Rand) []types.Op {
+	keys := []string{"a", "b", "c", "d", "e"}
+	n := 1 + rng.Intn(6)
+	ops := make([]types.Op, n)
+	for i := range ops {
+		k := keys[rng.Intn(len(keys))]
+		k2 := keys[rng.Intn(len(keys))]
+		switch rng.Intn(12) {
+		case 0, 1:
+			ops[i] = types.Op{Code: types.OpGet, Key: k}
+		case 2, 3:
+			ops[i] = types.Op{Code: types.OpPut, Key: k, Value: []byte(strconv.Itoa(rng.Intn(100)))}
+		case 4:
+			// Junk value: the int ops must read it as 0 on both paths.
+			ops[i] = types.Op{Code: types.OpPut, Key: k, Value: []byte("junk")}
+		case 5, 6, 7:
+			ops[i] = types.Op{Code: types.OpAdd, Key: k, Delta: int64(rng.Intn(21) - 10)}
+		case 8, 9:
+			ops[i] = types.Op{Code: types.OpTransfer, Key: k, Key2: k2, Delta: int64(rng.Intn(30))}
+		case 10:
+			ops[i] = types.Op{Code: types.OpAssertGE, Key: k, Delta: int64(rng.Intn(30) - 5)}
+		default:
+			if rng.Intn(8) == 0 {
+				ops[i] = types.Op{Code: types.OpCode(99), Key: k}
+			} else {
+				ops[i] = types.Op{Code: types.OpAdd, Key: k, Delta: math.MaxInt64}
+			}
+		}
+	}
+	return ops
+}
+
+// TestSimulateListEquivalence is the property test pinning SimulateList
+// to Simulate: for random states and random payloads, the recorded read
+// set, write set, and error must be identical.
+func TestSimulateListEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sc := GetScratch()
+	defer PutScratch(sc)
+	for iter := 0; iter < 500; iter++ {
+		s := New(WithShards(1 << rng.Intn(4)))
+		for i, k := range []string{"a", "b", "c"} {
+			if rng.Intn(2) == 0 {
+				s.Apply(types.Version{Block: 1, Tx: i}, types.WriteSet{k: EncodeInt(int64(rng.Intn(50)))})
+			}
+		}
+		ops := randOps(rng)
+		want := Simulate(s, ops)
+		reads, writes, err := SimulateList(s, ops, sc)
+
+		if (err == nil) != (want.Err == nil) {
+			t.Fatalf("iter %d: err mismatch: list=%v map=%v ops=%v", iter, err, want.Err, ops)
+		}
+		if err != nil && err.Error() != want.Err.Error() {
+			t.Fatalf("iter %d: err text mismatch: list=%q map=%q", iter, err, want.Err)
+		}
+		if got := reads.ToSet(); !reflect.DeepEqual(map[string]types.Version(got), map[string]types.Version(want.Reads)) {
+			t.Fatalf("iter %d: reads mismatch: list=%v map=%v ops=%v", iter, got, want.Reads, ops)
+		}
+		gotW := map[string]string{}
+		for i := range writes {
+			gotW[writes[i].Key] = string(writes[i].Value)
+		}
+		wantW := map[string]string{}
+		for k, v := range want.Writes {
+			wantW[k] = string(v)
+		}
+		if !reflect.DeepEqual(gotW, wantW) {
+			t.Fatalf("iter %d: writes mismatch: list=%v map=%v ops=%v", iter, gotW, wantW, ops)
+		}
+	}
+}
+
+// TestExecuteListEquivalence commits random payloads through both paths
+// on twin stores and requires identical state hashes throughout.
+func TestExecuteListEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a, b := New(), New()
+	sc := GetScratch()
+	defer PutScratch(sc)
+	for i := 0; i < 200; i++ {
+		ops := randOps(rng)
+		ver := types.Version{Block: uint64(i + 1)}
+		resA := a.Execute(ver, ops)
+		_, _, errB := b.ExecuteList(ver, ops, sc)
+		if (resA.Err == nil) != (errB == nil) {
+			t.Fatalf("iter %d: outcome mismatch: map=%v list=%v", i, resA.Err, errB)
+		}
+		if a.StateHash() != b.StateHash() {
+			t.Fatalf("iter %d: state diverged after ops %v", i, ops)
+		}
+	}
+}
+
+// TestSimulateListReadYourWrites mirrors the map-path test: a buffered
+// write is read back without touching the store or the read set.
+func TestSimulateListReadYourWrites(t *testing.T) {
+	s := New()
+	sc := GetScratch()
+	defer PutScratch(sc)
+	reads, writes, err := SimulateList(s, []types.Op{
+		{Code: types.OpPut, Key: "k", Value: EncodeInt(5)},
+		{Code: types.OpAdd, Key: "k", Delta: 2},
+	}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := writes.Get("k"); !ok || string(v) != "7" {
+		t.Fatalf("writes = %v, want k=7", writes)
+	}
+	// The read of k was satisfied from the write buffer: not a read.
+	if len(reads) != 0 {
+		t.Fatalf("reads = %v, want empty", reads)
+	}
+}
+
+// TestSimulateListRecordsMissingAsZero checks first-read-wins recording
+// of Version{} for keys that do not exist.
+func TestSimulateListRecordsMissingAsZero(t *testing.T) {
+	s := New()
+	sc := GetScratch()
+	defer PutScratch(sc)
+	reads, _, err := SimulateList(s, []types.Op{
+		{Code: types.OpGet, Key: "ghost"},
+		{Code: types.OpGet, Key: "ghost"},
+	}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 1 {
+		t.Fatalf("reads = %v, want one entry", reads)
+	}
+	if ver, ok := reads.Get("ghost"); !ok || ver != (types.Version{}) {
+		t.Fatalf("ghost recorded as %v, want zero version", ver)
+	}
+	if !s.ValidateList(reads) {
+		t.Fatal("zero-version read of a missing key must validate")
+	}
+}
+
+// TestSimulateListFailureClearsWrites checks that a failing payload
+// keeps its reads and drops its writes, like the map path.
+func TestSimulateListFailureClearsWrites(t *testing.T) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{"alice": EncodeInt(10)})
+	sc := GetScratch()
+	defer PutScratch(sc)
+	reads, writes, err := SimulateList(s, []types.Op{
+		{Code: types.OpPut, Key: "x", Value: []byte("v")},
+		{Code: types.OpTransfer, Key: "alice", Key2: "bob", Delta: 30},
+	}, sc)
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	if len(writes) != 0 {
+		t.Fatalf("writes = %v, want empty after failure", writes)
+	}
+	if _, ok := reads.Get("alice"); !ok {
+		t.Fatalf("reads = %v, want alice recorded", reads)
+	}
+}
+
+// TestValidateListMatchesValidate pins ValidateList to Validate on
+// fresh, stale, and ghost reads.
+func TestValidateListMatchesValidate(t *testing.T) {
+	s := New()
+	v1 := types.Version{Block: 1, Tx: 0}
+	s.Apply(v1, types.WriteSet{"a": []byte("x")})
+	cases := []types.ReadSet{
+		{"a": v1},
+		{"a": {Block: 9}},
+		{"ghost": {}},
+		{"ghost": v1},
+		{"a": v1, "ghost": {}},
+	}
+	for _, rs := range cases {
+		if got, want := s.ValidateList(types.ReadListFromSet(rs)), s.Validate(rs); got != want {
+			t.Errorf("ValidateList(%v) = %v, Validate = %v", rs, got, want)
+		}
+	}
+}
+
+// TestListPathAllocsDrop is the acceptance gate for the executor
+// refactor: steady-state SimulateList with a reused scratch must
+// allocate at most half of what map-based Simulate does on the same
+// payload.
+func TestListPathAllocsDrop(t *testing.T) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{"a": EncodeInt(10), "b": EncodeInt(20)})
+	ops := []types.Op{
+		{Code: types.OpGet, Key: "a"},
+		{Code: types.OpGet, Key: "b"},
+		{Code: types.OpAdd, Key: "a", Delta: 1},
+		{Code: types.OpAdd, Key: "b", Delta: 2},
+		{Code: types.OpGet, Key: "c"},
+	}
+	mapAllocs := testing.AllocsPerRun(200, func() {
+		res := Simulate(s, ops)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	})
+	sc := GetScratch()
+	defer PutScratch(sc)
+	listAllocs := testing.AllocsPerRun(200, func() {
+		_, _, err := SimulateList(s, ops, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/op: map=%.1f list=%.1f", mapAllocs, listAllocs)
+	if listAllocs*2 > mapAllocs {
+		t.Fatalf("list path allocates %.1f/op vs map %.1f/op; want ≥2× drop", listAllocs, mapAllocs)
+	}
+}
+
+func BenchmarkSimulateMap(b *testing.B) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{"a": EncodeInt(10), "b": EncodeInt(20)})
+	ops := []types.Op{
+		{Code: types.OpGet, Key: "a"},
+		{Code: types.OpAdd, Key: "a", Delta: 1},
+		{Code: types.OpAdd, Key: "b", Delta: 2},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simulate(s, ops)
+	}
+}
+
+func BenchmarkSimulateList(b *testing.B) {
+	s := New()
+	s.Apply(types.Version{Block: 1}, types.WriteSet{"a": EncodeInt(10), "b": EncodeInt(20)})
+	ops := []types.Op{
+		{Code: types.OpGet, Key: "a"},
+		{Code: types.OpAdd, Key: "a", Delta: 1},
+		{Code: types.OpAdd, Key: "b", Delta: 2},
+	}
+	sc := GetScratch()
+	defer PutScratch(sc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SimulateList(s, ops, sc)
+	}
+}

@@ -1,188 +1,74 @@
 package store
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
 	"permchain/internal/statedb"
 	"permchain/internal/types"
+	"permchain/internal/wire"
 )
 
-// The on-disk codec: a hand-rolled, deterministic binary encoding for
-// blocks and state snapshots. Deterministic (maps are serialized in
-// sorted key order) so that identical logical content always produces
-// identical bytes — and identical CRCs. Integers are big-endian;
-// variable-length fields are length-prefixed.
+// The on-disk codec, built on the shared wire primitives
+// (internal/wire) so a block on disk and a transaction in flight spell
+// their fields identically: deterministic (maps serialize in sorted key
+// order), big-endian integers, length-prefixed variable fields.
+// Identical logical content always produces identical bytes — and
+// identical CRCs.
 
 // codecVersion is the first byte of every encoded block and snapshot.
 const codecVersion = 1
 
-var errShort = fmt.Errorf("%w: record truncated", ErrCorrupt)
-
-type encoder struct{ buf []byte }
-
-func (e *encoder) u8(v byte)         { e.buf = append(e.buf, v) }
-func (e *encoder) u32(v uint32)      { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
-func (e *encoder) u64(v uint64)      { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
-func (e *encoder) i64(v int64)       { e.u64(uint64(v)) }
-func (e *encoder) hash(h types.Hash) { e.buf = append(e.buf, h[:]...) }
-func (e *encoder) bytes(b []byte) {
-	e.u32(uint32(len(b)))
-	e.buf = append(e.buf, b...)
-}
-func (e *encoder) str(s string) { e.bytes([]byte(s)) }
-
-type decoder struct {
-	buf []byte
-	off int
-	err error
-}
-
-func (d *decoder) fail() { d.err = errShort }
-func (d *decoder) u8() byte {
-	if d.err != nil || d.off+1 > len(d.buf) {
-		d.fail()
-		return 0
+// corrupt maps wire decode failures onto the store's ErrCorrupt so
+// callers keep one error to test for regardless of which layer caught
+// the damage.
+func corrupt(err error) error {
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		return err
 	}
-	v := d.buf[d.off]
-	d.off++
-	return v
-}
-func (d *decoder) u32() uint32 {
-	if d.err != nil || d.off+4 > len(d.buf) {
-		d.fail()
-		return 0
-	}
-	v := binary.BigEndian.Uint32(d.buf[d.off:])
-	d.off += 4
-	return v
-}
-func (d *decoder) u64() uint64 {
-	if d.err != nil || d.off+8 > len(d.buf) {
-		d.fail()
-		return 0
-	}
-	v := binary.BigEndian.Uint64(d.buf[d.off:])
-	d.off += 8
-	return v
-}
-func (d *decoder) i64() int64 { return int64(d.u64()) }
-func (d *decoder) hash() types.Hash {
-	var h types.Hash
-	if d.err != nil || d.off+len(h) > len(d.buf) {
-		d.fail()
-		return h
-	}
-	copy(h[:], d.buf[d.off:])
-	d.off += len(h)
-	return h
-}
-func (d *decoder) bytes() []byte {
-	n := d.u32()
-	if d.err != nil || d.off+int(n) > len(d.buf) {
-		d.fail()
-		return nil
-	}
-	v := make([]byte, n)
-	copy(v, d.buf[d.off:])
-	d.off += int(n)
-	return v
-}
-func (d *decoder) str() string { return string(d.bytes()) }
-
-// count reads a u32 element count and sanity-bounds it against the bytes
-// remaining, so a damaged count cannot drive a giant allocation.
-func (d *decoder) count(minElemBytes int) int {
-	n := int(d.u32())
-	if d.err != nil {
-		return 0
-	}
-	if minElemBytes < 1 {
-		minElemBytes = 1
-	}
-	if n < 0 || n > (len(d.buf)-d.off)/minElemBytes+1 {
-		d.fail()
-		return 0
-	}
-	return n
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
 }
 
 // EncodeBlock serializes a block, including each transaction's declared
 // read/write sets — the XOV architecture re-validates them on replay, so
 // they are part of the durable record.
 func EncodeBlock(b *types.Block) []byte {
-	e := &encoder{buf: make([]byte, 0, 256)}
-	e.u8(codecVersion)
-	e.u64(b.Header.Height)
-	e.hash(b.Header.PrevHash)
-	e.hash(b.Header.TxRoot)
-	e.i64(int64(b.Header.Proposer))
-	e.u32(uint32(len(b.Txs)))
+	e := &wire.Encoder{}
+	e.U8(codecVersion)
+	e.U64(b.Header.Height)
+	e.Hash(b.Header.PrevHash)
+	e.Hash(b.Header.TxRoot)
+	e.I64(int64(b.Header.Proposer))
+	e.U32(uint32(len(b.Txs)))
 	for _, tx := range b.Txs {
-		encodeTx(e, tx)
+		tx := tx
+		wire.PutTx(e, &tx)
 	}
-	return e.buf
-}
-
-func encodeTx(e *encoder, tx *types.Transaction) {
-	e.str(tx.ID)
-	e.i64(int64(tx.Client))
-	e.i64(int64(tx.Enterprise))
-	e.u8(byte(tx.Kind))
-	e.u32(uint32(len(tx.Shards)))
-	for _, s := range tx.Shards {
-		e.i64(int64(s))
-	}
-	e.u32(uint32(len(tx.Ops)))
-	for _, op := range tx.Ops {
-		e.u8(byte(op.Code))
-		e.str(op.Key)
-		e.str(op.Key2)
-		e.bytes(op.Value)
-		e.i64(op.Delta)
-	}
-	e.u32(uint32(len(tx.Reads)))
-	for _, k := range tx.Reads.Keys() {
-		v := tx.Reads[k]
-		e.str(k)
-		e.u64(v.Block)
-		e.i64(int64(v.Tx))
-	}
-	e.u32(uint32(len(tx.Writes)))
-	for _, k := range tx.Writes.Keys() {
-		e.str(k)
-		e.bytes(tx.Writes[k])
-	}
-	if tx.Private {
-		e.u8(1)
-	} else {
-		e.u8(0)
-	}
+	return e.Frame()
 }
 
 // DecodeBlock parses an EncodeBlock record and re-verifies that the
 // header's Merkle root matches the decoded body — a record whose CRC
 // passes but whose content was forged upstream still fails here.
 func DecodeBlock(rec []byte) (*types.Block, error) {
-	d := &decoder{buf: rec}
-	if v := d.u8(); d.err == nil && v != codecVersion {
+	d := wire.NewDecoder(rec)
+	if v := d.U8(); d.Err() == nil && v != codecVersion {
 		return nil, fmt.Errorf("%w: block codec version %d, want %d", ErrCorrupt, v, codecVersion)
 	}
 	b := &types.Block{}
-	b.Header.Height = d.u64()
-	b.Header.PrevHash = d.hash()
-	b.Header.TxRoot = d.hash()
-	b.Header.Proposer = types.NodeID(d.i64())
-	n := d.count(8)
-	for i := 0; i < n && d.err == nil; i++ {
-		b.Txs = append(b.Txs, decodeTx(d))
+	b.Header.Height = d.U64()
+	b.Header.PrevHash = d.Hash()
+	b.Header.TxRoot = d.Hash()
+	b.Header.Proposer = types.NodeID(d.I64())
+	n := d.Count(8)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var tx *types.Transaction
+		wire.GetTx(d, &tx)
+		b.Txs = append(b.Txs, tx)
 	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.off != len(rec) {
-		return nil, fmt.Errorf("%w: %d trailing bytes after block", ErrCorrupt, len(rec)-d.off)
+	if err := d.Done(); err != nil {
+		return nil, corrupt(err)
 	}
 	if b.Header.TxRoot != types.TxMerkleRoot(b.Txs) {
 		return nil, fmt.Errorf("%w: block %d merkle root does not match decoded body", ErrCorrupt, b.Header.Height)
@@ -190,114 +76,71 @@ func DecodeBlock(rec []byte) (*types.Block, error) {
 	return b, nil
 }
 
-func decodeTx(d *decoder) *types.Transaction {
-	tx := &types.Transaction{}
-	tx.ID = d.str()
-	tx.Client = types.NodeID(d.i64())
-	tx.Enterprise = types.EnterpriseID(d.i64())
-	tx.Kind = types.TxKind(d.u8())
-	n := d.count(8)
-	for i := 0; i < n && d.err == nil; i++ {
-		tx.Shards = append(tx.Shards, types.ShardID(d.i64()))
-	}
-	n = d.count(8)
-	for i := 0; i < n && d.err == nil; i++ {
-		var op types.Op
-		op.Code = types.OpCode(d.u8())
-		op.Key = d.str()
-		op.Key2 = d.str()
-		op.Value = d.bytes()
-		op.Delta = d.i64()
-		tx.Ops = append(tx.Ops, op)
-	}
-	n = d.count(8)
-	if n > 0 && d.err == nil {
-		tx.Reads = make(types.ReadSet, n)
-	}
-	for i := 0; i < n && d.err == nil; i++ {
-		k := d.str()
-		tx.Reads[k] = types.Version{Block: d.u64(), Tx: int(d.i64())}
-	}
-	n = d.count(8)
-	if n > 0 && d.err == nil {
-		tx.Writes = make(types.WriteSet, n)
-	}
-	for i := 0; i < n && d.err == nil; i++ {
-		k := d.str()
-		tx.Writes[k] = d.bytes()
-	}
-	tx.Private = d.u8() == 1
-	return tx
-}
-
 // EncodeStateSnapshot serializes a statedb snapshot deterministically
 // (entries are already sorted; history keys are sorted here).
 func EncodeStateSnapshot(s *statedb.Snapshot) []byte {
-	e := &encoder{buf: make([]byte, 0, 1024)}
-	e.u8(codecVersion)
-	e.u32(uint32(s.HistLimit))
-	e.u32(uint32(len(s.Entries)))
+	e := &wire.Encoder{}
+	e.U8(codecVersion)
+	e.U32(uint32(s.HistLimit))
+	e.U32(uint32(len(s.Entries)))
 	for _, ent := range s.Entries {
-		e.str(ent.Key)
-		e.bytes(ent.Value)
-		e.u64(ent.Version.Block)
-		e.i64(int64(ent.Version.Tx))
+		e.Str(ent.Key)
+		e.Bytes(ent.Value)
+		e.U64(ent.Version.Block)
+		e.I64(int64(ent.Version.Tx))
 	}
 	keys := make([]string, 0, len(s.Hist))
 	for k := range s.Hist {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	e.u32(uint32(len(keys)))
+	e.U32(uint32(len(keys)))
 	for _, k := range keys {
-		e.str(k)
+		e.Str(k)
 		h := s.Hist[k]
-		e.u32(uint32(len(h)))
+		e.U32(uint32(len(h)))
 		for _, he := range h {
-			e.u64(he.Version.Block)
-			e.i64(int64(he.Version.Tx))
-			e.bytes(he.Value)
+			e.U64(he.Version.Block)
+			e.I64(int64(he.Version.Tx))
+			e.Bytes(he.Value)
 		}
 	}
-	return e.buf
+	return e.Frame()
 }
 
 // DecodeStateSnapshot parses an EncodeStateSnapshot record.
 func DecodeStateSnapshot(rec []byte) (*statedb.Snapshot, error) {
-	d := &decoder{buf: rec}
-	if v := d.u8(); d.err == nil && v != codecVersion {
+	d := wire.NewDecoder(rec)
+	if v := d.U8(); d.Err() == nil && v != codecVersion {
 		return nil, fmt.Errorf("%w: snapshot codec version %d, want %d", ErrCorrupt, v, codecVersion)
 	}
-	s := &statedb.Snapshot{HistLimit: int(d.u32())}
-	n := d.count(8)
-	for i := 0; i < n && d.err == nil; i++ {
+	s := &statedb.Snapshot{HistLimit: int(d.U32())}
+	n := d.Count(8)
+	for i := 0; i < n && d.Err() == nil; i++ {
 		var ent statedb.Entry
-		ent.Key = d.str()
-		ent.Value = d.bytes()
-		ent.Version = types.Version{Block: d.u64(), Tx: int(d.i64())}
+		ent.Key = d.Str()
+		ent.Value = d.Bytes()
+		ent.Version = types.Version{Block: d.U64(), Tx: int(d.I64())}
 		s.Entries = append(s.Entries, ent)
 	}
-	n = d.count(8)
-	if n > 0 && d.err == nil {
+	n = d.Count(8)
+	if n > 0 && d.Err() == nil {
 		s.Hist = make(map[string][]statedb.HistEntry, n)
 	}
-	for i := 0; i < n && d.err == nil; i++ {
-		k := d.str()
-		m := d.count(8)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		k := d.Str()
+		m := d.Count(8)
 		var hs []statedb.HistEntry
-		for j := 0; j < m && d.err == nil; j++ {
+		for j := 0; j < m && d.Err() == nil; j++ {
 			var he statedb.HistEntry
-			he.Version = types.Version{Block: d.u64(), Tx: int(d.i64())}
-			he.Value = d.bytes()
+			he.Version = types.Version{Block: d.U64(), Tx: int(d.I64())}
+			he.Value = d.Bytes()
 			hs = append(hs, he)
 		}
 		s.Hist[k] = hs
 	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.off != len(rec) {
-		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot", ErrCorrupt, len(rec)-d.off)
+	if err := d.Done(); err != nil {
+		return nil, corrupt(err)
 	}
 	return s, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"permchain/internal/types"
+	"permchain/internal/wire"
 )
 
 // Cross-shard 2PC decision records. Each phase transition of a
@@ -85,63 +86,75 @@ type DecisionRecord struct {
 // codec.
 const decisionVersion = 1
 
+// DecisionCodec (wire tag 176) lets decision records travel as typed
+// network frames; the durable in-op encoding below keeps its own
+// version byte and layout.
+var DecisionCodec = wire.Register[*DecisionRecord](176, putDecision, getDecision)
+
+func putDecision(e *wire.Encoder, rp **DecisionRecord) {
+	r := *rp
+	e.Str(r.TxID)
+	e.U8(byte(r.Phase))
+	e.I64(int64(r.Shard))
+	e.U32(uint32(len(r.Participants)))
+	for _, s := range r.Participants {
+		e.I64(int64(s))
+	}
+	e.Bool(r.Commit)
+	e.U32(uint32(len(r.Ops)))
+	for i := range r.Ops {
+		wire.PutOp(e, &r.Ops[i])
+	}
+}
+
+func getDecision(d *wire.Decoder, rp **DecisionRecord) {
+	r := *rp
+	if r == nil {
+		r = &DecisionRecord{}
+		*rp = r
+	}
+	r.TxID = d.Str()
+	r.Phase = DecisionPhase(d.U8())
+	r.Shard = types.ShardID(d.I64())
+	n := d.Count(8)
+	r.Participants = r.Participants[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		r.Participants = append(r.Participants, types.ShardID(d.I64()))
+	}
+	if len(r.Participants) == 0 {
+		r.Participants = nil
+	}
+	r.Commit = d.Bool()
+	n = d.Count(8)
+	r.Ops = r.Ops[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var op types.Op
+		wire.GetOp(d, &op)
+		r.Ops = append(r.Ops, op)
+	}
+	if len(r.Ops) == 0 {
+		r.Ops = nil
+	}
+}
+
 // EncodeDecision serializes a decision record deterministically.
 func EncodeDecision(r *DecisionRecord) []byte {
-	e := &encoder{buf: make([]byte, 0, 64)}
-	e.u8(decisionVersion)
-	e.str(r.TxID)
-	e.u8(byte(r.Phase))
-	e.i64(int64(r.Shard))
-	e.u32(uint32(len(r.Participants)))
-	for _, s := range r.Participants {
-		e.i64(int64(s))
-	}
-	if r.Commit {
-		e.u8(1)
-	} else {
-		e.u8(0)
-	}
-	e.u32(uint32(len(r.Ops)))
-	for _, op := range r.Ops {
-		e.u8(byte(op.Code))
-		e.str(op.Key)
-		e.str(op.Key2)
-		e.bytes(op.Value)
-		e.i64(op.Delta)
-	}
-	return e.buf
+	e := &wire.Encoder{}
+	e.U8(decisionVersion)
+	putDecision(e, &r)
+	return e.Frame()
 }
 
 // DecodeDecision parses an EncodeDecision frame.
 func DecodeDecision(rec []byte) (*DecisionRecord, error) {
-	d := &decoder{buf: rec}
-	if v := d.u8(); d.err == nil && v != decisionVersion {
+	d := wire.NewDecoder(rec)
+	if v := d.U8(); d.Err() == nil && v != decisionVersion {
 		return nil, fmt.Errorf("%w: decision frame version %d, want %d", ErrCorrupt, v, decisionVersion)
 	}
-	r := &DecisionRecord{}
-	r.TxID = d.str()
-	r.Phase = DecisionPhase(d.u8())
-	r.Shard = types.ShardID(d.i64())
-	n := d.count(8)
-	for i := 0; i < n && d.err == nil; i++ {
-		r.Participants = append(r.Participants, types.ShardID(d.i64()))
-	}
-	r.Commit = d.u8() == 1
-	n = d.count(8)
-	for i := 0; i < n && d.err == nil; i++ {
-		var op types.Op
-		op.Code = types.OpCode(d.u8())
-		op.Key = d.str()
-		op.Key2 = d.str()
-		op.Value = d.bytes()
-		op.Delta = d.i64()
-		r.Ops = append(r.Ops, op)
-	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.off != len(rec) {
-		return nil, fmt.Errorf("%w: %d trailing bytes after decision record", ErrCorrupt, len(rec)-d.off)
+	var r *DecisionRecord
+	getDecision(d, &r)
+	if err := d.Done(); err != nil {
+		return nil, corrupt(err)
 	}
 	return r, nil
 }

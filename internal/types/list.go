@@ -1,0 +1,115 @@
+package types
+
+import (
+	"slices"
+	"strings"
+)
+
+// ReadList and WriteList are the slice representations of a transaction's
+// read and write sets, used on the executor hot path. The map types
+// (ReadSet, WriteSet) remain the public facade carried inside Transaction;
+// the lists exist so per-transaction execution can reuse scratch buffers
+// instead of allocating two maps per transaction (see statedb.ExecScratch).
+//
+// A list is canonical when sorted by key with unique keys; the executors
+// guarantee that before handing a list to validation or commit.
+
+// ReadItem is one entry of a ReadList: a key and the version observed.
+type ReadItem struct {
+	Key string
+	Ver Version
+}
+
+// ReadList is a slice-based read set, sorted by key when canonical.
+type ReadList []ReadItem
+
+// Sort orders the list by key.
+func (r ReadList) Sort() {
+	slices.SortFunc(r, func(a, b ReadItem) int { return strings.Compare(a.Key, b.Key) })
+}
+
+// Get returns the version recorded for key. The list must be sorted.
+func (r ReadList) Get(key string) (Version, bool) {
+	i, ok := slices.BinarySearchFunc(r, key, func(it ReadItem, k string) int {
+		return strings.Compare(it.Key, k)
+	})
+	if !ok {
+		return Version{}, false
+	}
+	return r[i].Ver, true
+}
+
+// ToSet copies the list into a fresh ReadSet (the public facade form).
+func (r ReadList) ToSet() ReadSet {
+	if r == nil {
+		return nil
+	}
+	out := make(ReadSet, len(r))
+	for i := range r {
+		out[r[i].Key] = r[i].Ver
+	}
+	return out
+}
+
+// ReadListFromSet builds a sorted ReadList from a map read set.
+func ReadListFromSet(s ReadSet) ReadList {
+	if s == nil {
+		return nil
+	}
+	out := make(ReadList, 0, len(s))
+	for k, v := range s {
+		out = append(out, ReadItem{Key: k, Ver: v})
+	}
+	out.Sort()
+	return out
+}
+
+// WriteItem is one entry of a WriteList: a key and its new value.
+type WriteItem struct {
+	Key   string
+	Value []byte
+}
+
+// WriteList is a slice-based write set, sorted by key when canonical.
+type WriteList []WriteItem
+
+// Sort orders the list by key.
+func (w WriteList) Sort() {
+	slices.SortFunc(w, func(a, b WriteItem) int { return strings.Compare(a.Key, b.Key) })
+}
+
+// Get returns the value recorded for key. The list must be sorted.
+func (w WriteList) Get(key string) ([]byte, bool) {
+	i, ok := slices.BinarySearchFunc(w, key, func(it WriteItem, k string) int {
+		return strings.Compare(it.Key, k)
+	})
+	if !ok {
+		return nil, false
+	}
+	return w[i].Value, true
+}
+
+// ToSet copies the list into a fresh WriteSet (the public facade form).
+func (w WriteList) ToSet() WriteSet {
+	if w == nil {
+		return nil
+	}
+	out := make(WriteSet, len(w))
+	for i := range w {
+		out[w[i].Key] = w[i].Value
+	}
+	return out
+}
+
+// WriteListFromSet builds a sorted WriteList from a map write set.
+func WriteListFromSet(s WriteSet) WriteList {
+	if s == nil {
+		return nil
+	}
+	out := make(WriteList, 0, len(s))
+	for k, v := range s {
+		out = append(out, WriteItem{Key: k, Value: v})
+	}
+	out.Sort()
+	return out
+}

@@ -1,0 +1,58 @@
+package types
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReadListRoundTrip(t *testing.T) {
+	set := ReadSet{"b": {Block: 2, Tx: 1}, "a": {Block: 1}, "c": {}}
+	list := ReadListFromSet(set)
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Key >= list[i].Key {
+			t.Fatalf("list not sorted: %v", list)
+		}
+	}
+	if ver, ok := list.Get("b"); !ok || ver != (Version{Block: 2, Tx: 1}) {
+		t.Fatalf("Get(b) = %v %v", ver, ok)
+	}
+	if _, ok := list.Get("zz"); ok {
+		t.Fatal("Get(zz) found a ghost")
+	}
+	if back := list.ToSet(); !reflect.DeepEqual(back, set) {
+		t.Fatalf("round trip: %v != %v", back, set)
+	}
+	if ReadListFromSet(nil) != nil || ReadList(nil).ToSet() != nil {
+		t.Fatal("nil must round-trip to nil")
+	}
+}
+
+func TestWriteListRoundTrip(t *testing.T) {
+	set := WriteSet{"y": []byte("2"), "x": []byte("1"), "z": nil}
+	list := WriteListFromSet(set)
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Key >= list[i].Key {
+			t.Fatalf("list not sorted: %v", list)
+		}
+	}
+	if v, ok := list.Get("x"); !ok || string(v) != "1" {
+		t.Fatalf("Get(x) = %q %v", v, ok)
+	}
+	if _, ok := list.Get("w"); ok {
+		t.Fatal("Get(w) found a ghost")
+	}
+	if back := list.ToSet(); !reflect.DeepEqual(back, set) {
+		t.Fatalf("round trip: %v != %v", back, set)
+	}
+	if WriteListFromSet(nil) != nil || WriteList(nil).ToSet() != nil {
+		t.Fatal("nil must round-trip to nil")
+	}
+}
+
+func TestListSortIsAllocFree(t *testing.T) {
+	r := ReadList{{Key: "c"}, {Key: "a"}, {Key: "b"}}
+	w := WriteList{{Key: "c"}, {Key: "a"}, {Key: "b"}}
+	if n := testing.AllocsPerRun(100, func() { r.Sort(); w.Sort() }); n != 0 {
+		t.Fatalf("Sort allocates %.1f/op, want 0", n)
+	}
+}

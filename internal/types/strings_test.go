@@ -1,0 +1,61 @@
+package types
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStringFormats pins the exact renderings (logs and metric names
+// depend on them) after the fmt → strconv rewrite.
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{NodeID(0).String(), "n0"},
+		{NodeID(7).String(), "n7"},
+		{NodeID(-1).String(), "n-1"},
+		{EnterpriseID(3).String(), "e3"},
+		{ShardID(12).String(), "s12"},
+		{Version{}.String(), "0.0"},
+		{Version{Block: 42, Tx: 7}.String(), "42.7"},
+		{fmt.Sprintf("%v", NodeID(5)), "n5"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// TestIDStringAllocs caps the id renderers. Realistic ids are small
+// (clusters run tens of nodes), where strconv serves the digits from
+// its cached smalls table and only the concatenation allocates; large
+// ids add one more for the digit string. The old fmt.Sprintf paths
+// cost 2-3 regardless.
+func TestIDStringAllocs(t *testing.T) {
+	var sink string
+	if n := testing.AllocsPerRun(200, func() { sink = NodeID(7).String() }); n > 1 {
+		t.Errorf("NodeID.String (small id) allocates %.1f/op, want ≤1", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { sink = NodeID(123456).String() }); n > 2 {
+		t.Errorf("NodeID.String (large id) allocates %.1f/op, want ≤2", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { sink = Version{Block: 12, Tx: 34}.String() }); n > 2 {
+		t.Errorf("Version.String allocates %.1f/op, want ≤2", n)
+	}
+	_ = sink
+}
+
+func BenchmarkIDString(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NodeID(i).String()
+	}
+}
+
+func BenchmarkVersionString(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Version{Block: uint64(i), Tx: i & 7}.String()
+	}
+}

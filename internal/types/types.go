@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -52,15 +53,17 @@ func HashConcat(parts ...[]byte) Hash {
 // NodeID identifies a consensus replica or peer.
 type NodeID int
 
-// String renders the id as "n<k>".
-func (n NodeID) String() string { return fmt.Sprintf("n%d", int(n)) }
+// String renders the id as "n<k>". It is on hot logging and metric-name
+// paths, so it concatenates via strconv instead of fmt (one allocation
+// for the result instead of fmt's boxing plus formatting state).
+func (n NodeID) String() string { return "n" + strconv.Itoa(int(n)) }
 
 // EnterpriseID identifies an enterprise (organization) in a collaborative
 // application (§2.3.1). Enterprise 0 is reserved for "no enterprise".
 type EnterpriseID int
 
 // String renders the id as "e<k>".
-func (e EnterpriseID) String() string { return fmt.Sprintf("e%d", int(e)) }
+func (e EnterpriseID) String() string { return "e" + strconv.Itoa(int(e)) }
 
 // ChannelID identifies a Fabric-style channel (§2.3.1).
 type ChannelID string
@@ -69,7 +72,7 @@ type ChannelID string
 type ShardID int
 
 // String renders the id as "s<k>".
-func (s ShardID) String() string { return fmt.Sprintf("s%d", int(s)) }
+func (s ShardID) String() string { return "s" + strconv.Itoa(int(s)) }
 
 // TxKind distinguishes where a transaction must be ordered and who may see
 // it (§2.3.1): internal transactions stay inside one enterprise or shard,
@@ -169,7 +172,9 @@ func (v Version) Less(o Version) bool {
 }
 
 // String renders the version as "<block>.<tx>".
-func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Block, v.Tx) }
+func (v Version) String() string {
+	return strconv.FormatUint(v.Block, 10) + "." + strconv.Itoa(v.Tx)
+}
 
 // ReadSet maps each key read by a transaction to the version observed.
 type ReadSet map[string]Version

@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"testing"
+
+	"permchain/internal/types"
+)
+
+// BenchmarkEncodeTx measures the pooled-encoder transaction encode
+// path; report with -benchmem — steady state is 0 allocs/op.
+func BenchmarkEncodeTx(b *testing.B) {
+	tx := sampleTx()
+	e := GetEncoder()
+	defer PutEncoder(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		if err := EncodeFrame(e, tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(e.Len()))
+}
+
+// BenchmarkDecodeTx measures the generic (copying) decode path the
+// network uses — allocation here is the real per-message decode cost.
+func BenchmarkDecodeTx(b *testing.B) {
+	tx := sampleTx()
+	e := &Encoder{}
+	if err := EncodeFrame(e, tx); err != nil {
+		b.Fatal(err)
+	}
+	frame := e.Frame()
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeTxReuse measures the typed scratch-reuse decode path:
+// decoding into a recycled transaction. Slice storage is reused; the
+// remaining allocations are the ID/key string copies.
+func BenchmarkDecodeTxReuse(b *testing.B) {
+	tx := &types.Transaction{
+		ID:     "tx-hot",
+		Client: 3,
+		Kind:   types.TxInternal,
+		Ops:    []types.Op{{Code: types.OpTransfer, Key: "a", Key2: "b", Delta: 10}},
+	}
+	e := &Encoder{}
+	TxCodec.EncodeFrame(e, &tx)
+	frame := e.Frame()
+	scratch := AcquireTx()
+	defer ReleaseTx(scratch)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := TxCodec.DecodeFrameInto(frame, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

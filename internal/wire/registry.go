@@ -1,0 +1,298 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"permchain/internal/types"
+)
+
+// A Codec is the typed handle Register returns: the owning package
+// keeps it to encode/decode its type without going through the `any`
+// dispatch (the allocation-free microbenchmark path).
+type Codec[T any] struct {
+	tag uint16
+	enc func(*Encoder, *T)
+	dec func(*Decoder, *T)
+}
+
+// Tag returns the codec's registered type tag.
+func (c Codec[T]) Tag() uint16 { return c.tag }
+
+// EncodeFrame appends a complete frame (version, tag, payload) for v.
+func (c Codec[T]) EncodeFrame(e *Encoder, v *T) {
+	e.U8(FrameVersion)
+	e.U16(c.tag)
+	c.enc(e, v)
+}
+
+// DecodeFrameInto parses a frame produced by EncodeFrame into v,
+// reusing v's existing storage (slices, big.Ints) where the codec
+// supports it — steady-state decoding into a recycled value does not
+// allocate. The frame must consume exactly.
+func (c Codec[T]) DecodeFrameInto(frame []byte, v *T) error {
+	d := getDecoder(frame)
+	defer putDecoder(d)
+	if ver := d.U8(); d.err == nil && ver != FrameVersion {
+		return fmt.Errorf("%w: frame version %d, want %d", ErrCorrupt, ver, FrameVersion)
+	}
+	if tag := d.U16(); d.err == nil && tag != c.tag {
+		return fmt.Errorf("%w: frame tag %d, want %d", ErrCorrupt, tag, c.tag)
+	}
+	c.dec(d, v)
+	return d.Done()
+}
+
+// decPool recycles Decoders: the dynamic codec call forces the decoder
+// to escape, so a stack decoder would cost one allocation per decode.
+var decPool = sync.Pool{New: func() any { return &Decoder{} }}
+
+func getDecoder(frame []byte) *Decoder {
+	d := decPool.Get().(*Decoder)
+	d.Reset(frame)
+	return d
+}
+
+func putDecoder(d *Decoder) {
+	d.Reset(nil) // drop the frame reference before pooling
+	decPool.Put(d)
+}
+
+// entry is one registered type in the dispatch tables.
+type entry struct {
+	tag  uint16
+	typ  reflect.Type
+	enc  func(*Encoder, any)
+	dec  func(*Decoder) (any, error)
+	name string
+}
+
+// regState is the immutable snapshot the hot path reads lock-free;
+// Register copies-on-write under regMu. All registration happens in
+// package inits, so in practice the state is frozen before traffic.
+type regState struct {
+	byType map[reflect.Type]*entry
+	byTag  map[uint16]*entry
+	intern map[string]string
+}
+
+var (
+	regMu  sync.Mutex
+	regPtr atomic.Pointer[regState]
+
+	// emptyState backs reads that race package initialization: the
+	// builtin-codec var block below registers before any init() runs.
+	emptyState = &regState{
+		byType: map[reflect.Type]*entry{},
+		byTag:  map[uint16]*entry{},
+		intern: map[string]string{},
+	}
+)
+
+func state() *regState {
+	if s := regPtr.Load(); s != nil {
+		return s
+	}
+	return emptyState
+}
+
+func internTable() map[string]string { return state().intern }
+
+// mutate applies f to a copy of the registry state and publishes it.
+func mutate(f func(*regState)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	old := regPtr.Load()
+	if old == nil {
+		old = emptyState
+	}
+	next := &regState{
+		byType: make(map[reflect.Type]*entry, len(old.byType)+1),
+		byTag:  make(map[uint16]*entry, len(old.byTag)+1),
+		intern: make(map[string]string, len(old.intern)+8),
+	}
+	for k, v := range old.byType {
+		next.byType[k] = v
+	}
+	for k, v := range old.byTag {
+		next.byTag[k] = v
+	}
+	for k, v := range old.intern {
+		next.intern[k] = v
+	}
+	f(next)
+	regPtr.Store(next)
+}
+
+// Register binds tag to T's codec and returns the typed handle. The
+// `any` dispatch encodes values of type T (as senders pass them) and
+// decodes back to a T value, so m.Payload.(T) type assertions hold
+// across the wire. Duplicate tags or types panic: tags are release
+// artifacts and must stay stable.
+func Register[T any](tag uint16, enc func(*Encoder, *T), dec func(*Decoder, *T)) Codec[T] {
+	typ := reflect.TypeOf((*T)(nil)).Elem()
+	// The dynamic enc/dec calls force their *T temp to escape; a pool
+	// per registered type keeps the any-dispatch path allocation-free
+	// (the boxed value an any decode returns is the one unavoidable
+	// allocation for value-typed payloads).
+	tmpPool := sync.Pool{New: func() any { return new(T) }}
+	var zero T
+	ent := &entry{
+		tag:  tag,
+		typ:  typ,
+		name: typ.String(),
+		enc: func(e *Encoder, v any) {
+			tp := tmpPool.Get().(*T)
+			*tp = v.(T)
+			enc(e, tp)
+			*tp = zero
+			tmpPool.Put(tp)
+		},
+		dec: func(d *Decoder) (any, error) {
+			tp := tmpPool.Get().(*T)
+			*tp = zero
+			dec(d, tp)
+			v, err := *tp, d.Err()
+			*tp = zero // never retain payload references in the pool
+			tmpPool.Put(tp)
+			if err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	}
+	mutate(func(s *regState) {
+		if prev, ok := s.byTag[tag]; ok {
+			panic(fmt.Sprintf("wire: tag %d already registered for %s", tag, prev.name))
+		}
+		if prev, ok := s.byType[typ]; ok {
+			panic(fmt.Sprintf("wire: type %s already registered under tag %d", typ, prev.tag))
+		}
+		s.byTag[tag] = ent
+		s.byType[typ] = ent
+	})
+	return Codec[T]{tag: tag, enc: enc, dec: dec}
+}
+
+// Intern adds protocol string constants to the shared intern table:
+// StrShared returns these exact instances instead of allocating a copy
+// per decode. Call from init alongside Register.
+func Intern(ss ...string) {
+	mutate(func(s *regState) {
+		for _, v := range ss {
+			s.intern[v] = v
+		}
+	})
+}
+
+// RegisteredTags returns the currently registered tags (for tests that
+// sweep every codec).
+func RegisteredTags() []uint16 {
+	s := state()
+	out := make([]uint16, 0, len(s.byTag))
+	for t := range s.byTag {
+		out = append(out, t)
+	}
+	return out
+}
+
+// TypeName returns the Go type name registered under tag, or "".
+func TypeName(tag uint16) string {
+	if e, ok := state().byTag[tag]; ok {
+		return e.name
+	}
+	return ""
+}
+
+// Any appends a nested dynamic value: [u16 tag][payload], tag 0 for
+// nil. Unregistered types poison the encoder with ErrUnregistered.
+func (e *Encoder) Any(v any) {
+	if v == nil {
+		e.U16(0)
+		return
+	}
+	ent, ok := state().byType[reflect.TypeOf(v)]
+	if !ok {
+		e.fail(fmt.Errorf("%w: %T", ErrUnregistered, v))
+		return
+	}
+	e.U16(ent.tag)
+	ent.enc(e, v)
+}
+
+// Any reads a nested dynamic value written by Encoder.Any.
+func (d *Decoder) Any() any {
+	tag := d.U16()
+	if d.err != nil || tag == 0 {
+		return nil
+	}
+	ent, ok := state().byTag[tag]
+	if !ok {
+		d.err = fmt.Errorf("%w: unknown type tag %d", ErrCorrupt, tag)
+		return nil
+	}
+	v, err := ent.dec(d)
+	if err != nil {
+		return nil
+	}
+	return v
+}
+
+// EncodeFrame appends a complete frame for v — the network transport's
+// encode entry point. Returns ErrUnregistered for unknown types.
+func EncodeFrame(e *Encoder, v any) error {
+	e.U8(FrameVersion)
+	e.Any(v)
+	return e.err
+}
+
+// DecodeFrame parses a frame back into its payload value. Decoded
+// values never reference frame memory (codecs use the copying reads on
+// this path), so the frame buffer may be recycled immediately.
+func DecodeFrame(frame []byte) (any, error) {
+	var d Decoder
+	d.Reset(frame)
+	if ver := d.U8(); d.err == nil && ver != FrameVersion {
+		return nil, fmt.Errorf("%w: frame version %d, want %d", ErrCorrupt, ver, FrameVersion)
+	}
+	v := d.Any()
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Builtin codecs: the primitive payloads protocol tests and generic
+// values use. Tags 1–15 are reserved for these.
+var (
+	// StringCodec (tag 1) carries plain string values.
+	StringCodec = Register[string](1,
+		func(e *Encoder, v *string) { e.Str(*v) },
+		func(d *Decoder, v *string) { *v = d.StrShared() })
+	// BytesCodec (tag 2) carries raw byte slices.
+	BytesCodec = Register[[]byte](2,
+		func(e *Encoder, v *[]byte) { e.Bytes(*v) },
+		func(d *Decoder, v *[]byte) { *v = d.AppendBytes((*v)[:0]) })
+	// BoolCodec (tag 3).
+	BoolCodec = Register[bool](3,
+		func(e *Encoder, v *bool) { e.Bool(*v) },
+		func(d *Decoder, v *bool) { *v = d.Bool() })
+	// IntCodec (tag 4) carries platform ints as int64.
+	IntCodec = Register[int](4,
+		func(e *Encoder, v *int) { e.I64(int64(*v)) },
+		func(d *Decoder, v *int) { *v = int(d.I64()) })
+	// Int64Codec (tag 5).
+	Int64Codec = Register[int64](5,
+		func(e *Encoder, v *int64) { e.I64(*v) },
+		func(d *Decoder, v *int64) { *v = d.I64() })
+	// Uint64Codec (tag 6).
+	Uint64Codec = Register[uint64](6,
+		func(e *Encoder, v *uint64) { e.U64(*v) },
+		func(d *Decoder, v *uint64) { *v = d.U64() })
+	// HashCodec (tag 7) carries bare digests.
+	HashCodec = Register[types.Hash](7,
+		func(e *Encoder, v *types.Hash) { e.Hash(*v) },
+		func(d *Decoder, v *types.Hash) { *v = d.Hash() })
+)

@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"errors"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"permchain/internal/types"
+)
+
+// sampleTx exercises every transaction field, including read/write sets.
+func sampleTx() *types.Transaction {
+	return &types.Transaction{
+		ID:         "tx-42",
+		Client:     7,
+		Enterprise: 3,
+		Kind:       types.TxCross,
+		Shards:     []types.ShardID{0, 2},
+		Ops: []types.Op{
+			{Code: types.OpPut, Key: "alice", Value: []byte("100")},
+			{Code: types.OpTransfer, Key: "alice", Key2: "bob", Delta: 25},
+		},
+		Reads:   types.ReadSet{"alice": {Block: 4, Tx: 1}, "bob": {}},
+		Writes:  types.WriteSet{"alice": []byte("75"), "bob": []byte("25")},
+		Private: true,
+	}
+}
+
+func TestBuiltinRoundTrip(t *testing.T) {
+	vals := []any{
+		"hello", []byte{1, 2, 3}, true, false, int(-9), int64(1 << 40),
+		uint64(77), types.HashBytes([]byte("x")), nil,
+	}
+	for _, v := range vals {
+		e := GetEncoder()
+		if err := EncodeFrame(e, v); err != nil {
+			t.Fatalf("encode %T: %v", v, err)
+		}
+		got, err := DecodeFrame(e.Frame())
+		if err != nil {
+			t.Fatalf("decode %T: %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("round trip %T: got %#v want %#v", v, got, v)
+		}
+		PutEncoder(e)
+	}
+}
+
+func TestTxRoundTrip(t *testing.T) {
+	tx := sampleTx()
+	e := GetEncoder()
+	defer PutEncoder(e)
+	if err := EncodeFrame(e, tx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(e.Frame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tx) {
+		t.Fatalf("tx round trip:\ngot  %#v\nwant %#v", got, tx)
+	}
+}
+
+// TestTruncatedFramesError feeds every strict prefix of valid frames to
+// the decoder: each must fail with ErrCorrupt and never panic — the
+// store.ErrCorrupt discipline.
+func TestTruncatedFramesError(t *testing.T) {
+	frames := [][]byte{}
+	for _, v := range []any{"abc", []byte{9, 9}, sampleTx(), uint64(1)} {
+		e := &Encoder{}
+		if err := EncodeFrame(e, v); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, append([]byte(nil), e.Frame()...))
+	}
+	for _, f := range frames {
+		for cut := 0; cut < len(f); cut++ {
+			if _, err := DecodeFrame(f[:cut]); err == nil {
+				t.Fatalf("truncated frame (%d of %d bytes) decoded cleanly", cut, len(f))
+			} else if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncated frame error %v is not ErrCorrupt", err)
+			}
+		}
+	}
+}
+
+func TestTrailingBytesError(t *testing.T) {
+	e := &Encoder{}
+	if err := EncodeFrame(e, "x"); err != nil {
+		t.Fatal(err)
+	}
+	bad := append(append([]byte(nil), e.Frame()...), 0xFF)
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestUnknownTagError(t *testing.T) {
+	frame := []byte{FrameVersion, 0xFF, 0xFE}
+	if _, err := DecodeFrame(frame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown tag: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestUnregisteredTypeError(t *testing.T) {
+	type never struct{ X int }
+	e := &Encoder{}
+	err := EncodeFrame(e, never{1})
+	if !errors.Is(err, ErrUnregistered) {
+		t.Fatalf("unregistered encode: got %v, want ErrUnregistered", err)
+	}
+}
+
+// TestDamagedCountBounded corrupts an element count to a huge value:
+// the decoder must reject it (bounded by remaining bytes) rather than
+// allocate gigabytes.
+func TestDamagedCountBounded(t *testing.T) {
+	tx := sampleTx()
+	e := &Encoder{}
+	if err := EncodeFrame(e, tx); err != nil {
+		t.Fatal(err)
+	}
+	f := append([]byte(nil), e.Frame()...)
+	// The Shards count sits right after ID (u32 len + bytes) and three
+	// I64/U8 scalars; rather than compute the offset, smash every u32
+	// aligned window and require no panic and no success with trailing
+	// garbage semantics.
+	for off := 3; off+4 <= len(f); off++ {
+		g := append([]byte(nil), f...)
+		g[off], g[off+1], g[off+2], g[off+3] = 0xFF, 0xFF, 0xFF, 0xFF
+		v, err := DecodeFrame(g) // must not panic
+		_ = v
+		_ = err
+	}
+}
+
+func TestInternedStrings(t *testing.T) {
+	const s = "wire-test/interned-constant"
+	Intern(s)
+	e := &Encoder{}
+	e.Str(s)
+	var d Decoder
+	d.Reset(e.Frame())
+	got := d.StrShared()
+	if got != s {
+		t.Fatalf("got %q", got)
+	}
+	// Interned decode must return the canonical instance, not a copy —
+	// observable as zero allocations per decode.
+	frame := e.Frame()
+	allocs := testing.AllocsPerRun(100, func() {
+		d.Reset(frame)
+		if d.StrShared() != s {
+			t.Fatal("bad interned decode")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("interned StrShared allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestBigIntRoundTripAndReuse(t *testing.T) {
+	e := &Encoder{}
+	want := new(big.Int).Lsh(big.NewInt(123456789), 100)
+	e.BigInt(want)
+	e.BigInt(nil)
+	var d Decoder
+	d.Reset(e.Frame())
+	scratch := new(big.Int).SetInt64(1)
+	got := d.BigInt(scratch)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if got != scratch {
+		t.Fatalf("BigInt did not reuse the scratch value")
+	}
+	if d.BigInt(nil) != nil {
+		t.Fatalf("nil BigInt did not decode as nil")
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPooledTxReuse(t *testing.T) {
+	tx := AcquireTx()
+	tx.ID = "a"
+	tx.Ops = append(tx.Ops, types.Op{Key: "k"})
+	ReleaseTx(tx)
+	tx2 := AcquireTx()
+	if tx2.ID != "" || len(tx2.Ops) != 0 {
+		t.Fatalf("pooled tx not reset: %#v", tx2)
+	}
+	ReleaseTx(tx2)
+}
+
+// TestEncodeAllocsFree is the hard allocs/op gate on the encode path:
+// steady-state encoding of a payload-set-free transaction into a
+// pooled encoder must not allocate.
+func TestEncodeAllocsFree(t *testing.T) {
+	tx := &types.Transaction{ID: "tx-1", Ops: []types.Op{{Code: types.OpAdd, Key: "k1", Delta: 1}}}
+	e := GetEncoder()
+	defer PutEncoder(e)
+	// Warm the buffer once so growth is out of the loop.
+	if err := EncodeFrame(e, tx); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Reset()
+		if err := EncodeFrame(e, tx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state tx encode allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestDecodeIntoAllocsFree gates the typed scratch-reuse decode path:
+// DecodeFrameInto over a recycled value must not allocate.
+func TestDecodeIntoAllocsFree(t *testing.T) {
+	v := []byte("some-vote-signature-bytes")
+	e := &Encoder{}
+	BytesCodec.EncodeFrame(e, &v)
+	frame := e.Frame()
+	var scratch []byte
+	if err := BytesCodec.DecodeFrameInto(frame, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := BytesCodec.DecodeFrameInto(frame, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state decode-into allocates %.1f/op, want 0", allocs)
+	}
+}
